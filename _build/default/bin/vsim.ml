@@ -1,0 +1,231 @@
+(* vsim: command-line driver for the simulated V cluster.
+
+   Subcommands mirror the user-visible facilities of the paper:
+
+     vsim exec PROG [--at HOST | --local]   "prog args @ machine"
+     vsim migrate PROG [--strategy S]       migrateprog
+     vsim usage [--minutes M]               the pool-of-processors scenario
+     vsim programs                          the program catalogue
+*)
+
+let sec = Time.of_sec
+
+(* {1 Common options} *)
+
+let seed =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Cmdliner.Arg.(value & opt int 1985 & info [ "seed" ] ~docv:"N" ~doc)
+
+let workstations =
+  let doc = "Number of workstations in the cluster." in
+  Cmdliner.Arg.(value & opt int 6 & info [ "workstations"; "w" ] ~docv:"N" ~doc)
+
+let trace =
+  let doc = "Dump the kernel/program-manager trace afterwards." in
+  Cmdliner.Arg.(value & flag & info [ "trace" ] ~doc)
+
+let prog_arg =
+  let doc =
+    "Program to run; one of the paper's Table 4-1 programs (see $(b,vsim \
+     programs))."
+  in
+  Cmdliner.Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"PROG" ~doc)
+
+let make_cluster ~seed ~workstations ~trace =
+  Cluster.create ~seed ~workstations ~trace ()
+
+let dump_trace cl =
+  Format.printf "@.trace:@.";
+  Tracer.dump Format.std_formatter (Cluster.tracer cl)
+
+(* {1 exec} *)
+
+let exec_cmd seed workstations trace prog at local =
+  let cl = make_cluster ~seed ~workstations ~trace in
+  let cfg = Cluster.cfg cl in
+  let origin = Cluster.workstation cl 0 in
+  let env = Cluster.env_for cl origin in
+  let target =
+    if local then Remote_exec.Local
+    else
+      match at with
+      | Some host -> Remote_exec.Named host
+      | None -> Remote_exec.Any
+  in
+  let failed = ref false in
+  ignore
+    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
+         match Remote_exec.exec k cfg ~self ~env ~prog ~target with
+         | Error e ->
+             Printf.printf "exec failed: %s\n" e;
+             failed := true
+         | Ok h -> (
+             let t = h.Remote_exec.h_timings in
+             Printf.printf "%s running on %s\n" prog h.Remote_exec.h_host;
+             (match t.Remote_exec.t_select with
+             | Some s -> Printf.printf "  selection : %s\n" (Time.to_string s)
+             | None -> ());
+             Printf.printf "  env setup : %s\n"
+               (Time.to_string t.Remote_exec.t_setup);
+             Printf.printf "  image load: %s\n"
+               (Time.to_string t.Remote_exec.t_load);
+             match Remote_exec.wait k ~self h with
+             | Ok (wall, cpu) ->
+                 Printf.printf "completed: wall %s, cpu %s\n"
+                   (Time.to_string wall) (Time.to_string cpu)
+             | Error e ->
+                 Printf.printf "wait failed: %s\n" e;
+                 failed := true)));
+  Cluster.run cl ~until:(sec 300.);
+  Printf.printf "\n%s's display:\n" (Kernel.host_name origin.Cluster.ws_kernel);
+  List.iter
+    (fun l -> Printf.printf "  | %s\n" l)
+    (Display_server.output origin.Cluster.ws_display);
+  if trace then dump_trace cl;
+  if !failed then 1 else 0
+
+(* {1 migrate} *)
+
+let strategy_conv =
+  let parse = function
+    | "precopy" -> Ok `Precopy
+    | "freeze" -> Ok `Freeze
+    | "vmflush" -> Ok `Vmflush
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Precopy -> "precopy" | `Freeze -> "freeze" | `Vmflush -> "vmflush")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let migrate_cmd seed workstations trace prog strategy run_for =
+  let cl = make_cluster ~seed ~workstations ~trace in
+  let strategy =
+    match strategy with
+    | `Precopy -> Protocol.Precopy
+    | `Freeze -> Protocol.Freeze_and_copy
+    | `Vmflush ->
+        Protocol.Vm_flush { page_server = File_server.pid (Cluster.file_server cl) }
+  in
+  let code = ref 0 in
+  (match
+     Experiment.migrate_program cl ~strategy ~run_for:(Time.of_sec run_for)
+       ~prog ()
+   with
+  | Error e ->
+      Printf.printf "migration failed: %s\n" e;
+      code := 1
+  | Ok o ->
+      Format.printf "%a@." Protocol.pp_outcome o;
+      List.iteri
+        (fun i r ->
+          Printf.printf "  round %d: %6d KB in %s\n" (i + 1)
+            (r.Protocol.r_bytes / 1024)
+            (Time.to_string r.Protocol.r_span))
+        o.Protocol.m_rounds;
+      Printf.printf "  frozen residue: %d KB; program stopped for %s\n"
+        (o.Protocol.m_final_bytes / 1024)
+        (Time.to_string (Protocol.freeze_span o)));
+  if trace then dump_trace cl;
+  !code
+
+(* {1 usage} *)
+
+let usage_cmd seed workstations minutes rate =
+  let cl = make_cluster ~seed ~workstations ~trace:false in
+  let stats =
+    Experiment.usage cl
+      {
+        Experiment.default_usage_params with
+        Experiment.u_horizon = sec (60. *. minutes);
+        u_job_rate_per_sec = rate;
+      }
+  in
+  Format.printf "%a@." Experiment.pp_usage stats;
+  0
+
+(* {1 programs} *)
+
+let programs_cmd () =
+  Printf.printf "%-16s %9s %8s %9s  %s\n" "name" "image KB" "cpu s"
+    "active KB" "dirty model (fitted to Table 4-1)";
+  List.iter
+    (fun s ->
+      Printf.printf "%-16s %9d %8.0f %9d  %s\n" s.Programs.prog_name
+        (File_server.image_file_bytes s.Programs.image / 1024)
+        s.Programs.cpu_seconds
+        (s.Programs.image.File_server.active_bytes / 1024)
+        (Format.asprintf "%a" Dirty_model.pp_params s.Programs.dirty))
+    Programs.all;
+  0
+
+(* {1 Command wiring} *)
+
+open Cmdliner
+
+let exec_t =
+  let at =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "at" ] ~docv:"HOST" ~doc:"Run on the named workstation.")
+  in
+  let local =
+    Arg.(value & flag & info [ "local" ] ~doc:"Run on the invoking workstation.")
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a program, by default on any idle workstation (@ *).")
+    Term.(const exec_cmd $ seed $ workstations $ trace $ prog_arg $ at $ local)
+
+let migrate_t =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv `Precopy
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Migration strategy: precopy, freeze, or vmflush.")
+  in
+  let run_for =
+    Arg.(
+      value & opt float 3.0
+      & info [ "run-for" ] ~docv:"SEC"
+          ~doc:"Seconds the program runs before migrateprog.")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Run a program remotely, then preempt it with migrateprog.")
+    Term.(
+      const migrate_cmd $ seed $ workstations $ trace $ prog_arg $ strategy
+      $ run_for)
+
+let usage_t =
+  let minutes =
+    Arg.(
+      value & opt float 10.
+      & info [ "minutes" ] ~docv:"M" ~doc:"Simulated minutes.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"R" ~doc:"Job submissions per second.")
+  in
+  Cmd.v
+    (Cmd.info "usage"
+       ~doc:"Pool-of-processors scenario: owners, guests, preemptions.")
+    Term.(const usage_cmd $ seed $ workstations $ minutes $ rate)
+
+let programs_t =
+  Cmd.v
+    (Cmd.info "programs" ~doc:"List the paper's programs and their models.")
+    Term.(const programs_cmd $ const ())
+
+let () =
+  let info =
+    Cmd.info "vsim" ~version:"1.0"
+      ~doc:
+        "Simulated V-System cluster: preemptable remote execution and \
+         migration (SOSP 1985 reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ exec_t; migrate_t; usage_t; programs_t ]))

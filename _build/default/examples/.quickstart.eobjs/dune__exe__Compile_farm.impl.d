@@ -1,0 +1,1 @@
+examples/compile_farm.ml: Cluster Cpu Engine Kernel List Printf Proc Remote_exec Stats Time

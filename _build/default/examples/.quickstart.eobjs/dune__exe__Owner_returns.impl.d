@@ -1,0 +1,1 @@
+examples/owner_returns.ml: Cluster Display_server Engine Ids Kernel List Message Printf Proc Protocol Remote_exec Time

@@ -1,0 +1,1 @@
+examples/owner_returns.mli:

@@ -1,0 +1,1 @@
+examples/parallel_sim.ml: Array Cluster Experiment Ivar List Printf Proc Remote_exec Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Display_server Format List Printf Remote_exec Time Tracer

@@ -1,0 +1,1 @@
+examples/residual_deps.ml: Cluster Engine Env File_server Ids Kernel Message Printf Proc Program_manager Programs Progtable Protocol Remote_exec Residual String Time

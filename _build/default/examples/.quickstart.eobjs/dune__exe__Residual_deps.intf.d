@@ -1,0 +1,1 @@
+examples/residual_deps.mli:

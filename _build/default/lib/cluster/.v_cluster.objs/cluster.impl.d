@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Addr Array Config Context Cpu Display_server Engine Env Ethernet File_server Ids Kernel List Name_server Packet Printf Program_manager Programs Rng String Time Tracer Vproc

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Config Context Display_server Engine Env Ethernet File_server Ids Kernel Name_server Packet Program_manager Rng Time Tracer Vproc

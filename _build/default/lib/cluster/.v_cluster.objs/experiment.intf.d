@@ -1,0 +1,1 @@
+lib/cluster/experiment.mli: Arrivals Cluster Config Format Ids Kernel Protocol Remote_exec Time

@@ -1,0 +1,132 @@
+type workstation = {
+  ws_index : int;
+  ws_segment : int;
+  ws_kernel : Kernel.t;
+  ws_pm : Program_manager.t;
+  ws_display : Display_server.t;
+}
+
+type t = {
+  eng : Engine.t;
+  c_net : Packet.t Ethernet.t;
+  c_cfg : Config.t;
+  c_ctx : Context.t;
+  c_tracer : Tracer.t;
+  c_rng : Rng.t;
+  c_fs : File_server.t;
+  c_ns : Name_server.t;
+  stations : workstation array;
+}
+
+let engine t = t.eng
+let net t = t.c_net
+let cfg t = t.c_cfg
+let ctx t = t.c_ctx
+let tracer t = t.c_tracer
+let rng t = Rng.split t.c_rng
+let file_server t = t.c_fs
+let name_server t = t.c_ns
+let size t = Array.length t.stations
+let workstation t i = t.stations.(i)
+let workstations t = Array.to_list t.stations
+
+let find_workstation t name =
+  List.find_opt
+    (fun ws -> String.equal (Kernel.host_name ws.ws_kernel) name)
+    (workstations t)
+
+let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
+    ?(bridge_delay = Time.of_ms 2.) ?(memory_bytes = 2 * 1024 * 1024)
+    ?(cfg = Config.default) ?(net_config = Ethernet.default_config)
+    ?(trace = false) () =
+  assert (bridged >= 0 && bridged <= workstations);
+  let eng = Engine.create () in
+  let c_rng = Rng.create seed in
+  let c_net = Ethernet.create ~config:net_config eng (Rng.split c_rng) in
+  (* An optional second segment behind a store-and-forward bridge. *)
+  let far_net =
+    if bridged = 0 then c_net
+    else begin
+      let n = Ethernet.create ~config:net_config eng (Rng.split c_rng) in
+      Ethernet.bridge c_net n ~forward_delay:bridge_delay;
+      n
+    end
+  in
+  let c_tracer = Tracer.create eng in
+  Tracer.set_enabled c_tracer trace;
+  let alloc = Ids.Lh_allocator.create () in
+  let c_ctx = Context.of_kernels () in
+  let boot_kernel ?(net = c_net) ~station ~host_name ~memory () =
+    let k =
+      Kernel.create ~engine:eng ~rng:(Rng.split c_rng) ~tracer:c_tracer
+        ~params:cfg.Config.os ~net ~station:(Addr.of_int station) ~host_name
+        ~allocator:alloc ~memory_bytes:memory
+    in
+    Context.register c_ctx k;
+    k
+  in
+  (* Station 0 is the server machine: bigger memory, no program manager
+     volunteering (it is not somebody's workstation). *)
+  let fs_kernel =
+    boot_kernel ~station:0 ~host_name:"fileserver" ~memory:(16 * 1024 * 1024)
+      ()
+  in
+  let c_fs = File_server.create fs_kernel ~name:"fileserver" in
+  let c_ns = Name_server.create fs_kernel ~name:"nameserver" in
+  Programs.publish_images c_fs;
+  List.iter
+    (fun spec ->
+      File_server.add_file c_fs
+        ~path:(spec.Programs.prog_name ^ ".in")
+        ~bytes:(64 * 1024))
+    Programs.all;
+  let stations =
+    Array.init workstations (fun i ->
+        let host_name = Printf.sprintf "ws%d" i in
+        let segment = if i >= workstations - bridged then 1 else 0 in
+        let net = if segment = 1 then far_net else c_net in
+        let k =
+          boot_kernel ~net ~station:(i + 1) ~host_name ~memory:memory_bytes ()
+        in
+        let pm =
+          Program_manager.create k ~cfg ~ctx:c_ctx ~rng:(Rng.split c_rng)
+        in
+        let d = Display_server.create k in
+        Name_server.register_direct c_ns ~name:(host_name ^ ":display")
+          (Display_server.pid d);
+        { ws_index = i; ws_segment = segment; ws_kernel = k; ws_pm = pm; ws_display = d })
+  in
+  {
+    eng;
+    c_net;
+    c_cfg = cfg;
+    c_ctx;
+    c_tracer;
+    c_rng;
+    c_fs;
+    c_ns;
+    stations;
+  }
+
+let env_for t ws =
+  Env.make
+    ~name_server:(Name_server.pid t.c_ns)
+    ~name_cache:
+      [
+        ("fileserver", File_server.pid t.c_fs);
+        ("nameserver", Name_server.pid t.c_ns);
+      ]
+    ~file_server:(File_server.pid t.c_fs)
+    ~display:(Display_server.pid ws.ws_display)
+    ~origin_host:(Kernel.host_name ws.ws_kernel)
+    ()
+
+let user t ~ws ~name body =
+  let w = t.stations.(ws) in
+  let lh = Kernel.create_logical_host w.ws_kernel ~priority:Cpu.Foreground in
+  Kernel.spawn_process w.ws_kernel lh ~name (fun vp ->
+      body w.ws_kernel (Vproc.pid vp))
+
+let run ?until ?max_steps t = Engine.run ?until ?max_steps t.eng
+
+let now t = Engine.now t.eng

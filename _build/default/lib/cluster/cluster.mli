@@ -1,0 +1,75 @@
+(** Building simulated V clusters.
+
+    The paper's installation: a set of diskless SUN workstations (2 MB
+    RAM each) and server machines on one 10 Mbit Ethernet. A cluster
+    bundles the engine, network, file server (holding every program
+    image), and per-workstation kernel + program manager + display
+    server, all seeded deterministically. *)
+
+type workstation = {
+  ws_index : int;
+  ws_segment : int;  (** 0, or 1 for hosts behind the bridge. *)
+  ws_kernel : Kernel.t;
+  ws_pm : Program_manager.t;
+  ws_display : Display_server.t;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?workstations:int ->
+  ?bridged:int ->
+  ?bridge_delay:Time.span ->
+  ?memory_bytes:int ->
+  ?cfg:Config.t ->
+  ?net_config:Ethernet.config ->
+  ?trace:bool ->
+  unit ->
+  t
+(** Build a cluster: one dedicated file-server machine plus
+    [workstations] (default 6) workstations named ["ws0"], ["ws1"], ...
+    All program images from {!Programs.all} are published, along with
+    each program's input file. [trace] (default false) enables the
+    cluster-wide tracer.
+
+    [bridged] (default 0) moves the {e last} that-many workstations onto
+    a second Ethernet segment joined to the first by a store-and-forward
+    bridge with [bridge_delay] (default 2 ms) per frame — the first step
+    toward the internet environment Section 6 leaves as future work. The
+    file server stays on segment 0. *)
+
+val engine : t -> Engine.t
+val net : t -> Packet.t Ethernet.t
+val cfg : t -> Config.t
+val ctx : t -> Context.t
+val tracer : t -> Tracer.t
+val rng : t -> Rng.t
+(** A fresh independent stream per call. *)
+
+val file_server : t -> File_server.t
+val name_server : t -> Name_server.t
+
+val size : t -> int
+val workstation : t -> int -> workstation
+val workstations : t -> workstation list
+val find_workstation : t -> string -> workstation option
+
+val env_for : t -> workstation -> Env.t
+(** The standard execution environment for programs invoked from this
+    workstation: the global file server, the {e originating} display,
+    and a warm name cache. *)
+
+val user :
+  t -> ws:int -> name:string -> (Kernel.t -> Ids.pid -> unit) -> Vproc.t
+(** Spawn an interactive-user process (foreground priority, own logical
+    host) on a workstation — the "command interpreter" from which
+    programs are launched. The body gets the workstation's kernel and
+    its own pid. *)
+
+val run : ?until:Time.t -> ?max_steps:int -> t -> unit
+(** Drive the simulation. Without [until], runs the event queue dry —
+    note that kernels retransmit and servers wait forever, so most
+    experiments pass a horizon. *)
+
+val now : t -> Time.t

@@ -1,0 +1,116 @@
+(** Canned experiment scenarios.
+
+    Each function drives a cluster through one of the paper's measured
+    scenarios and returns the numbers; the benchmark harness formats
+    them into the paper's tables and [EXPERIMENTS.md] compares. All are
+    deterministic given the cluster's seed. *)
+
+(** {1 Remote execution cost (Section 4.1, E-exec)} *)
+
+type exec_result = {
+  er_host : string;  (** Where the program ran. *)
+  er_select : Time.span option;
+  er_setup : Time.span;
+  er_load : Time.span;
+  er_total : Time.span;
+}
+
+val remote_exec :
+  Cluster.t ->
+  ?ws:int ->
+  ?target:Remote_exec.target ->
+  prog:string ->
+  unit ->
+  (exec_result, string) result
+(** Execute one program (default [target = Any]) from a workstation's
+    command interpreter and report the creation-cost split. Runs the
+    cluster until the program has completed. *)
+
+(** {1 Dirty-page generation (Table 4-1)} *)
+
+val dirty_rate :
+  Cluster.t ->
+  prog:string ->
+  window:Time.span ->
+  reps:int ->
+  ?warmup:Time.span ->
+  unit ->
+  (float, string) result
+(** Run the program locally at foreground priority on an otherwise idle
+    workstation and measure the mean KB of unique pages dirtied per
+    window, paper-style: clear the dirty bits, let the program run one
+    window, count. *)
+
+(** {1 Migration (Sections 3-4, E-freeze)} *)
+
+val migrate_program :
+  Cluster.t ->
+  ?ws:int ->
+  ?strategy:Protocol.strategy ->
+  ?run_for:Time.span ->
+  ?extra_processes:int ->
+  prog:string ->
+  unit ->
+  (Protocol.migration_outcome, string) result
+(** Execute the program on an idle workstation ([@ *]), let it run
+    [run_for] (default 3 s) so its working set is hot, then invoke
+    [migrateprog] on its current host and report the outcome.
+    [extra_processes] adds idle processes to the logical host first —
+    the kernel-state-copy sweep (14 ms + 9 ms/object). *)
+
+(** {1 Cluster-wide program survey}
+
+    The paper's "suite of programs ... for querying and managing program
+    execution on ... all workstations in the system" (Section 2). *)
+
+val cluster_ps :
+  Kernel.t -> Config.t -> self:Ids.pid ->
+  (string * (string * Ids.lh_id * string) list) list
+(** Ask every program manager (one group send) what it is running;
+    returns (host, listing) pairs in response order. Blocking; call from
+    a simulated process. *)
+
+(** {1 Raw copy rate (E-copy)} *)
+
+val copy_rate : Cluster.t -> bytes:int -> Time.span
+(** Time one inter-host bulk transfer of the given size on an otherwise
+    idle cluster — the paper's 3 s/MB address-space copy rate. *)
+
+(** {1 Kernel operation latency (E-ovh)} *)
+
+val kernel_op_latency : Cluster.t -> samples:int -> float
+(** Mean local kernel-server round trip in microseconds. Comparing two
+    clusters whose {!Os_params} differ isolates the 13 us frozen-test
+    and 100 us group-lookup overheads. *)
+
+(** {1 Pool-of-processors usage (Section 4.3, E-usage)} *)
+
+type usage_params = {
+  u_horizon : Time.span;
+  u_job_rate_per_sec : float;  (** Cluster-wide submission rate. *)
+  u_owner : Arrivals.Owner.params;
+  u_progs : string list;  (** Job mix, cycled through. *)
+}
+
+val default_usage_params : usage_params
+(** 10 simulated minutes, one job every ~10 s, default owner behaviour,
+    a compile-and-tex mix. *)
+
+type usage_stats = {
+  us_submitted : int;
+  us_honored : int;  (** Found an idle workstation. *)
+  us_refused : int;  (** Nobody volunteered. *)
+  us_completed : int;
+  us_preemptions : int;  (** Guests migrated away by returning owners. *)
+  us_preempt_destroyed : int;  (** Guests destroyed for lack of a host. *)
+  us_mean_idle : float;  (** Mean workstation CPU idleness. *)
+  us_owner_active_fraction : float;
+  us_mean_freeze_ms : float;  (** Across preemption migrations. *)
+}
+
+val usage : Cluster.t -> usage_params -> usage_stats
+(** The full pool-of-processors scenario: owners come and go (pausing
+    volunteering and reclaiming their machines via [migrateprog] when
+    they return), jobs arrive Poisson and run "[@ *]". *)
+
+val pp_usage : Format.formatter -> usage_stats -> unit

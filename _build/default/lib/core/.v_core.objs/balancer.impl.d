@@ -1,0 +1,1 @@
+lib/core/balancer.ml: Config Cpu Ids Int Kernel List Message Proc Protocol String Time Tracer Vproc

@@ -1,0 +1,1 @@
+lib/core/context.ml: Kernel List Printf String

@@ -1,0 +1,1 @@
+lib/core/env.ml: Ids List Option String

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Config Dirty_model Engine Format Ids Kernel List Logical_host Message Os_params Proc Programs Progtable Protocol Result Scheduler Time Tracer

@@ -1,0 +1,1 @@
+lib/core/migration.mli: Config Format Ids Kernel Logical_host Progtable Protocol Rng Scheduler Time

@@ -1,0 +1,1 @@
+lib/core/program.ml: Context Cpu Dirty_model Display_server Engine Env File_server Hashtbl Ids Kernel Logical_host Option Os_params Printf Programs Progtable Time Vproc

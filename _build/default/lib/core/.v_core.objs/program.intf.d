@@ -1,0 +1,1 @@
+lib/core/program.mli: Context Dirty_model Env Ids Logical_host Programs Progtable Rng Time Vproc

@@ -1,0 +1,1 @@
+lib/core/program_manager.mli: Config Context Ids Kernel Progtable Rng

@@ -1,0 +1,1 @@
+lib/core/progtable.ml: Address_space Delivery Dirty_model Engine Env Hashtbl Ids Int Kernel List Logical_host Message Programs Time Vproc

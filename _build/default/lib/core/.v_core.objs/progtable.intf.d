@@ -1,0 +1,1 @@
+lib/core/progtable.mli: Address_space Delivery Dirty_model Env Ids Kernel Logical_host Message Programs Time Vproc

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Cpu Env Format Ids List Message Progtable Time

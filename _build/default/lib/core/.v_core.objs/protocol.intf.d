@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Cpu Env Format Ids Message Progtable Time

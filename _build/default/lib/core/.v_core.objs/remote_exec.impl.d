@@ -1,0 +1,1 @@
+lib/core/remote_exec.ml: Cpu Engine File_server Format Ids Kernel Logical_host Message Proc Programs Progtable Protocol Result Scheduler String Time

@@ -1,0 +1,1 @@
+lib/core/remote_exec.mli: Config Env Ids Kernel Time

@@ -1,0 +1,1 @@
+lib/core/residual.ml: Context Env Ids Kernel List Logical_host Progtable String

@@ -1,0 +1,1 @@
+lib/core/residual.mli: Context Ids Progtable

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Config Engine Ids Kernel List Message Printf Protocol Time

@@ -1,0 +1,1 @@
+lib/core/subprogram.ml: Address_space Context Dirty_model Env File_server Ids Kernel Logical_host Proc Program Programs Progtable Rng Vproc

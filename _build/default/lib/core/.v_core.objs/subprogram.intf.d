@@ -1,0 +1,1 @@
+lib/core/subprogram.mli: Context Ids Proc Progtable Rng

@@ -1,0 +1,80 @@
+type t = {
+  daemon : Proc.t;
+  mutable survey_count : int;
+  mutable rebalance_count : int;
+}
+
+let surveys t = t.survey_count
+let rebalances t = t.rebalance_count
+let stop t = Proc.kill t.daemon
+
+(* One survey: every program manager's migratable-guest list, with the
+   manager's own (stable) pid from the reply. *)
+let survey k ~self =
+  let c =
+    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+      (Message.make Protocol.Pm_list_programs)
+  in
+  List.filter_map
+    (fun (pm, (m : Message.t)) ->
+      match m.Message.body with
+      | Protocol.Pm_programs { host; guests; _ } -> Some (pm, host, guests)
+      | _ -> None)
+    (Kernel.collect_within k c ~window:(Time.of_ms 200.))
+  |> List.sort (fun (_, a, _) (_, b, _) -> String.compare a b)
+
+let rebalance_once t k ~self ~imbalance =
+  match survey k ~self with
+  | [] | [ _ ] -> ()
+  | loads -> (
+      let by_load =
+        List.sort
+          (fun (_, _, a) (_, _, b) -> Int.compare (List.length a) (List.length b))
+          loads
+      in
+      let _, _, least = List.hd by_load in
+      let busy_pm, busy_host, busiest = List.hd (List.rev by_load) in
+      match busiest with
+      | victim :: _ when List.length busiest - List.length least >= imbalance
+        -> (
+          Tracer.recordf (Kernel.tracer k) ~category:"balance"
+            "moving one guest off %s (%d vs %d guests)" busy_host
+            (List.length busiest) (List.length least);
+          match
+            Kernel.send k ~src:self ~dst:busy_pm
+              (Message.make
+                 (Protocol.Pm_migrate
+                    {
+                      lh = Some victim;
+                      dest = None;
+                      force_destroy = false;
+                      strategy = Protocol.Precopy;
+                    }))
+          with
+          | Ok { Message.body = Protocol.Pm_migrated (_ :: _); _ } ->
+              t.rebalance_count <- t.rebalance_count + 1
+          | Ok _ | Error _ -> ())
+      | _ -> ())
+
+let start ?(interval = Time.of_sec 5.) ?(imbalance = 2) k cfg =
+  ignore (cfg : Config.t);
+  let eng = Kernel.engine k in
+  let lh = Kernel.create_logical_host k ~priority:Cpu.Foreground in
+  let self = Vproc.pid (Kernel.create_process k lh) in
+  let t_cell = ref None in
+  let daemon =
+    Proc.spawn eng ~name:"balancer" (fun () ->
+        let rec loop () =
+          Proc.sleep eng interval;
+          (match !t_cell with
+          | Some t ->
+              t.survey_count <- t.survey_count + 1;
+              rebalance_once t k ~self ~imbalance
+          | None -> ());
+          loop ()
+        in
+        loop ())
+  in
+  let t = { daemon; survey_count = 0; rebalance_count = 0 } in
+  t_cell := Some t;
+  t

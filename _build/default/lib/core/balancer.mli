@@ -1,0 +1,33 @@
+(** Preemptive load balancing.
+
+    The paper stops short of this: "we have not used the preemption
+    facility to balance the load across multiple workstations ...
+    increasing use of distributed execution ... may provide motivation to
+    address this issue" (Section 6). This module is that future-work
+    item, built entirely from the facilities the paper does provide: the
+    program-manager group query for loads and [migrateprog] for the move.
+
+    The balancer is a daemon on one workstation. Each cycle it surveys
+    every program manager, and if the busiest workstation runs at least
+    [imbalance] more guests than the idlest volunteer, it asks the busy
+    host's manager to migrate one guest (destination chosen by the normal
+    decentralized selection). One move per cycle keeps it stable. *)
+
+type t
+
+val start :
+  ?interval:Time.span ->
+  ?imbalance:int ->
+  Kernel.t ->
+  Config.t ->
+  t
+(** Start the daemon on the given workstation. [interval] defaults to
+    5 s, [imbalance] to 2 guests. *)
+
+val stop : t -> unit
+
+val surveys : t -> int
+(** Cycles completed. *)
+
+val rebalances : t -> int
+(** Migrations triggered. *)

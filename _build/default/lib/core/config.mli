@@ -1,0 +1,52 @@
+(** Calibration constants for the remote-execution and migration layers.
+
+    Everything the paper measures that is not already a kernel
+    ({!Os_params}) or network ({!Ethernet}, {!Transfer}) constant lives
+    here, with its provenance. Changing a value rescales the benches'
+    absolute numbers but not their shape. *)
+
+type t = {
+  os : Os_params.t;  (** Kernel timing (Section 4.1 overheads). *)
+  env_setup : Time.span;
+      (** Program-manager work to create and initialize a program
+          environment. Together with [env_destroy] this is the paper's
+          "setting up and later destroying a new execution environment on
+          a specific remote host is 40 milliseconds". *)
+  env_destroy : Time.span;
+  candidacy_delay : Time.span;
+      (** A program manager's processing before answering a candidate
+          query; with IPC and jitter this reproduces the measured 23 ms
+          to first response (Section 4.1). *)
+  candidacy_jitter : Time.span;  (** Uniform extra [0, jitter]. *)
+  select_timeout : Time.span;
+      (** How long host selection waits for any response before deciding
+          no host is available. *)
+  max_guests : int;
+      (** A workstation stops volunteering beyond this many guest
+          programs. *)
+  min_free_memory : int;
+      (** Candidacy requires at least this much free RAM beyond the
+          program's own needs. *)
+  busy_threshold : float;
+      (** Candidacy requires recent CPU utilization below this. *)
+  precopy_min_residue : int;
+      (** Stop pre-copying when the dirty residue is at most this many
+          bytes ("until the number of modified pages is relatively
+          small", Section 3.1.2). *)
+  precopy_improvement : float;
+      (** ... "or until no significant reduction in the number of
+          modified pages is achieved": stop when a round shrinks the
+          residue by less than this factor. *)
+  precopy_max_rounds : int;  (** Hard cap on copy rounds. *)
+  migration_retries : int;
+      (** Attempts after a failed transfer. The paper's implementation
+          "simply gives up if the first attempt fails": 0. *)
+  kernel_state_base : Time.span;  (** 14 ms (Section 4.1). *)
+  kernel_state_per_object : Time.span;
+      (** + 9 ms per process and address space (Section 4.1). *)
+}
+
+val default : t
+
+val sum_env_spans : t -> Time.span
+(** [env_setup + env_destroy] — the paper's 40 ms check. *)

@@ -1,0 +1,20 @@
+type t = {
+  file_server : Ids.pid;
+  display : Ids.pid;
+  name_server : Ids.pid option;
+  name_cache : (string * Ids.pid) list;
+  args : string list;
+  origin_host : string;
+}
+
+let make ?name_server ?(name_cache = []) ?(args = []) ~file_server ~display
+    ~origin_host () =
+  { file_server; display; name_server; name_cache; args; origin_host }
+
+let cached_lookup t name =
+  Option.map snd
+    (List.find_opt (fun (n, _) -> String.equal n name) t.name_cache)
+
+let bytes t =
+  let string_bytes = List.fold_left (fun a s -> a + String.length s) 0 t.args in
+  64 + (16 * List.length t.name_cache) + string_bytes

@@ -1,0 +1,39 @@
+(** Program execution environments.
+
+    The requester initializes a new program with "program arguments,
+    default I/O, and various environment variables, including a name
+    cache for commonly used global names" (Section 2.1). Every binding is
+    a global process identifier, which is exactly what makes the
+    environment network-transparent: the same environment works wherever
+    the program runs, and it migrates with the address space because it
+    {e is} address-space state. *)
+
+type t = {
+  file_server : Ids.pid;  (** Default file service (also standard I/O). *)
+  display : Ids.pid;
+      (** Display server of the originating workstation — co-resident
+          with its frame buffer, so it never migrates; the program's
+          output finds the owner's screen from anywhere. *)
+  name_server : Ids.pid option;
+  name_cache : (string * Ids.pid) list;
+      (** Pre-resolved global names, carried in the program's address
+          space (Section 6). *)
+  args : string list;
+  origin_host : string;  (** Where the program was invoked from. *)
+}
+
+val make :
+  ?name_server:Ids.pid ->
+  ?name_cache:(string * Ids.pid) list ->
+  ?args:string list ->
+  file_server:Ids.pid ->
+  display:Ids.pid ->
+  origin_host:string ->
+  unit ->
+  t
+
+val cached_lookup : t -> string -> Ids.pid option
+(** Consult the in-address-space name cache. *)
+
+val bytes : t -> int
+(** Simulated size of the environment block passed at initialization. *)

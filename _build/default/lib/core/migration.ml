@@ -1,0 +1,268 @@
+type error =
+  | No_host of string
+  | Refused of string
+  | Transfer_failed of string
+
+let pp_error ppf = function
+  | No_host m -> Format.fprintf ppf "no host: %s" m
+  | Refused m -> Format.fprintf ppf "refused: %s" m
+  | Transfer_failed m -> Format.fprintf ppf "transfer failed: %s" m
+
+let kernel_state_span (cfg : Config.t) lh =
+  let objects =
+    Logical_host.process_count lh + List.length (Logical_host.spaces lh)
+  in
+  Time.add cfg.Config.kernel_state_base
+    (Time.mul cfg.Config.kernel_state_per_object objects)
+
+(* One acknowledged copy step: move the bytes on the wire, then confirm
+   the destination is still alive with a kernel-server ping through the
+   temporary logical-host id. The ping's failure is how we detect a dead
+   destination (Section 3.1.3's "copy operation fails due to lack of
+   acknowledgement"). *)
+let acked_copy kernel ~self ~temp_lh ~bytes =
+  Kernel.bulk_transfer
+    ?to_station:(Kernel.lookup_binding kernel temp_lh)
+    kernel ~bytes;
+  match
+    Kernel.send kernel ~src:self
+      ~dst:(Ids.kernel_server_of temp_lh)
+      (Message.make Kernel.Ks_ping)
+  with
+  | Ok { Message.body = Kernel.Ks_pong; _ } -> Ok ()
+  | Ok _ -> Error (Transfer_failed "unexpected ping reply")
+  | Error e ->
+      Error (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e))
+
+(* Pre-copy rounds after the initial full copy. [last_residue] is what
+   the previous round had to copy; stop when the residue is small, stops
+   shrinking, or the round budget is exhausted (Section 3.1.2). *)
+let rec precopy_rounds kernel (cfg : Config.t) ~self ~temp_lh ~lh ~k
+    ~last_residue acc =
+  let eng = Kernel.engine kernel in
+  let residue = Logical_host.dirty_bytes lh in
+  let stop =
+    residue <= cfg.Config.precopy_min_residue
+    || k >= cfg.Config.precopy_max_rounds
+    || float_of_int residue
+       >= cfg.Config.precopy_improvement *. float_of_int last_residue
+  in
+  if stop then Ok (List.rev acc)
+  else begin
+    let t0 = Engine.now eng in
+    ignore (Logical_host.clear_dirty lh);
+    match acked_copy kernel ~self ~temp_lh ~bytes:residue with
+    | Error e -> Error e
+    | Ok () ->
+        let round =
+          { Protocol.r_bytes = residue; r_span = Time.sub (Engine.now eng) t0 }
+        in
+        precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:(k + 1)
+          ~last_residue:residue (round :: acc)
+  end
+
+let run_copy_phase kernel cfg ~self ~temp_lh ~lh strategy =
+  let eng = Kernel.engine kernel in
+  match strategy with
+  | Protocol.Freeze_and_copy -> Ok []
+  | Protocol.Precopy | Protocol.Vm_flush _ ->
+      (* Initial copy of the complete address spaces — code and
+         initialized data move while the program keeps running. The
+         VM-flush variant has identical wire timing; the bytes flow to
+         the page server instead of the new host. *)
+      let total = Logical_host.total_bytes lh in
+      let t0 = Engine.now eng in
+      ignore (Logical_host.clear_dirty lh);
+      (match acked_copy kernel ~self ~temp_lh ~bytes:total with
+      | Error e -> Error e
+      | Ok () ->
+          let first =
+            { Protocol.r_bytes = total; r_span = Time.sub (Engine.now eng) t0 }
+          in
+          precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:1 ~last_residue:total
+            [ first ])
+
+let faultin_estimate (program : Progtable.program) ~final_bytes = function
+  | Protocol.Vm_flush _ ->
+      (* Pages dirty on the old host and referenced on the new one cross
+         the wire twice (Section 3.2): the rewritten hot set plus the
+         frozen residue. *)
+      let hot =
+        int_of_float
+          (1024. *. (Dirty_model.params program.Progtable.p_model).Dirty_model.hot_kb)
+      in
+      hot + final_bytes
+  | Protocol.Precopy | Protocol.Freeze_and_copy -> 0
+
+let cancel_reservation_best_effort kernel ~self ~pm ~temp_lh =
+  ignore
+    (Kernel.send kernel ~src:self ~dst:pm
+       (Message.make (Protocol.Pm_cancel_reserve { temp_lh })))
+
+let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
+  let eng = Kernel.engine kernel in
+  let trace fmt =
+    Tracer.recordf (Kernel.tracer kernel) ~category:"migrate" fmt
+  in
+  let lh = program.Progtable.p_lh in
+  let lh_id = Logical_host.id lh in
+  let my_host = Kernel.host_name kernel in
+  let t_start = Engine.now eng in
+  program.Progtable.p_status <- Progtable.Migrating;
+  let finish_with result =
+    (match program.Progtable.p_status with
+    | Progtable.Migrating -> program.Progtable.p_status <- Progtable.Running
+    | _ -> ());
+    result
+  in
+  (* Step 1: locate a willing destination. *)
+  let dest =
+    match dest with
+    | Some d -> Ok d
+    | None ->
+        Result.map_error
+          (fun m -> No_host m)
+          (Scheduler.select_any ~exclude:my_host kernel cfg ~self
+             ~bytes:(Logical_host.total_bytes lh))
+  in
+  match dest with
+  | Error e -> finish_with (Error e)
+  | Ok dest -> (
+      trace "step 1: %s (%a) will take %a" dest.Scheduler.s_host Ids.pp_pid
+        dest.Scheduler.s_pm Ids.pp_lh lh_id;
+      (* Step 2: initialize the new host under a temporary id. *)
+      let temp_lh = Ids.Lh_allocator.fresh (Kernel.allocator kernel) in
+      let reserve =
+        Kernel.send kernel ~src:self ~dst:dest.Scheduler.s_pm
+          (Message.make
+             (Protocol.Pm_reserve
+                { temp_lh; lh = lh_id; bytes = Logical_host.total_bytes lh }))
+      in
+      match reserve with
+      | Ok { Message.body = Protocol.Pm_reserved; _ } -> (
+          (* The reservation reply taught the binding cache where the
+             destination is; bind the temporary id there too so transfer
+             steps skip the Where_is round. *)
+          (match Kernel.lookup_binding kernel dest.Scheduler.s_pm.Ids.lh with
+          | Some st -> Kernel.set_binding kernel temp_lh st
+          | None -> ());
+          (* Step 3: pre-copy (strategy-dependent). *)
+          match run_copy_phase kernel cfg ~self ~temp_lh ~lh strategy with
+          | Error e ->
+              (* Nothing was frozen yet; just drop the reservation. *)
+              cancel_reservation_best_effort kernel ~self
+                ~pm:dest.Scheduler.s_pm ~temp_lh;
+              finish_with (Error e)
+          | Ok rounds -> (
+              List.iteri
+                (fun i r ->
+                  trace "step 3: pre-copy round %d moved %d KB in %s" (i + 1)
+                    (r.Protocol.r_bytes / 1024)
+                    (Time.to_string r.Protocol.r_span))
+                rounds;
+              (* Step 4: freeze and complete the copy. *)
+              let freeze_start = Engine.now eng in
+              Kernel.freeze_lh kernel lh;
+              let final_bytes =
+                match strategy with
+                | Protocol.Freeze_and_copy -> Logical_host.total_bytes lh
+                | Protocol.Precopy | Protocol.Vm_flush _ ->
+                    Logical_host.clear_dirty lh
+              in
+              trace "step 4: frozen; copying %d KB residue + kernel state"
+                (final_bytes / 1024);
+              Kernel.bulk_transfer
+                ?to_station:(Kernel.lookup_binding kernel temp_lh)
+                kernel ~bytes:final_bytes;
+              let ks_span = kernel_state_span cfg lh in
+              Proc.sleep eng ks_span;
+              (* Step 5: transfer control — extract here, install there —
+                 and rebind. *)
+              let state = Kernel.extract_lh kernel lh in
+              let install =
+                Kernel.send kernel ~src:self
+                  ~dst:(Ids.kernel_server_of temp_lh)
+                  (Message.make (Kernel.Ks_install state))
+              in
+              match install with
+              | Ok { Message.body = Kernel.Ks_installed { resumed_at }; _ } ->
+                  trace
+                    "step 5: new copy unfrozen on %s at %s; freeze lasted %s"
+                    dest.Scheduler.s_host
+                    (Time.to_string resumed_at)
+                    (Time.to_string (Time.sub resumed_at freeze_start));
+                  (* Demos/MP ablation: rebinding happens by leaving a
+                     forwarding address on this (old) host instead of the
+                     paper's stateless broadcast query. *)
+                  (match (Kernel.params kernel).Os_params.rebind with
+                  | Os_params.Forwarding -> (
+                      match Kernel.lookup_binding kernel temp_lh with
+                      | Some station -> Kernel.set_forward kernel lh_id station
+                      | None -> ())
+                  | Os_params.Broadcast_query -> ());
+                  (* Program-manager state follows the program. *)
+                  Progtable.remove table program;
+                  (match
+                     Kernel.send kernel ~src:self ~dst:dest.Scheduler.s_pm
+                       (Message.make (Protocol.Pm_adopt program))
+                   with
+                  | Ok _ -> ()
+                  | Error _ ->
+                      Tracer.record (Kernel.tracer kernel) ~category:"migrate"
+                        "program-manager adoption failed; program runs unmanaged");
+                  finish_with
+                    (Ok
+                       {
+                         Protocol.m_prog =
+                           program.Progtable.p_spec.Programs.prog_name;
+                         m_from = my_host;
+                         m_dest = dest.Scheduler.s_host;
+                         m_strategy = Protocol.strategy_name strategy;
+                         m_rounds = rounds;
+                         m_final_bytes = final_bytes;
+                         m_freeze_start = freeze_start;
+                         m_resumed_at = resumed_at;
+                         m_kernel_state = ks_span;
+                         m_total = Time.sub (Engine.now eng) t_start;
+                         m_faultin_bytes =
+                           faultin_estimate program ~final_bytes strategy;
+                       })
+              | Ok { Message.body = Kernel.Ks_refused m; _ } ->
+                  (* Destination reneged: resurrect the old copy. *)
+                  ignore (Kernel.install_lh kernel state);
+                  Kernel.unfreeze_lh kernel lh;
+                  finish_with (Error (Refused m))
+              | Ok _ | Error _ ->
+                  (* Destination unreachable: "we assume that the new
+                     host failed and that the logical host has not been
+                     transferred" — unfreeze the old copy. *)
+                  ignore (Kernel.install_lh kernel state);
+                  Kernel.unfreeze_lh kernel lh;
+                  finish_with
+                    (Error (Transfer_failed "no acknowledgement of install"))))
+      | Ok { Message.body = Protocol.Pm_refused m; _ } ->
+          finish_with (Error (Refused m))
+      | Ok _ -> finish_with (Error (Refused "malformed reservation reply"))
+      | Error e ->
+          finish_with
+            (Error
+               (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e))))
+
+let migrate ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
+  ignore rng;
+  if program.Progtable.p_status <> Progtable.Running then
+    (* A suspended program stays where its owner parked it: migration
+       would unfreeze it at the destination. Mid-migration and finished
+       programs are equally off the table. *)
+    Error (Refused "program is not running")
+  else
+  (* Retries re-run selection, so they only apply when the destination is
+     ours to choose; the paper's implementation uses zero retries. *)
+  let rec loop n =
+    match attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () with
+    | Error (Transfer_failed _ as e) ->
+        if dest = None && n < cfg.Config.migration_retries then loop (n + 1)
+        else Error e
+    | r -> r
+  in
+  loop 0

@@ -1,0 +1,55 @@
+(** Logical-host migration (Section 3).
+
+    The five-step protocol of Section 3.1, verbatim:
+
+    + locate a willing destination (same mechanism as remote execution);
+    + initialize the new host — a reservation under a {e temporary}
+      logical-host id, so the new copy is addressable while both exist;
+    + {e pre-copy} the address-space state while the program runs:
+      one full copy, then repeated copies of the pages dirtied during the
+      previous round, until the residue is small or stops shrinking;
+    + freeze the logical host and complete the copy: the dirty residue,
+      then the kernel-server and program-manager state
+      (14 ms + 9 ms/object);
+    + unfreeze the new copy, delete the old one, and let reference
+      rebinding happen through the binding-cache machinery (plus an eager
+      broadcast announcement).
+
+    Failure of the destination mid-transfer is detected by the acked
+    transfer steps; the logical host is then re-installed and unfrozen
+    locally, and the attempt abandoned or retried per
+    {!Config.migration_retries} (the paper gives up after one attempt).
+
+    Alternative strategies exist for the benches: [Freeze_and_copy] is
+    the naive scheme the paper argues against (freeze for the entire
+    copy), and [Vm_flush] is the Section 3.2 variant that flushes dirty
+    pages to a network page server and lets the new host demand-fault
+    them in. *)
+
+type error =
+  | No_host of string  (** Nobody volunteered. *)
+  | Refused of string  (** Destination declined the reservation/install. *)
+  | Transfer_failed of string  (** Destination died mid-migration. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val migrate :
+  kernel:Kernel.t ->
+  cfg:Config.t ->
+  rng:Rng.t ->
+  table:Progtable.t ->
+  self:Ids.pid ->
+  program:Progtable.program ->
+  ?dest:Scheduler.selection ->
+  strategy:Protocol.strategy ->
+  unit ->
+  (Protocol.migration_outcome, error) result
+(** Run the full protocol from the program's current host. Must be
+    called from a simulated process on that host (the program manager
+    spawns a migration manager per request). On success the program runs
+    at the destination, its program-manager record has moved, and the
+    source retains nothing — no forwarding state. On failure the program
+    is running on the source exactly as before. *)
+
+val kernel_state_span : Config.t -> Logical_host.t -> Time.span
+(** The Section 4.1 formula: base + per-object x (processes + spaces). *)

@@ -1,0 +1,91 @@
+(* Per-process I/O counters, keyed by pid (module-private; exposed for
+   tests via [io_operations]). *)
+let io_counts : (Ids.pid, int) Hashtbl.t = Hashtbl.create 64
+
+let io_operations (p : Progtable.program) =
+  Option.value
+    (Hashtbl.find_opt io_counts (Vproc.pid p.Progtable.p_root))
+    ~default:0
+
+let count_io self =
+  Hashtbl.replace io_counts self
+    (1 + Option.value (Hashtbl.find_opt io_counts self) ~default:0)
+
+let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
+  let lh_id = Logical_host.id lh in
+  let io = spec.Programs.io in
+  let gate = Logical_host.gate lh in
+  let read_debt = ref 0. and write_debt = ref 0. in
+  (* Every kernel entry re-passes the freeze gate and re-resolves the
+     current kernel: issuing a call through a handle captured before a
+     freeze would originate it from the old host after a migration — the
+     reply then chases the process to its new host, finds no outstanding
+     send there, and only a retransmission recovers it. Gating first makes
+     the common path clean; the IPC machinery still absorbs the residual
+     race of a freeze landing inside an already-entered call. *)
+  let do_io () =
+    while !read_debt >= 1. do
+      read_debt := !read_debt -. 1.;
+      count_io self;
+      gate ();
+      let k = Context.current ctx lh_id in
+      match
+        File_server.Client.read k ~self ~server:env.Env.file_server
+          ~path:(spec.Programs.prog_name ^ ".in")
+          ~offset:0 ~length:io.Programs.read_bytes
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (spec.Programs.prog_name ^ ": read failed: " ^ e)
+    done;
+    while !write_debt >= 1. do
+      write_debt := !write_debt -. 1.;
+      count_io self;
+      gate ();
+      let k = Context.current ctx lh_id in
+      match
+        File_server.Client.write k ~self ~server:env.Env.file_server
+          ~path:(spec.Programs.prog_name ^ ".out")
+          ~offset:0 ~length:io.Programs.write_bytes
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (spec.Programs.prog_name ^ ": write failed: " ^ e)
+    done
+  in
+  let total = Time.of_sec spec.Programs.cpu_seconds in
+  let rec run remaining =
+    if Time.(remaining > Time.zero) then begin
+      (* One chunk is one scheduler quantum; after a migration the next
+         chunk lands on the new workstation's CPU. *)
+      gate ();
+      let k = Context.current ctx lh_id in
+      let quantum = (Kernel.params k).Os_params.cpu_quantum in
+      let chunk = Time.min quantum remaining in
+      Cpu.compute_sliced ~owner:lh_id ~gate
+        ~must_release:(fun () -> Logical_host.frozen lh)
+        (Kernel.cpu k)
+        ~priority:(Logical_host.priority lh)
+        chunk
+        ~on_slice:(fun served ->
+          Dirty_model.on_cpu model rng served;
+          charge served);
+      let sec = Time.to_sec chunk in
+      read_debt := !read_debt +. (io.Programs.reads_per_cpu_sec *. sec);
+      write_debt := !write_debt +. (io.Programs.writes_per_cpu_sec *. sec);
+      do_io ();
+      run (Time.sub remaining chunk)
+    end
+  in
+  run total;
+  (* Terminal output goes through the display server co-resident with the
+     originating workstation's frame buffer (Section 2.1). *)
+  gate ();
+  let k = Context.current ctx lh_id in
+  ignore
+    (Display_server.Client.write k ~self ~server:env.Env.display
+       (Printf.sprintf "%s: done (%s)" spec.Programs.prog_name
+          (Time.to_string (Engine.now (Kernel.engine k)))))
+
+let body ctx rng (p : Progtable.program) vp =
+  run_spec ctx rng ~lh:p.Progtable.p_lh ~spec:p.Progtable.p_spec
+    ~env:p.Progtable.p_env ~model:p.Progtable.p_model
+    ~charge:(Progtable.charge_cpu p) ~self:(Vproc.pid vp)

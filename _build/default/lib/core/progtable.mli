@@ -1,0 +1,78 @@
+(** Program records: the program manager's per-program state.
+
+    "There is a program manager on each workstation that provides program
+    management for programs executing on that workstation" (Section 2.1).
+    Its per-program state — who is waiting for completion, what was
+    loaded, when it started — is precisely the state that must be handed
+    to the destination program manager when the program migrates
+    (Sections 3.1.3/4.1 count it in the kernel-state copy). A record is
+    an ordinary OCaml value, so adoption by the new manager is a pointer
+    move, mirroring the state copy whose {e time} the migration protocol
+    charges explicitly. *)
+
+type status =
+  | Running
+  | Migrating
+  | Suspended
+  | Done of { at : Time.t; cpu_used : Time.span; failed : bool }
+      (** [failed] when the program died on an exception (e.g. its file
+          server became unreachable) or was destroyed, rather than
+          running to completion. *)
+
+type program = {
+  p_lh : Logical_host.t;
+  p_spec : Programs.spec;
+  p_env : Env.t;
+  p_root : Vproc.t;  (** The program's initial process. *)
+  p_space : Address_space.t;
+  p_model : Dirty_model.t;
+  p_started : Time.t;
+  p_origin : string;  (** Host that created it (owner's workstation). *)
+  mutable p_home : t;  (** Table of the program manager currently responsible. *)
+  mutable p_status : status;
+  mutable p_waiters : Delivery.t list;  (** Blocked [Pm_wait] requests. *)
+  mutable p_cpu_used : Time.span;
+}
+
+and t
+(** One program manager's table. *)
+
+val create : Kernel.t -> t
+val kernel : t -> Kernel.t
+
+val add :
+  t ->
+  lh:Logical_host.t ->
+  spec:Programs.spec ->
+  env:Env.t ->
+  root:Vproc.t ->
+  space:Address_space.t ->
+  model:Dirty_model.t ->
+  origin:string ->
+  program
+
+val find : t -> Ids.lh_id -> program option
+val programs : t -> program list
+val count : t -> int
+
+val remove : t -> program -> unit
+(** Drop the record without touching the logical host (migration's
+    source-side step; destruction goes through {!finish}). *)
+
+val adopt : t -> program -> unit
+(** Take responsibility for a record extracted from another manager. *)
+
+val add_waiter : program -> Delivery.t -> unit
+
+type Message.body +=
+  | Pm_exited of { wall : Time.span; cpu : Time.span; ok : bool }
+        (** Reply to a completion waiter. *)
+
+val finish : program -> cpu_used:Time.span -> failed:bool -> unit
+(** Mark the program done and answer every waiter with {!Pm_exited}
+    (from whichever kernel currently owns the record — correct even if
+    the program completed after migrating). Must be called from a
+    simulated process. *)
+
+val charge_cpu : program -> Time.span -> unit
+(** Accumulate scheduled CPU (for reporting). *)

@@ -1,0 +1,141 @@
+type target = Local | Named of string | Any
+
+type timings = {
+  t_select : Time.span option;
+  t_setup : Time.span;
+  t_load : Time.span;
+  t_total : Time.span;
+}
+
+type handle = {
+  h_pm : Ids.pid;
+  h_host : string;
+  h_lh : Ids.lh_id;
+  h_root : Ids.pid;
+  h_timings : timings;
+}
+
+let image_bytes prog =
+  match Programs.find prog with
+  | spec ->
+      spec.Programs.image.File_server.code_bytes
+      + spec.Programs.image.File_server.data_bytes
+      + spec.Programs.image.File_server.active_bytes
+  | exception Not_found -> 0
+
+let rec exec ?(attempts = 5) k cfg ~self ~env ~prog ~target =
+  let eng = Kernel.engine k in
+  let t0 = Engine.now eng in
+  let selection =
+    match target with
+    | Local ->
+        Ok
+          ( Ids.program_manager_of (Logical_host.id (Kernel.host_lh k)),
+            Kernel.host_name k,
+            None,
+            Cpu.Foreground )
+    | Named host ->
+        Result.map
+          (fun s ->
+            ( s.Scheduler.s_pm,
+              s.Scheduler.s_host,
+              Some s.Scheduler.s_responded_in,
+              Cpu.Background ))
+          (Scheduler.select_host k cfg ~self ~host)
+    | Any ->
+        Result.map
+          (fun s ->
+            ( s.Scheduler.s_pm,
+              s.Scheduler.s_host,
+              Some s.Scheduler.s_responded_in,
+              Cpu.Background ))
+          (Scheduler.select_any k cfg ~self ~bytes:(image_bytes prog))
+  in
+  match selection with
+  | Error e -> Error e
+  | Ok (pm, host, t_select, priority) -> (
+      let explicit_host = target <> Any in
+      match
+        Kernel.send k ~src:self ~dst:pm
+          (Message.make
+             (Protocol.Pm_create_program { prog; env; priority; explicit_host }))
+      with
+      | Ok { Message.body = Protocol.Pm_created { root; lh; setup; load }; _ }
+        ->
+          (* Seed the binding cache for the new logical host from the
+             manager's station — the requester plainly knows where it
+             just created the program. (In the Demos/MP forwarding
+             ablation this initial binding is the only way to reach it.) *)
+          (match Kernel.lookup_binding k pm.Ids.lh with
+          | Some station -> Kernel.set_binding k lh station
+          | None -> ());
+          Ok
+            {
+              h_pm = pm;
+              h_host = host;
+              h_lh = lh;
+              h_root = root;
+              h_timings =
+                {
+                  t_select;
+                  t_setup = setup;
+                  t_load = load;
+                  t_total = Time.sub (Engine.now eng) t0;
+                };
+            }
+      | Ok { Message.body = Protocol.Pm_create_failed m; _ } ->
+          (* A volunteer may have filled up since it answered the query
+             (selection races under bursts of "@ *"); pick again. *)
+          if String.equal m "not willing" && target = Any && attempts > 1 then begin
+            Proc.sleep eng (Time.of_ms 50.);
+            exec ~attempts:(attempts - 1) k cfg ~self ~env ~prog ~target
+          end
+          else Error m
+      | Ok _ -> Error "malformed creation reply"
+      | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e))
+
+let wait k ~self handle =
+  (* Address the program manager through the program's logical-host id:
+     this resolves to whichever workstation the program lives on now, so
+     waiting is oblivious to migrations (Section 2.1's local groups). *)
+  let pm = Ids.program_manager_of handle.h_lh in
+  match
+    Kernel.send k ~src:self ~dst:pm
+      (Message.make (Protocol.Pm_wait { lh = handle.h_lh }))
+  with
+  | Ok { Message.body = Progtable.Pm_exited { wall; cpu; ok }; _ } ->
+      if ok then Ok (wall, cpu) else Error "program failed"
+  | Ok { Message.body = Protocol.Pm_no_such_program _; _ } ->
+      Error "no such program"
+  | Ok _ -> Error "malformed wait reply"
+  | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e)
+
+let manage k ~self handle body =
+  match
+    Kernel.send k ~src:self
+      ~dst:(Ids.program_manager_of handle.h_lh)
+      (Message.make body)
+  with
+  | Ok { Message.body = Protocol.Pm_ok; _ } -> Ok ()
+  | Ok { Message.body = Protocol.Pm_refused m; _ } -> Error m
+  | Ok { Message.body = Protocol.Pm_no_such_program _; _ } ->
+      Error "no such program"
+  | Ok _ -> Error "malformed reply"
+  | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e)
+
+let suspend k ~self handle =
+  manage k ~self handle (Protocol.Pm_suspend { lh = handle.h_lh })
+
+let resume k ~self handle =
+  manage k ~self handle (Protocol.Pm_resume { lh = handle.h_lh })
+
+let destroy k ~self handle =
+  manage k ~self handle (Protocol.Pm_destroy { lh = handle.h_lh })
+
+let exec_and_wait k cfg ~self ~env ~prog ~target =
+  match exec k cfg ~self ~env ~prog ~target with
+  | Error e -> Error e
+  | Ok handle -> (
+      match wait k ~self handle with
+      | Ok (wall, cpu) -> Ok (handle, wall, cpu)
+      | Error e -> Error e)

@@ -1,0 +1,77 @@
+(** Remote program execution — the "[prog args @ machine]" facility.
+
+    The client side of Section 2: select a host (explicitly named, or
+    "[*]" for any idle workstation), ask its program manager to create
+    and start the program, and optionally wait for completion. Local
+    execution goes through the same path minus selection, at foreground
+    priority; remote programs run as background guests. The timing
+    breakdown the paper reports (selection / environment setup / image
+    load, Section 4.1) is returned with every execution. *)
+
+type target =
+  | Local  (** Run on the invoking workstation. *)
+  | Named of string  (** "[@ machine]". *)
+  | Any  (** "[@ *]": first idle volunteer. *)
+
+type timings = {
+  t_select : Time.span option;
+      (** Host-selection latency ([None] for local execution); the
+          paper's 23 ms. *)
+  t_setup : Time.span;  (** Environment creation; part of the 40 ms. *)
+  t_load : Time.span;  (** Image load; 330 ms per 100 KB. *)
+  t_total : Time.span;  (** Invocation to program running. *)
+}
+
+type handle = {
+  h_pm : Ids.pid;  (** Program manager responsible (at creation time). *)
+  h_host : string;
+  h_lh : Ids.lh_id;
+  h_root : Ids.pid;
+  h_timings : timings;
+}
+
+val exec :
+  ?attempts:int ->
+  Kernel.t ->
+  Config.t ->
+  self:Ids.pid ->
+  env:Env.t ->
+  prog:string ->
+  target:target ->
+  (handle, string) result
+(** Start a program; returns once it is running. Blocking; call from a
+    simulated process. With [target = Any], a volunteer that filled up
+    between answering the query and receiving the creation request causes
+    re-selection, up to [attempts] (default 5) tries. *)
+
+val wait :
+  Kernel.t -> self:Ids.pid -> handle -> (Time.span * Time.span, string) result
+(** Block until the program exits; returns (wall time, CPU time). Works
+    across migrations: if the program moved, the manager named in the
+    handle no longer knows it and the wait is retried against the
+    program's current host via the binding machinery. *)
+
+val exec_and_wait :
+  Kernel.t ->
+  Config.t ->
+  self:Ids.pid ->
+  env:Env.t ->
+  prog:string ->
+  target:target ->
+  (handle * Time.span * Time.span, string) result
+
+(** {1 Program management}
+
+    "Facilities for terminating, suspending and debugging programs work
+    independent of whether the program is executing locally or remotely"
+    (Section 2): all three address the program manager through the
+    program's logical-host id, which resolves to its current host. *)
+
+val suspend : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+(** Freeze the program in place (the migration freeze, minus the copy). *)
+
+val resume : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+
+val destroy : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+(** Terminate the program wherever it currently runs. Completion waiters
+    are answered with a failure. *)

@@ -1,0 +1,44 @@
+type dependency = { d_what : string; d_pid : Ids.pid; d_host : string }
+
+let bindings (p : Progtable.program) =
+  let env = p.Progtable.p_env in
+  let cache =
+    List.map (fun (n, pid) -> ("name-cache:" ^ n, pid)) env.Env.name_cache
+  in
+  let base =
+    [
+      ("file-server", env.Env.file_server); ("display", env.Env.display);
+    ]
+  in
+  let ns =
+    match env.Env.name_server with
+    | Some pid -> [ ("name-server", pid) ]
+    | None -> []
+  in
+  base @ ns @ cache
+
+let dependencies ctx p =
+  List.filter_map
+    (fun (what, pid) ->
+      match Context.locate ctx pid.Ids.lh with
+      | Some k ->
+          Some { d_what = what; d_pid = pid; d_host = Kernel.host_name k }
+      | None -> None)
+    (bindings p)
+
+let current_host ctx (p : Progtable.program) =
+  match Context.locate ctx (Logical_host.id p.Progtable.p_lh) with
+  | Some k -> Some (Kernel.host_name k)
+  | None -> None
+
+let residual_hosts ?(ignore_display = false) ctx p =
+  let here = current_host ctx p in
+  dependencies ctx p
+  |> List.filter (fun d ->
+         (not (ignore_display && String.equal d.d_what "display"))
+         && here <> Some d.d_host)
+  |> List.map (fun d -> d.d_host)
+  |> List.sort_uniq String.compare
+
+let depends_on ?ignore_display ctx p ~host =
+  List.mem host (residual_hosts ?ignore_display ctx p)

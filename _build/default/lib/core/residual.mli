@@ -1,0 +1,31 @@
+(** Residual host dependencies (Section 3.3).
+
+    A migrated program should not keep depending on its previous host:
+    such dependencies load the old host and make the program fail if it
+    reboots. V's defense is architectural — keep execution-environment
+    state in the program's own address space or in global servers — and
+    the paper notes "there is currently no mechanism for detecting or
+    handling these dependencies". We provide the detector the paper
+    lists as future work: inspect a program's environment bindings and
+    report which workstations it still depends on. *)
+
+type dependency = {
+  d_what : string;  (** Which binding, e.g. ["file-server"]. *)
+  d_pid : Ids.pid;
+  d_host : string;  (** Workstation currently serving it. *)
+}
+
+val dependencies : Context.t -> Progtable.program -> dependency list
+(** Every environment binding, resolved to its current host. Bindings to
+    services not currently resident anywhere are omitted. *)
+
+val residual_hosts :
+  ?ignore_display:bool -> Context.t -> Progtable.program -> string list
+(** Hosts other than the program's current workstation that it depends
+    on. The display dependency is inherent (output belongs on the
+    owner's screen) and usually excluded with [~ignore_display:true]. *)
+
+val depends_on :
+  ?ignore_display:bool -> Context.t -> Progtable.program -> host:string -> bool
+(** Does the program depend on the named workstation? The origin-failure
+    experiment asks this about the original host after migration. *)

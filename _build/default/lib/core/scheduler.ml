@@ -1,0 +1,60 @@
+type selection = {
+  s_pm : Ids.pid;
+  s_host : string;
+  s_free_memory : int;
+  s_guests : int;
+  s_responded_in : Time.span;
+}
+
+let selection_of_reply ~asked_at eng (pm, (m : Message.t)) =
+  match m.Message.body with
+  | Protocol.Pm_candidate { host; free_memory; guests } ->
+      Some
+        {
+          s_pm = pm;
+          s_host = host;
+          s_free_memory = free_memory;
+          s_guests = guests;
+          s_responded_in = Time.sub (Engine.now eng) asked_at;
+        }
+  | _ -> None
+
+let select_any ?exclude k (cfg : Config.t) ~self ~bytes =
+  let eng = Kernel.engine k in
+  let asked_at = Engine.now eng in
+  let c =
+    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+      (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
+  in
+  match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
+  | None -> Error "no idle workstation volunteered"
+  | Some reply -> (
+      match selection_of_reply ~asked_at eng reply with
+      | Some s -> Ok s
+      | None -> Error "malformed candidate reply")
+
+let select_host k (cfg : Config.t) ~self ~host =
+  let eng = Kernel.engine k in
+  let asked_at = Engine.now eng in
+  let c =
+    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+      (Message.make (Protocol.Pm_query_host { host }))
+  in
+  match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
+  | None -> Error (Printf.sprintf "host %s did not respond" host)
+  | Some reply -> (
+      match selection_of_reply ~asked_at eng reply with
+      | Some s -> Ok s
+      | None -> Error "malformed candidate reply")
+
+let candidates ?exclude k (cfg : Config.t) ~self ~bytes ~window =
+  ignore cfg;
+  let eng = Kernel.engine k in
+  let asked_at = Engine.now eng in
+  let c =
+    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+      (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
+  in
+  List.filter_map
+    (selection_of_reply ~asked_at eng)
+    (Kernel.collect_within k c ~window)

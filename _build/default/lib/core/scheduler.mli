@@ -1,0 +1,48 @@
+(** Decentralized host selection.
+
+    "When the user specifies [*], a query is sent requesting a response
+    from those hosts with a reasonable amount of processor and memory
+    resources available ... it simply selects the program manager that
+    responds first since that is generally the least loaded host. This
+    simple mechanism provides a decentralized implementation of
+    scheduling that performs well at minimal cost for reasonably small
+    systems." (Section 2.1.) There is no central queue and no global
+    state: selection is one multicast and the first answer. *)
+
+type selection = {
+  s_pm : Ids.pid;  (** Program manager to send the creation request to. *)
+  s_host : string;
+  s_free_memory : int;
+  s_guests : int;
+  s_responded_in : Time.span;
+      (** Query-to-answer latency — the paper's measured 23 ms. *)
+}
+
+val select_any :
+  ?exclude:string ->
+  Kernel.t ->
+  Config.t ->
+  self:Ids.pid ->
+  bytes:int ->
+  (selection, string) result
+(** "[@ *]": multicast to the program-manager group, take the first
+    responder. [exclude] omits a host (a migrating program must not pick
+    its own workstation). Blocking; errors if nobody volunteers within
+    the configured timeout. *)
+
+val select_host :
+  Kernel.t -> Config.t -> self:Ids.pid -> host:string ->
+  (selection, string) result
+(** "[@ machine]": only the named host may answer. *)
+
+val candidates :
+  ?exclude:string ->
+  Kernel.t ->
+  Config.t ->
+  self:Ids.pid ->
+  bytes:int ->
+  window:Time.span ->
+  selection list
+(** Every volunteer heard within the window, in response order — the
+    load-survey building block ("facilities for querying ... all
+    workstations in the system", Section 2). *)

@@ -1,0 +1,35 @@
+(** Sub-programs within a logical host.
+
+    "A program may create sub-programs, all of which typically execute
+    within a single logical host. Migration of a program is actually
+    migration of the logical host containing the program. Thus,
+    typically, all sub-programs of a program are migrated when the
+    program is migrated." (Section 3.)
+
+    A sub-program is a further program image loaded into the {e same}
+    logical host: its own address space (so the kernel-state copy grows
+    by 9 ms, Section 4.1), its own process and dirty model, sharing the
+    parent's environment and fate. The exception the paper notes — a
+    sub-program executed remotely from its parent — is just
+    {!Remote_exec.exec} from the parent's code. *)
+
+type t
+
+val spawn :
+  Context.t ->
+  Rng.t ->
+  parent:Progtable.program ->
+  prog:string ->
+  (t, string) result
+(** Load and start [prog] as a sub-program of [parent], from within one
+    of the parent logical host's processes. Charges the image load
+    against the parent's file server, like any program load. *)
+
+val pid : t -> Ids.pid
+val prog_name : t -> string
+
+val join : t -> Proc.exit
+(** Block until the sub-program's process terminates. The usual parent
+    pattern is fork several stages, then join them. *)
+
+val running : t -> bool

@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Addr Engine Frame Hashtbl List Printf Rng Stdlib Time

@@ -1,0 +1,1 @@
+lib/net/transfer.ml: Engine Ethernet Proc Stdlib Time

@@ -1,0 +1,1 @@
+lib/net/transfer.mli: Addr Ethernet Time

@@ -1,0 +1,181 @@
+type config = {
+  bandwidth_bytes_per_sec : int;
+  propagation : Time.span;
+  min_frame_bytes : int;
+  max_frame_bytes : int;
+  loss_probability : float;
+}
+
+let default_config =
+  {
+    bandwidth_bytes_per_sec = 1_250_000;
+    propagation = Time.of_us 5;
+    min_frame_bytes = 64;
+    max_frame_bytes = 1536;
+    loss_probability = 0.;
+  }
+
+type 'p station = {
+  net : 'p t;
+  addr : Addr.t;
+  rx : 'p Frame.t -> unit;
+  mutable groups : int list;
+  mutable live : bool;
+}
+
+and 'p t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  mutable cfg : config;
+  stations : (int, 'p station) Hashtbl.t;
+  mutable busy_until : Time.t;
+  mutable peers : ('p t * Time.span) list; (* bridged segments *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create ?(config = default_config) eng rng =
+  {
+    eng;
+    rng;
+    cfg = config;
+    stations = Hashtbl.create 32;
+    busy_until = Time.zero;
+    peers = [];
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.eng
+let config t = t.cfg
+let set_loss t p = t.cfg <- { t.cfg with loss_probability = p }
+
+let attach t addr rx =
+  let key = Addr.to_int addr in
+  if Hashtbl.mem t.stations key then
+    invalid_arg (Printf.sprintf "Ethernet.attach: %s already attached" (Addr.to_string addr));
+  let s = { net = t; addr; rx; groups = []; live = true } in
+  Hashtbl.replace t.stations key s;
+  s
+
+let detach s =
+  s.live <- false;
+  Hashtbl.remove s.net.stations (Addr.to_int s.addr)
+
+let attached s = s.live
+
+let subscribe s g = if not (List.mem g s.groups) then s.groups <- g :: s.groups
+let unsubscribe s g = s.groups <- List.filter (fun g' -> g' <> g) s.groups
+let station_addr s = s.addr
+
+let wire_time t bytes =
+  let padded = Stdlib.max bytes t.cfg.min_frame_bytes in
+  (* Round up so a frame never takes zero wire time. *)
+  let us =
+    ((padded * 1_000_000) + t.cfg.bandwidth_bytes_per_sec - 1)
+    / t.cfg.bandwidth_bytes_per_sec
+  in
+  Time.of_us us
+
+(* Reserve the medium FIFO-style and return when this frame clears it. *)
+let reserve t bytes =
+  let start = Time.max (Engine.now t.eng) t.busy_until in
+  let clear = Time.add start (wire_time t bytes) in
+  t.busy_until <- clear;
+  clear
+
+let occupy ?(not_before = Time.zero) t ~bytes =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + bytes;
+  let start = Time.max (Time.max (Engine.now t.eng) not_before) t.busy_until in
+  let clear = Time.add start (wire_time t bytes) in
+  t.busy_until <- clear;
+  let lost = Rng.bool t.rng t.cfg.loss_probability in
+  if lost then t.dropped <- t.dropped + 1;
+  (clear, lost)
+
+let recipients t (frame : 'p Frame.t) =
+  let all () =
+    Hashtbl.fold
+      (fun _ s acc -> if Addr.equal s.addr frame.src then acc else s :: acc)
+      t.stations []
+    (* Hashtbl order is unspecified; sort for determinism. *)
+    |> List.sort (fun a b -> Addr.compare a.addr b.addr)
+  in
+  match frame.dst with
+  | Frame.Unicast a -> (
+      match Hashtbl.find_opt t.stations (Addr.to_int a) with
+      | Some s when not (Addr.equal s.addr frame.src) -> [ s ]
+      | _ -> [])
+  | Frame.Broadcast -> all ()
+  | Frame.Multicast g -> List.filter (fun s -> List.mem g s.groups) (all ())
+
+let bridge a b ~forward_delay =
+  a.peers <- (b, forward_delay) :: a.peers;
+  b.peers <- (a, forward_delay) :: b.peers
+
+let locate t addr =
+  if Hashtbl.mem t.stations (Addr.to_int addr) then `Local
+  else
+    match
+      List.find_opt
+        (fun (p, _) -> Hashtbl.mem p.stations (Addr.to_int addr))
+        t.peers
+    with
+    | Some (p, d) -> `Peer (p, d)
+    | None -> `Unknown
+
+(* Should this frame be relayed onto a peer segment? Unicasts cross only
+   toward their destination; broadcast and multicast flood (the bridge
+   keeps the cluster "one logical network"). *)
+let crosses_to t peer (frame : 'p Frame.t) =
+  match frame.Frame.dst with
+  | Frame.Unicast a ->
+      (not (Hashtbl.mem t.stations (Addr.to_int a)))
+      && Hashtbl.mem peer.stations (Addr.to_int a)
+  | Frame.Broadcast | Frame.Multicast _ -> true
+
+let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
+  if frame.Frame.bytes > t.cfg.max_frame_bytes then
+    invalid_arg
+      (Printf.sprintf "Ethernet.send: frame of %d bytes exceeds maximum %d"
+         frame.Frame.bytes t.cfg.max_frame_bytes);
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + frame.Frame.bytes;
+  let clear = reserve t frame.Frame.bytes in
+  if Rng.bool t.rng t.cfg.loss_probability then t.dropped <- t.dropped + 1
+  else begin
+    let deliver_at = Time.add clear t.cfg.propagation in
+    ignore
+      (Engine.schedule t.eng ~at:deliver_at (fun () ->
+           let rxs = recipients t frame in
+           List.iter
+             (fun s ->
+               if s.live then begin
+                 t.delivered <- t.delivered + 1;
+                 s.rx frame
+               end)
+             rxs));
+    (* Store-and-forward relay onto bridged segments: a single hop, after
+       the frame has cleared this wire plus the bridge delay. *)
+    if not forwarded then
+      List.iter
+        (fun (peer, delay) ->
+          if crosses_to t peer frame then
+            ignore
+              (Engine.schedule t.eng
+                 ~at:(Time.add deliver_at delay)
+                 (fun () -> send_on ~forwarded:true peer frame)))
+        t.peers
+  end
+
+let send t frame = send_on t frame
+
+let frames_sent t = t.sent
+let frames_delivered t = t.delivered
+let frames_dropped t = t.dropped
+let bytes_carried t = t.bytes

@@ -1,0 +1,96 @@
+(** Shared 10 Mbit Ethernet segment.
+
+    The cluster in the paper hangs off a single 10 Mbit Ethernet. We model
+    the half-duplex shared medium as a FIFO resource: a frame occupies the
+    wire for [bytes / bandwidth]; a frame offered while the wire is busy
+    waits its turn (a deterministic stand-in for CSMA/CD backoff, adequate
+    at the utilizations the paper reports). Frames are lost independently
+    with a configurable probability — the reliability machinery of the V
+    IPC layer (retransmission, reply-pending) is exercised against real
+    losses, as Section 3.1.3's correctness argument requires. *)
+
+type config = {
+  bandwidth_bytes_per_sec : int;  (** Wire rate; 10 Mbit/s = 1 250 000. *)
+  propagation : Time.span;  (** Wire end-to-end latency. *)
+  min_frame_bytes : int;  (** Small frames are padded, as on Ethernet. *)
+  max_frame_bytes : int;  (** Larger sends must be fragmented by callers. *)
+  loss_probability : float;  (** Independent per-frame loss. *)
+}
+
+val default_config : config
+(** 10 Mbit/s, 5 us propagation, 64/1536-byte frame bounds, no loss. *)
+
+type 'p t
+(** A segment carrying frames with payloads of type ['p]. *)
+
+type 'p station
+(** One attached host interface. *)
+
+val create : ?config:config -> Engine.t -> Rng.t -> 'p t
+(** A fresh segment. The RNG drives loss decisions only. *)
+
+val engine : 'p t -> Engine.t
+val config : 'p t -> config
+
+val set_loss : 'p t -> float -> unit
+(** Change the loss probability mid-run (failure-injection tests). *)
+
+val attach : 'p t -> Addr.t -> ('p Frame.t -> unit) -> 'p station
+(** [attach t addr rx] connects a station; [rx] runs at delivery time for
+    every frame addressed to it. Raises [Invalid_argument] if [addr] is
+    already attached. *)
+
+val detach : 'p station -> unit
+(** Disconnect; models a host crash or reboot — in-flight frames to it are
+    silently dropped, exactly what migration's failure path must survive. *)
+
+val attached : 'p station -> bool
+
+val subscribe : 'p station -> int -> unit
+(** Join a multicast group (well-known process groups ride on these). *)
+
+val unsubscribe : 'p station -> int -> unit
+
+val station_addr : 'p station -> Addr.t
+
+val send : 'p t -> 'p Frame.t -> unit
+(** Queue a frame for transmission. Asynchronous: returns immediately;
+    delivery callbacks fire when the frame clears the wire. Frames above
+    [max_frame_bytes] raise [Invalid_argument]. *)
+
+(** {1 Bridged segments}
+
+    The paper's system lives on "one (logical) local network", and its
+    Section 6 lists an internet version as work in progress. We model the
+    first step: two segments joined by a store-and-forward bridge that
+    relays every frame (so the cluster still behaves as one logical
+    network) after a forwarding delay, with the frame occupying {e both}
+    wires. Broadcast and multicast cross the bridge, so the V rebinding
+    and selection machinery keeps working cluster-wide. *)
+
+val bridge : 'p t -> 'p t -> forward_delay:Time.span -> unit
+(** Join two segments bidirectionally. Only a single bridge hop is
+    supported (frames are never re-forwarded), i.e. topologies are stars
+    of at most two segments per path. *)
+
+val locate : 'p t -> Addr.t -> [ `Local | `Peer of 'p t * Time.span | `Unknown ]
+(** Where a station lives relative to this segment — [`Peer] carries the
+    remote segment and the bridge delay. Bulk-transfer pacing uses this
+    to occupy both wires for cross-segment copies. *)
+
+val occupy : ?not_before:Time.t -> 'p t -> bytes:int -> Time.t * bool
+(** [occupy t ~bytes] reserves the medium for one data frame of a bulk
+    transfer without delivering a payload, returning the virtual instant
+    the frame clears the wire and whether it was lost. Bulk copies
+    ({!Transfer}) use this so multi-megabyte address-space copies cost
+    thousands of events rather than typed deliveries. [not_before] delays
+    the reservation — how a bridged copy occupies the far segment only
+    once the frame has actually arrived there. *)
+
+val wire_time : 'p t -> int -> Time.span
+(** Time a frame of the given size occupies the wire (after padding). *)
+
+val frames_sent : 'p t -> int
+val frames_delivered : 'p t -> int
+val frames_dropped : 'p t -> int
+val bytes_carried : 'p t -> int

@@ -1,0 +1,1 @@
+lib/services/display_server.ml: Cpu Delivery Format Ids Kernel List Message String Vproc

@@ -1,0 +1,1 @@
+lib/services/display_server.mli: Ids Kernel Message

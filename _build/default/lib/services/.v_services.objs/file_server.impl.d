@@ -1,0 +1,1 @@
+lib/services/file_server.ml: Cpu Delivery Format Hashtbl Ids Kernel Message Option Proc Stdlib Time Tracer Vproc

@@ -1,0 +1,1 @@
+lib/services/name_server.ml: Cpu Delivery Format Hashtbl Ids Kernel Message Vproc

@@ -1,0 +1,1 @@
+lib/services/name_server.mli: Ids Kernel Message

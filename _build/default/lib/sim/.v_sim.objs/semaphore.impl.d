@@ -1,0 +1,1 @@
+lib/sim/semaphore.ml: Fun List Proc

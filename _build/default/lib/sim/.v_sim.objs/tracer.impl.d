@@ -1,0 +1,1 @@
+lib/sim/tracer.ml: Engine Format List String Time

@@ -1,0 +1,85 @@
+type handle = {
+  time : Time.t;
+  seq : int;
+  mutable live : bool;
+  action : unit -> unit;
+}
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable fired : int;
+  queue : handle Heap.t;
+}
+
+let compare_handle a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = Time.zero; seq = 0; fired = 0; queue = Heap.create ~cmp:compare_handle }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if Time.(at < t.clock) then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at %s < now %s" (Time.to_string at)
+         (Time.to_string t.clock));
+  let h = { time = at; seq = t.seq; live = true; action } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue h;
+  h
+
+let schedule_after t d action = schedule t ~at:(Time.add t.clock d) action
+
+let cancel h = h.live <- false
+
+let pending t = List.length (List.filter (fun h -> h.live) (Heap.to_list t.queue))
+
+(* Discard cancelled events lazily so cancellation stays O(1). *)
+let rec peek_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some h when not h.live ->
+      ignore (Heap.pop t.queue);
+      peek_live t
+  | Some h -> Some h
+
+let fire t h =
+  ignore (Heap.pop t.queue);
+  t.clock <- h.time;
+  t.fired <- t.fired + 1;
+  h.action ()
+
+let step t =
+  match peek_live t with
+  | None -> false
+  | Some h ->
+      fire t h;
+      true
+
+let run ?until ?max_steps t =
+  let steps = ref 0 in
+  let budget_left () =
+    match max_steps with None -> true | Some m -> !steps < m
+  in
+  let rec loop () =
+    if budget_left () then
+      match peek_live t with
+      | None -> ()
+      | Some h -> (
+          match until with
+          | Some u when Time.(h.time > u) -> ()
+          | _ ->
+              fire t h;
+              incr steps;
+              loop ())
+  in
+  loop ();
+  (* Leave the clock at the horizon so samplers observe a full window. *)
+  match until with
+  | Some u when Time.(t.clock < u) -> t.clock <- u
+  | _ -> ()
+
+let events_fired t = t.fired

@@ -1,0 +1,32 @@
+(** Imperative binary min-heap.
+
+    Backbone of the event queue: [O(log n)] insert and pop-min with a
+    user-supplied comparison. Elements compare equal are popped in an
+    unspecified order, so callers needing determinism (the engine does)
+    must make their comparison total, e.g. by adding a sequence number. *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection in tests). *)

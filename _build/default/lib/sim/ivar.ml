@@ -1,0 +1,33 @@
+type 'a t = {
+  mutable value : 'a option;
+  mutable waiters : (unit -> unit) list; (* newest first *)
+}
+
+let create () = { value = None; waiters = [] }
+
+let is_filled iv = Option.is_some iv.value
+
+let peek iv = iv.value
+
+let try_fill iv v =
+  match iv.value with
+  | Some _ -> false
+  | None ->
+      iv.value <- Some v;
+      let wakes = List.rev iv.waiters in
+      iv.waiters <- [];
+      List.iter (fun wake -> wake ()) wakes;
+      true
+
+let fill iv v = if not (try_fill iv v) then invalid_arg "Ivar.fill: already filled"
+
+let read iv =
+  match iv.value with
+  | Some v -> v
+  | None -> (
+      Proc.suspend (fun wake ->
+          iv.waiters <- wake :: iv.waiters;
+          fun () -> iv.waiters <- List.filter (fun w -> w != wake) iv.waiters);
+      match iv.value with
+      | Some v -> v
+      | None -> assert false (* woken only by fill *))

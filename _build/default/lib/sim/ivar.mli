@@ -1,0 +1,26 @@
+(** Write-once synchronization variables.
+
+    The standard rendezvous for "request started, answer comes later":
+    the migration protocol and IPC layer use ivars to hand results back to
+    blocked simulated processes. *)
+
+type 'a t
+(** A cell that is empty until filled exactly once. *)
+
+val create : unit -> 'a t
+(** A fresh empty ivar. *)
+
+val fill : 'a t -> 'a -> unit
+(** Fill the ivar and wake all readers, in blocking order.
+    @raise Invalid_argument if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising when full. *)
+
+val is_filled : 'a t -> bool
+
+val peek : 'a t -> 'a option
+(** The value, without blocking. *)
+
+val read : 'a t -> 'a
+(** Return the value, blocking the calling process until filled. *)

@@ -1,0 +1,161 @@
+type exit = Normal | Exn of exn | Killed
+
+exception Killed_exn
+
+type status_repr =
+  | Embryo of Engine.handle
+  | Running
+  | Suspended of suspension
+  | Done of exit
+
+and suspension = {
+  k : (unit, unit) Effect.Deep.continuation;
+  cleanup : unit -> unit;
+}
+
+type t = {
+  pid : int;
+  pname : string;
+  mutable state : status_repr;
+  mutable doomed : bool;
+  mutable paused : bool;
+  mutable deferred : (unit -> unit) option;
+      (* wake-up (or embryo start) that arrived while paused *)
+  mutable exit_hooks : (exit -> unit) list;
+}
+
+type _ Effect.t += Suspend : ((unit -> unit) -> (unit -> unit)) -> unit Effect.t
+
+let counter = ref 0
+
+let id p = p.pid
+let name p = p.pname
+
+let alive p = match p.state with Done _ -> false | _ -> true
+
+let status p = match p.state with Done e -> Some e | _ -> None
+
+let is_paused p = p.paused
+
+let finish p e =
+  p.state <- Done e;
+  p.deferred <- None;
+  let hooks = List.rev p.exit_hooks in
+  p.exit_hooks <- [];
+  List.iter (fun h -> h e) hooks
+
+let spawn engine ~name body =
+  incr counter;
+  let p =
+    {
+      pid = !counter;
+      pname = name;
+      state = Running;
+      doomed = false;
+      paused = false;
+      deferred = None;
+      exit_hooks = [];
+    }
+  in
+  let rec start () =
+    if alive p then begin
+      if p.paused then p.deferred <- Some start
+      else begin
+        p.state <- Running;
+        let open Effect.Deep in
+        match_with body ()
+          {
+            retc = (fun () -> finish p Normal);
+            exnc =
+              (fun e ->
+                match e with Killed_exn -> finish p Killed | e -> finish p (Exn e));
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Suspend register ->
+                    Some
+                      (fun (k : (a, unit) continuation) ->
+                        if p.doomed then discontinue k Killed_exn
+                        else begin
+                          let woken = ref false in
+                          let registered_cleanup = ref (fun () -> ()) in
+                          let rec wake () =
+                            if not !woken then begin
+                              if p.paused then p.deferred <- Some wake
+                              else begin
+                                woken := true;
+                                match p.state with
+                                | Suspended _ ->
+                                    p.state <- Running;
+                                    continue k ()
+                                | Embryo _ | Running | Done _ -> ()
+                              end
+                            end
+                          in
+                          let cleanup () =
+                            woken := true;
+                            !registered_cleanup ()
+                          in
+                          p.state <- Suspended { k; cleanup };
+                          registered_cleanup := register wake
+                        end)
+                | _ -> None);
+          }
+      end
+    end
+  in
+  let h = Engine.schedule_after engine Time.zero start in
+  p.state <- Embryo h;
+  p
+
+let kill p =
+  match p.state with
+  | Done _ -> ()
+  | Embryo h ->
+      Engine.cancel h;
+      finish p Killed
+  | Suspended s ->
+      s.cleanup ();
+      p.state <- Running;
+      Effect.Deep.discontinue s.k Killed_exn
+  | Running -> p.doomed <- true
+
+let pause p = if alive p then p.paused <- true
+
+let unpause p =
+  if p.paused then begin
+    p.paused <- false;
+    match p.deferred with
+    | None -> ()
+    | Some wake ->
+        p.deferred <- None;
+        wake ()
+  end
+
+let on_exit p hook =
+  match p.state with
+  | Done e -> hook e
+  | _ -> p.exit_hooks <- hook :: p.exit_hooks
+
+let suspend register = Effect.perform (Suspend register)
+
+let sleep engine span =
+  suspend (fun wake ->
+      let h = Engine.schedule_after engine span wake in
+      fun () -> Engine.cancel h)
+
+let yield engine = sleep engine Time.zero
+
+let join p =
+  match p.state with
+  | Done e -> e
+  | _ ->
+      let result = ref Normal in
+      suspend (fun wake ->
+          let hook e =
+            result := e;
+            wake ()
+          in
+          p.exit_hooks <- hook :: p.exit_hooks;
+          fun () -> p.exit_hooks <- List.filter (fun h -> h != hook) p.exit_hooks);
+      !result

@@ -1,0 +1,32 @@
+type t = {
+  mutable permits : int;
+  mutable waiters : (unit -> unit) list; (* newest first *)
+}
+
+let create n =
+  assert (n >= 0);
+  { permits = n; waiters = [] }
+
+let available t = t.permits
+let waiting t = List.length t.waiters
+
+let rec acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else begin
+    Proc.suspend (fun wake ->
+        t.waiters <- wake :: t.waiters;
+        fun () -> t.waiters <- List.filter (fun w -> w != wake) t.waiters);
+    acquire t
+  end
+
+let release t =
+  t.permits <- t.permits + 1;
+  match List.rev t.waiters with
+  | [] -> ()
+  | oldest :: _ ->
+      t.waiters <- List.filter (fun w -> w != oldest) t.waiters;
+      oldest ()
+
+let with_permit t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f

@@ -1,0 +1,27 @@
+(** Counting semaphores over simulated processes.
+
+    Used wherever the simulation serializes access to a shared resource —
+    most importantly the single shared Ethernet segment, whose half-duplex
+    medium admits one frame at a time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a semaphore with [n] initial permits. [n >= 0]. *)
+
+val acquire : t -> unit
+(** Take a permit, blocking the calling process while none are free.
+    Blocked processes acquire in FIFO order. *)
+
+val release : t -> unit
+(** Return a permit, waking the longest-blocked acquirer if any. *)
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** [with_permit t f] brackets [f] with {!acquire}/{!release}; the permit
+    is released even if [f] raises or the process is killed. *)
+
+val available : t -> int
+(** Permits currently free. *)
+
+val waiting : t -> int
+(** Processes currently blocked in {!acquire}. *)

@@ -1,0 +1,86 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+end
+
+module Summary = struct
+  type t = {
+    mutable rev_samples : float list;
+    mutable n : int;
+    mutable sum : float;
+    mutable sum_sq : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () =
+    { rev_samples = []; n = 0; sum = 0.; sum_sq = 0.; lo = infinity; hi = neg_infinity }
+
+  let record t x =
+    t.rev_samples <- x :: t.rev_samples;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+  let stddev t =
+    if t.n < 2 then nan
+    else
+      let m = mean t in
+      let var = (t.sum_sq /. float_of_int t.n) -. (m *. m) in
+      sqrt (Float.max 0. var)
+
+  let min t = if t.n = 0 then nan else t.lo
+  let max t = if t.n = 0 then nan else t.hi
+
+  let percentile t p =
+    if t.n = 0 then nan
+    else begin
+      let a = Array.of_list t.rev_samples in
+      Array.sort Float.compare a;
+      let rank =
+        int_of_float (Float.round (p /. 100. *. float_of_int (t.n - 1)))
+      in
+      a.(Stdlib.min (t.n - 1) (Stdlib.max 0 rank))
+    end
+
+  let samples t = List.rev t.rev_samples
+end
+
+module Gauge = struct
+  type t = {
+    engine : Engine.t;
+    mutable level : float;
+    mutable since : Time.t; (* start of current level *)
+    mutable origin : Time.t;
+    mutable integral : float; (* level x seconds, up to [since] *)
+  }
+
+  let create engine ~initial =
+    let now = Engine.now engine in
+    { engine; level = initial; since = now; origin = now; integral = 0. }
+
+  let settle t =
+    let now = Engine.now t.engine in
+    t.integral <- t.integral +. (t.level *. Time.to_sec (Time.sub now t.since));
+    t.since <- now
+
+  let set t x =
+    settle t;
+    t.level <- x
+
+  let value t = t.level
+
+  let time_average t =
+    settle t;
+    let elapsed = Time.to_sec (Time.sub t.since t.origin) in
+    if elapsed <= 0. then t.level else t.integral /. elapsed
+end

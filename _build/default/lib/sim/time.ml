@@ -1,0 +1,31 @@
+type t = int
+
+type span = t
+
+let zero = 0
+let of_us n = n
+let of_ms x = int_of_float (Float.round (x *. 1_000.))
+let of_sec x = int_of_float (Float.round (x *. 1_000_000.))
+let to_us t = t
+let to_ms t = float_of_int t /. 1_000.
+let to_sec t = float_of_int t /. 1_000_000.
+let add = ( + )
+let sub = ( - )
+let mul = ( * )
+let scale d x = int_of_float (Float.round (float_of_int d *. x))
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  let abs = Stdlib.abs t in
+  if abs < 1_000 then Format.fprintf ppf "%dus" t
+  else if abs < 1_000_000 then Format.fprintf ppf "%.3gms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_sec t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,33 @@
+type entry = { at : Time.t; category : string; message : string }
+
+type t = {
+  engine : Engine.t;
+  mutable on : bool;
+  mutable rev_entries : entry list;
+}
+
+let create engine = { engine; on = true; rev_entries = [] }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let record t ~category message =
+  if t.on then
+    t.rev_entries <-
+      { at = Engine.now t.engine; category; message } :: t.rev_entries
+
+let recordf t ~category fmt =
+  Format.kasprintf (fun message -> record t ~category message) fmt
+
+let entries t = List.rev t.rev_entries
+
+let by_category t category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let clear t = t.rev_entries <- []
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10s] %s: %s" (Time.to_string e.at) e.category e.message
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,43 @@
+(** Timestamped event traces.
+
+    Subsystems emit structured trace entries (IPC packets, migration phase
+    transitions, scheduler decisions); tests assert on them and examples
+    print them — the quickstart's rendering of the paper's Figure 2-1
+    communication paths is a filtered trace. *)
+
+type entry = {
+  at : Time.t;  (** Virtual instant of the event. *)
+  category : string;  (** Subsystem tag, e.g. ["ipc"], ["migrate"]. *)
+  message : string;  (** Human-readable description. *)
+}
+
+type t
+
+val create : Engine.t -> t
+(** A tracer stamping entries with the engine's clock. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Recording defaults to on; large batch experiments turn it off. *)
+
+val record : t -> category:string -> string -> unit
+(** Append an entry (no-op when disabled). *)
+
+val recordf :
+  t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val by_category : t -> string -> entry list
+(** Entries whose category matches, oldest first. *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One-line rendering: ["\[   3.200ms\] ipc: ..."]. *)
+
+val dump : Format.formatter -> t -> unit
+(** Print all entries, one per line. *)

@@ -1,0 +1,1 @@
+lib/vos/address_space.ml: Bytes Printf Rng

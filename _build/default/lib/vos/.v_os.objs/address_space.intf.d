@@ -1,0 +1,1 @@
+lib/vos/address_space.mli: Rng

@@ -1,0 +1,1 @@
+lib/vos/cpu.ml: Engine Fun List Option Proc Queue Stats Time

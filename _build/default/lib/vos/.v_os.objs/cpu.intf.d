@@ -1,0 +1,1 @@
+lib/vos/cpu.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/vos/delivery.ml: Addr Format Ids Message Packet

@@ -1,0 +1,1 @@
+lib/vos/delivery.mli: Addr Format Ids Message Packet

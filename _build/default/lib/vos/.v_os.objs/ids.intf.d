@@ -1,0 +1,1 @@
+lib/vos/ids.mli: Format

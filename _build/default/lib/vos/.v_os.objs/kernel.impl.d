@@ -1,0 +1,1 @@
+lib/vos/kernel.ml: Addr Cpu Delivery Engine Ethernet Format Frame Hashtbl Ids Int Ivar List Logical_host Mailbox Message Option Os_params Packet Proc Rng Time Tracer Transfer Vproc

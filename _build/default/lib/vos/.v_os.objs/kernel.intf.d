@@ -1,0 +1,1 @@
+lib/vos/kernel.mli: Addr Cpu Delivery Engine Ethernet Format Ids Logical_host Message Os_params Packet Rng Time Tracer Vproc

@@ -1,0 +1,1 @@
+lib/vos/logical_host.ml: Address_space Cpu Delivery Format Hashtbl Ids List Message Packet Proc Time Vproc

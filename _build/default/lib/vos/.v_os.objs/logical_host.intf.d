@@ -1,0 +1,1 @@
+lib/vos/logical_host.mli: Address_space Cpu Delivery Format Hashtbl Ids Message Packet Time Vproc

@@ -1,0 +1,1 @@
+lib/vos/message.ml: Printf

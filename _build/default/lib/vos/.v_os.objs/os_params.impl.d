@@ -1,0 +1,1 @@
+lib/vos/os_params.ml: Format Time

@@ -1,0 +1,1 @@
+lib/vos/os_params.mli: Format Time

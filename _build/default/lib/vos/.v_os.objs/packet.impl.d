@@ -1,0 +1,1 @@
+lib/vos/packet.ml: Addr Format Ids Message

@@ -1,0 +1,1 @@
+lib/vos/packet.mli: Addr Format Ids Message

@@ -1,0 +1,1 @@
+lib/vos/vproc.ml: Delivery Format Ids Mailbox Option Proc

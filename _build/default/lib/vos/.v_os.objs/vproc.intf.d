@@ -1,0 +1,1 @@
+lib/vos/vproc.mli: Delivery Format Ids Mailbox Proc

@@ -1,0 +1,82 @@
+type segment = Code | Initialized_data | Active_data
+
+type t = {
+  id : int;
+  page_bytes : int;
+  code_pages : int;
+  data_pages : int;
+  active_pages : int;
+  dirty : Bytes.t; (* one byte per page: 0 clean, 1 dirty *)
+  mutable dirty_count : int;
+}
+
+let next_id = ref 0
+
+let pages_of ~page_bytes b = (b + page_bytes - 1) / page_bytes
+
+let create ?(page_bytes = 1024) ~code_bytes ~data_bytes ~active_bytes () =
+  assert (page_bytes > 0);
+  incr next_id;
+  let code_pages = pages_of ~page_bytes code_bytes in
+  let data_pages = pages_of ~page_bytes data_bytes in
+  let active_pages = pages_of ~page_bytes active_bytes in
+  let total = code_pages + data_pages + active_pages in
+  {
+    id = !next_id;
+    page_bytes;
+    code_pages;
+    data_pages;
+    active_pages;
+    dirty = Bytes.make total '\000';
+    dirty_count = 0;
+  }
+
+let id t = t.id
+let page_bytes t = t.page_bytes
+let pages t = t.code_pages + t.data_pages + t.active_pages
+let bytes t = pages t * t.page_bytes
+
+let segment_pages t = function
+  | Code -> t.code_pages
+  | Initialized_data -> t.data_pages
+  | Active_data -> t.active_pages
+
+let segment_first t = function
+  | Code -> 0
+  | Initialized_data -> t.code_pages
+  | Active_data -> t.code_pages + t.data_pages
+
+let touch t p =
+  if p < 0 || p >= pages t then
+    invalid_arg (Printf.sprintf "Address_space.touch: page %d of %d" p (pages t));
+  if Bytes.get t.dirty p = '\000' then begin
+    Bytes.set t.dirty p '\001';
+    t.dirty_count <- t.dirty_count + 1
+  end
+
+let touch_random_in t rng seg ~first ~count =
+  let seg_pages = segment_pages t seg in
+  if count > 0 && first >= 0 && first + count <= seg_pages then
+    touch t (segment_first t seg + first + Rng.int rng count)
+
+let is_dirty t p = p >= 0 && p < pages t && Bytes.get t.dirty p = '\001'
+
+let dirty_count t = t.dirty_count
+let dirty_bytes t = t.dirty_count * t.page_bytes
+
+let snapshot_dirty t =
+  let rec loop p acc =
+    if p < 0 then acc
+    else loop (p - 1) (if Bytes.get t.dirty p = '\001' then p :: acc else acc)
+  in
+  loop (pages t - 1) []
+
+let clear_dirty t =
+  let n = t.dirty_count in
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.dirty_count <- 0;
+  n
+
+let fill_all_dirty t =
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\001';
+  t.dirty_count <- pages t

@@ -1,0 +1,66 @@
+(** Address spaces with per-page dirty bits.
+
+    Migration copies address spaces, and the pre-copy algorithm's whole
+    game is the set of pages dirtied while a copy is in flight, "detected
+    using dirty bits" (Section 3.1.2). We model an address space as its
+    page-granular dirty state plus segment sizes; page {e contents} never
+    matter to any measured behaviour, so none are stored.
+
+    Segments matter because pre-copy's first pass moves code and
+    initialized data — "portions that are never modified" — while the
+    program runs (Section 3.1.2's worked example). *)
+
+type segment = Code | Initialized_data | Active_data
+
+type t
+
+val create :
+  ?page_bytes:int ->
+  code_bytes:int ->
+  data_bytes:int ->
+  active_bytes:int ->
+  unit ->
+  t
+(** Sizes are rounded up to whole pages. [page_bytes] defaults to 1024,
+    the V SUN page size we simulate throughout. *)
+
+val id : t -> int
+(** Unique per-run identifier. *)
+
+val page_bytes : t -> int
+val pages : t -> int
+(** Total pages across all segments. *)
+
+val bytes : t -> int
+(** Total size in bytes. *)
+
+val segment_pages : t -> segment -> int
+
+val touch : t -> int -> unit
+(** [touch t p] marks page [p] dirty (a store hit it).
+    @raise Invalid_argument if [p] is out of range. *)
+
+val touch_random_in :
+  t -> Rng.t -> segment -> first:int -> count:int -> unit
+(** Dirty a page chosen uniformly from a window of a segment — the
+    primitive workload dirty-models are built on. [first]/[count] are
+    page offsets within the segment. *)
+
+val is_dirty : t -> int -> bool
+
+val dirty_count : t -> int
+(** Number of pages currently dirty. *)
+
+val dirty_bytes : t -> int
+
+val snapshot_dirty : t -> int list
+(** Indices of dirty pages, ascending. *)
+
+val clear_dirty : t -> int
+(** Clear all dirty bits, returning how many were set — one pre-copy
+    round is "copy [clear_dirty] worth of pages, while new dirtying
+    accumulates". *)
+
+val fill_all_dirty : t -> unit
+(** Mark every page dirty — the state of a freshly loaded program before
+    its first full copy. *)

@@ -1,0 +1,140 @@
+type priority = Foreground | Background
+
+type entry = { wake : unit -> unit; mutable abandoned : bool }
+
+type t = {
+  eng : Engine.t;
+  quantum : Time.span;
+  fg : entry Queue.t;
+  bg : entry Queue.t;
+  mutable holder : int option; (* owner tag of the running request *)
+  mutable drain_waiters : (int * (unit -> unit)) list;
+  busy : Stats.Gauge.t;
+  fg_busy : Stats.Gauge.t;
+}
+
+let create eng ~quantum =
+  {
+    eng;
+    quantum;
+    fg = Queue.create ();
+    bg = Queue.create ();
+    holder = None;
+    drain_waiters = [];
+    busy = Stats.Gauge.create eng ~initial:0.;
+    fg_busy = Stats.Gauge.create eng ~initial:0.;
+  }
+
+let queue_length t =
+  Queue.length t.fg + Queue.length t.bg + if Option.is_some t.holder then 1 else 0
+
+(* Wake the next waiter: all foreground work goes before any background
+   work; within a class, FIFO (round-robin, since a preempted request
+   re-enqueues at the tail). *)
+let grant_next t =
+  let rec pop q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some e when e.abandoned -> pop q
+    | Some e -> Some e
+  in
+  match pop t.fg with
+  | Some e -> e.wake ()
+  | None -> ( match pop t.bg with Some e -> e.wake () | None -> ())
+
+let queue_of t = function Foreground -> t.fg | Background -> t.bg
+
+let must_wait t priority =
+  Option.is_some t.holder
+  || (priority = Background && not (Queue.is_empty t.fg))
+
+let wait_once t priority =
+  let entry = ref None in
+  Proc.suspend (fun wake ->
+      let e = { wake; abandoned = false } in
+      entry := Some e;
+      Queue.push e (queue_of t priority);
+      fun () -> e.abandoned <- true);
+  (* Mark consumed so a stale grant can't target this entry again. *)
+  match !entry with Some e -> e.abandoned <- true | None -> ()
+
+let release t =
+  t.holder <- None;
+  Stats.Gauge.set t.busy 0.;
+  Stats.Gauge.set t.fg_busy 0.;
+  let drains = t.drain_waiters in
+  t.drain_waiters <- [];
+  List.iter (fun (_, wake) -> wake ()) drains;
+  grant_next t
+
+let drain_requested t owner =
+  List.exists (fun (o, _) -> o = owner) t.drain_waiters
+
+let has_live_waiter q = Queue.fold (fun acc e -> acc || not e.abandoned) false q
+
+let compute_sliced ?(owner = 0) ?(gate = fun () -> ())
+    ?(must_release = fun () -> false) t ~priority span ~on_slice =
+  (* Alternate gate and CPU wait until both pass at once: the gate blocks
+     while the caller's logical host is frozen, and a freeze can begin
+     while we are queued for the CPU. *)
+  let rec acquire () =
+    gate ();
+    if must_wait t priority then begin
+      wait_once t priority;
+      acquire ()
+    end
+  in
+  let remaining = ref span in
+  let holding = ref false in
+  let stop_holding () =
+    if !holding then begin
+      holding := false;
+      release t
+    end
+  in
+  Fun.protect ~finally:stop_holding (fun () ->
+      while Time.(!remaining > Time.zero) do
+        if not !holding then begin
+          acquire ();
+          t.holder <- Some owner;
+          holding := true;
+          Stats.Gauge.set t.busy 1.;
+          if priority = Foreground then Stats.Gauge.set t.fg_busy 1.
+        end;
+        let slice = Time.min t.quantum !remaining in
+        Proc.sleep t.eng slice;
+        remaining := Time.sub !remaining slice;
+        (* Account the slice's effects (page dirtying) before any
+           release, so a freeze draining the CPU cannot snapshot between
+           the two. *)
+        on_slice slice;
+        (* Yield only to a waiter of equal or higher priority (strict
+           foreground-over-background, round-robin within a class), to a
+           freeze, or when done. A lone request keeps the CPU across its
+           quanta. *)
+        let waiter_deserves_cpu =
+          has_live_waiter t.fg
+          || (priority = Background && has_live_waiter t.bg)
+        in
+        if
+          Time.(!remaining <= Time.zero)
+          || waiter_deserves_cpu || must_release ()
+          || drain_requested t owner
+        then stop_holding ()
+      done)
+
+let compute ?owner ?gate ?must_release t ~priority span =
+  compute_sliced ?owner ?gate ?must_release t ~priority span
+    ~on_slice:(fun _ -> ())
+
+let wait_clear t ~owner =
+  while t.holder = Some owner do
+    Proc.suspend (fun wake ->
+        t.drain_waiters <- (owner, wake) :: t.drain_waiters;
+        fun () ->
+          t.drain_waiters <-
+            List.filter (fun (_, w) -> w != wake) t.drain_waiters)
+  done
+
+let busy_fraction t = Stats.Gauge.time_average t.busy
+let foreground_fraction t = Stats.Gauge.time_average t.fg_busy

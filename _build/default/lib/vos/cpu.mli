@@ -1,0 +1,69 @@
+(** Per-workstation processor scheduling.
+
+    Each workstation has one CPU shared by every program on it. The paper
+    relies on "priority scheduling for locally invoked programs" so that a
+    text-editing owner "need not notice the presence of background jobs"
+    (Section 2): locally invoked work runs at foreground priority, guest
+    (remotely executed) work at background priority, and the foreground
+    queue strictly preempts the background queue at quantum granularity.
+
+    Compute demand is expressed by blocking calls: a process asking for
+    [d] of CPU is blocked until it has actually been scheduled for [d] of
+    virtual time, however long contention stretches that. *)
+
+type priority = Foreground | Background
+
+type t
+
+val create : Engine.t -> quantum:Time.span -> t
+
+val compute :
+  ?owner:int ->
+  ?gate:(unit -> unit) ->
+  ?must_release:(unit -> bool) ->
+  t ->
+  priority:priority ->
+  Time.span ->
+  unit
+(** Consume CPU from within a simulated process, blocking until served.
+    Work is sliced into quanta; equal-priority requests round-robin,
+    foreground requests strictly preempt background ones at quantum
+    boundaries (the paper's owner-shield behaviour, observable in the
+    usage experiment), and a lone request keeps the CPU across its
+    quanta. Zero or negative demand returns immediately.
+
+    [owner] tags the request (logical-host id) so {!wait_clear} can drain
+    it; [gate] is called before acquiring the CPU and may block; and
+    [must_release], polled at each slice boundary, forces the request off
+    the CPU — the freeze mechanism passes a gate that blocks while the
+    logical host is frozen and a [must_release] that fires when a freeze
+    begins. *)
+
+val compute_sliced :
+  ?owner:int ->
+  ?gate:(unit -> unit) ->
+  ?must_release:(unit -> bool) ->
+  t ->
+  priority:priority ->
+  Time.span ->
+  on_slice:(Time.span -> unit) ->
+  unit
+(** Like {!compute} but invokes [on_slice served] at the end of each
+    scheduled slice, before the CPU is released — the hook through which
+    workloads dirty pages in proportion to CPU actually received, ordered
+    so that a freeze draining the CPU observes the dirtying. *)
+
+val wait_clear : t -> owner:int -> unit
+(** Block until no request tagged [owner] holds the CPU. Freezing a
+    logical host drains its member currently on the CPU this way before
+    snapshotting state (Section 3.1.3). *)
+
+val busy_fraction : t -> float
+(** Fraction of virtual time the CPU has been running anything since
+    creation — drives the idle-workstation statistics of Section 4.3. *)
+
+val foreground_fraction : t -> float
+(** Fraction of virtual time spent on foreground work. *)
+
+val queue_length : t -> int
+(** Requests currently waiting or running. *)

@@ -1,0 +1,17 @@
+type origin = Local | Remote of Addr.t
+
+type t = {
+  src : Ids.pid;
+  dst : Ids.pid;
+  txn : Packet.txn;
+  msg : Message.t;
+  origin : origin;
+}
+
+let pp ppf d =
+  let pp_origin ppf = function
+    | Local -> Format.pp_print_string ppf "local"
+    | Remote a -> Addr.pp ppf a
+  in
+  Format.fprintf ppf "#%d %a->%a (%a)" d.txn Ids.pp_pid d.src Ids.pp_pid d.dst
+    pp_origin d.origin

@@ -1,0 +1,847 @@
+type send_error = No_response
+
+let pp_send_error ppf No_response = Format.pp_print_string ppf "no-response"
+
+(* Outstanding (kernel-driven) send state. Retransmission is kernel-level
+   so it continues while the sending process' logical host is frozen
+   (Section 3.1.3), and moves with the logical host when it migrates. *)
+type osend = {
+  os_txn : Packet.txn;
+  os_src : Ids.pid;
+  os_dst : Ids.pid;
+  os_msg : Message.t;
+  os_ivar : (Message.t, send_error) result Ivar.t;
+  mutable os_done : bool;
+  mutable os_local_delivered : bool;
+  mutable os_attempts_since_heard : int;
+  mutable os_last_heard : Time.t;
+  mutable os_timer : Engine.handle option;
+}
+
+type lh_state = { st_lh : Logical_host.t; st_osends : osend list }
+
+type collector = {
+  c_txn : Packet.txn;
+  c_mailbox : (Ids.pid * Message.t) Mailbox.t;
+}
+
+type t = {
+  eng : Engine.t;
+  krng : Rng.t;
+  trc : Tracer.t;
+  prm : Os_params.t;
+  net : Packet.t Ethernet.t;
+  mutable stn : Packet.t Ethernet.station option;
+  self : Addr.t;
+  name : string;
+  alloc : Ids.Lh_allocator.t;
+  mem_bytes : int;
+  kcpu : Cpu.t;
+  lh_table : (Ids.lh_id, Logical_host.t) Hashtbl.t;
+  the_host_lh : Logical_host.t;
+  sys_procs : (int, Vproc.t) Hashtbl.t;
+  bindings : (Ids.lh_id, Addr.t) Hashtbl.t;
+  outstanding : (Packet.txn, osend) Hashtbl.t;
+  group_outstanding : (Packet.txn, (Ids.pid * Message.t) Mailbox.t) Hashtbl.t;
+  groups : (Ids.pid, Vproc.t list) Hashtbl.t;
+  reservations : (Ids.lh_id, int) Hashtbl.t;
+  forwards : (Ids.lh_id, Addr.t) Hashtbl.t;
+      (* Demos/MP-ablation mode only: where a departed logical host went *)
+  stats : (string, int ref) Hashtbl.t;
+}
+
+type Message.body +=
+  | Ks_ping
+  | Ks_pong
+  | Ks_query_load
+  | Ks_load of { cpu_busy : float; memory_free : int; guests : int }
+  | Ks_install of lh_state
+  | Ks_installed of { resumed_at : Time.t }
+  | Ks_destroy_lh of Ids.lh_id
+  | Ks_ok
+  | Ks_refused of string
+
+let txn_counter = ref 0
+
+let fresh_txn () =
+  incr txn_counter;
+  !txn_counter
+
+(* {2 Small helpers} *)
+
+let engine t = t.eng
+let params t = t.prm
+let tracer t = t.trc
+let host_name t = t.name
+let station t = t.self
+let cpu t = t.kcpu
+let rng t = t.krng
+let allocator t = t.alloc
+let host_lh t = t.the_host_lh
+let memory_bytes t = t.mem_bytes
+
+let bump t name =
+  match Hashtbl.find_opt t.stats name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.stats name (ref 1)
+
+let stat t name =
+  match Hashtbl.find_opt t.stats name with Some r -> !r | None -> 0
+
+let trace t fmt = Tracer.recordf t.trc ~category:"kernel" ("%s: " ^^ fmt) t.name
+
+let memory_free t =
+  let resident =
+    Hashtbl.fold (fun _ lh acc -> acc + Logical_host.total_bytes lh) t.lh_table 0
+  in
+  let reserved = Hashtbl.fold (fun _ b acc -> acc + b) t.reservations 0 in
+  t.mem_bytes - resident - reserved
+
+let logical_hosts t =
+  Hashtbl.fold (fun _ lh acc -> lh :: acc) t.lh_table []
+  |> List.sort (fun a b -> Int.compare (Logical_host.id a) (Logical_host.id b))
+
+let find_lh t id = Hashtbl.find_opt t.lh_table id
+
+let guest_count t =
+  List.length
+    (List.filter
+       (fun lh -> Logical_host.priority lh = Cpu.Background)
+       (logical_hosts t))
+
+let lookup_binding t lh = Hashtbl.find_opt t.bindings lh
+let set_binding t lh addr = Hashtbl.replace t.bindings lh addr
+let invalidate_binding t lh = Hashtbl.remove t.bindings lh
+let set_forward t lh addr = Hashtbl.replace t.forwards lh addr
+
+(* Cache refresh from traffic: every packet tells us where its sender's
+   logical host lives (Section 3.1.4: "the cache is also updated based on
+   incoming requests"). Resident hosts are authoritative, never cached. *)
+let update_binding_from t (pid : Ids.pid) src_station =
+  if pid.Ids.lh < 0x7FFF0000 && not (Hashtbl.mem t.lh_table pid.Ids.lh) then
+    set_binding t pid.Ids.lh src_station
+
+let transmit t ~dst pkt =
+  match t.stn with
+  | None -> () (* shut down: the wire is gone *)
+  | Some _ ->
+      Ethernet.send t.net
+        (Frame.unicast ~src:t.self ~dst ~bytes:(Packet.bytes pkt) pkt)
+
+let transmit_broadcast t pkt =
+  match t.stn with
+  | None -> ()
+  | Some _ ->
+      Ethernet.send t.net
+        (Frame.broadcast ~src:t.self ~bytes:(Packet.bytes pkt) pkt)
+
+let multicast_group_id (g : Ids.pid) = (g.Ids.lh * 31) + g.Ids.index
+
+let transmit_multicast t ~group pkt =
+  match t.stn with
+  | None -> ()
+  | Some _ ->
+      Ethernet.send t.net
+        (Frame.multicast ~src:t.self
+           ~group:(multicast_group_id group)
+           ~bytes:(Packet.bytes pkt) pkt)
+
+(* {2 Local delivery} *)
+
+let is_group_pid (p : Ids.pid) = p.Ids.lh >= 0x7FFF0000
+
+let lh_hosting_or_reserved t id =
+  Hashtbl.mem t.lh_table id || Hashtbl.mem t.reservations id
+
+(* The logical host whose transaction table tracks a request addressed to
+   [dst]. Requests to reserved-but-uninstalled hosts (migration's state
+   install) are tracked by the host logical host; so are leftovers of
+   local-group-addressed requests whose logical host has departed or died
+   (e.g. a completion wait whose reply must be re-sendable after the
+   program's host was destroyed). *)
+let inbound_home t (dst : Ids.pid) =
+  match Hashtbl.find_opt t.lh_table dst.Ids.lh with
+  | Some lh -> Some lh
+  | None ->
+      if
+        Hashtbl.mem t.reservations dst.Ids.lh
+        || dst.Ids.index < Ids.first_user_index
+      then Some t.the_host_lh
+      else None
+
+let resolve_vproc t (dst : Ids.pid) =
+  if dst.Ids.index < Ids.first_user_index then
+    if lh_hosting_or_reserved t dst.Ids.lh then
+      Hashtbl.find_opt t.sys_procs dst.Ids.index
+    else None
+  else
+    match Hashtbl.find_opt t.lh_table dst.Ids.lh with
+    | None -> None
+    | Some lh -> Logical_host.find_process lh dst.Ids.index
+
+type delivery_outcome =
+  | Delivered
+  | Pending (* queued or in service: duplicate *)
+  | Already_replied of Message.t
+  | No_target
+
+let deliver_request t ~src ~dst ~txn ~msg ~origin =
+  match inbound_home t dst with
+  | None -> No_target
+  | Some home -> (
+      let inbound = Logical_host.inbound home in
+      match Hashtbl.find_opt inbound (src, txn) with
+      | Some Logical_host.Queued | Some Logical_host.In_service -> Pending
+      | Some (Logical_host.Replied (m, _)) ->
+          (* Refresh retention: duplicates arriving reset the replier's
+             timeout for keeping the reply (Section 3.1.3). *)
+          Hashtbl.replace inbound (src, txn)
+            (Logical_host.Replied
+               (m, Time.add (Engine.now t.eng) t.prm.Os_params.reply_cache_ttl));
+          Already_replied m
+      | None -> (
+          match resolve_vproc t dst with
+          | None -> No_target
+          | Some vp ->
+              Hashtbl.replace inbound (src, txn) Logical_host.Queued;
+              Mailbox.send (Vproc.inbox vp)
+                { Delivery.src; dst; txn; msg; origin };
+              Delivered))
+
+(* {2 The send machine} *)
+
+let complete t os result =
+  if not os.os_done then begin
+    os.os_done <- true;
+    Option.iter Engine.cancel os.os_timer;
+    os.os_timer <- None;
+    Hashtbl.remove t.outstanding os.os_txn;
+    Ivar.fill os.os_ivar result
+  end
+
+let rec osend_attempt t os =
+  if not os.os_done then begin
+    let dst = os.os_dst in
+    let locally_resolvable =
+      (dst.Ids.index < Ids.first_user_index && lh_hosting_or_reserved t dst.Ids.lh)
+      || Hashtbl.mem t.lh_table dst.Ids.lh
+    in
+    if locally_resolvable then begin
+      if not os.os_local_delivered then
+        match
+          deliver_request t ~src:os.os_src ~dst ~txn:os.os_txn ~msg:os.os_msg
+            ~origin:Delivery.Local
+        with
+        | Delivered | Pending -> os.os_local_delivered <- true
+        | Already_replied m -> complete t os (Ok m)
+        | No_target ->
+            (* Resident logical host but no such process: fail fast. *)
+            complete t os (Error No_response)
+      (* Local deliveries are reliable; completion comes via [reply]. *)
+    end
+    else begin
+      os.os_local_delivered <- false;
+      let now = Engine.now t.eng in
+      if Time.(Time.sub now os.os_last_heard > t.prm.Os_params.give_up_after)
+      then complete t os (Error No_response)
+      else begin
+        (match lookup_binding t dst.Ids.lh with
+        | Some station ->
+            if os.os_attempts_since_heard > 0 then bump t "retransmissions";
+            transmit t ~dst:station
+              (Packet.Request
+                 { txn = os.os_txn; src = os.os_src; dst; msg = os.os_msg })
+        | None ->
+            (* A sender with no binding at all queries in either mode
+               (initial contact needs a locator even in Demos/MP); the
+               ablation's difference is below — stale bindings are never
+               invalidated, so a silent correspondent never triggers a
+               re-query and only the forwarding address can save it. *)
+            bump t "where_is";
+            transmit_broadcast t (Packet.Where_is { lh = dst.Ids.lh }));
+        os.os_attempts_since_heard <- os.os_attempts_since_heard + 1;
+        if
+          os.os_attempts_since_heard > t.prm.Os_params.retries_before_query
+          && t.prm.Os_params.rebind = Os_params.Broadcast_query
+        then invalidate_binding t dst.Ids.lh;
+        os.os_timer <-
+          Some
+            (Engine.schedule_after t.eng t.prm.Os_params.retransmit_interval
+               (fun () -> osend_attempt t os))
+      end
+    end
+  end
+
+let make_osend t ~src ~dst msg =
+  {
+    os_txn = fresh_txn ();
+    os_src = src;
+    os_dst = dst;
+    os_msg = msg;
+    os_ivar = Ivar.create ();
+    os_done = false;
+    os_local_delivered = false;
+    os_attempts_since_heard = 0;
+    os_last_heard = Engine.now t.eng;
+    os_timer = None;
+  }
+
+(* Kernel-operation cost: base op, the frozen-state test (13 us), and the
+   local-group indirection (100 us) when the target is a kernel server or
+   program manager addressed through its logical host (Section 4.1). *)
+let charge t ~local_group =
+  let p = t.prm in
+  let span = Time.add p.Os_params.local_op p.Os_params.frozen_check in
+  let span =
+    if local_group then Time.add span p.Os_params.group_lookup else span
+  in
+  Proc.sleep t.eng span
+
+let send t ~src ~dst msg =
+  charge t ~local_group:(Ids.is_local_group dst);
+  bump t "sends";
+  let os = make_osend t ~src ~dst msg in
+  Hashtbl.replace t.outstanding os.os_txn os;
+  osend_attempt t os;
+  let r = Ivar.read os.os_ivar in
+  (match r with Error _ -> bump t "sends_failed" | Ok _ -> ());
+  r
+
+(* {2 Group sends} *)
+
+let send_group t ~src ~group msg =
+  charge t ~local_group:false;
+  bump t "group_sends";
+  let txn = fresh_txn () in
+  let mailbox = Mailbox.create () in
+  Hashtbl.replace t.group_outstanding txn mailbox;
+  (* Local members are delivered directly (the network never loops a
+     multicast back to its sender). *)
+  (match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some members ->
+      List.iter
+        (fun vp ->
+          Mailbox.send (Vproc.inbox vp)
+            { Delivery.src; dst = group; txn; msg; origin = Delivery.Local })
+        members);
+  transmit_multicast t ~group (Packet.Group_request { txn; src; group; msg });
+  { c_txn = txn; c_mailbox = mailbox }
+
+let close_collector t c = Hashtbl.remove t.group_outstanding c.c_txn
+
+let collect_first t c ~timeout =
+  let r = Mailbox.recv_timeout t.eng c.c_mailbox timeout in
+  close_collector t c;
+  r
+
+let collect_within t c ~window =
+  let deadline = Time.add (Engine.now t.eng) window in
+  let rec loop acc =
+    let left = Time.sub deadline (Engine.now t.eng) in
+    if Time.(left <= Time.zero) then List.rev acc
+    else
+      match Mailbox.recv_timeout t.eng c.c_mailbox left with
+      | None -> List.rev acc
+      | Some r -> loop (r :: acc)
+  in
+  let rs = loop [] in
+  close_collector t c;
+  rs
+
+(* {2 Receive / reply} *)
+
+let receive t vp =
+  let d = Mailbox.recv (Vproc.inbox vp) in
+  (if not (is_group_pid d.Delivery.dst) then
+     match inbound_home t d.Delivery.dst with
+     | Some home ->
+         Hashtbl.replace (Logical_host.inbound home)
+           (d.Delivery.src, d.Delivery.txn)
+           Logical_host.In_service
+     | None -> ());
+  d
+
+let reply ?from t (d : Delivery.t) msg =
+  charge t ~local_group:false;
+  let reply_src = Option.value from ~default:d.Delivery.dst in
+  let route_remote () =
+    let station =
+      match lookup_binding t d.Delivery.src.Ids.lh with
+      | Some s -> Some s
+      | None -> (
+          match d.Delivery.origin with
+          | Delivery.Remote s -> Some s
+          | Delivery.Local -> None)
+    in
+    match station with
+    | Some s ->
+        transmit t ~dst:s
+          (Packet.Reply
+             { txn = d.Delivery.txn; src = reply_src; dst = d.Delivery.src; msg })
+    | None -> () (* unroutable; a duplicate request will re-elicit it *)
+  in
+  if is_group_pid d.Delivery.dst then
+    (* Group replies are best-effort and not retained. *)
+    match Hashtbl.find_opt t.group_outstanding d.Delivery.txn with
+    | Some mailbox when Hashtbl.mem t.lh_table d.Delivery.src.Ids.lh ->
+        Mailbox.send mailbox (reply_src, msg)
+    | Some _ | None -> route_remote ()
+  else begin
+    (match inbound_home t d.Delivery.dst with
+    | Some home ->
+        Hashtbl.replace (Logical_host.inbound home)
+          (d.Delivery.src, d.Delivery.txn)
+          (Logical_host.Replied
+             (msg, Time.add (Engine.now t.eng) t.prm.Os_params.reply_cache_ttl))
+    | None -> ());
+    match Hashtbl.find_opt t.outstanding d.Delivery.txn with
+    | Some os when Ids.pid_equal os.os_src d.Delivery.src ->
+        (* Sender is local: complete the send directly. If its logical
+           host is frozen the filled ivar sits unread until unfreeze. *)
+        complete t os (Ok msg)
+    | Some _ | None -> route_remote ()
+  end
+
+(* {2 Bulk transfers} *)
+
+let bulk_transfer ?to_station t ~bytes =
+  if bytes > 0 then Transfer.bulk_copy ?dst:to_station t.net ~bytes
+
+(* {2 Packet reception} *)
+
+let target_frozen t (dst : Ids.pid) =
+  match Hashtbl.find_opt t.lh_table dst.Ids.lh with
+  | Some lh -> Logical_host.frozen lh
+  | None -> false
+
+let handle_request t ~(frame_src : Addr.t) ~txn ~src ~dst ~msg =
+  match deliver_request t ~src ~dst ~txn ~msg ~origin:(Delivery.Remote frame_src) with
+  | Delivered ->
+      if target_frozen t dst then begin
+        bump t "reply_pending";
+        transmit t ~dst:frame_src (Packet.Reply_pending { txn; dst })
+      end
+  | Pending ->
+      bump t "duplicates";
+      bump t "reply_pending";
+      transmit t ~dst:frame_src (Packet.Reply_pending { txn; dst })
+  | Already_replied m ->
+      bump t "duplicates";
+      transmit t ~dst:frame_src (Packet.Reply { txn; src = dst; dst = src; msg = m })
+  | No_target -> (
+      (* Not ours (any more). In the paper's design the sender rebinds
+         via Where_is; in the Demos/MP ablation we relay off a forwarding
+         address, preserving the original source station so the reply
+         goes back directly — and imposing the residual load on this
+         host that Section 5 criticizes. *)
+      match Hashtbl.find_opt t.forwards dst.Ids.lh with
+      | Some station when t.stn <> None ->
+          bump t "forwarded";
+          let pkt = Packet.Request { txn; src; dst; msg } in
+          Ethernet.send t.net
+            (Frame.unicast ~src:frame_src ~dst:station
+               ~bytes:(Packet.bytes pkt) pkt)
+      | Some _ | None -> ())
+
+let handle_reply t ~txn ~dst ~msg =
+  match Hashtbl.find_opt t.group_outstanding txn with
+  | Some mailbox -> Mailbox.send mailbox (dst, msg) |> ignore
+  | None -> (
+      match Hashtbl.find_opt t.outstanding txn with
+      | Some os ->
+          let sender_frozen =
+            match Hashtbl.find_opt t.lh_table os.os_src.Ids.lh with
+            | Some lh -> Logical_host.frozen lh
+            | None -> false
+          in
+          if sender_frozen then begin
+            (* Discard; the kernel keeps retransmitting on the frozen
+               process' behalf so the replier retains the reply
+               (Section 3.1.3). *)
+            trace t "DISCARD reply #%d for %a" txn Ids.pp_pid os.os_src;
+            bump t "replies_discarded_frozen"
+          end
+          else complete t os (Ok msg)
+      | None -> ())
+
+let handle_group_request t ~frame_src ~txn ~src ~group ~msg =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some members ->
+      List.iter
+        (fun vp ->
+          Mailbox.send (Vproc.inbox vp)
+            {
+              Delivery.src;
+              dst = group;
+              txn;
+              msg;
+              origin = Delivery.Remote frame_src;
+            })
+        members
+
+let handle_frame t (frame : Packet.t Frame.t) =
+  bump t "packets_rx";
+  let frame_src = frame.Frame.src in
+  match frame.Frame.payload with
+  | Packet.Request { txn; src; dst; msg } ->
+      update_binding_from t src frame_src;
+      handle_request t ~frame_src ~txn ~src ~dst ~msg
+  | Packet.Reply { txn; src; dst; msg } ->
+      update_binding_from t src frame_src;
+      handle_reply t ~txn ~dst:src ~msg |> ignore;
+      ignore dst
+  | Packet.Reply_pending { txn; dst = _ } -> (
+      match Hashtbl.find_opt t.outstanding txn with
+      | Some os ->
+          os.os_last_heard <- Engine.now t.eng;
+          os.os_attempts_since_heard <- 0
+      | None -> ())
+  | Packet.Group_request { txn; src; group; msg } ->
+      update_binding_from t src frame_src;
+      handle_group_request t ~frame_src ~txn ~src ~group ~msg
+  | Packet.Where_is { lh } ->
+      if lh_hosting_or_reserved t lh then
+        transmit t ~dst:frame_src (Packet.Here_is { lh; station = t.self })
+  | Packet.Here_is { lh; station } ->
+      if not (Hashtbl.mem t.lh_table lh) then begin
+        set_binding t lh station;
+        (* Kick every send blocked querying for this logical host. *)
+        Hashtbl.iter
+          (fun _ os ->
+            if os.os_dst.Ids.lh = lh && not os.os_done && not os.os_local_delivered
+            then begin
+              Option.iter Engine.cancel os.os_timer;
+              os.os_timer <- None;
+              osend_attempt t os
+            end)
+          t.outstanding
+      end
+
+(* {2 Logical hosts, processes} *)
+
+let create_logical_host t ~priority =
+  let id = Ids.Lh_allocator.fresh t.alloc in
+  let lh = Logical_host.create ~id ~priority ~home:t.name in
+  Hashtbl.replace t.lh_table id lh;
+  lh
+
+let spawn_in t lh ~name vp body =
+  let thread =
+    Proc.spawn t.eng ~name (fun () ->
+        Logical_host.gate lh ();
+        body vp)
+  in
+  Vproc.attach_thread vp thread;
+  thread
+
+let create_process _t lh = Logical_host.new_process lh
+
+let start_process t vp ~name body =
+  let lh =
+    match Hashtbl.find_opt t.lh_table (Vproc.pid vp).Ids.lh with
+    | Some lh -> lh
+    | None -> invalid_arg "Kernel.start_process: unknown logical host"
+  in
+  ignore (spawn_in t lh ~name vp body)
+
+let spawn_process t lh ~name body =
+  let vp = Logical_host.new_process lh in
+  ignore (spawn_in t lh ~name vp body);
+  vp
+
+let destroy_logical_host t lh =
+  let id = Logical_host.id lh in
+  List.iter Vproc.kill (Logical_host.processes lh);
+  Hashtbl.remove t.lh_table id;
+  invalidate_binding t id;
+  (* Wake local senders whose requests died with the host. *)
+  List.iter
+    (fun vp ->
+      List.iter
+        (fun (d : Delivery.t) ->
+          if d.Delivery.origin = Delivery.Local then
+            match Hashtbl.find_opt t.outstanding d.Delivery.txn with
+            | Some os -> complete t os (Error No_response)
+            | None -> ())
+        (Mailbox.drain (Vproc.inbox vp)))
+    (Logical_host.processes lh);
+  Hashtbl.iter
+    (fun _ os ->
+      (* Requests addressed through the host's local-group ids live in
+         the kernel server / program manager, which survive the destroy
+         and will still reply — only sends to the host's own processes
+         die with it. *)
+      if
+        os.os_dst.Ids.lh = id
+        && os.os_dst.Ids.index >= Ids.first_user_index
+        && os.os_local_delivered && not os.os_done
+      then complete t os (Error No_response))
+    (Hashtbl.copy t.outstanding);
+  (* Sends originated by the dead host complete into the void. *)
+  Hashtbl.iter
+    (fun txn os ->
+      if os.os_src.Ids.lh = id then begin
+        Option.iter Engine.cancel os.os_timer;
+        Hashtbl.remove t.outstanding txn
+      end)
+    (Hashtbl.copy t.outstanding);
+  trace t "destroyed %a" Ids.pp_lh id
+
+let system_process t ~index ~name body =
+  assert (index < Ids.first_user_index);
+  let vp = Vproc.create (Ids.pid (Logical_host.id t.the_host_lh) index) in
+  Hashtbl.replace t.sys_procs index vp;
+  ignore (spawn_in t t.the_host_lh ~name vp body);
+  vp
+
+(* {2 Groups} *)
+
+let join_group t ~group vp =
+  let members =
+    match Hashtbl.find_opt t.groups group with Some m -> m | None -> []
+  in
+  Hashtbl.replace t.groups group (vp :: members);
+  match t.stn with
+  | Some s -> Ethernet.subscribe s (multicast_group_id group)
+  | None -> ()
+
+let leave_group t ~group vp =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some members ->
+      let members = List.filter (fun m -> m != vp) members in
+      Hashtbl.replace t.groups group members;
+      if members = [] then
+        match t.stn with
+        | Some s -> Ethernet.unsubscribe s (multicast_group_id group)
+        | None -> ()
+
+(* {2 Freeze / migrate} *)
+
+let freeze_lh t lh =
+  Logical_host.set_frozen lh true;
+  Cpu.wait_clear t.kcpu ~owner:(Logical_host.id lh);
+  List.iter Vproc.pause (Logical_host.processes lh);
+  trace t "froze %a" Ids.pp_lh (Logical_host.id lh)
+
+let redeliver_deferred t lh =
+  List.iter
+    (fun (d : Delivery.t) ->
+      match resolve_vproc t d.Delivery.dst with
+      | Some vp -> Mailbox.send (Vproc.inbox vp) d
+      | None -> ())
+    (Logical_host.take_deferred lh)
+
+let restart_osends t lh_id =
+  Hashtbl.iter
+    (fun _ os ->
+      if os.os_src.Ids.lh = lh_id && not os.os_done then begin
+        trace t "restarting send #%d %a->%a" os.os_txn Ids.pp_pid os.os_src
+          Ids.pp_pid os.os_dst;
+        osend_attempt t os
+      end)
+    (Hashtbl.copy t.outstanding)
+
+let unfreeze_lh t lh =
+  Logical_host.set_frozen lh false;
+  List.iter Vproc.unpause (Logical_host.processes lh);
+  Logical_host.thaw lh;
+  redeliver_deferred t lh;
+  restart_osends t (Logical_host.id lh);
+  trace t "unfroze %a" Ids.pp_lh (Logical_host.id lh)
+
+let kernel_state_copy_span _t lh =
+  let objects =
+    Logical_host.process_count lh + List.length (Logical_host.spaces lh)
+  in
+  Time.add (Time.of_ms 14.) (Time.mul (Time.of_ms 9.) objects)
+
+let extract_lh t lh =
+  assert (Logical_host.frozen lh);
+  let id = Logical_host.id lh in
+  (* 1. Collect outstanding sends originated inside the migrating host:
+        they are kernel state that moves with it. *)
+  let moved = ref [] in
+  Hashtbl.iter
+    (fun txn os ->
+      if os.os_src.Ids.lh = id then begin
+        Option.iter Engine.cancel os.os_timer;
+        os.os_timer <- None;
+        os.os_local_delivered <- false;
+        os.os_last_heard <- Engine.now t.eng;
+        Hashtbl.remove t.outstanding txn;
+        moved := os :: !moved
+      end)
+    (Hashtbl.copy t.outstanding);
+  (* 2. The host stops being resident here. *)
+  Hashtbl.remove t.lh_table id;
+  invalidate_binding t id;
+  (* 3. Discard queued (unreceived) requests: remote senders keep
+        retransmitting and will rebind; local senders restart their send,
+        which now takes the remote path (Section 3.1.3). *)
+  let inbound = Logical_host.inbound lh in
+  List.iter
+    (fun vp ->
+      List.iter
+        (fun (d : Delivery.t) ->
+          if not (is_group_pid d.Delivery.dst) then
+            Hashtbl.remove inbound (d.Delivery.src, d.Delivery.txn);
+          match d.Delivery.origin with
+          | Delivery.Local -> (
+              match Hashtbl.find_opt t.outstanding d.Delivery.txn with
+              | Some os ->
+                  os.os_local_delivered <- false;
+                  os.os_last_heard <- Engine.now t.eng;
+                  osend_attempt t os
+              | None -> ())
+          | Delivery.Remote _ -> ())
+        (Mailbox.drain (Vproc.inbox vp)))
+    (Logical_host.processes lh);
+  (* 4. Local senders whose requests are in service inside the migrating
+        host switch to the remote protocol; duplicate suppression at the
+        destination turns their retransmissions into reply-pendings. *)
+  Hashtbl.iter
+    (fun _ os ->
+      if os.os_dst.Ids.lh = id && os.os_local_delivered && not os.os_done then begin
+        os.os_local_delivered <- false;
+        os.os_last_heard <- Engine.now t.eng;
+        osend_attempt t os
+      end)
+    (Hashtbl.copy t.outstanding);
+  trace t "extracted %a" Ids.pp_lh id;
+  { st_lh = lh; st_osends = !moved }
+
+let reserve_lh t ~temp_lh ~bytes =
+  if memory_free t >= bytes then begin
+    Hashtbl.replace t.reservations temp_lh bytes;
+    true
+  end
+  else false
+
+let cancel_reservation t ~temp_lh = Hashtbl.remove t.reservations temp_lh
+
+let install_lh t state =
+  let lh = state.st_lh in
+  let id = Logical_host.id lh in
+  Hashtbl.replace t.lh_table id lh;
+  invalidate_binding t id;
+  List.iter
+    (fun os -> Hashtbl.replace t.outstanding os.os_txn os)
+    state.st_osends;
+  trace t "installed %a" Ids.pp_lh id;
+  lh
+
+let announce_lh t lh =
+  (* The eager rebind broadcast belongs to the query design; the
+     forwarding ablation has no such mechanism. *)
+  if
+    lh_hosting_or_reserved t lh
+    && t.prm.Os_params.rebind = Os_params.Broadcast_query
+  then transmit_broadcast t (Packet.Here_is { lh; station = t.self })
+
+(* {2 Kernel server} *)
+
+let modifies_lh body =
+  match body with Ks_destroy_lh _ -> true | _ -> false
+
+let ks_body t vp =
+  let rec loop () =
+    let d = receive t vp in
+    (match Hashtbl.find_opt t.lh_table d.Delivery.dst.Ids.lh with
+    | Some lh when Logical_host.frozen lh && modifies_lh d.Delivery.msg.Message.body
+      ->
+        (* Defer operations that modify a frozen logical host; they are
+           forwarded to the new host's kernel server after migration
+           (Section 3.1.3). *)
+        Logical_host.defer_op lh d
+    | _ -> (
+        match d.Delivery.msg.Message.body with
+        | Ks_ping -> reply t d (Message.make Ks_pong)
+        | Ks_query_load ->
+            reply t d
+              (Message.make
+                 (Ks_load
+                    {
+                      cpu_busy = Cpu.busy_fraction t.kcpu;
+                      memory_free = memory_free t;
+                      guests = guest_count t;
+                    }))
+        | Ks_install state ->
+            let temp = d.Delivery.dst.Ids.lh in
+            cancel_reservation t ~temp_lh:temp;
+            if memory_free t >= Logical_host.total_bytes state.st_lh then begin
+              let lh = install_lh t state in
+              unfreeze_lh t lh;
+              let resumed_at = Engine.now t.eng in
+              announce_lh t (Logical_host.id lh);
+              reply t d (Message.make (Ks_installed { resumed_at }))
+            end
+            else reply t d (Message.make (Ks_refused "insufficient memory"))
+        | Ks_destroy_lh id -> (
+            match find_lh t id with
+            | Some lh ->
+                destroy_logical_host t lh;
+                reply t d (Message.make Ks_ok)
+            | None -> reply t d (Message.make (Ks_refused "no such logical host")))
+        | _ -> reply t d (Message.make (Ks_refused "unknown operation"))));
+    loop ()
+  in
+  loop ()
+
+(* {2 Boot / shutdown} *)
+
+let create ~engine:eng ~rng:krng ~tracer:trc ~params:prm ~net ~station:self
+    ~host_name:name ~allocator:alloc ~memory_bytes:mem_bytes =
+  let host_id = Ids.Lh_allocator.fresh alloc in
+  let the_host_lh =
+    Logical_host.create ~id:host_id ~priority:Cpu.Foreground ~home:name
+  in
+  let t =
+    {
+      eng;
+      krng;
+      trc;
+      prm;
+      net;
+      stn = None;
+      self;
+      name;
+      alloc;
+      mem_bytes;
+      kcpu = Cpu.create eng ~quantum:prm.Os_params.cpu_quantum;
+      lh_table = Hashtbl.create 16;
+      the_host_lh;
+      sys_procs = Hashtbl.create 8;
+      bindings = Hashtbl.create 32;
+      outstanding = Hashtbl.create 32;
+      group_outstanding = Hashtbl.create 8;
+      groups = Hashtbl.create 8;
+      reservations = Hashtbl.create 4;
+      forwards = Hashtbl.create 4;
+      stats = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace t.lh_table host_id the_host_lh;
+  t.stn <- Some (Ethernet.attach net self (fun frame -> handle_frame t frame));
+  ignore (system_process t ~index:Ids.kernel_server_index ~name:(name ^ ":ks") (ks_body t));
+  t
+
+let shutdown t =
+  (match t.stn with
+  | Some s ->
+      Ethernet.detach s;
+      t.stn <- None
+  | None -> ());
+  (* Kill what is *currently resident*: processes of hosted logical
+     hosts and the system processes. Logical hosts that migrated away
+     run elsewhere and must survive this machine's death. *)
+  Hashtbl.iter
+    (fun _ lh -> List.iter Vproc.kill (Logical_host.processes lh))
+    t.lh_table;
+  Hashtbl.iter (fun _ vp -> Vproc.kill vp) t.sys_procs;
+  Hashtbl.reset t.lh_table;
+  Hashtbl.iter (fun _ os -> Option.iter Engine.cancel os.os_timer) t.outstanding;
+  Hashtbl.reset t.outstanding;
+  trace t "shut down"

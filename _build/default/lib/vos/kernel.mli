@@ -1,0 +1,242 @@
+(** The per-workstation V kernel.
+
+    One instance runs on every simulated workstation, exactly as "a
+    functionally identical copy of the kernel resides on each host"
+    (Section 2.1). It provides address spaces grouped into logical hosts,
+    processes, and network-transparent IPC, and hosts the kernel-server
+    process that services remote kernel operations (load queries, state
+    installation during migration, remote destroy).
+
+    {2 IPC protocol}
+
+    [Send] blocks the caller until a matching [Reply]. Remote sends are
+    driven by a kernel-level retransmission machine — kernel-level so that
+    a {e frozen} process' outstanding sends keep retransmitting during
+    migration, which is what keeps repliers' cached replies alive
+    (Section 3.1.3). Receiving kernels suppress duplicates through a
+    per-logical-host transaction table, answer duplicates of in-service
+    requests with reply-pending packets, and re-send retained replies when
+    a duplicate reveals a lost reply.
+
+    {2 Logical host binding}
+
+    Process ids name (logical host, index); kernels map logical hosts to
+    stations through a binding cache. A send that goes unanswered for a
+    few retransmissions invalidates its cache entry and broadcasts
+    [Where_is]; any kernel hosting the logical host answers, and caches
+    are also refreshed from the source of every incoming packet
+    (Section 3.1.4). This is the entire rebinding story — there are no
+    forwarding addresses to leak, the property the paper holds over
+    Demos/MP. *)
+
+type t
+
+type send_error =
+  | No_response
+      (** Retransmissions and queries went unanswered past the
+          abandonment deadline: target destroyed, unreachable, or never
+          existed. *)
+
+val pp_send_error : Format.formatter -> send_error -> unit
+
+(** {1 Construction} *)
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  tracer:Tracer.t ->
+  params:Os_params.t ->
+  net:Packet.t Ethernet.t ->
+  station:Addr.t ->
+  host_name:string ->
+  allocator:Ids.Lh_allocator.t ->
+  memory_bytes:int ->
+  t
+(** Boot a workstation kernel: attaches to the network, creates the
+    unmigratable host logical host, and starts the kernel-server process.
+    [memory_bytes] is the workstation's RAM (2 MB on the paper's SUNs),
+    bounding what programs and reservations it can accommodate. *)
+
+val shutdown : t -> unit
+(** Crash/reboot the workstation: detach from the network and kill every
+    process. Used by failure-injection tests — a migration destination
+    dying mid-transfer must leave the source able to recover. *)
+
+(** {1 Accessors} *)
+
+val engine : t -> Engine.t
+val params : t -> Os_params.t
+val tracer : t -> Tracer.t
+val host_name : t -> string
+val station : t -> Addr.t
+val cpu : t -> Cpu.t
+val rng : t -> Rng.t
+val allocator : t -> Ids.Lh_allocator.t
+val host_lh : t -> Logical_host.t
+(** The logical host holding this workstation's system processes; it is
+    bound to the hardware and never migrates. *)
+
+val memory_bytes : t -> int
+val memory_free : t -> int
+(** RAM minus resident logical hosts and outstanding reservations. *)
+
+val logical_hosts : t -> Logical_host.t list
+val find_lh : t -> Ids.lh_id -> Logical_host.t option
+val guest_count : t -> int
+(** Resident logical hosts running at background (guest) priority. *)
+
+(** {1 Logical hosts and processes} *)
+
+val create_logical_host : t -> priority:Cpu.priority -> Logical_host.t
+val destroy_logical_host : t -> Logical_host.t -> unit
+(** Kill all processes and release the memory. Pending senders to the
+    destroyed host eventually fail with [No_response]. *)
+
+val spawn_process :
+  t -> Logical_host.t -> name:string -> (Vproc.t -> unit) -> Vproc.t
+(** Create a process and start its code immediately. *)
+
+val create_process : t -> Logical_host.t -> Vproc.t
+(** Create a process without code — the paper's creation order, where the
+    new process exists "awaiting reply from its creator" before the
+    requester initializes and starts it. Pair with {!start_process}. *)
+
+val start_process :
+  t -> Vproc.t -> name:string -> (Vproc.t -> unit) -> unit
+
+val system_process :
+  t -> index:int -> name:string -> (Vproc.t -> unit) -> Vproc.t
+(** Register a well-known service (reserved index) in the host logical
+    host — the program manager layer uses index
+    {!Ids.program_manager_index}. *)
+
+(** {1 Process groups} *)
+
+val join_group : t -> group:Ids.pid -> Vproc.t -> unit
+(** Add a local process to a (global) process group and subscribe the
+    station to the group's multicast address. *)
+
+val leave_group : t -> group:Ids.pid -> Vproc.t -> unit
+
+(** {1 IPC operations} *)
+
+val send :
+  t -> src:Ids.pid -> dst:Ids.pid -> Message.t -> (Message.t, send_error) result
+(** Blocking Send: delivers the request (locally or via the wire protocol)
+    and returns the reply. Charges the kernel-operation costs of
+    Section 4.1 — including the frozen-state test and, when [dst] is a
+    local group id, the group-lookup indirection. *)
+
+type collector
+(** Gathers replies to a group send. *)
+
+val send_group :
+  t -> src:Ids.pid -> group:Ids.pid -> Message.t -> collector
+(** One Send multicast to a process group; unreliable, replies stream into
+    the collector. The decentralized scheduler is built on this. *)
+
+val collect_first :
+  t -> collector -> timeout:Time.span -> (Ids.pid * Message.t) option
+(** First reply, or [None] on timeout; closes the collector. Picking the
+    first responder is the paper's whole host-selection policy. *)
+
+val collect_within :
+  t -> collector -> window:Time.span -> (Ids.pid * Message.t) list
+(** All replies arriving within the window; closes the collector. *)
+
+val receive : t -> Vproc.t -> Delivery.t
+(** Blocking Receive of the next queued request. *)
+
+val reply : ?from:Ids.pid -> t -> Delivery.t -> Message.t -> unit
+(** Reply to a received request. The reply is retained for the configured
+    TTL to answer duplicate requests. [from] identifies the replying
+    group member when answering a group send. *)
+
+val bulk_transfer : ?to_station:Addr.t -> t -> bytes:int -> unit
+(** Block the calling process while [bytes] move over the shared wire —
+    the inter-host CopyTo/CopyFrom primitive beneath address-space copies
+    and file transfers. Runs at the network's bulk rate (3 s/MB
+    calibration) and contends with all other traffic; a [to_station] on a
+    bridged segment makes the copy occupy both wires. *)
+
+(** {1 Binding cache} *)
+
+val lookup_binding : t -> Ids.lh_id -> Addr.t option
+val set_binding : t -> Ids.lh_id -> Addr.t -> unit
+val invalidate_binding : t -> Ids.lh_id -> unit
+val announce_lh : t -> Ids.lh_id -> unit
+(** Broadcast this kernel's binding for a logical host ([Here_is]) — the
+    optional eager rebind of Section 3.1.4. A no-op in the
+    {!Os_params.Forwarding} ablation, which has no such mechanism. *)
+
+val set_forward : t -> Ids.lh_id -> Addr.t -> unit
+(** Install a Demos/MP-style forwarding address for a departed logical
+    host ({!Os_params.Forwarding} ablation only): requests arriving for
+    it are relayed to the given station, imposing the residual load — and
+    the reboot fragility — that Section 5 holds against that design. *)
+
+(** {1 Migration support (local operations)} *)
+
+type lh_state
+(** A logical host's full kernel state in transit: the host itself plus
+    its outstanding sends. *)
+
+val freeze_lh : t -> Logical_host.t -> unit
+(** Freeze: stop members acquiring the CPU, drain the member currently on
+    it, and suspend every member process. Blocking. External interactions
+    are deferred per Section 3.1.3 from this instant. *)
+
+val unfreeze_lh : t -> Logical_host.t -> unit
+(** Unfreeze a resident logical host: resume processes, re-deliver
+    deferred kernel-server/program-manager operations, restart outstanding
+    sends. *)
+
+val kernel_state_copy_span : t -> Logical_host.t -> Time.span
+(** Time to copy the logical host's kernel-server and program-manager
+    state: 14 ms plus 9 ms per process and address space (Section 4.1). *)
+
+val extract_lh : t -> Logical_host.t -> lh_state
+(** Remove a frozen logical host from this kernel: scrub queued requests
+    (remote senders will retransmit; local senders' sends restart through
+    the remote path), collect its outstanding sends, and drop the binding.
+    The inverse of {!install_lh}; re-installing locally is the migration
+    failure path. *)
+
+val install_lh : t -> lh_state -> Logical_host.t
+(** Adopt an extracted logical host (still frozen) and bind it here.
+    Consumes a matching reservation if one exists. *)
+
+val reserve_lh : t -> temp_lh:Ids.lh_id -> bytes:int -> bool
+(** Destination-side step 2 of migration (Section 3.1.1): set aside
+    memory and answer [Where_is] for the new copy's temporary id so the
+    source can address this kernel's server through it. Returns [false]
+    if memory is insufficient. *)
+
+val cancel_reservation : t -> temp_lh:Ids.lh_id -> unit
+
+(** {1 Kernel-server request vocabulary}
+
+    Sent to [Ids.kernel_server_of lh] for any logical host resident on
+    (or reserved at) the target kernel. *)
+
+type Message.body +=
+  | Ks_ping
+  | Ks_pong
+  | Ks_query_load
+  | Ks_load of { cpu_busy : float; memory_free : int; guests : int }
+  | Ks_install of lh_state
+      (** Final migration step: install the state, unfreeze, announce the
+          new binding, reply {!Ks_installed}. *)
+  | Ks_installed of { resumed_at : Time.t }
+      (** Success reply to {!Ks_install}; [resumed_at] is the instant the
+          new copy was unfrozen, closing the freeze-time measurement. *)
+  | Ks_destroy_lh of Ids.lh_id
+  | Ks_ok
+  | Ks_refused of string
+
+(** {1 Statistics} *)
+
+val stat : t -> string -> int
+(** Named counters: ["sends"], ["sends_failed"], ["retransmissions"],
+    ["where_is"], ["reply_pending"], ["duplicates"], ["packets_rx"],
+    ["replies_discarded_frozen"]. Unknown names are 0. *)

@@ -1,0 +1,87 @@
+(** Logical hosts — the unit of migration.
+
+    "V address spaces and their associated processes are grouped into
+    logical hosts. ... There may be multiple logical hosts associated with
+    a single workstation, however, a logical host is local to a single
+    workstation" (Section 2.1). Migration moves a whole logical host;
+    rebinding its id to a new station rebinds every process id inside it.
+
+    Besides the processes and address spaces, a logical host carries the
+    per-request bookkeeping that must move with it for the IPC guarantees
+    of Section 3.1.3 to survive a migration: the inbound-transaction table
+    (duplicate suppression and cached replies) and the list of deferred
+    kernel-server/program-manager operations. *)
+
+type inbound_state =
+  | Queued  (** Delivered to the recipient's queue, not yet received. *)
+  | In_service  (** Received; reply outstanding. *)
+  | Replied of Message.t * Time.t
+      (** Reply sent and retained until the expiry instant for duplicate
+          requests; each duplicate refreshes the expiry. *)
+
+type t
+
+val create :
+  id:Ids.lh_id -> priority:Cpu.priority -> home:string -> t
+(** A fresh, empty, unfrozen logical host. [home] is the workstation that
+    created it (reporting only); [priority] is the CPU class its processes
+    run at — [Background] for guest (remotely executed) programs. *)
+
+val id : t -> Ids.lh_id
+val priority : t -> Cpu.priority
+val home : t -> string
+
+val set_priority : t -> Cpu.priority -> unit
+
+(** {1 Processes and address spaces} *)
+
+val new_process : t -> Vproc.t
+(** Allocate the next free index and register a process under it. *)
+
+val find_process : t -> int -> Vproc.t option
+val processes : t -> Vproc.t list
+(** In index order. *)
+
+val process_count : t -> int
+
+val add_space : t -> Address_space.t -> unit
+val spaces : t -> Address_space.t list
+val total_bytes : t -> int
+(** Memory footprint: sum of address-space sizes. *)
+
+val dirty_bytes : t -> int
+(** Dirty bytes across all address spaces, the pre-copy residue. *)
+
+val clear_dirty : t -> int
+(** Clear dirty bits everywhere; returns bytes that were dirty. *)
+
+(** {1 Freezing} *)
+
+val frozen : t -> bool
+
+val set_frozen : t -> bool -> unit
+(** Raw flag flip; {!Kernel.freeze_lh} performs the full protocol (CPU
+    drain, pausing processes). *)
+
+val gate : t -> unit -> unit
+(** A closure that blocks its caller while the logical host is frozen —
+    installed at every point where member processes consume CPU or enter
+    the kernel. *)
+
+val thaw : t -> unit
+(** Wake everything blocked in {!gate}. Called by unfreeze after the
+    frozen flag is cleared. *)
+
+(** {1 Migratable request state} *)
+
+val inbound : t -> (Ids.pid * Packet.txn, inbound_state) Hashtbl.t
+(** Keyed by (sender, transaction). *)
+
+val defer_op : t -> Delivery.t -> unit
+(** Park a kernel-server/program-manager request targeting this (frozen)
+    logical host, to be forwarded after migration (Section 3.1.3). *)
+
+val take_deferred : t -> Delivery.t list
+(** Remove and return deferred operations, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type body = ..
+
+type body += Ping | Pong | Text of string
+
+type t = { body : body; bytes : int }
+
+let short_bytes = 32
+let max_bytes = short_bytes + 1024
+
+let make ?(bytes = short_bytes) body =
+  if bytes < short_bytes || bytes > max_bytes then
+    invalid_arg
+      (Printf.sprintf "Message.make: %d bytes outside [%d, %d]" bytes short_bytes
+         max_bytes);
+  { body; bytes }

@@ -1,0 +1,30 @@
+(** Inter-process messages.
+
+    V messages are short fixed-size records (32 bytes on the wire);
+    anything larger moves by [CopyTo]/[CopyFrom] against the blocked
+    sender's address space. The body is an {e extensible} variant so each
+    server layer (file server, program manager, migration manager, user
+    programs) declares its own request/reply vocabulary without this
+    module knowing about any of them. *)
+
+type body = ..
+(** Extend with your protocol's constructors. *)
+
+type body += Ping | Pong | Text of string
+(** A tiny generic vocabulary for tests and examples. *)
+
+type t = {
+  body : body;
+  bytes : int;  (** Simulated size used for wire timing. *)
+}
+
+val short_bytes : int
+(** The fixed V short-message size: 32. *)
+
+val make : ?bytes:int -> body -> t
+(** [make body] is a short message; pass [~bytes] for appended segments
+    (at most 1024, the V segment limit — bigger payloads must use the
+    copy operations). *)
+
+val max_bytes : int
+(** Largest message the kernel accepts: short header + 1 KB segment. *)

@@ -1,0 +1,34 @@
+type rebind_mode = Broadcast_query | Forwarding
+
+type t = {
+  local_op : Time.span;
+  frozen_check : Time.span;
+  group_lookup : Time.span;
+  retransmit_interval : Time.span;
+  retries_before_query : int;
+  give_up_after : Time.span;
+  reply_cache_ttl : Time.span;
+  cpu_quantum : Time.span;
+  rebind : rebind_mode;
+}
+
+let default =
+  {
+    local_op = Time.of_us 500;
+    frozen_check = Time.of_us 13;
+    group_lookup = Time.of_us 100;
+    retransmit_interval = Time.of_ms 100.;
+    retries_before_query = 3;
+    give_up_after = Time.of_sec 5.;
+    reply_cache_ttl = Time.of_sec 2.;
+    cpu_quantum = Time.of_ms 10.;
+    rebind = Broadcast_query;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>local_op=%a frozen_check=%a group_lookup=%a@ retransmit=%a \
+     retries=%d give_up=%a reply_ttl=%a quantum=%a@]"
+    Time.pp t.local_op Time.pp t.frozen_check Time.pp t.group_lookup Time.pp
+    t.retransmit_interval t.retries_before_query Time.pp t.give_up_after
+    Time.pp t.reply_cache_ttl Time.pp t.cpu_quantum

@@ -1,0 +1,52 @@
+(** Kernel timing parameters.
+
+    Every cost the simulated kernel charges lives here, so experiments can
+    sweep or ablate them. Defaults are calibrated to the paper's SUN
+    (10 MHz 68010) measurements; the provenance of each constant is noted
+    on its field. Higher-level calibration (program manager, migration,
+    workloads) lives in [V_core.Config]. *)
+
+(** How references to a migrated logical host get rebound. *)
+type rebind_mode =
+  | Broadcast_query
+      (** The paper's design: invalidate the binding-cache entry after
+          unanswered retransmissions and broadcast [Where_is]; no state
+          remains on the old host (Section 3.1.4). *)
+  | Forwarding
+      (** The Demos/MP design the paper argues against: the old host
+          keeps a forwarding address and relays packets; senders never
+          query. Works — until the old host reboots while a stale
+          reference is outstanding (Section 5). Implemented for the
+          related-work ablation bench. *)
+
+type t = {
+  local_op : Time.span;
+      (** Base cost of a kernel operation / local message exchange.
+          ~0.5 ms on the 68010-era V kernel. *)
+  frozen_check : Time.span;
+      (** Added to kernel operations to test whether the target process'
+          logical host is frozen — 13 us (Section 4.1). Set to zero to
+          ablate, i.e. to measure a kernel without migration support. *)
+  group_lookup : Time.span;
+      (** Added when a kernel server or program manager is addressed via
+          its local group id — 100 us (Section 4.1). Ablatable likewise. *)
+  retransmit_interval : Time.span;
+      (** Source kernel retransmits an unanswered request this often. *)
+  retries_before_query : int;
+      (** Unanswered retransmissions tolerated before the binding-cache
+          entry is invalidated and a [Where_is] broadcast goes out
+          (Section 3.1.4: "a small number of retransmissions"). *)
+  give_up_after : Time.span;
+      (** A send with no reply and no reply-pending for this long fails.
+          Reply-pending packets reset this clock. *)
+  reply_cache_ttl : Time.span;
+      (** How long a replier retains a reply for duplicate requests; each
+          duplicate request refreshes it (Section 3.1.3). *)
+  cpu_quantum : Time.span;
+      (** Scheduler time slice for compute-bound processes. *)
+  rebind : rebind_mode;  (** Defaults to {!Broadcast_query}. *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/calibrate.ml: Dirty_model Float List

@@ -1,0 +1,1 @@
+lib/workload/calibrate.mli: Dirty_model

@@ -1,0 +1,1 @@
+lib/workload/dirty_model.ml: Address_space Float Format Stdlib Time

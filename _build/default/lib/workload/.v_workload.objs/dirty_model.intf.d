@@ -1,0 +1,1 @@
+lib/workload/dirty_model.mli: Address_space Format Rng Time

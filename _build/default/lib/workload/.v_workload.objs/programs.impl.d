@@ -1,0 +1,1 @@
+lib/workload/programs.ml: Address_space Calibrate Dirty_model File_server List String

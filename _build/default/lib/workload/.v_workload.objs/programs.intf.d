@@ -1,0 +1,1 @@
+lib/workload/programs.mli: Address_space Calibrate Dirty_model File_server

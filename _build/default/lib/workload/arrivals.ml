@@ -1,0 +1,63 @@
+let exponential_span rng ~mean =
+  let s = Rng.exponential rng ~mean:(Time.to_sec mean) in
+  Time.max (Time.of_us 1) (Time.of_sec s)
+
+let poisson_stream eng rng ~rate_per_sec ~until f =
+  assert (rate_per_sec > 0.);
+  let mean = Time.of_sec (1. /. rate_per_sec) in
+  let rec next k =
+    let gap = exponential_span rng ~mean in
+    let at = Time.add (Engine.now eng) gap in
+    if Time.(at <= until) then
+      ignore
+        (Engine.schedule eng ~at (fun () ->
+             f k;
+             next (k + 1)))
+  in
+  next 0
+
+module Owner = struct
+  type params = {
+    active_mean : Time.span;
+    idle_mean : Time.span;
+    active_cpu_fraction : float;
+  }
+
+  let default =
+    {
+      active_mean = Time.of_sec 30.;
+      idle_mean = Time.of_sec 180.;
+      active_cpu_fraction = 0.1;
+    }
+
+  type t = {
+    eng : Engine.t;
+    rng : Rng.t;
+    p : params;
+    on_transition : bool -> unit;
+    mutable is_active : bool;
+    mutable stopped : bool;
+  }
+
+  let active t = t.is_active
+  let stop t = t.stopped <- true
+
+  let rec arm t =
+    if not t.stopped then begin
+      let mean = if t.is_active then t.p.active_mean else t.p.idle_mean in
+      ignore
+        (Engine.schedule_after t.eng
+           (exponential_span t.rng ~mean)
+           (fun () ->
+             if not t.stopped then begin
+               t.is_active <- not t.is_active;
+               t.on_transition t.is_active;
+               arm t
+             end))
+    end
+
+  let start eng rng p ~on_transition =
+    let t = { eng; rng; p; on_transition; is_active = false; stopped = false } in
+    arm t;
+    t
+end

@@ -1,0 +1,40 @@
+(** Job arrival and owner-activity processes.
+
+    The usage experiment (Section 4.3) needs two stochastic drivers: a
+    Poisson stream of batch jobs submitted to the cluster, and per-
+    workstation owner sessions — alternating active (editing) and idle
+    periods — that determine which workstations are candidates for guest
+    work and when an owner "returns", triggering preemption. *)
+
+val exponential_span : Rng.t -> mean:Time.span -> Time.span
+(** An exponentially distributed duration, at least 1 us. *)
+
+val poisson_stream :
+  Engine.t -> Rng.t -> rate_per_sec:float -> until:Time.t ->
+  (int -> unit) -> unit
+(** [poisson_stream e rng ~rate_per_sec ~until f] schedules [f k] at the
+    [k]-th arrival (k from 0) of a Poisson process, stopping at the
+    horizon. Events are scheduled lazily, one ahead. *)
+
+(** Owner keyboard sessions: an on/off renewal process. *)
+module Owner : sig
+  type params = {
+    active_mean : Time.span;  (** Mean editing-burst length. *)
+    idle_mean : Time.span;  (** Mean absence length. *)
+    active_cpu_fraction : float;
+        (** CPU demanded while active (editing is light: ~0.1). *)
+  }
+
+  val default : params
+  (** Means chosen so workstations are over 80% idle, matching the
+      paper's observation for peak hours. *)
+
+  type t
+
+  val start : Engine.t -> Rng.t -> params -> on_transition:(bool -> unit) -> t
+  (** Begin the renewal process (initially idle); [on_transition active]
+      fires at each state change. *)
+
+  val active : t -> bool
+  val stop : t -> unit
+end

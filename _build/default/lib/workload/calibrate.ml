@@ -1,0 +1,56 @@
+type triple = { u02 : float; u1 : float; u3 : float }
+
+let predict (p : Dirty_model.params) =
+  {
+    u02 = Dirty_model.expected_unique_kb p 0.2;
+    u1 = Dirty_model.expected_unique_kb p 1.0;
+    u3 = Dirty_model.expected_unique_kb p 3.0;
+  }
+
+let residual p t =
+  let m = predict p in
+  let sq x = x *. x in
+  sqrt ((sq (m.u02 -. t.u02) +. sq (m.u1 -. t.u1) +. sq (m.u3 -. t.u3)) /. 3.)
+
+(* Closed-form seed: the cold rate is the 1s->3s slope, the hot size is
+   what the 1s window holds beyond cold traffic (assuming the hot set has
+   saturated by then), and the hot rate is solved from the 0.2s window. *)
+let seed (t : triple) : Dirty_model.params =
+  let cold = Float.max 0. ((t.u3 -. t.u1) /. 2.) in
+  let hot = Float.max 0.1 (t.u1 -. cold) in
+  let covered = Float.max 0.01 (t.u02 -. (0.2 *. cold)) in
+  let frac = Float.min 0.95 (covered /. hot) in
+  let rate = -.(hot /. 0.2) *. log (1. -. frac) in
+  { hot_kb = hot; hot_write_kb_per_sec = rate; cold_kb_per_sec = cold }
+
+(* Coordinate-descent refinement around the seed. *)
+let fit t =
+  let best = ref (seed t) in
+  let best_err = ref (residual !best t) in
+  let try_candidate p =
+    let e = residual p t in
+    if e < !best_err then begin
+      best := p;
+      best_err := e
+    end
+  in
+  let steps = [ 0.8; 0.9; 0.95; 1.05; 1.1; 1.25 ] in
+  for _ = 1 to 40 do
+    let b = !best in
+    List.iter
+      (fun s -> try_candidate { b with Dirty_model.hot_kb = b.Dirty_model.hot_kb *. s })
+      steps;
+    let b = !best in
+    List.iter
+      (fun s ->
+        try_candidate
+          { b with Dirty_model.hot_write_kb_per_sec = b.Dirty_model.hot_write_kb_per_sec *. s })
+      steps;
+    let b = !best in
+    List.iter
+      (fun s ->
+        try_candidate
+          { b with Dirty_model.cold_kb_per_sec = b.Dirty_model.cold_kb_per_sec *. s })
+      steps
+  done;
+  !best

@@ -1,0 +1,21 @@
+(** Fitting dirty-model parameters to measured windows.
+
+    Table 4-1 reports, per program, the kilobytes of unique pages dirtied
+    in windows of 0.2, 1 and 3 seconds. Three observations, three
+    parameters: the fit is closed-form under the assumption that the hot
+    set saturates within one second (true of every row in the table), and
+    the coordinate refinement pass tightens it when it is not. *)
+
+type triple = { u02 : float; u1 : float; u3 : float }
+(** Measured unique-dirty KB at 0.2 s, 1 s and 3 s. *)
+
+val fit : triple -> Dirty_model.params
+(** Parameters whose {!Dirty_model.expected_unique_kb} best reproduces
+    the triple. *)
+
+val residual : Dirty_model.params -> triple -> float
+(** Root-mean-square error of the model against the triple, in KB —
+    reported alongside Table 4-1 so the calibration quality is visible. *)
+
+val predict : Dirty_model.params -> triple
+(** The model's own values at the three windows. *)

@@ -1,0 +1,47 @@
+(** Mechanistic page-dirtying model.
+
+    Pre-copy's effectiveness is decided entirely by how programs dirty
+    pages while a copy is in flight, so the workload model matters. We
+    use a two-population model:
+
+    - a {e hot} working set rewritten continuously (loop variables,
+      stacks, accumulators) — re-dirtying the same pages, so the unique
+      dirty count saturates; and
+    - a {e cold} stream of pages written once each (output buffers, heap
+      growth) — contributing linearly.
+
+    Unique pages dirtied from a clean state over a window [t] is then
+
+    [U(t) = hot * (1 - exp(-rate * t / hot)) + cold_rate * t]
+
+    which fits the three-window measurements of the paper's Table 4-1
+    closely for all eight programs (see {!Calibrate}). Dirtying is driven
+    by CPU time actually scheduled, so contention and freezing slow it
+    exactly as they slow the program. *)
+
+type params = {
+  hot_kb : float;  (** Hot working-set size. *)
+  hot_write_kb_per_sec : float;  (** Rewrite traffic into the hot set. *)
+  cold_kb_per_sec : float;  (** First-touch traffic. *)
+}
+
+val pp_params : Format.formatter -> params -> unit
+
+val expected_unique_kb : params -> float -> float
+(** [expected_unique_kb p seconds]: the closed-form [U(t)] above — the
+    test oracle for the stochastic model and the generator of Table 4-1
+    predictions. *)
+
+type t
+
+val create : params -> Address_space.t -> t
+(** Attach the model to an address space: hot pages occupy the front of
+    the active segment, the cold stream cycles through the rest. The
+    active segment must be at least one page. *)
+
+val on_cpu : t -> Rng.t -> Time.span -> unit
+(** Apply the dirtying implied by the given amount of {e scheduled} CPU
+    time — designed to be called from {!Cpu.compute_sliced}'s [on_slice]
+    hook. *)
+
+val params : t -> params

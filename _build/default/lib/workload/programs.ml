@@ -1,0 +1,85 @@
+type io_profile = {
+  reads_per_cpu_sec : float;
+  read_bytes : int;
+  writes_per_cpu_sec : float;
+  write_bytes : int;
+}
+
+type spec = {
+  prog_name : string;
+  image : File_server.image;
+  cpu_seconds : float;
+  dirty : Dirty_model.params;
+  io : io_profile;
+}
+
+(* Table 4-1 of the paper: unique KB dirtied in 0.2 / 1 / 3 second
+   windows. *)
+let table_4_1 =
+  [
+    ("make", { Calibrate.u02 = 0.8; u1 = 1.8; u3 = 4.2 });
+    ("cc68", { Calibrate.u02 = 0.6; u1 = 2.2; u3 = 6.2 });
+    ("preprocessor", { Calibrate.u02 = 25.0; u1 = 40.2; u3 = 59.6 });
+    ("parser", { Calibrate.u02 = 50.0; u1 = 76.8; u3 = 109.4 });
+    ("optimizer", { Calibrate.u02 = 19.8; u1 = 32.2; u3 = 41.0 });
+    ("assembler", { Calibrate.u02 = 21.6; u1 = 33.4; u3 = 48.4 });
+    ("linking loader", { Calibrate.u02 = 25.0; u1 = 39.2; u3 = 37.8 });
+    ("tex", { Calibrate.u02 = 68.6; u1 = 111.6; u3 = 142.8 });
+  ]
+
+let kb n = n * 1024
+
+(* Image geometry, CPU demand and I/O intensity: plausible values for
+   10 MHz 68010 binaries; only the dirty-model columns are calibrated to
+   the paper. *)
+let shapes =
+  [
+    (* name, code KB, data KB, active KB, cpu s, reads/s, writes/s *)
+    ("make", 48, 12, 64, 8.0, 8.0, 0.5);
+    ("cc68", 36, 8, 48, 6.0, 4.0, 1.0);
+    ("preprocessor", 52, 16, 192, 6.0, 6.0, 2.0);
+    ("parser", 120, 32, 320, 12.0, 2.0, 2.0);
+    ("optimizer", 96, 24, 192, 10.0, 1.0, 1.0);
+    ("assembler", 72, 20, 160, 8.0, 2.0, 3.0);
+    ("linking loader", 88, 28, 256, 6.0, 6.0, 3.0);
+    ("tex", 196, 64, 448, 30.0, 3.0, 1.5);
+  ]
+
+let all =
+  List.map2
+    (fun (name, code, data, active, cpu_s, rps, wps) (tname, triple) ->
+      assert (String.equal name tname);
+      {
+        prog_name = name;
+        image =
+          {
+            File_server.code_bytes = kb code;
+            data_bytes = kb data;
+            active_bytes = kb active;
+          };
+        cpu_seconds = cpu_s;
+        dirty = Calibrate.fit triple;
+        io =
+          {
+            reads_per_cpu_sec = rps;
+            read_bytes = 4096;
+            writes_per_cpu_sec = wps;
+            write_bytes = 2048;
+          };
+      })
+    shapes table_4_1
+
+let names = List.map (fun s -> s.prog_name) all
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.prog_name name) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+let publish_images fs =
+  List.iter (fun s -> File_server.add_image fs ~name:s.prog_name s.image) all
+
+let make_space spec =
+  Address_space.create ~code_bytes:spec.image.File_server.code_bytes
+    ~data_bytes:spec.image.File_server.data_bytes
+    ~active_bytes:spec.image.File_server.active_bytes ()

@@ -1,0 +1,42 @@
+(** The paper's measured programs.
+
+    Table 4-1 measures dirty-page generation for eight programs: [make],
+    the [cc68] C compiler driver and its five subprograms (preprocessor,
+    parser, optimizer, assembler, linking loader — footnote 6), and the
+    [tex] formatter. We reconstruct each as a synthetic program: an image
+    (code / initialized data / active data sizes plausible for the 68010
+    SUN), a CPU demand, an I/O profile against the file server, and a
+    dirty model {e fitted to that program's row of Table 4-1}. *)
+
+type io_profile = {
+  reads_per_cpu_sec : float;  (** File-read requests per CPU second. *)
+  read_bytes : int;
+  writes_per_cpu_sec : float;
+  write_bytes : int;
+}
+
+type spec = {
+  prog_name : string;
+  image : File_server.image;
+  cpu_seconds : float;  (** Total CPU demand of one run. *)
+  dirty : Dirty_model.params;
+  io : io_profile;
+}
+
+val table_4_1 : (string * Calibrate.triple) list
+(** The paper's measured dirty-generation rates, KB per 0.2/1/3 s window,
+    in the paper's row order. *)
+
+val all : spec list
+(** One spec per Table 4-1 row, in order. *)
+
+val find : string -> spec
+(** @raise Not_found for names not in the table. *)
+
+val names : string list
+
+val publish_images : File_server.t -> unit
+(** Register every program's binary with a file server. *)
+
+val make_space : spec -> Address_space.t
+(** A fresh address space sized for the program. *)

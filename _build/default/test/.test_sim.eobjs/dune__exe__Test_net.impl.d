@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Engine Ethernet Frame List Proc Rng Time Transfer

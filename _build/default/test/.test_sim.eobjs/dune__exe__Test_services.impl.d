@@ -1,0 +1,1 @@
+test/test_services.ml: Addr Alcotest Array Cpu Display_server Engine Ethernet File_server Ids Kernel Name_server Os_params Printf Rng Time Tracer Vproc

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fun Heap Int Ivar List Mailbox Proc QCheck QCheck_alcotest Rng Semaphore Stats Time Tracer

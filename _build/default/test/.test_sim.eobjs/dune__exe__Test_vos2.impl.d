@@ -1,0 +1,1 @@
+test/test_vos2.ml: Addr Address_space Alcotest Array Cpu Delivery Engine Ethernet Ids Kernel List Logical_host Message Option Os_params Packet Printf Proc Rng Time Tracer Vproc

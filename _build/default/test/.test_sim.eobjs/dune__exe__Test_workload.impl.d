@@ -1,0 +1,1 @@
+test/test_workload.ml: Address_space Alcotest Arrivals Calibrate Dirty_model Engine File_server Float Fun List Proc Programs QCheck QCheck_alcotest Rng String Time

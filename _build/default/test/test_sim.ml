@@ -1,0 +1,696 @@
+(* Tests for the simulation substrate: time, heap, rng, engine, processes
+   and the synchronization primitives. *)
+
+let ms = Time.of_ms
+let us = Time.of_us
+
+(* {1 Time} *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "of_ms" 1500 (Time.to_us (ms 1.5));
+  Alcotest.(check int) "of_sec" 3_000_000 (Time.to_us (Time.of_sec 3.));
+  Alcotest.(check (float 1e-9)) "to_ms" 0.013 (Time.to_ms (us 13));
+  Alcotest.(check (float 1e-9)) "to_sec" 2.5 (Time.to_sec (Time.of_sec 2.5))
+
+let test_time_arith () =
+  Alcotest.(check int) "add" 300 (Time.to_us (Time.add (us 100) (us 200)));
+  Alcotest.(check int) "sub" (-100) (Time.to_us (Time.sub (us 100) (us 200)));
+  Alcotest.(check int) "mul" 900 (Time.to_us (Time.mul (us 300) 3));
+  Alcotest.(check int) "scale" 450 (Time.to_us (Time.scale (us 300) 1.5));
+  Alcotest.(check bool) "lt" true Time.(us 1 < us 2);
+  Alcotest.(check bool) "ge" true Time.(us 2 >= us 2)
+
+let test_time_pp () =
+  Alcotest.(check string) "us" "13us" (Time.to_string (us 13));
+  Alcotest.(check string) "s" "3.000s" (Time.to_string (Time.of_sec 3.))
+
+(* {1 Heap} *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h)
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare l)
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* Drawing from [b] must not perturb [a]'s future relative to a clone
+     that ignores [b]. *)
+  let a' = Rng.create 7 in
+  let _ = Rng.split a' in
+  let _ = Rng.bits64 b in
+  Alcotest.(check int64) "split independent" (Rng.bits64 a') (Rng.bits64 a)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let f = Rng.float r 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential draws are positive" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let r = Rng.create seed in
+      Rng.exponential r ~mean:5.0 > 0.)
+
+let test_rng_bool_bias () =
+  let r = Rng.create 3 in
+  let n = 10_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r 0.25 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  if frac < 0.2 || frac > 0.3 then
+    Alcotest.failf "bool(0.25) frequency off: %.3f" frac
+
+(* {1 Engine} *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~at:(ms 2.) (note "b"));
+  ignore (Engine.schedule e ~at:(ms 1.) (note "a"));
+  ignore (Engine.schedule e ~at:(ms 2.) (note "c"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time then fifo" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check int) "clock at last event" 2000 (Time.to_us (Engine.now e))
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:(ms 1.) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> incr fired));
+  ignore (Engine.schedule e ~at:(ms 5.) (fun () -> incr fired));
+  Engine.run e ~until:(ms 3.);
+  Alcotest.(check int) "only early event" 1 !fired;
+  Alcotest.(check int) "clock at horizon" 3000 (Time.to_us (Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "late event eventually" 2 !fired
+
+let test_engine_until_skips_cancelled () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let h = Engine.schedule e ~at:(ms 1.) (fun () -> incr fired) in
+  ignore (Engine.schedule e ~at:(ms 5.) (fun () -> incr fired));
+  Engine.cancel h;
+  Engine.run e ~until:(ms 2.);
+  Alcotest.(check int) "cancelled event must not admit late one" 0 !fired
+
+let test_engine_schedule_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~at:(ms 2.) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule: at 1ms < now 2ms") (fun () ->
+      ignore (Engine.schedule e ~at:(ms 1.) ignore))
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~at:(ms 1.) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after e (ms 1.) (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "fired count" 2 (Engine.events_fired e)
+
+(* {1 Proc} *)
+
+let test_proc_runs () =
+  let e = Engine.create () in
+  let ran = ref false in
+  let p = Proc.spawn e ~name:"t" (fun () -> ran := true) in
+  Engine.run e;
+  Alcotest.(check bool) "ran" true !ran;
+  Alcotest.(check bool) "done" false (Proc.alive p);
+  Alcotest.(check bool) "normal exit" true (Proc.status p = Some Proc.Normal)
+
+let test_proc_sleep_advances_clock () =
+  let e = Engine.create () in
+  let woke_at = ref Time.zero in
+  ignore
+    (Proc.spawn e ~name:"sleeper" (fun () ->
+         Proc.sleep e (ms 5.);
+         woke_at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "slept 5ms" 5000 (Time.to_us !woke_at)
+
+let test_proc_kill_sleeping () =
+  let e = Engine.create () in
+  let reached = ref false in
+  let cleaned = ref false in
+  let p =
+    Proc.spawn e ~name:"victim" (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Proc.sleep e (Time.of_sec 10.);
+            reached := true))
+  in
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Proc.kill p));
+  Engine.run e;
+  Alcotest.(check bool) "body not resumed" false !reached;
+  Alcotest.(check bool) "protect ran" true !cleaned;
+  Alcotest.(check bool) "killed status" true (Proc.status p = Some Proc.Killed)
+
+let test_proc_kill_embryo () =
+  let e = Engine.create () in
+  let ran = ref false in
+  let p = Proc.spawn e ~name:"embryo" (fun () -> ran := true) in
+  Proc.kill p;
+  Engine.run e;
+  Alcotest.(check bool) "never ran" false !ran;
+  Alcotest.(check bool) "killed" true (Proc.status p = Some Proc.Killed)
+
+let test_proc_exn_captured () =
+  let e = Engine.create () in
+  let p = Proc.spawn e ~name:"boom" (fun () -> failwith "boom") in
+  Engine.run e;
+  match Proc.status p with
+  | Some (Proc.Exn (Failure m)) -> Alcotest.(check string) "msg" "boom" m
+  | _ -> Alcotest.fail "expected Exn status"
+
+let test_proc_join () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let a =
+    Proc.spawn e ~name:"a" (fun () ->
+        Proc.sleep e (ms 3.);
+        order := "a" :: !order)
+  in
+  ignore
+    (Proc.spawn e ~name:"b" (fun () ->
+         let ex = Proc.join a in
+         Alcotest.(check bool) "a finished normally" true (ex = Proc.Normal);
+         order := "b" :: !order));
+  Engine.run e;
+  Alcotest.(check (list string)) "join ordering" [ "a"; "b" ] (List.rev !order)
+
+let test_proc_pause_defers_wake () =
+  let e = Engine.create () in
+  let woke_at = ref Time.zero in
+  let p =
+    Proc.spawn e ~name:"pausee" (fun () ->
+        Proc.sleep e (ms 2.);
+        woke_at := Engine.now e)
+  in
+  (* Pause at 1ms (mid-sleep); sleep timer fires at 2ms but must defer;
+     unpause at 10ms delivers it. *)
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Proc.pause p));
+  ignore (Engine.schedule e ~at:(ms 10.) (fun () -> Proc.unpause p));
+  Engine.run e;
+  Alcotest.(check int) "woke only on unpause" 10_000 (Time.to_us !woke_at)
+
+let test_proc_pause_unpause_before_wake () =
+  let e = Engine.create () in
+  let woke_at = ref Time.zero in
+  let p =
+    Proc.spawn e ~name:"p" (fun () ->
+        Proc.sleep e (ms 5.);
+        woke_at := Engine.now e)
+  in
+  (* Pause then unpause before the timer fires: no deferral happens. *)
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Proc.pause p));
+  ignore (Engine.schedule e ~at:(ms 2.) (fun () -> Proc.unpause p));
+  Engine.run e;
+  Alcotest.(check int) "normal wake" 5000 (Time.to_us !woke_at)
+
+let test_proc_kill_while_paused () =
+  let e = Engine.create () in
+  let resumed = ref false in
+  let p =
+    Proc.spawn e ~name:"p" (fun () ->
+        Proc.sleep e (ms 2.);
+        resumed := true)
+  in
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Proc.pause p));
+  ignore (Engine.schedule e ~at:(ms 3.) (fun () -> Proc.kill p));
+  Engine.run e;
+  Alcotest.(check bool) "never resumed" false !resumed;
+  Alcotest.(check bool) "killed" true (Proc.status p = Some Proc.Killed)
+
+let test_proc_on_exit () =
+  let e = Engine.create () in
+  let seen = ref None in
+  let p = Proc.spawn e ~name:"p" (fun () -> ()) in
+  Proc.on_exit p (fun ex -> seen := Some ex);
+  Engine.run e;
+  Alcotest.(check bool) "hook ran" true (!seen = Some Proc.Normal);
+  (* Registering after exit fires immediately. *)
+  let late = ref None in
+  Proc.on_exit p (fun ex -> late := Some ex);
+  Alcotest.(check bool) "late hook" true (!late = Some Proc.Normal)
+
+(* {1 Ivar} *)
+
+let test_ivar_fill_then_read () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv 42;
+  let got = ref 0 in
+  ignore (Proc.spawn e ~name:"r" (fun () -> got := Ivar.read iv));
+  Engine.run e;
+  Alcotest.(check int) "read filled" 42 !got
+
+let test_ivar_read_blocks () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got_at = ref (Time.zero, 0) in
+  ignore
+    (Proc.spawn e ~name:"r" (fun () ->
+         let v = Ivar.read iv in
+         got_at := (Engine.now e, v)));
+  ignore (Engine.schedule e ~at:(ms 7.) (fun () -> Ivar.fill iv 9));
+  Engine.run e;
+  Alcotest.(check int) "value" 9 (snd !got_at);
+  Alcotest.(check int) "time" 7000 (Time.to_us (fst !got_at))
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "try_fill fails" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 3)
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Proc.spawn e ~name:"r" (fun () -> sum := !sum + Ivar.read iv))
+  done;
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Ivar.fill iv 5));
+  Engine.run e;
+  Alcotest.(check int) "all woke" 15 !sum
+
+(* {1 Mailbox} *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (Proc.spawn e ~name:"r" (fun () ->
+         for _ = 1 to 3 do
+           got := Mailbox.recv mb :: !got
+         done));
+  ignore
+    (Engine.schedule e ~at:(ms 1.) (fun () ->
+         Mailbox.send mb 1;
+         Mailbox.send mb 2;
+         Mailbox.send mb 3));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_timeout_expires () =
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  let r = ref (Some 0) in
+  ignore
+    (Proc.spawn e ~name:"r" (fun () -> r := Mailbox.recv_timeout e mb (ms 5.)));
+  Engine.run e;
+  Alcotest.(check (option int)) "timed out" None !r;
+  Alcotest.(check int) "waited 5ms" 5000 (Time.to_us (Engine.now e))
+
+let test_mailbox_timeout_delivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let r = ref None in
+  ignore
+    (Proc.spawn e ~name:"r" (fun () -> r := Mailbox.recv_timeout e mb (ms 5.)));
+  ignore (Engine.schedule e ~at:(ms 2.) (fun () -> Mailbox.send mb 11));
+  Engine.run e;
+  Alcotest.(check (option int)) "delivered" (Some 11) !r
+
+let test_mailbox_timeout_no_lost_wakeup () =
+  (* After a timeout, the stale reader registration must not swallow a
+     later send destined for a healthy reader. *)
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let first = ref None and second = ref None in
+  ignore
+    (Proc.spawn e ~name:"r1" (fun () ->
+         first := Mailbox.recv_timeout e mb (ms 2.)));
+  ignore
+    (Proc.spawn e ~name:"r2" (fun () ->
+         second := Mailbox.recv_timeout e mb (ms 20.)));
+  ignore (Engine.schedule e ~at:(ms 10.) (fun () -> Mailbox.send mb 1));
+  Engine.run e;
+  Alcotest.(check (option int)) "r1 timed out" None !first;
+  Alcotest.(check (option int)) "r2 got message" (Some 1) !second
+
+let test_mailbox_drain () =
+  let mb = Mailbox.create () in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  Alcotest.(check int) "length" 2 (Mailbox.length mb);
+  Alcotest.(check (list int)) "drain" [ 1; 2 ] (Mailbox.drain mb);
+  Alcotest.(check int) "empty after" 0 (Mailbox.length mb)
+
+(* {1 Semaphore} *)
+
+let test_semaphore_mutual_exclusion () =
+  let e = Engine.create () in
+  let s = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Proc.spawn e ~name:"w" (fun () ->
+           Semaphore.with_permit s (fun () ->
+               incr inside;
+               if !inside > !max_inside then max_inside := !inside;
+               Proc.sleep e (ms 1.);
+               decr inside)))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "never two inside" 1 !max_inside;
+  Alcotest.(check int) "all done at 5ms" 5000 (Time.to_us (Engine.now e))
+
+let test_semaphore_release_on_kill () =
+  let e = Engine.create () in
+  let s = Semaphore.create 1 in
+  let p =
+    Proc.spawn e ~name:"holder" (fun () ->
+        Semaphore.with_permit s (fun () -> Proc.sleep e (Time.of_sec 100.)))
+  in
+  let acquired = ref false in
+  ignore
+    (Proc.spawn e ~name:"waiter" (fun () ->
+         Semaphore.acquire s;
+         acquired := true));
+  ignore (Engine.schedule e ~at:(ms 1.) (fun () -> Proc.kill p));
+  Engine.run e;
+  Alcotest.(check bool) "permit recovered" true !acquired
+
+(* {1 Stats} *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.record s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "p50" 3. (Stats.Summary.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.Summary.percentile s 100.);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.) (Stats.Summary.stddev s)
+
+let test_gauge_time_average () =
+  let e = Engine.create () in
+  let g = Stats.Gauge.create e ~initial:0. in
+  ignore (Engine.schedule e ~at:(ms 10.) (fun () -> Stats.Gauge.set g 1.));
+  ignore (Engine.schedule e ~at:(ms 30.) (fun () -> Stats.Gauge.set g 0.));
+  Engine.run e ~until:(ms 40.);
+  (* 1.0 for 20ms out of 40ms. *)
+  Alcotest.(check (float 1e-6)) "time avg" 0.5 (Stats.Gauge.time_average g)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.value c)
+
+(* {1 Tracer} *)
+
+let test_tracer_records () =
+  let e = Engine.create () in
+  let tr = Tracer.create e in
+  ignore
+    (Engine.schedule e ~at:(ms 3.) (fun () ->
+         Tracer.record tr ~category:"x" "hello"));
+  Engine.run e;
+  match Tracer.entries tr with
+  | [ entry ] ->
+      Alcotest.(check string) "msg" "hello" entry.Tracer.message;
+      Alcotest.(check int) "time" 3000 (Time.to_us entry.Tracer.at)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_tracer_disabled () =
+  let e = Engine.create () in
+  let tr = Tracer.create e in
+  Tracer.set_enabled tr false;
+  Tracer.record tr ~category:"x" "dropped";
+  Alcotest.(check int) "no entries" 0 (List.length (Tracer.entries tr))
+
+(* {1 More properties} *)
+
+let prop_engine_fires_in_time_order =
+  QCheck.Test.make ~name:"events fire in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+            (Engine.schedule e ~at:(us t) (fun () -> fired := t :: !fired)))
+        times;
+      Engine.run e;
+      let l = List.rev !fired in
+      List.sort Int.compare l = l && List.length l = List.length times)
+
+let prop_rng_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:100
+    QCheck.(pair (int_bound 1000) (list int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort Int.compare (Array.to_list a) = List.sort Int.compare l)
+
+let prop_rng_uniform_span_in_bounds =
+  QCheck.Test.make ~name:"uniform_span within bounds" ~count:200
+    QCheck.(triple (int_bound 1000) (int_bound 10_000) (int_bound 10_000))
+    (fun (seed, a, b) ->
+      let lo = us (min a b) and hi = us (max a b) in
+      let v = Rng.uniform_span (Rng.create seed) lo hi in
+      Time.(v >= lo) && Time.(v <= hi))
+
+let prop_summary_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.record s) xs;
+      let p25 = Stats.Summary.percentile s 25. in
+      let p50 = Stats.Summary.percentile s 50. in
+      let p75 = Stats.Summary.percentile s 75. in
+      p25 <= p50 && p50 <= p75)
+
+let prop_time_scale_roundtrip =
+  QCheck.Test.make ~name:"scale by 1.0 is identity" ~count:100 QCheck.int
+    (fun n ->
+      let n = n mod 1_000_000_000 in
+      Time.to_us (Time.scale (us n) 1.0) = n)
+
+let test_proc_nested_spawn () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Proc.spawn e ~name:"outer" (fun () ->
+         order := "outer-start" :: !order;
+         let inner =
+           Proc.spawn e ~name:"inner" (fun () ->
+               Proc.sleep e (ms 1.);
+               order := "inner" :: !order)
+         in
+         ignore (Proc.join inner);
+         order := "outer-end" :: !order));
+  Engine.run e;
+  Alcotest.(check (list string)) "nesting"
+    [ "outer-start"; "inner"; "outer-end" ]
+    (List.rev !order)
+
+let test_ivar_peek_states () =
+  let iv = Ivar.create () in
+  Alcotest.(check bool) "empty" false (Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek none" None (Ivar.peek iv);
+  Ivar.fill iv 3;
+  Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek some" (Some 3) (Ivar.peek iv)
+
+let test_semaphore_counters () =
+  let e = Engine.create () in
+  let s = Semaphore.create 2 in
+  Alcotest.(check int) "initial" 2 (Semaphore.available s);
+  ignore
+    (Proc.spawn e ~name:"a" (fun () ->
+         Semaphore.acquire s;
+         Semaphore.acquire s;
+         Alcotest.(check int) "exhausted" 0 (Semaphore.available s);
+         ignore
+           (Proc.spawn e ~name:"b" (fun () ->
+                Alcotest.(check int) "one waiting" 1 (Semaphore.waiting s)
+                |> ignore));
+         ignore
+           (Proc.spawn e ~name:"c" (fun () ->
+                Semaphore.acquire s;
+                Semaphore.release s));
+         Proc.sleep e (ms 5.);
+         Semaphore.release s;
+         Semaphore.release s));
+  Engine.run e
+
+let test_tracer_by_category () =
+  let e = Engine.create () in
+  let tr = Tracer.create e in
+  Tracer.record tr ~category:"a" "one";
+  Tracer.record tr ~category:"b" "two";
+  Tracer.record tr ~category:"a" "three";
+  Alcotest.(check int) "category a" 2 (List.length (Tracer.by_category tr "a"));
+  Tracer.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Tracer.entries tr))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "v_sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_order
+        :: Alcotest.test_case "empty" `Quick test_heap_empty
+        :: Alcotest.test_case "peek" `Quick test_heap_peek
+        :: qcheck [ prop_heap_sorts ] );
+      ( "rng",
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic
+        :: Alcotest.test_case "split independence" `Quick
+             test_rng_split_independent
+        :: Alcotest.test_case "bounds" `Quick test_rng_bounds
+        :: Alcotest.test_case "bool bias" `Quick test_rng_bool_bias
+        :: qcheck [ prop_rng_exponential_positive ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "until skips cancelled" `Quick
+            test_engine_until_skips_cancelled;
+          Alcotest.test_case "rejects past" `Quick test_engine_schedule_past;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_schedule;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "runs" `Quick test_proc_runs;
+          Alcotest.test_case "sleep" `Quick test_proc_sleep_advances_clock;
+          Alcotest.test_case "kill sleeping" `Quick test_proc_kill_sleeping;
+          Alcotest.test_case "kill embryo" `Quick test_proc_kill_embryo;
+          Alcotest.test_case "exception captured" `Quick test_proc_exn_captured;
+          Alcotest.test_case "join" `Quick test_proc_join;
+          Alcotest.test_case "pause defers wake" `Quick
+            test_proc_pause_defers_wake;
+          Alcotest.test_case "unpause before wake" `Quick
+            test_proc_pause_unpause_before_wake;
+          Alcotest.test_case "kill while paused" `Quick
+            test_proc_kill_while_paused;
+          Alcotest.test_case "on_exit" `Quick test_proc_on_exit;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks" `Quick test_ivar_read_blocks;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "multiple readers" `Quick
+            test_ivar_multiple_readers;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "timeout expires" `Quick
+            test_mailbox_timeout_expires;
+          Alcotest.test_case "timeout delivers" `Quick
+            test_mailbox_timeout_delivers;
+          Alcotest.test_case "no lost wakeup" `Quick
+            test_mailbox_timeout_no_lost_wakeup;
+          Alcotest.test_case "drain" `Quick test_mailbox_drain;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick
+            test_semaphore_mutual_exclusion;
+          Alcotest.test_case "release on kill" `Quick
+            test_semaphore_release_on_kill;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "gauge time average" `Quick
+            test_gauge_time_average;
+          Alcotest.test_case "counter" `Quick test_counter;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "records" `Quick test_tracer_records;
+          Alcotest.test_case "disabled" `Quick test_tracer_disabled;
+          Alcotest.test_case "by category / clear" `Quick
+            test_tracer_by_category;
+        ] );
+      ( "more-properties",
+        Alcotest.test_case "nested spawn/join" `Quick test_proc_nested_spawn
+        :: Alcotest.test_case "ivar peek states" `Quick test_ivar_peek_states
+        :: Alcotest.test_case "semaphore counters" `Quick
+             test_semaphore_counters
+        :: qcheck
+             [
+               prop_engine_fires_in_time_order;
+               prop_rng_shuffle_is_permutation;
+               prop_rng_uniform_span_in_bounds;
+               prop_summary_percentile_monotone;
+               prop_time_scale_roundtrip;
+             ] );
+    ]

@@ -1,0 +1,10 @@
+let () =
+  List.iter (fun (name, t) ->
+    let p = Calibrate.fit t in
+    let m = Calibrate.predict p in
+    Printf.printf "%-16s target %6.1f %6.1f %6.1f  model %6.1f %6.1f %6.1f  rms %5.2f  (%s)\n"
+      name t.Calibrate.u02 t.Calibrate.u1 t.Calibrate.u3
+      m.Calibrate.u02 m.Calibrate.u1 m.Calibrate.u3
+      (Calibrate.residual p t)
+      (Format.asprintf "%a" Dirty_model.pp_params p))
+    Programs.table_4_1
