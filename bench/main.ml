@@ -484,6 +484,86 @@ let rebind_ablation () =
      V's logical-host rebinding needs nothing from the old host — the \
      paper's argument against Demos/MP"
 
+let recovery () =
+  banner
+    "A-recovery: destination crash mid-migration (Section 3.1.3: the copy \
+     'fails due to lack of acknowledgement')";
+  (* The program lands on ws1; ws2 is the only willing destination until
+     the fault plan crashes it mid-copy, at which point ws3 (in the retry
+     scenario) opens up. *)
+  let scenario ~label ~retries ~open_alternate =
+    let cfg = { Config.default with Config.migration_retries = retries } in
+    let cl =
+      Cluster.create ~seed:9090 ~workstations:5 ~cfg
+        ~faults:[ Faults.Crash_host { host = "ws2"; at = sec 4.5 } ]
+        ()
+    in
+    let eng = Cluster.engine cl in
+    let accepting i b =
+      Program_manager.set_accepting (Cluster.workstation cl i).Cluster.ws_pm b
+    in
+    List.iter (fun i -> accepting i (i = 1)) [ 0; 1; 2; 3; 4 ];
+    ignore
+      (Engine.schedule eng ~at:(sec 3.5) (fun () ->
+           accepting 1 false;
+           accepting 2 true));
+    if open_alternate then
+      ignore (Engine.schedule eng ~at:(sec 4.5) (fun () -> accepting 3 true));
+    let outcome = ref "did not run" in
+    ignore
+      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
+           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+           match
+             Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+               ~target:Remote_exec.Any
+           with
+           | Error e -> outcome := "exec failed: " ^ e
+           | Ok h -> (
+               Proc.sleep eng (Time.sub (sec 4.) (Engine.now eng));
+               let t0 = Engine.now eng in
+               let stable_pm =
+                 match Cluster.find_workstation cl h.Remote_exec.h_host with
+                 | Some w -> Program_manager.pid w.Cluster.ws_pm
+                 | None -> Ids.program_manager_of h.Remote_exec.h_lh
+               in
+               let migrate =
+                 Kernel.send k ~src:self ~dst:stable_pm
+                   (Message.make
+                      (Protocol.Pm_migrate
+                         {
+                           lh = Some h.Remote_exec.h_lh;
+                           dest = None;
+                           force_destroy = false;
+                           strategy = Protocol.Precopy;
+                         }))
+               in
+               let elapsed = Time.to_sec (Time.sub (Engine.now eng) t0) in
+               let verdict =
+                 match migrate with
+                 | Ok { Message.body = Protocol.Pm_migrated [ o ]; _ } ->
+                     Printf.sprintf "migrated to %s in %.1f s"
+                       o.Protocol.m_dest elapsed
+                 | Ok { Message.body = Protocol.Pm_migrate_failed m; _ } ->
+                     Printf.sprintf "rolled back after %.1f s (%s)" elapsed m
+                 | _ -> "malformed migrate reply"
+               in
+               match Remote_exec.wait k ~self h with
+               | Ok (wall, _) ->
+                   outcome :=
+                     Printf.sprintf "%s; program completed (wall %.1f s)"
+                       verdict (Time.to_sec wall)
+               | Error e -> outcome := verdict ^ "; WAIT FAILED: " ^ e)));
+    Cluster.run cl ~until:(sec 200.);
+    row "  %-28s retries=%d  %s" label retries !outcome
+  in
+  scenario ~label:"abandon (paper's policy)" ~retries:0 ~open_alternate:false;
+  scenario ~label:"retry with reselection" ~retries:2 ~open_alternate:true;
+  row
+    "shape: the acked copy detects the dead destination; with no retries the \
+     frozen host is re-installed and unfrozen at the source, with retries \
+     selection re-runs excluding the crashed host — either way the program \
+     survives"
+
 let internet () =
   banner
     "A-internet: bridged segments (the Section 6 internet direction, first \
@@ -706,6 +786,7 @@ let experiments =
     ("scale", scale);
     ("rebind-ablation", rebind_ablation);
     ("balance-ablation", balance_ablation);
+    ("recovery", recovery);
     ("internet", internet);
     ("bechamel", bechamel);
   ]

@@ -24,6 +24,28 @@ let trace =
   let doc = "Dump the kernel/program-manager trace afterwards." in
   Cmdliner.Arg.(value & flag & info [ "trace" ] ~doc)
 
+let bridged =
+  let doc =
+    "Put the last $(docv) workstations on a second Ethernet segment behind a \
+     store-and-forward bridge."
+  in
+  Cmdliner.Arg.(value & opt int 0 & info [ "bridged" ] ~docv:"N" ~doc)
+
+let faults_conv =
+  Cmdliner.Arg.conv
+    ((fun s -> Result.map_error (fun m -> `Msg m) (Faults.parse s)), Faults.pp_plan)
+
+let faults_arg =
+  let doc =
+    "Fault plan injected into the run: ';'-separated clauses, times in \
+     virtual seconds — $(b,crash:HOST\\@T), $(b,reboot:HOST\\@T), \
+     $(b,loss:P\\@T1-T2), $(b,partition\\@T1-T2) (needs $(b,--bridged)), \
+     $(b,slow:HOSTxF\\@T1-T2). Example: \
+     'loss:0.02\\@0-30;crash:ws2\\@4.5;reboot:ws2\\@9'."
+  in
+  Cmdliner.Arg.(
+    value & opt (some faults_conv) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
 let prog_arg =
   let doc =
     "Program to run; one of the paper's Table 4-1 programs (see $(b,vsim \
@@ -32,17 +54,28 @@ let prog_arg =
   Cmdliner.Arg.(
     required & pos 0 (some string) None & info [] ~docv:"PROG" ~doc)
 
-let make_cluster ~seed ~workstations ~trace =
-  Cluster.create ~seed ~workstations ~trace ()
+let make_cluster ?faults ~seed ~workstations ~bridged ~trace () =
+  (* Plan-vs-topology errors (unknown host, partition without a bridge)
+     only surface when the plan is compiled onto the cluster — report
+     them like any other usage error, not as an uncaught exception. *)
+  try Cluster.create ~seed ~workstations ~bridged ~trace ?faults ()
+  with Invalid_argument msg ->
+    Printf.eprintf "vsim: fault plan: %s\n" msg;
+    exit 124
 
 let dump_trace cl =
   Format.printf "@.trace:@.";
   Tracer.dump Format.std_formatter (Cluster.tracer cl)
 
+let report_faults cl =
+  match Cluster.faults cl with
+  | None -> ()
+  | Some f -> Printf.printf "fault actions fired: %d\n" (Faults.injected f)
+
 (* {1 exec} *)
 
-let exec_cmd seed workstations trace prog at local =
-  let cl = make_cluster ~seed ~workstations ~trace in
+let exec_cmd seed workstations bridged trace faults prog at local reexec =
+  let cl = make_cluster ?faults ~seed ~workstations ~bridged ~trace () in
   let cfg = Cluster.cfg cl in
   let origin = Cluster.workstation cl 0 in
   let env = Cluster.env_for cl origin in
@@ -53,16 +86,20 @@ let exec_cmd seed workstations trace prog at local =
       | Some host -> Remote_exec.Named host
       | None -> Remote_exec.Any
   in
+  let on_host_failure = if reexec then `Reexec 3 else `Fail in
   let failed = ref false in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match Remote_exec.exec k cfg ~self ~env ~prog ~target with
+         match
+           Remote_exec.exec_and_wait ~on_host_failure k cfg ~self ~env ~prog
+             ~target
+         with
          | Error e ->
-             Printf.printf "exec failed: %s\n" e;
+             Printf.printf "run failed: %s\n" e;
              failed := true
-         | Ok h -> (
+         | Ok (h, wall, cpu) ->
              let t = h.Remote_exec.h_timings in
-             Printf.printf "%s running on %s\n" prog h.Remote_exec.h_host;
+             Printf.printf "%s ran on %s\n" prog h.Remote_exec.h_host;
              (match t.Remote_exec.t_select with
              | Some s -> Printf.printf "  selection : %s\n" (Time.to_string s)
              | None -> ());
@@ -70,18 +107,14 @@ let exec_cmd seed workstations trace prog at local =
                (Time.to_string t.Remote_exec.t_setup);
              Printf.printf "  image load: %s\n"
                (Time.to_string t.Remote_exec.t_load);
-             match Remote_exec.wait k ~self h with
-             | Ok (wall, cpu) ->
-                 Printf.printf "completed: wall %s, cpu %s\n"
-                   (Time.to_string wall) (Time.to_string cpu)
-             | Error e ->
-                 Printf.printf "wait failed: %s\n" e;
-                 failed := true)));
+             Printf.printf "completed: wall %s, cpu %s\n" (Time.to_string wall)
+               (Time.to_string cpu)));
   Cluster.run cl ~until:(sec 300.);
   Printf.printf "\n%s's display:\n" (Kernel.host_name origin.Cluster.ws_kernel);
   List.iter
     (fun l -> Printf.printf "  | %s\n" l)
     (Display_server.output origin.Cluster.ws_display);
+  report_faults cl;
   if trace then dump_trace cl;
   if !failed then 1 else 0
 
@@ -100,8 +133,8 @@ let strategy_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
-let migrate_cmd seed workstations trace prog strategy run_for =
-  let cl = make_cluster ~seed ~workstations ~trace in
+let migrate_cmd seed workstations bridged trace faults prog strategy run_for =
+  let cl = make_cluster ?faults ~seed ~workstations ~bridged ~trace () in
   let strategy =
     match strategy with
     | `Precopy -> Protocol.Precopy
@@ -128,13 +161,14 @@ let migrate_cmd seed workstations trace prog strategy run_for =
       Printf.printf "  frozen residue: %d KB; program stopped for %s\n"
         (o.Protocol.m_final_bytes / 1024)
         (Time.to_string (Protocol.freeze_span o)));
+  report_faults cl;
   if trace then dump_trace cl;
   !code
 
 (* {1 usage} *)
 
-let usage_cmd seed workstations minutes rate =
-  let cl = make_cluster ~seed ~workstations ~trace:false in
+let usage_cmd seed workstations faults minutes rate =
+  let cl = make_cluster ?faults ~seed ~workstations ~bridged:0 ~trace:false () in
   let stats =
     Experiment.usage cl
       {
@@ -144,6 +178,7 @@ let usage_cmd seed workstations minutes rate =
       }
   in
   Format.printf "%a@." Experiment.pp_usage stats;
+  report_faults cl;
   0
 
 (* {1 programs} *)
@@ -175,9 +210,19 @@ let exec_t =
   let local =
     Arg.(value & flag & info [ "local" ] ~doc:"Run on the invoking workstation.")
   in
+  let reexec =
+    Arg.(
+      value & flag
+      & info [ "reexec" ]
+          ~doc:
+            "Re-execute the program elsewhere (up to 3 times) if its host \
+             dies under it — at-least-once semantics.")
+  in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a program, by default on any idle workstation (@ *).")
-    Term.(const exec_cmd $ seed $ workstations $ trace $ prog_arg $ at $ local)
+    Term.(
+      const exec_cmd $ seed $ workstations $ bridged $ trace $ faults_arg
+      $ prog_arg $ at $ local $ reexec)
 
 let migrate_t =
   let strategy =
@@ -197,8 +242,8 @@ let migrate_t =
     (Cmd.info "migrate"
        ~doc:"Run a program remotely, then preempt it with migrateprog.")
     Term.(
-      const migrate_cmd $ seed $ workstations $ trace $ prog_arg $ strategy
-      $ run_for)
+      const migrate_cmd $ seed $ workstations $ bridged $ trace $ faults_arg
+      $ prog_arg $ strategy $ run_for)
 
 let usage_t =
   let minutes =
@@ -214,7 +259,7 @@ let usage_t =
   Cmd.v
     (Cmd.info "usage"
        ~doc:"Pool-of-processors scenario: owners, guests, preemptions.")
-    Term.(const usage_cmd $ seed $ workstations $ minutes $ rate)
+    Term.(const usage_cmd $ seed $ workstations $ faults_arg $ minutes $ rate)
 
 let programs_t =
   Cmd.v

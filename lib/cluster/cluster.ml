@@ -2,13 +2,14 @@ type workstation = {
   ws_index : int;
   ws_segment : int;
   ws_kernel : Kernel.t;
-  ws_pm : Program_manager.t;
-  ws_display : Display_server.t;
+  mutable ws_pm : Program_manager.t;
+  mutable ws_display : Display_server.t;
 }
 
 type t = {
   eng : Engine.t;
   c_net : Packet.t Ethernet.t;
+  c_far : Packet.t Ethernet.t; (* == c_net when unbridged *)
   c_cfg : Config.t;
   c_ctx : Context.t;
   c_tracer : Tracer.t;
@@ -16,6 +17,7 @@ type t = {
   c_fs : File_server.t;
   c_ns : Name_server.t;
   stations : workstation array;
+  mutable c_faults : Faults.t option;
 }
 
 let engine t = t.eng
@@ -26,6 +28,7 @@ let tracer t = t.c_tracer
 let rng t = Rng.split t.c_rng
 let file_server t = t.c_fs
 let name_server t = t.c_ns
+let faults t = t.c_faults
 let size t = Array.length t.stations
 let workstation t i = t.stations.(i)
 let workstations t = Array.to_list t.stations
@@ -35,10 +38,60 @@ let find_workstation t name =
     (fun ws -> String.equal (Kernel.host_name ws.ws_kernel) name)
     (workstations t)
 
+(* Wire a fault plan's actions onto this cluster's subsystems. Host
+   names are validated up front so a typo fails at construction, not
+   mid-run. *)
+let install_faults t plan =
+  let ws_of host =
+    match find_workstation t host with
+    | Some ws -> ws
+    | None -> invalid_arg (Printf.sprintf "Cluster: no workstation %S" host)
+  in
+  List.iter
+    (function
+      | Faults.Crash_host { host; _ }
+      | Faults.Reboot_host { host; _ }
+      | Faults.Slow_host { host; _ } ->
+          ignore (ws_of host)
+      | Faults.Loss_window _ -> ()
+      | Faults.Partition_bridge _ ->
+          if t.c_far == t.c_net then
+            invalid_arg "Cluster: partition fault on an unbridged cluster")
+    plan;
+  let base_loss = Ethernet.loss t.c_net in
+  let hooks =
+    {
+      Faults.h_crash = (fun host -> Kernel.shutdown (ws_of host).ws_kernel);
+      h_reboot =
+        (fun host ->
+          let ws = ws_of host in
+          let k = ws.ws_kernel in
+          Kernel.reboot k;
+          (* The machine services died with the crash; a cold boot brings
+             fresh ones up under the preserved well-known pids. *)
+          ws.ws_pm <-
+            Program_manager.create k ~cfg:t.c_cfg ~ctx:t.c_ctx
+              ~rng:(Rng.split t.c_rng);
+          ws.ws_display <- Display_server.create k;
+          Name_server.register_direct t.c_ns
+            ~name:(host ^ ":display")
+            (Display_server.pid ws.ws_display));
+      h_loss = (fun p -> Ethernet.set_loss t.c_net p);
+      h_base_loss = (fun () -> base_loss);
+      h_partition =
+        (fun ~up ->
+          if up then Ethernet.heal_bridge t.c_net t.c_far
+          else Ethernet.sever_bridge t.c_net t.c_far);
+      h_slow =
+        (fun host f -> Cpu.set_slowdown (Kernel.cpu (ws_of host).ws_kernel) f);
+    }
+  in
+  Faults.install t.eng t.c_tracer hooks plan
+
 let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
     ?(bridge_delay = Time.of_ms 2.) ?(memory_bytes = 2 * 1024 * 1024)
     ?(cfg = Config.default) ?(net_config = Ethernet.default_config)
-    ?(trace = false) () =
+    ?(trace = false) ?faults ()  =
   assert (bridged >= 0 && bridged <= workstations);
   let eng = Engine.create () in
   let c_rng = Rng.create seed in
@@ -96,17 +149,25 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
           (Display_server.pid d);
         { ws_index = i; ws_segment = segment; ws_kernel = k; ws_pm = pm; ws_display = d })
   in
-  {
-    eng;
-    c_net;
-    c_cfg = cfg;
-    c_ctx;
-    c_tracer;
-    c_rng;
-    c_fs;
-    c_ns;
-    stations;
-  }
+  let t =
+    {
+      eng;
+      c_net;
+      c_far = far_net;
+      c_cfg = cfg;
+      c_ctx;
+      c_tracer;
+      c_rng;
+      c_fs;
+      c_ns;
+      stations;
+      c_faults = None;
+    }
+  in
+  (match faults with
+  | None -> ()
+  | Some plan -> t.c_faults <- Some (install_faults t plan));
+  t
 
 let env_for t ws =
   Env.make

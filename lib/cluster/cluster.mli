@@ -10,8 +10,10 @@ type workstation = {
   ws_index : int;
   ws_segment : int;  (** 0, or 1 for hosts behind the bridge. *)
   ws_kernel : Kernel.t;
-  ws_pm : Program_manager.t;
-  ws_display : Display_server.t;
+  mutable ws_pm : Program_manager.t;
+      (** Replaced when a fault-plan reboot recreates the machine
+          services. *)
+  mutable ws_display : Display_server.t;  (** Likewise. *)
 }
 
 type t
@@ -25,6 +27,7 @@ val create :
   ?cfg:Config.t ->
   ?net_config:Ethernet.config ->
   ?trace:bool ->
+  ?faults:Faults.plan ->
   unit ->
   t
 (** Build a cluster: one dedicated file-server machine plus
@@ -37,7 +40,13 @@ val create :
     a second Ethernet segment joined to the first by a store-and-forward
     bridge with [bridge_delay] (default 2 ms) per frame — the first step
     toward the internet environment Section 6 leaves as future work. The
-    file server stays on segment 0. *)
+    file server stays on segment 0.
+
+    [faults] compiles a {!Faults.plan} onto the engine: crashes hit
+    workstation kernels, reboots recreate machine services, loss windows
+    apply cluster-wide, partitions sever the bridge, slowdowns scale a
+    host's CPU. Raises [Invalid_argument] for a plan naming an unknown
+    workstation or partitioning an unbridged cluster. *)
 
 val engine : t -> Engine.t
 val net : t -> Packet.t Ethernet.t
@@ -49,6 +58,9 @@ val rng : t -> Rng.t
 
 val file_server : t -> File_server.t
 val name_server : t -> Name_server.t
+
+val faults : t -> Faults.t option
+(** The installed fault plan, if the cluster was created with one. *)
 
 val size : t -> int
 val workstation : t -> int -> workstation

@@ -1,0 +1,193 @@
+type event =
+  | Crash_host of { host : string; at : Time.t }
+  | Reboot_host of { host : string; at : Time.t }
+  | Loss_window of { p : float; start : Time.t; stop : Time.t }
+  | Partition_bridge of { start : Time.t; stop : Time.t }
+  | Slow_host of { host : string; factor : float; start : Time.t; stop : Time.t }
+
+type plan = event list
+
+let pp_event ppf = function
+  | Crash_host { host; at } ->
+      Format.fprintf ppf "crash %s at %s" host (Time.to_string at)
+  | Reboot_host { host; at } ->
+      Format.fprintf ppf "reboot %s at %s" host (Time.to_string at)
+  | Loss_window { p; start; stop } ->
+      Format.fprintf ppf "loss %.4f over %s-%s" p (Time.to_string start)
+        (Time.to_string stop)
+  | Partition_bridge { start; stop } ->
+      Format.fprintf ppf "partition over %s-%s" (Time.to_string start)
+        (Time.to_string stop)
+  | Slow_host { host; factor; start; stop } ->
+      Format.fprintf ppf "slow %s x%.1f over %s-%s" host factor
+        (Time.to_string start) (Time.to_string stop)
+
+let pp_plan ppf plan =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+    pp_event ppf plan
+
+(* {2 Parsing}
+
+   One event per ';'-separated clause, times in (virtual) seconds:
+
+     crash:ws2@4.5        reboot:ws2@9
+     loss:0.02@2-10       partition@3-6        slow:ws1x4@0-20 *)
+
+let parse_err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let float_of spec s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Ok f
+  | None -> parse_err "fault %S: %S is not a number" spec s
+
+let span2 spec s =
+  match String.split_on_char '-' (String.trim s) with
+  | [ a; b ] ->
+      Result.bind (float_of spec a) (fun start ->
+          Result.bind (float_of spec b) (fun stop ->
+              if stop <= start then
+                parse_err "fault %S: window %s is empty" spec s
+              else Ok (Time.of_sec start, Time.of_sec stop)))
+  | _ -> parse_err "fault %S: expected T1-T2, got %S" spec s
+
+let parse_clause spec =
+  let kind, arg =
+    (* A clause is KIND:ARG, except 'partition@T1-T2' has no colon — split
+       on whichever of ':' / '@' comes first. *)
+    let cut i = (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1)) in
+    match (String.index_opt spec ':', String.index_opt spec '@') with
+    | Some i, Some j when j < i -> cut j
+    | Some i, _ -> cut i
+    | None, Some j -> cut j
+    | None, None -> (spec, "")
+  in
+  let host_at verb k =
+    match String.split_on_char '@' arg with
+    | [ host; at ] when String.trim host <> "" ->
+        Result.map
+          (fun t -> k (String.trim host) (Time.of_sec t))
+          (float_of spec at)
+    | _ -> parse_err "fault %S: expected %s:HOST@T" spec verb
+  in
+  match String.trim kind with
+  | "crash" -> host_at "crash" (fun host at -> Crash_host { host; at })
+  | "reboot" -> host_at "reboot" (fun host at -> Reboot_host { host; at })
+  | "loss" -> (
+      match String.split_on_char '@' arg with
+      | [ p; w ] ->
+          Result.bind (float_of spec p) (fun p ->
+              if p < 0. || p > 1. then
+                parse_err "fault %S: loss probability %g out of [0,1]" spec p
+              else
+                Result.map
+                  (fun (start, stop) -> Loss_window { p; start; stop })
+                  (span2 spec w))
+      | _ -> parse_err "fault %S: expected loss:P@T1-T2" spec)
+  | "partition" -> (
+      (* Both 'partition@T1-T2' and 'partition:T1-T2'. *)
+      match span2 spec arg with
+      | Ok (start, stop) -> Ok (Partition_bridge { start; stop })
+      | Error _ -> parse_err "fault %S: expected partition@T1-T2" spec)
+  | "slow" -> (
+      match String.split_on_char '@' arg with
+      | [ hf; w ] -> (
+          match String.rindex_opt hf 'x' with
+          | Some i ->
+              let host = String.trim (String.sub hf 0 i) in
+              let f = String.sub hf (i + 1) (String.length hf - i - 1) in
+              Result.bind (float_of spec f) (fun factor ->
+                  if factor < 1. then
+                    parse_err "fault %S: slowdown factor %g < 1" spec factor
+                  else if host = "" then
+                    parse_err "fault %S: missing host" spec
+                  else
+                    Result.map
+                      (fun (start, stop) ->
+                        Slow_host { host; factor; start; stop })
+                      (span2 spec w))
+          | None -> parse_err "fault %S: expected slow:HOSTxF@T1-T2" spec)
+      | _ -> parse_err "fault %S: expected slow:HOSTxF@T1-T2" spec)
+  | k -> parse_err "fault %S: unknown kind %S" spec k
+
+let parse s =
+  let clauses =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  if clauses = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc c ->
+        Result.bind acc (fun evs ->
+            Result.map (fun e -> e :: evs) (parse_clause c)))
+      (Ok []) clauses
+    |> Result.map List.rev
+
+(* {2 Installation}
+
+   The plan is compiled onto the engine as ordinary scheduled events.
+   Faults cannot depend on the cluster (the cluster depends on faults to
+   accept a plan at creation), so each action is a callback the cluster
+   wires to the right subsystem. *)
+
+type hooks = {
+  h_crash : string -> unit;
+  h_reboot : string -> unit;
+  h_loss : float -> unit;  (** Set the cluster-wide frame-loss probability. *)
+  h_base_loss : unit -> float;
+      (** The probability to restore when a loss window closes. *)
+  h_partition : up:bool -> unit;
+      (** Sever ([up:false]) or heal ([up:true]) the inter-segment bridge. *)
+  h_slow : string -> float -> unit;
+}
+
+type t = { mutable injected : int }
+
+let injected t = t.injected
+
+let install eng trc hooks plan =
+  let t = { injected = 0 } in
+  let fire fmt =
+    Format.kasprintf
+      (fun m ->
+        t.injected <- t.injected + 1;
+        Tracer.record trc ~category:"fault" m)
+      fmt
+  in
+  let at when_ f = ignore (Engine.schedule eng ~at:when_ f) in
+  List.iter
+    (function
+      | Crash_host { host; at = when_ } ->
+          at when_ (fun () ->
+              fire "crash %s" host;
+              hooks.h_crash host)
+      | Reboot_host { host; at = when_ } ->
+          at when_ (fun () ->
+              fire "reboot %s" host;
+              hooks.h_reboot host)
+      | Loss_window { p; start; stop } ->
+          at start (fun () ->
+              fire "loss window opens: p=%.4f" p;
+              hooks.h_loss p);
+          at stop (fun () ->
+              let base = hooks.h_base_loss () in
+              fire "loss window closes: p=%.4f" base;
+              hooks.h_loss base)
+      | Partition_bridge { start; stop } ->
+          at start (fun () ->
+              fire "bridge severed";
+              hooks.h_partition ~up:false);
+          at stop (fun () ->
+              fire "bridge healed";
+              hooks.h_partition ~up:true)
+      | Slow_host { host; factor; start; stop } ->
+          at start (fun () ->
+              fire "slow %s x%.1f" host factor;
+              hooks.h_slow host factor);
+          at stop (fun () ->
+              fire "slow %s ends" host;
+              hooks.h_slow host 1.0))
+    plan;
+  t

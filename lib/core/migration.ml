@@ -99,7 +99,10 @@ let cancel_reservation_best_effort kernel ~self ~pm ~temp_lh =
     (Kernel.send kernel ~src:self ~dst:pm
        (Message.make (Protocol.Pm_cancel_reserve { temp_lh })))
 
-let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
+(* One pass of the five-step protocol. Besides the outcome, report which
+   destination was tried (None if failure struck before selection), so a
+   retry can exclude it when re-running host selection. *)
+let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
   let eng = Kernel.engine kernel in
   let trace fmt =
     Tracer.recordf (Kernel.tracer kernel) ~category:"migrate" fmt
@@ -122,11 +125,11 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
     | None ->
         Result.map_error
           (fun m -> No_host m)
-          (Scheduler.select_any ~exclude:my_host kernel cfg ~self
+          (Scheduler.select_any ~exclude:(my_host :: exclude) kernel cfg ~self
              ~bytes:(Logical_host.total_bytes lh))
   in
   match dest with
-  | Error e -> finish_with (Error e)
+  | Error e -> finish_with (Error (e, None))
   | Ok dest -> (
       trace "step 1: %s (%a) will take %a" dest.Scheduler.s_host Ids.pp_pid
         dest.Scheduler.s_pm Ids.pp_lh lh_id;
@@ -152,7 +155,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
               (* Nothing was frozen yet; just drop the reservation. *)
               cancel_reservation_best_effort kernel ~self
                 ~pm:dest.Scheduler.s_pm ~temp_lh;
-              finish_with (Error e)
+              finish_with (Error (e, Some dest.Scheduler.s_host))
           | Ok rounds -> (
               List.iteri
                 (fun i r ->
@@ -231,7 +234,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
                   (* Destination reneged: resurrect the old copy. *)
                   ignore (Kernel.install_lh kernel state);
                   Kernel.unfreeze_lh kernel lh;
-                  finish_with (Error (Refused m))
+                  finish_with (Error (Refused m, Some dest.Scheduler.s_host))
               | Ok _ | Error _ ->
                   (* Destination unreachable: "we assume that the new
                      host failed and that the logical host has not been
@@ -239,14 +242,20 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () =
                   ignore (Kernel.install_lh kernel state);
                   Kernel.unfreeze_lh kernel lh;
                   finish_with
-                    (Error (Transfer_failed "no acknowledgement of install"))))
+                    (Error
+                       ( Transfer_failed "no acknowledgement of install",
+                         Some dest.Scheduler.s_host ))))
       | Ok { Message.body = Protocol.Pm_refused m; _ } ->
-          finish_with (Error (Refused m))
-      | Ok _ -> finish_with (Error (Refused "malformed reservation reply"))
+          finish_with (Error (Refused m, Some dest.Scheduler.s_host))
+      | Ok _ ->
+          finish_with
+            (Error
+               (Refused "malformed reservation reply", Some dest.Scheduler.s_host))
       | Error e ->
           finish_with
             (Error
-               (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e))))
+               ( Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e),
+                 Some dest.Scheduler.s_host )))
 
 let migrate ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
   ignore rng;
@@ -256,13 +265,28 @@ let migrate ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
        programs are equally off the table. *)
     Error (Refused "program is not running")
   else
-  (* Retries re-run selection, so they only apply when the destination is
-     ours to choose; the paper's implementation uses zero retries. *)
-  let rec loop n =
-    match attempt ~kernel ~cfg ~table ~self ~program ?dest ~strategy () with
-    | Error (Transfer_failed _ as e) ->
-        if dest = None && n < cfg.Config.migration_retries then loop (n + 1)
+  (* Retries re-run selection — excluding every destination that already
+     failed, so a crashed (but still advertised) host is never picked
+     twice — and only apply when the destination is ours to choose; the
+     paper's implementation uses zero retries. *)
+  let rec loop n failed =
+    match attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude:failed
+            ~strategy ()
+    with
+    | Error ((Transfer_failed _ as e), tried) ->
+        if dest = None && n < cfg.Config.migration_retries then begin
+          let failed =
+            match tried with Some h -> h :: failed | None -> failed
+          in
+          Tracer.recordf (Kernel.tracer kernel) ~category:"migrate"
+            "retry %d/%d%s" (n + 1) cfg.Config.migration_retries
+            (match tried with
+            | Some h -> Printf.sprintf " (excluding %s)" h
+            | None -> "");
+          loop (n + 1) failed
+        end
         else Error e
-    | r -> r
+    | Error (e, _) -> Error e
+    | Ok r -> Ok r
   in
-  loop 0
+  loop 0 []

@@ -19,6 +19,9 @@
     transfer steps; the logical host is then re-installed and unfrozen
     locally, and the attempt abandoned or retried per
     {!Config.migration_retries} (the paper gives up after one attempt).
+    A retry re-runs host selection with every already-failed destination
+    excluded, so a crashed host that is still being advertised by stale
+    bindings cannot be picked twice.
 
     Alternative strategies exist for the benches: [Freeze_and_copy] is
     the naive scheme the paper argues against (freeze for the entire

@@ -267,11 +267,7 @@ let serve t d =
   let k = t.pm_kernel in
   match (d : Delivery.t).Delivery.msg.Message.body with
   | Protocol.Pm_query_candidates { bytes; exclude } ->
-      let excluded =
-        match exclude with
-        | Some h -> String.equal h (Kernel.host_name k)
-        | None -> false
-      in
+      let excluded = List.mem (Kernel.host_name k) exclude in
       if (not excluded) && willing t ~bytes then answer_candidate t d
       else t.refused <- t.refused + 1
   | Protocol.Pm_query_host { host } ->

@@ -37,7 +37,7 @@ let strategy_name = function
   | Vm_flush _ -> "vm-flush"
 
 type Message.body +=
-  | Pm_query_candidates of { bytes : int; exclude : string option }
+  | Pm_query_candidates of { bytes : int; exclude : string list }
   | Pm_query_host of { host : string }
   | Pm_candidate of { host : string; free_memory : int; guests : int }
   | Pm_create_program of {

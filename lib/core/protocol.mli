@@ -56,10 +56,12 @@ val strategy_name : strategy -> string
 (** {1 Program-manager messages} *)
 
 type Message.body +=
-  | Pm_query_candidates of { bytes : int; exclude : string option }
+  | Pm_query_candidates of { bytes : int; exclude : string list }
       (** Multicast to the PM group: who can take a program needing
-          [bytes] of memory? Unwilling hosts stay silent; [exclude] stops
-          the querying host answering itself during migration. *)
+          [bytes] of memory? Unwilling hosts stay silent; [exclude] lists
+          hosts that must not answer — the querying host itself during
+          migration, plus destinations that already failed when a retry
+          re-runs selection. *)
   | Pm_query_host of { host : string }
       (** "[prog @ machine]": only the named host answers. *)
   | Pm_candidate of { host : string; free_memory : int; guests : int }

@@ -132,10 +132,31 @@ let resume k ~self handle =
 let destroy k ~self handle =
   manage k ~self handle (Protocol.Pm_destroy { lh = handle.h_lh })
 
-let exec_and_wait k cfg ~self ~env ~prog ~target =
+(* Wait errors that mean the program's host died under it (as opposed to
+   the program itself failing): the send machine gave up reaching any
+   manager through the program's logical-host id, or a rebooted manager
+   answered but has never heard of the program. *)
+let host_failure_error = function
+  | "no-response" | "no such program" -> true
+  | _ -> false
+
+let rec exec_and_wait ?(on_host_failure = `Fail) k cfg ~self ~env ~prog ~target
+    =
   match exec k cfg ~self ~env ~prog ~target with
   | Error e -> Error e
   | Ok handle -> (
       match wait k ~self handle with
       | Ok (wall, cpu) -> Ok (handle, wall, cpu)
-      | Error e -> Error e)
+      | Error e -> (
+          match on_host_failure with
+          | `Reexec attempts when host_failure_error e && attempts > 0 ->
+              (* At-least-once semantics: the program is re-run from
+                 scratch somewhere else. Callers opting in must tolerate
+                 re-execution of side effects. *)
+              Tracer.recordf (Kernel.tracer k) ~category:"exec"
+                "%s lost on %s (%s); re-executing (%d attempts left)" prog
+                handle.h_host e (attempts - 1);
+              exec_and_wait
+                ~on_host_failure:(`Reexec (attempts - 1))
+                k cfg ~self ~env ~prog ~target
+          | `Reexec _ | `Fail -> Error e))

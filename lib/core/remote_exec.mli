@@ -52,6 +52,7 @@ val wait :
     program's current host via the binding machinery. *)
 
 val exec_and_wait :
+  ?on_host_failure:[ `Fail | `Reexec of int ] ->
   Kernel.t ->
   Config.t ->
   self:Ids.pid ->
@@ -59,6 +60,15 @@ val exec_and_wait :
   prog:string ->
   target:target ->
   (handle * Time.span * Time.span, string) result
+(** [exec] then [wait]. [on_host_failure] decides what happens when the
+    wait fails because the program's host died under it (the send gave
+    up, or a rebooted manager no longer knows the program): [`Fail] (the
+    default) surfaces the error; [`Reexec n] re-runs the program from
+    scratch — re-selecting a host when [target = Any] — up to [n] more
+    times. Re-execution gives at-least-once semantics: a program that
+    ran partially before the crash runs again, so opt in only for
+    idempotent work. Errors that indicate the program itself failed are
+    never retried. *)
 
 (** {1 Program management}
 

@@ -19,7 +19,7 @@ let selection_of_reply ~asked_at eng (pm, (m : Message.t)) =
         }
   | _ -> None
 
-let select_any ?exclude k (cfg : Config.t) ~self ~bytes =
+let select_any ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in
   let c =
@@ -47,7 +47,7 @@ let select_host k (cfg : Config.t) ~self ~host =
       | Some s -> Ok s
       | None -> Error "malformed candidate reply")
 
-let candidates ?exclude k (cfg : Config.t) ~self ~bytes ~window =
+let candidates ?(exclude = []) k (cfg : Config.t) ~self ~bytes ~window =
   ignore cfg;
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in

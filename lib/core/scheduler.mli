@@ -19,16 +19,17 @@ type selection = {
 }
 
 val select_any :
-  ?exclude:string ->
+  ?exclude:string list ->
   Kernel.t ->
   Config.t ->
   self:Ids.pid ->
   bytes:int ->
   (selection, string) result
 (** "[@ *]": multicast to the program-manager group, take the first
-    responder. [exclude] omits a host (a migrating program must not pick
-    its own workstation). Blocking; errors if nobody volunteers within
-    the configured timeout. *)
+    responder. [exclude] omits hosts (a migrating program must not pick
+    its own workstation, and a retry must not re-pick a destination
+    that just failed). Blocking; errors if nobody volunteers within the
+    configured timeout. *)
 
 val select_host :
   Kernel.t -> Config.t -> self:Ids.pid -> host:string ->
@@ -36,7 +37,7 @@ val select_host :
 (** "[@ machine]": only the named host may answer. *)
 
 val candidates :
-  ?exclude:string ->
+  ?exclude:string list ->
   Kernel.t ->
   Config.t ->
   self:Ids.pid ->

@@ -23,13 +23,15 @@ type 'p station = {
   mutable live : bool;
 }
 
+and 'p link = { lk_peer : 'p t; lk_delay : Time.span; mutable lk_up : bool }
+
 and 'p t = {
   eng : Engine.t;
   rng : Rng.t;
   mutable cfg : config;
   stations : (int, 'p station) Hashtbl.t;
   mutable busy_until : Time.t;
-  mutable peers : ('p t * Time.span) list; (* bridged segments *)
+  mutable peers : 'p link list; (* bridged segments *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -52,7 +54,15 @@ let create ?(config = default_config) eng rng =
 
 let engine t = t.eng
 let config t = t.cfg
-let set_loss t p = t.cfg <- { t.cfg with loss_probability = p }
+let set_loss_local t p = t.cfg <- { t.cfg with loss_probability = p }
+let loss t = t.cfg.loss_probability
+
+(* Loss windows are a cluster-wide weather condition: apply to this
+   segment and every directly bridged one, so a fault plan's loss window
+   behaves uniformly on multi-segment clusters. *)
+let set_loss t p =
+  set_loss_local t p;
+  List.iter (fun l -> set_loss_local l.lk_peer p) t.peers
 
 let attach t addr rx =
   let key = Addr.to_int addr in
@@ -115,18 +125,31 @@ let recipients t (frame : 'p Frame.t) =
   | Frame.Multicast g -> List.filter (fun s -> List.mem g s.groups) (all ())
 
 let bridge a b ~forward_delay =
-  a.peers <- (b, forward_delay) :: a.peers;
-  b.peers <- (a, forward_delay) :: b.peers
+  a.peers <- { lk_peer = b; lk_delay = forward_delay; lk_up = true } :: a.peers;
+  b.peers <- { lk_peer = a; lk_delay = forward_delay; lk_up = true } :: b.peers
+
+let set_link a b up =
+  let flip t other =
+    List.iter (fun l -> if l.lk_peer == other then l.lk_up <- up) t.peers
+  in
+  flip a b;
+  flip b a
+
+let sever_bridge a b = set_link a b false
+let heal_bridge a b = set_link a b true
+
+let bridge_up a b =
+  List.exists (fun l -> l.lk_peer == b && l.lk_up) a.peers
 
 let locate t addr =
   if Hashtbl.mem t.stations (Addr.to_int addr) then `Local
   else
     match
       List.find_opt
-        (fun (p, _) -> Hashtbl.mem p.stations (Addr.to_int addr))
+        (fun l -> l.lk_up && Hashtbl.mem l.lk_peer.stations (Addr.to_int addr))
         t.peers
     with
-    | Some (p, d) -> `Peer (p, d)
+    | Some l -> `Peer (l.lk_peer, l.lk_delay)
     | None -> `Unknown
 
 (* Should this frame be relayed onto a peer segment? Unicasts cross only
@@ -164,12 +187,16 @@ let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
        the frame has cleared this wire plus the bridge delay. *)
     if not forwarded then
       List.iter
-        (fun (peer, delay) ->
-          if crosses_to t peer frame then
+        (fun l ->
+          (* The link state is sampled when the frame reaches the bridge:
+             a frame in flight when the partition starts is lost, exactly
+             like a frame on a real severed wire. *)
+          if crosses_to t l.lk_peer frame then
             ignore
               (Engine.schedule t.eng
-                 ~at:(Time.add deliver_at delay)
-                 (fun () -> send_on ~forwarded:true peer frame)))
+                 ~at:(Time.add deliver_at l.lk_delay)
+                 (fun () ->
+                   if l.lk_up then send_on ~forwarded:true l.lk_peer frame)))
         t.peers
   end
 

@@ -33,7 +33,16 @@ val engine : 'p t -> Engine.t
 val config : 'p t -> config
 
 val set_loss : 'p t -> float -> unit
-(** Change the loss probability mid-run (failure-injection tests). *)
+(** Change the loss probability mid-run (failure injection). Applies to
+    this segment {e and} every directly bridged peer segment, so a
+    cluster-wide loss window behaves uniformly; use {!set_loss_local} for
+    per-segment weather. *)
+
+val set_loss_local : 'p t -> float -> unit
+(** Change the loss probability of this segment only. *)
+
+val loss : 'p t -> float
+(** This segment's current loss probability. *)
 
 val attach : 'p t -> Addr.t -> ('p Frame.t -> unit) -> 'p station
 (** [attach t addr rx] connects a station; [rx] runs at delivery time for
@@ -72,6 +81,20 @@ val bridge : 'p t -> 'p t -> forward_delay:Time.span -> unit
 (** Join two segments bidirectionally. Only a single bridge hop is
     supported (frames are never re-forwarded), i.e. topologies are stars
     of at most two segments per path. *)
+
+val sever_bridge : 'p t -> 'p t -> unit
+(** Take the bridge between two segments down (network partition): no
+    frames cross in either direction until {!heal_bridge}. Frames already
+    queued at the bridge when it goes down are dropped. Unbridged pairs
+    are a no-op. *)
+
+val heal_bridge : 'p t -> 'p t -> unit
+(** Bring a severed bridge back up. Senders re-establish contact through
+    the normal retransmission / [Where_is] machinery — the bridge itself
+    holds no state to recover. *)
+
+val bridge_up : 'p t -> 'p t -> bool
+(** Whether a live bridge currently joins the two segments. *)
 
 val locate : 'p t -> Addr.t -> [ `Local | `Peer of 'p t * Time.span | `Unknown ]
 (** Where a station lives relative to this segment — [`Peer] carries the

@@ -9,6 +9,7 @@ type t = {
   bg : entry Queue.t;
   mutable holder : int option; (* owner tag of the running request *)
   mutable drain_waiters : (int * (unit -> unit)) list;
+  mutable slow : float; (* wall time per unit of work; 1.0 = nominal *)
   busy : Stats.Gauge.t;
   fg_busy : Stats.Gauge.t;
 }
@@ -21,9 +22,16 @@ let create eng ~quantum =
     bg = Queue.create ();
     holder = None;
     drain_waiters = [];
+    slow = 1.0;
     busy = Stats.Gauge.create eng ~initial:0.;
     fg_busy = Stats.Gauge.create eng ~initial:0.;
   }
+
+let set_slowdown t f =
+  if f < 1.0 then invalid_arg "Cpu.set_slowdown: factor must be >= 1";
+  t.slow <- f
+
+let slowdown t = t.slow
 
 let queue_length t =
   Queue.length t.fg + Queue.length t.bg + if Option.is_some t.holder then 1 else 0
@@ -102,7 +110,10 @@ let compute_sliced ?(owner = 0) ?(gate = fun () -> ())
           if priority = Foreground then Stats.Gauge.set t.fg_busy 1.
         end;
         let slice = Time.min t.quantum !remaining in
-        Proc.sleep t.eng slice;
+        (* A straggling host stretches the wall time of each slice; the
+           work accomplished (and pages dirtied) per slice is unchanged. *)
+        Proc.sleep t.eng
+          (if t.slow = 1.0 then slice else Time.scale slice t.slow);
         remaining := Time.sub !remaining slice;
         (* Account the slice's effects (page dirtying) before any
            release, so a freeze draining the CPU cannot snapshot between

@@ -53,6 +53,16 @@ val compute_sliced :
     workloads dirty pages in proportion to CPU actually received, ordered
     so that a freeze draining the CPU observes the dirtying. *)
 
+val set_slowdown : t -> float -> unit
+(** [set_slowdown t f] makes every subsequent quantum of work take [f]
+    times as long in wall time (work accomplished per slice, and hence
+    page dirtying, is unchanged) — the straggler injection hook of the
+    fault plans. [f = 1.0] restores nominal speed; [f < 1.0] raises
+    [Invalid_argument]. Takes effect from the next scheduled slice. *)
+
+val slowdown : t -> float
+(** The current slowdown factor (1.0 when nominal). *)
+
 val wait_clear : t -> owner:int -> unit
 (** Block until no request tagged [owner] holds the CPU. Freezing a
     logical host drains its member currently on the CPU this way before

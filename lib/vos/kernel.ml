@@ -25,6 +25,14 @@ type collector = {
   c_mailbox : (Ids.pid * Message.t) Mailbox.t;
 }
 
+(* A migration destination's promise of memory for an incoming logical
+   host. [r_expires] is pushed forward by every request addressed through
+   the reserved id; if the source crashes mid-pre-copy the clock runs out
+   and the memory is released (nothing in the paper's protocol tells the
+   destination the source died — the TTL is the destination's own
+   recovery). *)
+type reservation = { r_bytes : int; mutable r_expires : Time.t }
+
 type t = {
   eng : Engine.t;
   krng : Rng.t;
@@ -44,7 +52,7 @@ type t = {
   outstanding : (Packet.txn, osend) Hashtbl.t;
   group_outstanding : (Packet.txn, (Ids.pid * Message.t) Mailbox.t) Hashtbl.t;
   groups : (Ids.pid, Vproc.t list) Hashtbl.t;
-  reservations : (Ids.lh_id, int) Hashtbl.t;
+  reservations : (Ids.lh_id, reservation) Hashtbl.t;
   forwards : (Ids.lh_id, Addr.t) Hashtbl.t;
       (* Demos/MP-ablation mode only: where a departed logical host went *)
   stats : (string, int ref) Hashtbl.t;
@@ -94,8 +102,13 @@ let memory_free t =
   let resident =
     Hashtbl.fold (fun _ lh acc -> acc + Logical_host.total_bytes lh) t.lh_table 0
   in
-  let reserved = Hashtbl.fold (fun _ b acc -> acc + b) t.reservations 0 in
+  let reserved =
+    Hashtbl.fold (fun _ r acc -> acc + r.r_bytes) t.reservations 0
+  in
   t.mem_bytes - resident - reserved
+
+let reservation_count t = Hashtbl.length t.reservations
+let forward_count t = Hashtbl.length t.forwards
 
 let logical_hosts t =
   Hashtbl.fold (fun _ lh acc -> lh :: acc) t.lh_table []
@@ -185,7 +198,19 @@ type delivery_outcome =
   | Already_replied of Message.t
   | No_target
 
+(* Any request addressed through a reserved logical-host id proves its
+   source is still alive and pushes the reservation's expiry forward —
+   each pre-copy round's acknowledgement ping does exactly this, so a
+   healthy migration never times out. *)
+let touch_reservation t lh_id =
+  match Hashtbl.find_opt t.reservations lh_id with
+  | Some r when Time.(t.prm.Os_params.reservation_ttl > Time.zero) ->
+      r.r_expires <-
+        Time.add (Engine.now t.eng) t.prm.Os_params.reservation_ttl
+  | Some _ | None -> ()
+
 let deliver_request t ~src ~dst ~txn ~msg ~origin =
+  touch_reservation t dst.Ids.lh;
   match inbound_home t dst with
   | None -> No_target
   | Some home -> (
@@ -264,10 +289,20 @@ let rec osend_attempt t os =
           os.os_attempts_since_heard > t.prm.Os_params.retries_before_query
           && t.prm.Os_params.rebind = Os_params.Broadcast_query
         then invalidate_binding t dst.Ids.lh;
+        (* Exponential backoff: each consecutive unanswered attempt
+           widens the interval (capped); any reply or reply-pending
+           resets [os_attempts_since_heard] and thus the interval. *)
+        let interval =
+          let p = t.prm in
+          let base = p.Os_params.retransmit_interval in
+          if p.Os_params.retransmit_backoff <= 1.0 then base
+          else
+            let n = max 0 (os.os_attempts_since_heard - 1) in
+            Time.min p.Os_params.retransmit_cap
+              (Time.scale base (p.Os_params.retransmit_backoff ** float_of_int n))
+        in
         os.os_timer <-
-          Some
-            (Engine.schedule_after t.eng t.prm.Os_params.retransmit_interval
-               (fun () -> osend_attempt t os))
+          Some (Engine.schedule_after t.eng interval (fun () -> osend_attempt t os))
       end
     end
   end
@@ -713,9 +748,37 @@ let extract_lh t lh =
   trace t "extracted %a" Ids.pp_lh id;
   { st_lh = lh; st_osends = !moved }
 
+(* Re-arming expiry timer: fires at the recorded deadline; if traffic
+   refreshed [r_expires] in the meantime, re-arm for the new deadline
+   instead of expiring. The closure holds only the id, so a reservation
+   consumed by install (or wiped by a crash) makes the timer a no-op. *)
+let rec arm_reservation_timer t id =
+  match Hashtbl.find_opt t.reservations id with
+  | None -> ()
+  | Some r ->
+      ignore
+        (Engine.schedule t.eng ~at:r.r_expires (fun () ->
+             match Hashtbl.find_opt t.reservations id with
+             | None -> ()
+             | Some r ->
+                 if Time.(r.r_expires <= Engine.now t.eng) then begin
+                   Hashtbl.remove t.reservations id;
+                   bump t "reservations_expired";
+                   trace t "reservation %a expired, released %d bytes"
+                     Ids.pp_lh id r.r_bytes
+                 end
+                 else arm_reservation_timer t id))
+
 let reserve_lh t ~temp_lh ~bytes =
   if memory_free t >= bytes then begin
-    Hashtbl.replace t.reservations temp_lh bytes;
+    let ttl = t.prm.Os_params.reservation_ttl in
+    let live_ttl = Time.(ttl > Time.zero) in
+    let expires =
+      if live_ttl then Time.add (Engine.now t.eng) ttl else Time.zero
+    in
+    Hashtbl.replace t.reservations temp_lh
+      { r_bytes = bytes; r_expires = expires };
+    if live_ttl then arm_reservation_timer t temp_lh;
     true
   end
   else false
@@ -758,7 +821,9 @@ let ks_body t vp =
         Logical_host.defer_op lh d
     | _ -> (
         match d.Delivery.msg.Message.body with
-        | Ks_ping -> reply t d (Message.make Ks_pong)
+        | Ks_ping ->
+            bump t "ks_pings";
+            reply t d (Message.make Ks_pong)
         | Ks_query_load ->
             reply t d
               (Message.make
@@ -844,4 +909,32 @@ let shutdown t =
   Hashtbl.reset t.lh_table;
   Hashtbl.iter (fun _ os -> Option.iter Engine.cancel os.os_timer) t.outstanding;
   Hashtbl.reset t.outstanding;
+  (* Everything else the kernel keeps is RAM, lost with the crash:
+     bindings, reply retention, reservations (so no spurious
+     "reservations_expired" ticks from a dead destination), forwarding
+     addresses (the Demos/MP ablation's Section 5 failure mode), group
+     memberships. *)
+  Hashtbl.reset t.bindings;
+  Hashtbl.reset t.group_outstanding;
+  Hashtbl.reset t.groups;
+  Hashtbl.reset t.reservations;
+  Hashtbl.reset t.forwards;
+  Hashtbl.reset t.sys_procs;
+  Hashtbl.reset (Logical_host.inbound t.the_host_lh);
   trace t "shut down"
+
+let reboot t =
+  if t.stn <> None then invalid_arg "Kernel.reboot: kernel is running";
+  (* Cold boot on the same station: the host logical host keeps its id
+     (so the well-known kernel-server / program-manager pids remain
+     valid), but every logical host that lived here and all volatile
+     kernel state are gone — correspondents must rebind via the paper's
+     query protocol. The caller recreates the machine's services. *)
+  Hashtbl.replace t.lh_table (Logical_host.id t.the_host_lh) t.the_host_lh;
+  t.stn <-
+    Some (Ethernet.attach t.net t.self (fun frame -> handle_frame t frame));
+  ignore
+    (system_process t ~index:Ids.kernel_server_index ~name:(t.name ^ ":ks")
+       (ks_body t));
+  bump t "reboots";
+  trace t "rebooted"

@@ -58,9 +58,20 @@ val create :
     bounding what programs and reservations it can accommodate. *)
 
 val shutdown : t -> unit
-(** Crash/reboot the workstation: detach from the network and kill every
-    process. Used by failure-injection tests — a migration destination
-    dying mid-transfer must leave the source able to recover. *)
+(** Crash the workstation: detach from the network, kill every resident
+    process, and discard all volatile kernel state — binding cache,
+    retained replies, reservations, forwarding addresses, group
+    memberships. Used by fault injection — a migration destination dying
+    mid-transfer must leave the source able to recover. *)
+
+val reboot : t -> unit
+(** Cold-boot a previously {!shutdown} kernel on the same station. The
+    host logical host keeps its id (so well-known kernel-server and
+    program-manager pids stay valid) but comes back empty: every guest
+    it hosted is gone, and correspondents rebind via [Where_is]. The
+    kernel-server process is restarted; the caller must recreate
+    machine services (program manager, servers). Raises
+    [Invalid_argument] if the kernel is still running. *)
 
 (** {1 Accessors} *)
 
@@ -210,9 +221,23 @@ val reserve_lh : t -> temp_lh:Ids.lh_id -> bytes:int -> bool
 (** Destination-side step 2 of migration (Section 3.1.1): set aside
     memory and answer [Where_is] for the new copy's temporary id so the
     source can address this kernel's server through it. Returns [false]
-    if memory is insufficient. *)
+    if memory is insufficient.
+
+    The reservation carries a lease of {!Os_params.reservation_ttl}:
+    every request addressed through the reserved id (each copy round's
+    acknowledgement ping) refreshes it, and a reservation whose source
+    goes silent — crashed mid-pre-copy, never to install — expires,
+    releasing the memory and bumping the ["reservations_expired"]
+    counter. *)
 
 val cancel_reservation : t -> temp_lh:Ids.lh_id -> unit
+
+val reservation_count : t -> int
+(** Reservations currently held — zero on a quiescent kernel; a positive
+    steady-state value is a leak. *)
+
+val forward_count : t -> int
+(** Forwarding addresses currently installed (Demos/MP ablation). *)
 
 (** {1 Kernel-server request vocabulary}
 
@@ -239,4 +264,5 @@ type Message.body +=
 val stat : t -> string -> int
 (** Named counters: ["sends"], ["sends_failed"], ["retransmissions"],
     ["where_is"], ["reply_pending"], ["duplicates"], ["packets_rx"],
-    ["replies_discarded_frozen"]. Unknown names are 0. *)
+    ["replies_discarded_frozen"], ["ks_pings"],
+    ["reservations_expired"], ["reboots"]. Unknown names are 0. *)

@@ -31,7 +31,18 @@ type t = {
       (** Added when a kernel server or program manager is addressed via
           its local group id — 100 us (Section 4.1). Ablatable likewise. *)
   retransmit_interval : Time.span;
-      (** Source kernel retransmits an unanswered request this often. *)
+      (** Source kernel retransmits an unanswered request after this
+          initial interval. *)
+  retransmit_backoff : float;
+      (** Each consecutive unanswered retransmission multiplies the
+          interval by this factor (exponential backoff), so a loss burst
+          or dead correspondent does not flood the shared wire. [1.0]
+          restores the fixed-interval machine. Any answer — a reply or a
+          reply-pending — resets the interval to
+          [retransmit_interval]. *)
+  retransmit_cap : Time.span;
+      (** Upper bound on the backed-off retransmission interval, keeping
+          recovery latency bounded once the correspondent returns. *)
   retries_before_query : int;
       (** Unanswered retransmissions tolerated before the binding-cache
           entry is invalidated and a [Where_is] broadcast goes out
@@ -42,6 +53,14 @@ type t = {
   reply_cache_ttl : Time.span;
       (** How long a replier retains a reply for duplicate requests; each
           duplicate request refreshes it (Section 3.1.3). *)
+  reservation_ttl : Time.span;
+      (** How long a migration destination holds a {!Kernel.reserve_lh}
+          reservation with no traffic addressed to it before releasing
+          the memory — the recovery path for a source that crashes
+          mid-pre-copy and never installs. Every request addressed
+          through the reserved id (each copy round's acknowledgement
+          ping) refreshes the clock, so a healthy in-progress migration
+          never expires. [Time.zero] or negative disables expiry. *)
   cpu_quantum : Time.span;
       (** Scheduler time slice for compute-bound processes. *)
   rebind : rebind_mode;  (** Defaults to {!Broadcast_query}. *)
