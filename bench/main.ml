@@ -2,12 +2,20 @@
    evaluation (Section 4), plus Bechamel micro-benchmarks of the
    simulator's hot paths.
 
-     dune exec bench/main.exe            -- run everything
-     dune exec bench/main.exe -- <name>  -- one experiment
-                                            (table-4-1, exec-cost, copy-rate,
-                                             kernel-state, freeze-time,
-                                             vm-flush, overheads, space-cost,
-                                             usage, bechamel)
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- <name>       -- one experiment
+                                                 (table-4-1, exec-cost, copy-rate,
+                                                  kernel-state, freeze-time,
+                                                  vm-flush, overheads, space-cost,
+                                                  usage, bechamel, ...)
+     dune exec bench/main.exe -- -j N         -- replica parallelism (domains)
+     dune exec bench/main.exe -- --quick      -- reduced reps, no bechamel
+     dune exec bench/main.exe -- --json FILE  -- machine-readable results
+     dune exec bench/main.exe -- --check-json FILE  -- validate a results file
+
+   Per-cell cluster runs are independent seeded replicas, fanned out on
+   OCaml 5 domains via [Parrun]; results merge in job-index order, so
+   the human-readable tables are byte-identical for any [-j].
 
    Absolute numbers are calibrated (Config / Os_params / Transfer
    document each constant's provenance); what these benches establish is
@@ -21,8 +29,46 @@ let sec = Time.of_sec
 let banner title = Printf.printf "\n=== %s ===\n%!" title
 let row fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* {1 Harness state: parallelism, event accounting, JSON report} *)
+
+let quick = ref false
+let jobs = ref (Parrun.default_jobs ())
+
+(* Every cluster any experiment builds — including inside parallel jobs
+   on worker domains — is registered here so the driver can report
+   events fired (and thus events/sec) per experiment. Reads happen only
+   after [Parrun.run] returns, i.e. after the worker domains joined. *)
+let registry_mu = Mutex.create ()
+let registry : Cluster.t list ref = ref []
+
+let register cl =
+  Mutex.lock registry_mu;
+  registry := cl :: !registry;
+  Mutex.unlock registry_mu
+
+let drain_events () =
+  Mutex.lock registry_mu;
+  let cls = !registry in
+  registry := [];
+  Mutex.unlock registry_mu;
+  List.fold_left
+    (fun acc cl -> acc + Engine.events_fired (Cluster.engine cl))
+    0 cls
+
+let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?faults () =
+  let cl = Cluster.create ?seed ?workstations ?bridged ?cfg ?net_config ?faults () in
+  register cl;
+  cl
+
 let fresh_cluster ?(seed = 1985) ?(workstations = 6) () =
-  Cluster.create ~seed ~workstations ()
+  mk_cluster ~seed ~workstations ()
+
+let par thunks = Parrun.run ~jobs:!jobs thunks
+
+(* Headline numbers for the JSON report; recorded from the main domain
+   while formatting, never from inside jobs. *)
+let metrics : (string * float) list ref = ref []
+let metric name v = metrics := (name, v) :: !metrics
 
 let ok what = function
   | Ok v -> v
@@ -38,35 +84,70 @@ let table_4_1 () =
   row "%-16s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s" "program" "paper"
     "model" "meas" "paper" "model" "meas" "paper" "model" "meas";
   row "%s" (String.make 94 '-');
+  let windows =
+    if !quick then [ (0.2, 2); (1.0, 1); (3.0, 1) ]
+    else [ (0.2, 5); (1.0, 4); (3.0, 3) ]
+  in
+  (* One job per (program, window, rep): each rep is an independent
+     replica on its own fresh 2-workstation cluster. *)
+  let cells =
+    List.concat
+      (List.mapi
+         (fun i (name, _) ->
+           List.concat
+             (List.mapi
+                (fun wi (w, reps) ->
+                  List.init reps (fun r -> (i, name, wi, w, r)))
+                windows))
+         Programs.table_4_1)
+  in
+  let measured =
+    par
+      (List.map
+         (fun (i, name, wi, w, r) () ->
+           let seed = 100 + i + (1000 * ((wi * 8) + r + 1)) in
+           let cl = mk_cluster ~seed ~workstations:2 () in
+           match Experiment.dirty_rate cl ~prog:name ~window:(sec w) ~reps:1 () with
+           | Ok kb -> ((i, wi), Some kb)
+           | Error e ->
+               Printf.eprintf "dirty_rate %s/%.1fs: %s\n%!" name w e;
+               ((i, wi), None))
+         cells)
+  in
+  let mean i wi =
+    match
+      List.filter_map (fun (k, v) -> if k = (i, wi) then v else None) measured
+    with
+    | [] -> nan
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
   List.iteri
     (fun i (name, (triple : Calibrate.triple)) ->
       let spec = Programs.find name in
       let model t = Dirty_model.expected_unique_kb spec.Programs.dirty t in
-      let measure window reps =
-        let cl = fresh_cluster ~seed:(100 + i) () in
-        match
-          Experiment.dirty_rate cl ~prog:name ~window:(sec window) ~reps ()
-        with
-        | Ok kb -> kb
-        | Error e ->
-            Printf.eprintf "dirty_rate %s/%.1fs: %s\n%!" name window e;
-            nan
-      in
       row "%-16s | %7.1f %7.1f %7.1f | %7.1f %7.1f %7.1f | %7.1f %7.1f %7.1f"
-        name triple.Calibrate.u02 (model 0.2) (measure 0.2 5)
-        triple.Calibrate.u1 (model 1.0) (measure 1.0 4) triple.Calibrate.u3
-        (model 3.0) (measure 3.0 3))
+        name triple.Calibrate.u02 (model 0.2) (mean i 0) triple.Calibrate.u1
+        (model 1.0) (mean i 1) triple.Calibrate.u3 (model 3.0) (mean i 2))
     Programs.table_4_1;
   row "%s" (String.make 94 '-');
   row
     "paper = Table 4-1; model = fitted hot/cold closed form; meas = simulated \
-     program, dirty bits sampled"
+     program, dirty bits sampled";
+  let errs =
+    List.mapi
+      (fun i (_, (t : Calibrate.triple)) ->
+        Float.abs (mean i 1 -. t.Calibrate.u1))
+      Programs.table_4_1
+  in
+  metric "mean_abs_err_1s_kb"
+    (List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs))
 
 (* {1 E-exec: remote execution cost split (Section 4.1)} *)
 
 let exec_cost () =
   banner "E-exec: remote execution cost split (Section 4.1)";
-  (* Host selection: first response to the multicast query. *)
+  (* Host selection: first response to the multicast query. One shared
+     cluster, sampled sequentially in virtual time — inherently serial. *)
   let samples = 15 in
   let sel = Stats.Summary.create () in
   let cl = fresh_cluster ~workstations:8 () in
@@ -86,6 +167,7 @@ let exec_cost () =
   row "  measured over %d queries: mean %.1f ms  min %.1f  max %.1f"
     (Stats.Summary.count sel) (Stats.Summary.mean sel) (Stats.Summary.min sel)
     (Stats.Summary.max sel);
+  metric "selection_mean_ms" (Stats.Summary.mean sel);
   (* Environment setup + destroy. *)
   let cl = fresh_cluster () in
   let r = ok "exec" (Experiment.remote_exec cl ~prog:"cc68" ()) in
@@ -95,33 +177,54 @@ let exec_cost () =
     (Time.to_ms r.Experiment.er_setup)
     (Time.to_ms cfg.Config.env_destroy)
     (Time.to_ms r.Experiment.er_setup +. Time.to_ms cfg.Config.env_destroy);
-  (* Program loading vs image size. *)
+  metric "env_setup_ms" (Time.to_ms r.Experiment.er_setup);
+  (* Program loading vs image size: one replica per program. *)
   row "program loading: paper 330 ms per 100 KB (sweep over real images)";
   row "  %-16s %10s %10s %12s" "program" "image KB" "load ms" "ms/100KB";
+  let loads =
+    par
+      (List.map
+         (fun name () ->
+           let spec = Programs.find name in
+           let kb =
+             float_of_int (File_server.image_file_bytes spec.Programs.image)
+             /. 1024.
+           in
+           let cl = fresh_cluster () in
+           let r = ok "exec" (Experiment.remote_exec cl ~prog:name ()) in
+           (name, kb, Time.to_ms r.Experiment.er_load))
+         [ "cc68"; "make"; "assembler"; "optimizer"; "linking loader"; "tex" ])
+  in
   List.iter
-    (fun name ->
-      let spec = Programs.find name in
-      let kb =
-        float_of_int (File_server.image_file_bytes spec.Programs.image) /. 1024.
-      in
-      let cl = fresh_cluster () in
-      let r = ok "exec" (Experiment.remote_exec cl ~prog:name ()) in
-      let load = Time.to_ms r.Experiment.er_load in
+    (fun (name, kb, load) ->
       row "  %-16s %10.0f %10.0f %12.0f" name kb load (load /. (kb /. 100.)))
-    [ "cc68"; "make"; "assembler"; "optimizer"; "linking loader"; "tex" ]
+    loads;
+  let per100 =
+    List.map (fun (_, kb, load) -> load /. (kb /. 100.)) loads
+  in
+  metric "load_ms_per_100kb"
+    (List.fold_left ( +. ) 0. per100 /. float_of_int (List.length per100))
 
 (* {1 E-copy: address-space copy rate (Section 4.1)} *)
 
 let copy_rate () =
   banner "E-copy: inter-host bulk copy (paper: 3 s per megabyte)";
   row "  %10s %12s %10s" "KB" "seconds" "s/MB";
+  let results =
+    par
+      (List.map
+         (fun kb () ->
+           let cl = fresh_cluster () in
+           (kb, Experiment.copy_rate cl ~bytes:(kb * 1024)))
+         [ 256; 512; 1024; 2048 ])
+  in
   List.iter
-    (fun kb ->
-      let cl = fresh_cluster () in
-      let span = Experiment.copy_rate cl ~bytes:(kb * 1024) in
+    (fun (kb, span) ->
       let s = Time.to_sec span in
-      row "  %10d %12.3f %10.3f" kb s (s /. (float_of_int kb /. 1024.)))
-    [ 256; 512; 1024; 2048 ]
+      let s_per_mb = s /. (float_of_int kb /. 1024.) in
+      row "  %10d %12.3f %10.3f" kb s s_per_mb;
+      if kb = 1024 then metric "s_per_mb" s_per_mb)
+    results
 
 (* {1 E-kstate: kernel state copy (Section 4.1)} *)
 
@@ -130,19 +233,25 @@ let kernel_state () =
     "E-kstate: kernel/program-manager state copy (paper: 14 ms + 9 ms per \
      process and address space)";
   row "  %8s %8s %14s %14s" "procs" "spaces" "paper ms" "measured ms";
+  let results =
+    par
+      (List.map
+         (fun extra () ->
+           let cl = fresh_cluster ~seed:(500 + extra) () in
+           ( extra,
+             Experiment.migrate_program cl ~extra_processes:extra
+               ~prog:"optimizer" () ))
+         [ 0; 1; 3; 7; 15 ])
+  in
   List.iter
-    (fun extra ->
-      let cl = fresh_cluster ~seed:(500 + extra) () in
-      let o =
-        ok "migrate"
-          (Experiment.migrate_program cl ~extra_processes:extra
-             ~prog:"optimizer" ())
-      in
+    (fun (extra, outcome) ->
+      let o = ok "migrate" outcome in
       let procs = 1 + extra and spaces = 1 in
       let paper = 14. +. (9. *. float_of_int (procs + spaces)) in
-      row "  %8d %8d %14.0f %14.0f" procs spaces paper
-        (Time.to_ms o.Protocol.m_kernel_state))
-    [ 0; 1; 3; 7; 15 ]
+      let meas = Time.to_ms o.Protocol.m_kernel_state in
+      row "  %8d %8d %14.0f %14.0f" procs spaces paper meas;
+      if extra = 0 then metric "kstate_ms_1proc" meas)
+    results
 
 (* {1 E-freeze: pre-copy behaviour per program (Section 4.1)} *)
 
@@ -152,12 +261,21 @@ let freeze_time () =
      0.5-70 KB frozen residue, 5-210 ms suspension + kernel-state time)";
   row "  %-16s %7s %12s %10s %11s %11s %9s" "program" "rounds" "precopied KB"
     "final KB" "freeze ms" "kstate ms" "total s";
-  List.iteri
-    (fun i (name, _) ->
-      let cl = fresh_cluster ~seed:(700 + i) () in
-      match Experiment.migrate_program cl ~prog:name () with
+  let per_prog =
+    par
+      (List.mapi
+         (fun i (name, _) () ->
+           let cl = fresh_cluster ~seed:(700 + i) () in
+           (name, Experiment.migrate_program cl ~prog:name ()))
+         Programs.table_4_1)
+  in
+  let freezes = ref [] in
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
       | Error e -> row "  %-16s migration failed: %s" name e
       | Ok o ->
+          freezes := Time.to_ms (Protocol.freeze_span o) :: !freezes;
           row "  %-16s %7d %12d %10d %11.1f %11.0f %9.2f" name
             (List.length o.Protocol.m_rounds)
             (Protocol.precopied_bytes o / 1024)
@@ -165,25 +283,35 @@ let freeze_time () =
             (Time.to_ms (Protocol.freeze_span o))
             (Time.to_ms o.Protocol.m_kernel_state)
             (Time.to_sec o.Protocol.m_total))
-    Programs.table_4_1;
+    per_prog;
+  (match !freezes with
+  | [] -> ()
+  | xs ->
+      metric "mean_freeze_ms"
+        (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)));
   (* Strategy comparison: the case for pre-copying. *)
   banner "E-freeze (cont.): strategy comparison on tex (708 KB logical host)";
   row "  %-16s %11s %9s %14s %12s" "strategy" "freeze ms" "total s" "moved KB"
     "faultin KB";
-  let strategies cl =
-    [
-      ("precopy", Protocol.Precopy);
-      ("freeze-and-copy", Protocol.Freeze_and_copy);
-      ( "vm-flush",
-        Protocol.Vm_flush { page_server = File_server.pid (Cluster.file_server cl) } );
-    ]
+  let strategies =
+    par
+      (List.mapi
+         (fun i name () ->
+           let cl = fresh_cluster ~seed:(800 + i) () in
+           let strategy =
+             match name with
+             | "precopy" -> Protocol.Precopy
+             | "freeze-and-copy" -> Protocol.Freeze_and_copy
+             | _ ->
+                 Protocol.Vm_flush
+                   { page_server = File_server.pid (Cluster.file_server cl) }
+           in
+           (name, Experiment.migrate_program cl ~strategy ~prog:"tex" ()))
+         [ "precopy"; "freeze-and-copy"; "vm-flush" ])
   in
-  List.iteri
-    (fun i name_only ->
-      let cl = fresh_cluster ~seed:(800 + i) () in
-      let name, strategy = List.nth (strategies cl) i in
-      ignore name_only;
-      match Experiment.migrate_program cl ~strategy ~prog:"tex" () with
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
       | Error e -> row "  %-16s failed: %s" name e
       | Ok o ->
           row "  %-16s %11.1f %9.2f %14d %12d" name
@@ -191,7 +319,7 @@ let freeze_time () =
             (Time.to_sec o.Protocol.m_total)
             ((Protocol.precopied_bytes o + o.Protocol.m_final_bytes) / 1024)
             (o.Protocol.m_faultin_bytes / 1024))
-    [ 0; 1; 2 ]
+    strategies
 
 (* {1 Figure 3-1: migration via virtual memory flush (Section 3.2)} *)
 
@@ -218,7 +346,8 @@ let vm_flush () =
   row "  freeze time  : %s (vs ~2.1 s to copy 708 KB frozen)"
     (Time.to_string (Protocol.freeze_span o));
   row "  fault-in (double-transferred) pages: %d KB — the Section 3.2 cost"
-    (o.Protocol.m_faultin_bytes / 1024)
+    (o.Protocol.m_faultin_bytes / 1024);
+  metric "faultin_kb" (float_of_int (o.Protocol.m_faultin_bytes / 1024))
 
 (* {1 E-ovh: kernel operation overheads (Section 4.1)} *)
 
@@ -226,28 +355,36 @@ let overheads () =
   banner
     "E-ovh: kernel op overheads (paper: +100 us group-id indirection, +13 us \
      frozen test)";
-  let latency ~params =
+  let latency ~params () =
     let cfg = { Config.default with Config.os = params } in
-    let cl = Cluster.create ~seed:42 ~workstations:2 ~cfg () in
+    let cl = mk_cluster ~seed:42 ~workstations:2 ~cfg () in
     Experiment.kernel_op_latency cl ~samples:50
   in
   let base = Os_params.default in
-  let full = latency ~params:base in
-  let no_frozen = latency ~params:{ base with Os_params.frozen_check = Time.zero } in
-  let no_group = latency ~params:{ base with Os_params.group_lookup = Time.zero } in
-  row "  local kernel-server round trip, full kernel: %8.1f us" full;
-  row
-    "  without frozen-state test                   : %8.1f us  (delta %.1f \
-     over send+reply = %.1f us/op, paper 13)"
-    no_frozen (full -. no_frozen)
-    ((full -. no_frozen) /. 2.);
-  row
-    "  without local-group indirection             : %8.1f us  (delta %.1f \
-     us/op, paper 100)"
-    no_group (full -. no_group);
-  row
-    "  binding-cache machinery                   : 0 us extra (pre-exists for \
-     pid-to-Ethernet mapping, as in the paper)"
+  match
+    par
+      [
+        latency ~params:base;
+        latency ~params:{ base with Os_params.frozen_check = Time.zero };
+        latency ~params:{ base with Os_params.group_lookup = Time.zero };
+      ]
+  with
+  | [ full; no_frozen; no_group ] ->
+      row "  local kernel-server round trip, full kernel: %8.1f us" full;
+      row
+        "  without frozen-state test                   : %8.1f us  (delta %.1f \
+         over send+reply = %.1f us/op, paper 13)"
+        no_frozen (full -. no_frozen)
+        ((full -. no_frozen) /. 2.);
+      row
+        "  without local-group indirection             : %8.1f us  (delta %.1f \
+         us/op, paper 100)"
+        no_group (full -. no_group);
+      row
+        "  binding-cache machinery                   : 0 us extra (pre-exists \
+         for pid-to-Ethernet mapping, as in the paper)";
+      metric "kernel_op_us" full
+  | _ -> assert false
 
 (* {1 E-space: space cost (Section 4.2)} *)
 
@@ -304,11 +441,20 @@ let space_cost () =
 (* {1 E-usage: pool of processors (Section 4.3)} *)
 
 let usage () =
+  let minutes = if !quick then 3. else 10. in
   banner
-    "E-usage: pool-of-processors, 25 workstations, 10 simulated minutes \
-     (Section 4.3)";
+    (Printf.sprintf
+       "E-usage: pool-of-processors, 25 workstations, %g simulated minutes \
+        (Section 4.3)"
+       minutes);
   let cl = fresh_cluster ~seed:2024 ~workstations:25 () in
-  let stats = Experiment.usage cl Experiment.default_usage_params in
+  let stats =
+    Experiment.usage cl
+      {
+        Experiment.default_usage_params with
+        Experiment.u_horizon = sec (60. *. minutes);
+      }
+  in
   Format.printf "%a@." Experiment.pp_usage stats;
   row "paper: >1/3 workstations idle at the busiest times; >80%% idle at peak \
        hours; almost all remote execution requests honored";
@@ -322,7 +468,9 @@ let usage () =
     (100. *. stats.Experiment.us_mean_idle)
     (if honored_frac > 0.8 && stats.Experiment.us_mean_idle > 0.33 then
        "consistent with the paper"
-     else "INCONSISTENT with the paper")
+     else "INCONSISTENT with the paper");
+  metric "honored_frac" honored_frac;
+  metric "mean_idle" stats.Experiment.us_mean_idle
 
 (* {1 Ablations: design choices called out in DESIGN.md} *)
 
@@ -332,29 +480,38 @@ let precopy_ablation () =
      residue by < factor, or below min KB)";
   row "  %-8s %12s %8s %7s %10s %11s %12s" "program" "improvement" "min KB"
     "rounds" "final KB" "freeze ms" "moved KB";
+  let settings = [ (0.3, 8); (0.5, 8); (0.7, 8); (0.85, 8); (0.95, 8); (0.7, 64) ] in
+  let cells =
+    List.concat_map
+      (fun prog -> List.map (fun s -> (prog, s)) settings)
+      [ "parser"; "tex" ]
+  in
+  let results =
+    par
+      (List.map
+         (fun (prog, (improvement, min_kb)) () ->
+           let cfg =
+             {
+               Config.default with
+               Config.precopy_improvement = improvement;
+               precopy_min_residue = min_kb * 1024;
+             }
+           in
+           let cl = mk_cluster ~seed:4242 ~workstations:6 ~cfg () in
+           ((prog, improvement, min_kb), Experiment.migrate_program cl ~prog ()))
+         cells)
+  in
   List.iter
-    (fun prog ->
-      List.iter
-        (fun (improvement, min_kb) ->
-          let cfg =
-            {
-              Config.default with
-              Config.precopy_improvement = improvement;
-              precopy_min_residue = min_kb * 1024;
-            }
-          in
-          let cl = Cluster.create ~seed:4242 ~workstations:6 ~cfg () in
-          match Experiment.migrate_program cl ~prog () with
-          | Error e -> row "  %-8s failed: %s" prog e
-          | Ok o ->
-              row "  %-8s %12.2f %8d %7d %10d %11.1f %12d" prog improvement
-                min_kb
-                (List.length o.Protocol.m_rounds)
-                (o.Protocol.m_final_bytes / 1024)
-                (Time.to_ms (Protocol.freeze_span o))
-                ((Protocol.precopied_bytes o + o.Protocol.m_final_bytes) / 1024))
-        [ (0.3, 8); (0.5, 8); (0.7, 8); (0.85, 8); (0.95, 8); (0.7, 64) ])
-    [ "parser"; "tex" ];
+    (fun ((prog, improvement, min_kb), outcome) ->
+      match outcome with
+      | Error e -> row "  %-8s failed: %s" prog e
+      | Ok o ->
+          row "  %-8s %12.2f %8d %7d %10d %11.1f %12d" prog improvement min_kb
+            (List.length o.Protocol.m_rounds)
+            (o.Protocol.m_final_bytes / 1024)
+            (Time.to_ms (Protocol.freeze_span o))
+            ((Protocol.precopied_bytes o + o.Protocol.m_final_bytes) / 1024))
+    results;
   row
     "shape: lenient termination (high factor) trades extra copy rounds and \
      wire traffic for a residue approaching the dirty-rate fixpoint; the \
@@ -366,13 +523,20 @@ let loss_ablation () =
      machinery under fire)";
   row "  %-8s %8s %7s %10s %11s %9s" "program" "loss" "rounds" "final KB"
     "freeze ms" "total s";
+  let results =
+    par
+      (List.map
+         (fun loss () ->
+           let net_config =
+             { Ethernet.default_config with loss_probability = loss }
+           in
+           let cl = mk_cluster ~seed:99 ~workstations:6 ~net_config () in
+           (loss, Experiment.migrate_program cl ~prog:"parser" ()))
+         [ 0.0; 0.01; 0.05 ])
+  in
   List.iter
-    (fun loss ->
-      let net_config =
-        { Ethernet.default_config with loss_probability = loss }
-      in
-      let cl = Cluster.create ~seed:99 ~workstations:6 ~net_config () in
-      match Experiment.migrate_program cl ~prog:"parser" () with
+    (fun (loss, outcome) ->
+      match outcome with
       | Error e -> row "  %-8s %8.2f failed: %s" "parser" loss e
       | Ok o ->
           row "  %-8s %8.2f %7d %10d %11.1f %9.2f" "parser" loss
@@ -380,7 +544,7 @@ let loss_ablation () =
             (o.Protocol.m_final_bytes / 1024)
             (Time.to_ms (Protocol.freeze_span o))
             (Time.to_sec o.Protocol.m_total))
-    [ 0.0; 0.01; 0.05 ];
+    results;
   row
     "shape: loss stretches copies (lost frames retransmit) and freeze \
      slightly; correctness is unaffected — the Section 3.1.3 machinery \
@@ -392,26 +556,33 @@ let scale () =
      minimal cost for reasonably small systems', Section 2.1)";
   row "  %6s %14s %16s %18s" "hosts" "first resp ms" "replies received"
     "volunteer rate";
+  let results =
+    par
+      (List.map
+         (fun n () ->
+           let cl = fresh_cluster ~seed:5 ~workstations:n () in
+           let first = ref nan and all = ref 0 in
+           ignore
+             (Cluster.user cl ~ws:0 ~name:"prober" (fun k self ->
+                  (match
+                     Scheduler.select_any k (Cluster.cfg cl) ~self
+                       ~bytes:(64 * 1024)
+                   with
+                  | Ok s -> first := Time.to_ms s.Scheduler.s_responded_in
+                  | Error _ -> ());
+                  Proc.sleep (Cluster.engine cl) (sec 1.);
+                  all :=
+                    List.length
+                      (Scheduler.candidates k (Cluster.cfg cl) ~self
+                         ~bytes:(64 * 1024) ~window:(Time.of_ms 100.))));
+           Cluster.run cl ~until:(sec 5.);
+           (n, !first, !all))
+         [ 4; 8; 16; 32 ])
+  in
   List.iter
-    (fun n ->
-      let cl = fresh_cluster ~seed:5 ~workstations:n () in
-      let first = ref nan and all = ref 0 in
-      ignore
-        (Cluster.user cl ~ws:0 ~name:"prober" (fun k self ->
-             (match
-                Scheduler.select_any k (Cluster.cfg cl) ~self ~bytes:(64 * 1024)
-              with
-             | Ok s -> first := Time.to_ms s.Scheduler.s_responded_in
-             | Error _ -> ());
-             Proc.sleep (Cluster.engine cl) (sec 1.);
-             all :=
-               List.length
-                 (Scheduler.candidates k (Cluster.cfg cl) ~self
-                    ~bytes:(64 * 1024) ~window:(Time.of_ms 100.))));
-      Cluster.run cl ~until:(sec 5.);
-      row "  %6d %14.1f %16d %18s" n !first !all
-        (Printf.sprintf "%d/%d" !all n))
-    [ 4; 8; 16; 32 ];
+    (fun (n, first, all) ->
+      row "  %6d %14.1f %16d %18s" n first all (Printf.sprintf "%d/%d" all n))
+    results;
   row
     "shape: first-response latency is flat (one multicast, fastest \
      volunteer); the linear cost is the pile of extra replies the client \
@@ -428,8 +599,8 @@ let rebind_ablation () =
         { Os_params.default with Os_params.rebind = Os_params.Forwarding };
     }
   in
-  let scenario ~label ~cfg ~reboot_old =
-    let cl = Cluster.create ~seed:77 ~workstations:5 ~cfg () in
+  let scenario ~label ~cfg ~reboot_old () =
+    let cl = mk_cluster ~seed:77 ~workstations:5 ~cfg () in
     Program_manager.set_accepting (Cluster.workstation cl 0).Cluster.ws_pm false;
     let outcome = ref "did not run" in
     let forwarded = ref 0 in
@@ -471,14 +642,19 @@ let rebind_ablation () =
                    | Error e -> outcome := "stale reference FAILED: " ^ e)
                | _ -> outcome := "migration failed")));
     Cluster.run cl ~until:(sec 200.);
-    row "  %-44s %-28s old host relayed %d packets" label !outcome !forwarded
+    Printf.sprintf "  %-44s %-28s old host relayed %d packets" label !outcome
+      !forwarded
   in
-  scenario ~label:"forwarding, old host stays up" ~cfg:forwarding_cfg
-    ~reboot_old:false;
-  scenario ~label:"forwarding, old host reboots" ~cfg:forwarding_cfg
-    ~reboot_old:true;
-  scenario ~label:"V broadcast query, old host reboots" ~cfg:Config.default
-    ~reboot_old:true;
+  List.iter (row "%s")
+    (par
+       [
+         scenario ~label:"forwarding, old host stays up" ~cfg:forwarding_cfg
+           ~reboot_old:false;
+         scenario ~label:"forwarding, old host reboots" ~cfg:forwarding_cfg
+           ~reboot_old:true;
+         scenario ~label:"V broadcast query, old host reboots"
+           ~cfg:Config.default ~reboot_old:true;
+       ]);
   row
     "shape: forwarding works only while the old host lives (and loads it); \
      V's logical-host rebinding needs nothing from the old host — the \
@@ -491,10 +667,10 @@ let recovery () =
   (* The program lands on ws1; ws2 is the only willing destination until
      the fault plan crashes it mid-copy, at which point ws3 (in the retry
      scenario) opens up. *)
-  let scenario ~label ~retries ~open_alternate =
+  let scenario ~label ~retries ~open_alternate () =
     let cfg = { Config.default with Config.migration_retries = retries } in
     let cl =
-      Cluster.create ~seed:9090 ~workstations:5 ~cfg
+      mk_cluster ~seed:9090 ~workstations:5 ~cfg
         ~faults:[ Faults.Crash_host { host = "ws2"; at = sec 4.5 } ]
         ()
     in
@@ -554,10 +730,16 @@ let recovery () =
                        verdict (Time.to_sec wall)
                | Error e -> outcome := verdict ^ "; WAIT FAILED: " ^ e)));
     Cluster.run cl ~until:(sec 200.);
-    row "  %-28s retries=%d  %s" label retries !outcome
+    Printf.sprintf "  %-28s retries=%d  %s" label retries !outcome
   in
-  scenario ~label:"abandon (paper's policy)" ~retries:0 ~open_alternate:false;
-  scenario ~label:"retry with reselection" ~retries:2 ~open_alternate:true;
+  List.iter (row "%s")
+    (par
+       [
+         scenario ~label:"abandon (paper's policy)" ~retries:0
+           ~open_alternate:false;
+         scenario ~label:"retry with reselection" ~retries:2
+           ~open_alternate:true;
+       ]);
   row
     "shape: the acked copy detects the dead destination; with no retries the \
      frozen host is re-installed and unfrozen at the source, with retries \
@@ -571,7 +753,7 @@ let internet () =
   (* Migration driver: start on segment 0, then open only the requested
      segment as a destination, so the "far" case genuinely crosses. *)
   let migrate_toward ~far =
-    let cl = Cluster.create ~seed:6001 ~workstations:5 ~bridged:2 () in
+    let cl = mk_cluster ~seed:6001 ~workstations:5 ~bridged:2 () in
     let open_segment s b =
       List.iter
         (fun w ->
@@ -613,8 +795,8 @@ let internet () =
     Cluster.run cl ~until:(sec 120.);
     !result
   in
-  let measure ~far =
-    let cl = Cluster.create ~seed:6000 ~workstations:4 ~bridged:2 () in
+  let measure ~far () =
+    let cl = mk_cluster ~seed:6000 ~workstations:4 ~bridged:2 () in
     (* Force placement on the near or far segment. *)
     List.iter
       (fun w ->
@@ -624,8 +806,11 @@ let internet () =
     let r = ok "exec" (Experiment.remote_exec cl ~prog:"cc68" ()) in
     (r, migrate_toward ~far)
   in
-  let near_exec, near_mig = measure ~far:false in
-  let far_exec, far_mig = measure ~far:true in
+  let near, far =
+    match par [ measure ~far:false; measure ~far:true ] with
+    | [ near; far ] -> (near, far)
+    | _ -> assert false
+  in
   let pp_mig = function
     | Ok o ->
         Printf.sprintf "freeze %5.1f ms, total %.2f s"
@@ -633,6 +818,7 @@ let internet () =
           (Time.to_sec o.Protocol.m_total)
     | Error e -> "failed: " ^ e
   in
+  let near_exec, near_mig = near and far_exec, far_mig = far in
   row "  %-22s select %5.1f ms  load %5.0f ms  migration: %s" "same segment"
     (match near_exec.Experiment.er_select with
     | Some s -> Time.to_ms s
@@ -655,9 +841,9 @@ let balance_ablation () =
   banner
     "A-balance: preemptive load balancing (the Section 6 future-work item, \
      built on migrateprog)";
-  let run ~with_balancer =
+  let run ~with_balancer () =
     let cfg = { Config.default with Config.max_guests = 8 } in
-    let cl = Cluster.create ~seed:4141 ~workstations:5 ~cfg () in
+    let cl = mk_cluster ~seed:4141 ~workstations:5 ~cfg () in
     let eng = Cluster.engine cl in
     let done_at = ref Time.zero and completed = ref 0 in
     for i = 1 to 6 do
@@ -685,8 +871,11 @@ let balance_ablation () =
       Time.to_sec !done_at,
       match b with Some b -> Balancer.rebalances b | None -> 0 )
   in
-  let c0, makespan0, _ = run ~with_balancer:false in
-  let c1, makespan1, moves = run ~with_balancer:true in
+  let (c0, makespan0, _), (c1, makespan1, moves) =
+    match par [ run ~with_balancer:false; run ~with_balancer:true ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   row "  six 10s-CPU jobs piled on one workstation (prog @ ws1):";
   row "  %-18s completed %d/6, makespan %6.1f s" "no balancer" c0 makespan0;
   row "  %-18s completed %d/6, makespan %6.1f s (%d preemptive moves)"
@@ -729,6 +918,35 @@ let bechamel () =
              ignore (Rng.bits64 r)
            done))
   in
+  (* The Ethernet delivery hot path: with the cached recipient rosters,
+     neither broadcast nor multicast delivery rebuilds or sorts the
+     station list per frame. *)
+  let net_delivery ~name ~frame =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let e = Engine.create () in
+           let net : unit Ethernet.t = Ethernet.create e (Rng.create 7) in
+           let stations =
+             Array.init 32 (fun i ->
+                 Ethernet.attach net (Addr.of_int (i + 1)) (fun _ -> ()))
+           in
+           Array.iteri
+             (fun i s -> if i land 1 = 0 then Ethernet.subscribe s 9)
+             stations;
+           for _ = 1 to 100 do
+             Ethernet.send net (frame ())
+           done;
+           Engine.run e))
+  in
+  let broadcast_bench =
+    net_delivery ~name:"ethernet: 100 broadcasts to 32 stations"
+      ~frame:(fun () -> Frame.broadcast ~src:(Addr.of_int 1) ~bytes:64 ())
+  in
+  let multicast_bench =
+    net_delivery ~name:"ethernet: 100 multicasts, 16/32 subscribed"
+      ~frame:(fun () ->
+        Frame.multicast ~src:(Addr.of_int 1) ~group:9 ~bytes:64 ())
+  in
   let ipc_bench =
     Test.make ~name:"sim: local IPC round trip (full cluster boot)"
       (Staged.stage (fun () ->
@@ -750,7 +968,10 @@ let bechamel () =
   in
   let tests =
     Test.make_grouped ~name:"vsystem" ~fmt:"%s %s"
-      [ heap_bench; engine_bench; rng_bench; ipc_bench; migration_bench ]
+      [
+        heap_bench; engine_bench; rng_bench; broadcast_bench; multicast_bench;
+        ipc_bench; migration_bench;
+      ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -764,7 +985,9 @@ let bechamel () =
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ t ] -> row "  %-48s %12.1f ns/run" name t
+      | Some [ t ] ->
+          row "  %-48s %12.1f ns/run" name t;
+          metric ("ns_per_run:" ^ name) t
       | _ -> row "  %-48s (no estimate)" name)
     results
 
@@ -791,20 +1014,159 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+type report = {
+  r_name : string;
+  r_wall : float;
+  r_events : int;
+  r_metrics : (string * float) list;
+}
+
+let reports : report list ref = ref []
+
+let run_one (name, f) =
+  ignore (drain_events ());
+  metrics := [];
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  reports :=
+    {
+      r_name = name;
+      r_wall = wall;
+      r_events = drain_events ();
+      r_metrics = List.rev !metrics;
+    }
+    :: !reports
+
+let json_report () =
+  let open Json_min in
+  Obj
+    [
+      ("schema", Str "vsystem-bench/1");
+      ("quick", Bool !quick);
+      ("jobs", Num (float_of_int !jobs));
+      ( "experiments",
+        Arr
+          (List.rev_map
+             (fun r ->
+               Obj
+                 [
+                   ("name", Str r.r_name);
+                   ("wall_s", Num r.r_wall);
+                   ("events", Num (float_of_int r.r_events));
+                   ( "events_per_sec",
+                     Num
+                       (if r.r_wall > 0. then
+                          float_of_int r.r_events /. r.r_wall
+                        else 0.) );
+                   ( "metrics",
+                     Obj (List.map (fun (k, v) -> (k, Num v)) r.r_metrics) );
+                 ])
+             !reports) );
+    ]
+
+(* Validate a previously written results file: the runtest smoke uses
+   this to check that [--quick --json] produced well-formed output. *)
+let check_json path : 'a =
+  let contents =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let fail msg =
+    Printf.eprintf "%s: %s\n%!" path msg;
+    exit 1
+  in
+  match Json_min.parse contents with
+  | Error m -> fail ("JSON parse error: " ^ m)
+  | Ok v -> (
+      (match Json_min.member "schema" v with
+      | Some (Json_min.Str "vsystem-bench/1") -> ()
+      | _ -> fail "missing or unexpected schema");
+      match Json_min.member "experiments" v with
+      | Some (Json_min.Arr (_ :: _ as exps)) ->
+          List.iter
+            (fun e ->
+              let num k =
+                match Json_min.member k e with
+                | Some (Json_min.Num _) -> ()
+                | _ -> fail (Printf.sprintf "experiment missing numeric %S" k)
+              in
+              (match Json_min.member "name" e with
+              | Some (Json_min.Str _) -> ()
+              | _ -> fail "experiment missing name");
+              num "wall_s";
+              num "events";
+              num "events_per_sec";
+              match Json_min.member "metrics" e with
+              | Some (Json_min.Obj _) -> ()
+              | _ -> fail "experiment missing metrics object")
+            exps;
+          Printf.printf "%s: OK (%d experiments)\n%!" path (List.length exps);
+          exit 0
+      | _ -> fail "missing experiments array")
+
 let () =
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] ->
-      Printf.printf
-        "Reproducing the evaluation of \"Preemptable Remote Execution \
-         Facilities for the V-System\" (SOSP 1985)\n";
-      List.iter (fun (_, f) -> f ()) experiments
-  | _ :: names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %S; known: %s\n" name
-                (String.concat ", " (List.map fst experiments));
-              exit 2)
-        names
+  let json_out = ref None in
+  let usage_and_exit code =
+    Printf.eprintf
+      "usage: main.exe [-j N] [--quick] [--json FILE] [--check-json FILE] \
+       [EXPERIMENT...]\nknown experiments: %s\n"
+      (String.concat ", " (List.map fst experiments));
+    exit code
+  in
+  let rec parse_args names = function
+    | [] -> List.rev names
+    | "--quick" :: rest ->
+        quick := true;
+        parse_args names rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse_args names rest
+    | [ "--json" ] -> usage_and_exit 2
+    | "--check-json" :: file :: _ -> check_json file
+    | [ "--check-json" ] -> usage_and_exit 2
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse_args names rest
+        | _ -> usage_and_exit 2)
+    | [ "-j" ] -> usage_and_exit 2
+    | "--list" :: _ ->
+        List.iter (fun (n, _) -> print_endline n) experiments;
+        exit 0
+    | ("--help" | "-h") :: _ -> usage_and_exit 0
+    | name :: rest -> parse_args (name :: names) rest
+  in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  let chosen =
+    match names with
+    | [] ->
+        Printf.printf
+          "Reproducing the evaluation of \"Preemptable Remote Execution \
+           Facilities for the V-System\" (SOSP 1985)\n";
+        (* [--quick] is the pinned baseline profile: every experiment at
+           reduced reps, minus the wall-clock bechamel suite. *)
+        if !quick then List.filter (fun (n, _) -> n <> "bechamel") experiments
+        else experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" name
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  List.iter run_one chosen;
+  match !json_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Json_min.to_string (json_report ()));
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" file

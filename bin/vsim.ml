@@ -4,6 +4,7 @@
 
      vsim exec PROG [--at HOST | --local]   "prog args @ machine"
      vsim migrate PROG [--strategy S]       migrateprog
+     vsim sweep PROG [--seeds ..] [-j N]    replica sweep on OCaml 5 domains
      vsim usage [--minutes M]               the pool-of-processors scenario
      vsim programs                          the program catalogue
 *)
@@ -165,6 +166,115 @@ let migrate_cmd seed workstations bridged trace faults prog strategy run_for =
   if trace then dump_trace cl;
   !code
 
+(* {1 sweep} *)
+
+(* Fan one scenario over seeds x workstation counts x fault plans, one
+   independent cluster replica per cell, run on a domain pool. Results
+   print in cell order (seed outer, workstations middle, plan inner), so
+   stdout is byte-identical for any -j; only the wall-clock note on
+   stderr varies. *)
+
+let sweep_cmd prog seeds_s ws_s fault_specs migrate strategy run_for jobs =
+  let parse_int_list what s =
+    List.map
+      (fun tok ->
+        match int_of_string_opt (String.trim tok) with
+        | Some n when n > 0 -> n
+        | _ ->
+            Printf.eprintf "vsim sweep: bad %s %S\n" what tok;
+            exit 124)
+      (String.split_on_char ',' s)
+  in
+  let seeds = parse_int_list "seed" seeds_s in
+  let wss = parse_int_list "workstation count" ws_s in
+  let plans =
+    match fault_specs with
+    | [] -> [ ("-", None) ]
+    | specs ->
+        List.map
+          (fun spec ->
+            match Faults.parse spec with
+            | Ok p -> (spec, Some p)
+            | Error m ->
+                Printf.eprintf "vsim sweep: fault plan %S: %s\n" spec m;
+                exit 124)
+          specs
+  in
+  let cells =
+    List.concat_map
+      (fun seed ->
+        List.concat_map
+          (fun w -> List.map (fun plan -> (seed, w, plan)) plans)
+          wss)
+      seeds
+  in
+  let cell (seed, w, (plan_label, faults)) () =
+    let header =
+      Printf.sprintf "seed=%-5d w=%-3d faults=%-12s" seed w plan_label
+    in
+    match
+      try Ok (Cluster.create ~seed ~workstations:w ?faults ())
+      with Invalid_argument m -> Error m
+    with
+    | Error m -> Printf.sprintf "%s | invalid: %s" header m
+    | Ok cl ->
+        let finish body =
+          let fired =
+            match Cluster.faults cl with
+            | None -> 0
+            | Some f -> Faults.injected f
+          in
+          Printf.sprintf "%s | %s | %d events, %d fault actions" header body
+            (Engine.events_fired (Cluster.engine cl))
+            fired
+        in
+        if migrate then begin
+          let strategy =
+            match strategy with
+            | `Precopy -> Protocol.Precopy
+            | `Freeze -> Protocol.Freeze_and_copy
+            | `Vmflush ->
+                Protocol.Vm_flush
+                  { page_server = File_server.pid (Cluster.file_server cl) }
+          in
+          match
+            Experiment.migrate_program cl ~strategy
+              ~run_for:(Time.of_sec run_for) ~prog ()
+          with
+          | Error e -> finish ("migration failed: " ^ e)
+          | Ok o ->
+              finish
+                (Printf.sprintf
+                   "migrated %s -> %s: %d rounds, freeze %s, total %s"
+                   o.Protocol.m_from o.Protocol.m_dest
+                   (List.length o.Protocol.m_rounds)
+                   (Time.to_string (Protocol.freeze_span o))
+                   (Time.to_string o.Protocol.m_total))
+        end
+        else
+          match Experiment.remote_exec cl ~prog () with
+          | Error e -> finish ("exec failed: " ^ e)
+          | Ok r ->
+              finish
+                (Printf.sprintf
+                   "ran on %-4s: select %s, setup %s, load %s, total %s"
+                   r.Experiment.er_host
+                   (match r.Experiment.er_select with
+                   | Some s -> Time.to_string s
+                   | None -> "-")
+                   (Time.to_string r.Experiment.er_setup)
+                   (Time.to_string r.Experiment.er_load)
+                   (Time.to_string r.Experiment.er_total))
+  in
+  let t0 = Unix.gettimeofday () in
+  let lines = Parrun.run ~jobs (List.map cell cells) in
+  List.iter print_endline lines;
+  Printf.eprintf "sweep: %d cells on %d domain%s in %.2f s\n%!"
+    (List.length cells) jobs
+    (if jobs = 1 then "" else "s")
+    (Unix.gettimeofday () -. t0);
+  0
+
 (* {1 usage} *)
 
 let usage_cmd seed workstations faults minutes rate =
@@ -245,6 +355,64 @@ let migrate_t =
       const migrate_cmd $ seed $ workstations $ bridged $ trace $ faults_arg
       $ prog_arg $ strategy $ run_for)
 
+let sweep_t =
+  let seeds =
+    Arg.(
+      value & opt string "1985"
+      & info [ "seeds" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated list of random seeds, one replica each.")
+  in
+  let ws_list =
+    Arg.(
+      value & opt string "6"
+      & info [ "workstations"; "w" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated list of cluster sizes.")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan (same syntax as elsewhere); repeatable — each \
+             occurrence adds a sweep dimension value.")
+  in
+  let migrate =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:"Measure migrateprog per cell instead of remote execution.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv `Precopy
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Migration strategy for $(b,--migrate) cells.")
+  in
+  let run_for =
+    Arg.(
+      value & opt float 3.0
+      & info [ "run-for" ] ~docv:"SEC"
+          ~doc:"Seconds the program runs before migrateprog.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parrun.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains to run replicas on (default: the recommended domain \
+             count). Output is byte-identical for any value.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Fan a scenario over seeds x cluster sizes x fault plans, one \
+          independent replica per cell, in parallel on OCaml 5 domains.")
+    Term.(
+      const sweep_cmd $ prog_arg $ seeds $ ws_list $ faults $ migrate
+      $ strategy $ run_for $ jobs)
+
 let usage_t =
   let minutes =
     Arg.(
@@ -273,4 +441,6 @@ let () =
         "Simulated V-System cluster: preemptable remote execution and \
          migration (SOSP 1985 reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ exec_t; migrate_t; usage_t; programs_t ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ exec_t; migrate_t; sweep_t; usage_t; programs_t ]))

@@ -93,6 +93,13 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
     ?(cfg = Config.default) ?(net_config = Ethernet.default_config)
     ?(trace = false) ?faults ()  =
   assert (bridged >= 0 && bridged <= workstations);
+  (* Fresh id/txn sequences per cluster: every replica then produces
+     identical internal identifiers (and so identical Hashtbl layouts
+     and iteration orders) no matter which domain runs it — the
+     invariant behind byte-identical [-j 1] vs [-j N] sweep output. *)
+  Proc.reset_ids ();
+  Kernel.reset_txn_ids ();
+  Address_space.reset_ids ();
   let eng = Engine.create () in
   let c_rng = Rng.create seed in
   let c_net = Ethernet.create ~config:net_config eng (Rng.split c_rng) in

@@ -1,3 +1,6 @@
+let seeded_jobs ~reps ~base_seed f =
+  List.init reps (fun i () -> f ~seed:(base_seed + i))
+
 type exec_result = {
   er_host : string;
   er_select : Time.span option;
@@ -89,6 +92,11 @@ let dirty_rate cl ~prog ~window ~reps ?(warmup = Time.of_sec 1.) () =
   | None, [] -> Error "no full windows observed"
   | None, xs ->
       Ok (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
+let dirty_rate_jobs ?(workstations = 2) ~base_seed ~prog ~window ~reps () =
+  seeded_jobs ~reps ~base_seed (fun ~seed ->
+      let cl = Cluster.create ~seed ~workstations () in
+      dirty_rate cl ~prog ~window ~reps:1 ())
 
 let migrate_program cl ?(ws = 0) ?(strategy = Protocol.Precopy)
     ?(run_for = Time.of_sec 3.) ?(extra_processes = 0) ~prog () =

@@ -5,6 +5,20 @@
     them into the paper's tables and [EXPERIMENTS.md] compares. All are
     deterministic given the cluster's seed. *)
 
+(** {1 Replica job lists}
+
+    Sweeps are embarrassingly parallel per replica: each measurement
+    builds its own seeded cluster and shares nothing. Exposing
+    reps-style measurements as job lists (rather than internal loops)
+    lets callers hand them to [Parrun.run ~jobs] and merge results in
+    index order. *)
+
+val seeded_jobs : reps:int -> base_seed:int -> (seed:int -> 'a) -> (unit -> 'a) list
+(** [seeded_jobs ~reps ~base_seed f] is the job list whose [i]-th job
+    runs [f ~seed:(base_seed + i)]. Each job must build its own cluster
+    from the seed — jobs share no state, so the list may run on any
+    number of domains. *)
+
 (** {1 Remote execution cost (Section 4.1, E-exec)} *)
 
 type exec_result = {
@@ -40,6 +54,19 @@ val dirty_rate :
     workstation and measure the mean KB of unique pages dirtied per
     window, paper-style: clear the dirty bits, let the program run one
     window, count. *)
+
+val dirty_rate_jobs :
+  ?workstations:int ->
+  base_seed:int ->
+  prog:string ->
+  window:Time.span ->
+  reps:int ->
+  unit ->
+  (unit -> (float, string) result) list
+(** The parallel form of {!dirty_rate}: one job per rep, each measuring
+    a single window on its own fresh cluster (seed [base_seed + i],
+    [workstations] defaults to 2 — the sampler's host plus a spare).
+    Average the [Ok] results for the replicated measurement. *)
 
 (** {1 Migration (Sections 3-4, E-freeze)} *)
 

@@ -19,7 +19,7 @@ type 'p station = {
   net : 'p t;
   addr : Addr.t;
   rx : 'p Frame.t -> unit;
-  mutable groups : int list;
+  groups : (int, unit) Hashtbl.t;
   mutable live : bool;
 }
 
@@ -30,6 +30,13 @@ and 'p t = {
   rng : Rng.t;
   mutable cfg : config;
   stations : (int, 'p station) Hashtbl.t;
+  mutable roster : 'p station array option;
+      (* every attached station, sorted by address — the broadcast
+         delivery set, rebuilt lazily after attach/detach instead of
+         per frame *)
+  group_rosters : (int, 'p station array) Hashtbl.t;
+      (* group id -> members sorted by address, invalidated on
+         subscribe/unsubscribe/detach *)
   mutable busy_until : Time.t;
   mutable peers : 'p link list; (* bridged segments *)
   mutable sent : int;
@@ -44,6 +51,8 @@ let create ?(config = default_config) eng rng =
     rng;
     cfg = config;
     stations = Hashtbl.create 32;
+    roster = None;
+    group_rosters = Hashtbl.create 8;
     busy_until = Time.zero;
     peers = [];
     sent = 0;
@@ -68,19 +77,55 @@ let attach t addr rx =
   let key = Addr.to_int addr in
   if Hashtbl.mem t.stations key then
     invalid_arg (Printf.sprintf "Ethernet.attach: %s already attached" (Addr.to_string addr));
-  let s = { net = t; addr; rx; groups = []; live = true } in
+  let s = { net = t; addr; rx; groups = Hashtbl.create 4; live = true } in
   Hashtbl.replace t.stations key s;
+  t.roster <- None;
   s
 
 let detach s =
   s.live <- false;
+  s.net.roster <- None;
+  Hashtbl.iter (fun g () -> Hashtbl.remove s.net.group_rosters g) s.groups;
   Hashtbl.remove s.net.stations (Addr.to_int s.addr)
 
 let attached s = s.live
 
-let subscribe s g = if not (List.mem g s.groups) then s.groups <- g :: s.groups
-let unsubscribe s g = s.groups <- List.filter (fun g' -> g' <> g) s.groups
+let subscribe s g =
+  if not (Hashtbl.mem s.groups g) then begin
+    Hashtbl.replace s.groups g ();
+    Hashtbl.remove s.net.group_rosters g
+  end
+
+let unsubscribe s g =
+  if Hashtbl.mem s.groups g then begin
+    Hashtbl.remove s.groups g;
+    Hashtbl.remove s.net.group_rosters g
+  end
+
 let station_addr s = s.addr
+
+(* Hashtbl order is unspecified; rosters are sorted by address so
+   delivery order (and thus whole-cluster runs) stays deterministic. *)
+let sorted_station_array stations pred =
+  Hashtbl.fold (fun _ s acc -> if pred s then s :: acc else acc) stations []
+  |> List.sort (fun a b -> Addr.compare a.addr b.addr)
+  |> Array.of_list
+
+let roster t =
+  match t.roster with
+  | Some r -> r
+  | None ->
+      let r = sorted_station_array t.stations (fun _ -> true) in
+      t.roster <- Some r;
+      r
+
+let group_roster t g =
+  match Hashtbl.find_opt t.group_rosters g with
+  | Some r -> r
+  | None ->
+      let r = sorted_station_array t.stations (fun s -> Hashtbl.mem s.groups g) in
+      Hashtbl.replace t.group_rosters g r;
+      r
 
 let wire_time t bytes =
   let padded = Stdlib.max bytes t.cfg.min_frame_bytes in
@@ -108,21 +153,20 @@ let occupy ?(not_before = Time.zero) t ~bytes =
   if lost then t.dropped <- t.dropped + 1;
   (clear, lost)
 
-let recipients t (frame : 'p Frame.t) =
-  let all () =
-    Hashtbl.fold
-      (fun _ s acc -> if Addr.equal s.addr frame.src then acc else s :: acc)
-      t.stations []
-    (* Hashtbl order is unspecified; sort for determinism. *)
-    |> List.sort (fun a b -> Addr.compare a.addr b.addr)
+(* Deliver to each recipient of [frame] without building an intermediate
+   list: the cached rosters are iterated directly, skipping the sender
+   and stations that died after the roster was built. *)
+let iter_recipients t (frame : 'p Frame.t) f =
+  let each s =
+    if s.live && not (Addr.equal s.addr frame.src) then f s
   in
   match frame.dst with
   | Frame.Unicast a -> (
       match Hashtbl.find_opt t.stations (Addr.to_int a) with
-      | Some s when not (Addr.equal s.addr frame.src) -> [ s ]
-      | _ -> [])
-  | Frame.Broadcast -> all ()
-  | Frame.Multicast g -> List.filter (fun s -> List.mem g s.groups) (all ())
+      | Some s -> each s
+      | None -> ())
+  | Frame.Broadcast -> Array.iter each (roster t)
+  | Frame.Multicast g -> Array.iter each (group_roster t g)
 
 let bridge a b ~forward_delay =
   a.peers <- { lk_peer = b; lk_delay = forward_delay; lk_up = true } :: a.peers;
@@ -175,14 +219,9 @@ let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
     let deliver_at = Time.add clear t.cfg.propagation in
     ignore
       (Engine.schedule t.eng ~at:deliver_at (fun () ->
-           let rxs = recipients t frame in
-           List.iter
-             (fun s ->
-               if s.live then begin
-                 t.delivered <- t.delivered + 1;
-                 s.rx frame
-               end)
-             rxs));
+           iter_recipients t frame (fun s ->
+               t.delivered <- t.delivered + 1;
+               s.rx frame)));
     (* Store-and-forward relay onto bridged segments: a single hop, after
        the frame has cleared this wire plus the bridge delay. *)
     if not forwarded then

@@ -1,0 +1,68 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Pending
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let run_thunk thunk =
+  match thunk () with
+  | v -> Done v
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+(* Merge in index order; re-raise the lowest-index failure so the
+   escaping exception is independent of the worker count. *)
+let collect results =
+  Array.iter
+    (function
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Done _ | Pending -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function
+         | Done v -> v
+         | Pending | Raised _ -> assert false)
+       results)
+
+let run ?jobs thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  let pool =
+    Stdlib.max 1 (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  let workers = Stdlib.min pool n in
+  if n = 0 then []
+  else if workers <= 1 then collect (Array.map run_thunk thunks)
+  else begin
+    let results = Array.make n Pending in
+    (* Work queue: a shared next-index cursor. Jobs are heavyweight
+       (whole cluster simulations), so one mutex acquisition per job is
+       noise; claiming indices in order also means [-j 1] runs jobs in
+       exactly the submitted order. *)
+    let mu = Mutex.create () in
+    let next = ref 0 in
+    let take () =
+      Mutex.lock mu;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock mu;
+      if i < n then Some i else None
+    in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+          results.(i) <- run_thunk thunks.(i);
+          worker ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's last worker. *)
+    worker ();
+    Array.iter Domain.join spawned;
+    (* [Domain.join] establishes happens-before for every [results]
+       write made by the spawned domains. *)
+    collect results
+  end
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

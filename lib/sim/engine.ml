@@ -3,12 +3,16 @@ type handle = {
   seq : int;
   mutable live : bool;
   action : unit -> unit;
+  owner : t;
 }
 
-type t = {
+and t = {
   mutable clock : Time.t;
-  mutable seq : int;
+  mutable next_seq : int;
   mutable fired : int;
+  mutable live_count : int;
+      (* live (scheduled, neither cancelled nor fired) events — kept
+         incrementally so [pending] is O(1) *)
   queue : handle Heap.t;
 }
 
@@ -17,7 +21,13 @@ let compare_handle a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { clock = Time.zero; seq = 0; fired = 0; queue = Heap.create ~cmp:compare_handle }
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    fired = 0;
+    live_count = 0;
+    queue = Heap.create ~cmp:compare_handle;
+  }
 
 let now t = t.clock
 
@@ -26,16 +36,21 @@ let schedule t ~at action =
     invalid_arg
       (Printf.sprintf "Engine.schedule: at %s < now %s" (Time.to_string at)
          (Time.to_string t.clock));
-  let h = { time = at; seq = t.seq; live = true; action } in
-  t.seq <- t.seq + 1;
+  let h = { time = at; seq = t.next_seq; live = true; action; owner = t } in
+  t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
   Heap.push t.queue h;
   h
 
 let schedule_after t d action = schedule t ~at:(Time.add t.clock d) action
 
-let cancel h = h.live <- false
+let cancel h =
+  if h.live then begin
+    h.live <- false;
+    h.owner.live_count <- h.owner.live_count - 1
+  end
 
-let pending t = List.length (List.filter (fun h -> h.live) (Heap.to_list t.queue))
+let pending t = t.live_count
 
 (* Discard cancelled events lazily so cancellation stays O(1). *)
 let rec peek_live t =
@@ -48,6 +63,10 @@ let rec peek_live t =
 
 let fire t h =
   ignore (Heap.pop t.queue);
+  (* A fired event is no longer pending; marking it dead also makes a
+     late [cancel] a no-op rather than a double decrement. *)
+  h.live <- false;
+  t.live_count <- t.live_count - 1;
   t.clock <- h.time;
   t.fired <- t.fired + 1;
   h.action ()

@@ -29,7 +29,8 @@ val cancel : handle -> unit
     cancelled event is a no-op. *)
 
 val pending : t -> int
-(** Number of live events still queued. *)
+(** Number of live events still queued. O(1): a counter maintained on
+    schedule/cancel/fire, not a queue scan. *)
 
 val step : t -> bool
 (** Fire the next event, advancing the clock to its instant. Returns

@@ -4,10 +4,25 @@ type 'a t = {
   mutable size : int;
 }
 
+(* Capacity above which [clear] releases the buffer instead of scrubbing
+   it slot by slot. *)
+let shrink_capacity = 256
+
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
+
+(* Overwrite a vacated slot so the backing array does not retain dead
+   elements — engine handles close over whole subsystems, and a popped
+   handle kept live by the array would keep all of that reachable.
+   Immediates and floats are not traced by the GC, so only pointer slots
+   need scrubbing; the 0 written is never read back (all reads stop at
+   [size]). *)
+let junk (data : 'a array) i =
+  let v = Obj.repr data.(i) in
+  if Obj.is_block v && Obj.tag v <> Obj.double_tag then
+    data.(i) <- (Obj.magic 0 : 'a)
 
 let grow h x =
   let cap = Array.length h.data in
@@ -15,6 +30,11 @@ let grow h x =
     let ncap = Stdlib.max 16 (2 * cap) in
     let data = Array.make ncap x in
     Array.blit h.data 0 data 0 h.size;
+    (* [Array.make] filled the tail with [x]; scrub it so the spare
+       capacity does not pin [x] after it is popped. *)
+    for i = h.size to ncap - 1 do
+      junk data i
+    done;
     h.data <- data
   end
 
@@ -58,11 +78,16 @@ let pop h =
       h.data.(0) <- h.data.(h.size);
       sift_down h 0
     end;
+    junk h.data h.size;
     Some top
   end
 
 let clear h =
-  h.data <- [||];
+  if Array.length h.data > shrink_capacity then h.data <- [||]
+  else
+    for i = 0 to h.size - 1 do
+      junk h.data i
+    done;
   h.size <- 0
 
 let to_list h =

@@ -26,7 +26,8 @@ val peek : 'a t -> 'a option
 (** Return the minimum element without removing it. *)
 
 val clear : 'a t -> unit
-(** Remove all elements. *)
+(** Remove all elements. An oversized backing buffer is released;
+    otherwise it is kept (scrubbed) for reuse. *)
 
 val to_list : 'a t -> 'a list
 (** All elements in unspecified order (for inspection in tests). *)

@@ -26,7 +26,12 @@ type t = {
 
 type _ Effect.t += Suspend : ((unit -> unit) -> (unit -> unit)) -> unit Effect.t
 
-let counter = ref 0
+(* Domain-local pid counter: parallel replica domains must not race on
+   it, and [reset_ids] (per cluster) keeps pid sequences identical
+   across domain placements. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get counter := 0
 
 let id p = p.pid
 let name p = p.pname
@@ -45,6 +50,7 @@ let finish p e =
   List.iter (fun h -> h e) hooks
 
 let spawn engine ~name body =
+  let counter = Domain.DLS.get counter in
   incr counter;
   let p =
     {

@@ -27,7 +27,11 @@ val spawn : Engine.t -> name:string -> (unit -> unit) -> t
     current virtual instant (after already-queued events). *)
 
 val id : t -> int
-(** Unique id, assigned in spawn order. *)
+(** Unique id, assigned in spawn order from a domain-local counter. *)
+
+val reset_ids : unit -> unit
+(** Reset this domain's pid counter. Called per cluster so replica runs
+    see identical pid sequences whatever domain executes them. *)
 
 val name : t -> string
 (** The name given at spawn, for traces and error messages. *)

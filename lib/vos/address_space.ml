@@ -10,12 +10,19 @@ type t = {
   mutable dirty_count : int;
 }
 
-let next_id = ref 0
+(* Domain-local, so replica simulations running on parallel domains
+   neither race on the counter nor observe each other's allocations;
+   [reset_ids] (called per cluster) makes every replica see the same id
+   sequence whatever domain it lands on. *)
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_id := 0
 
 let pages_of ~page_bytes b = (b + page_bytes - 1) / page_bytes
 
 let create ?(page_bytes = 1024) ~code_bytes ~data_bytes ~active_bytes () =
   assert (page_bytes > 0);
+  let next_id = Domain.DLS.get next_id in
   incr next_id;
   let code_pages = pages_of ~page_bytes code_bytes in
   let data_pages = pages_of ~page_bytes data_bytes in
@@ -64,12 +71,21 @@ let is_dirty t p = p >= 0 && p < pages t && Bytes.get t.dirty p = '\001'
 let dirty_count t = t.dirty_count
 let dirty_bytes t = t.dirty_count * t.page_bytes
 
-let snapshot_dirty t =
-  let rec loop p acc =
-    if p < 0 then acc
-    else loop (p - 1) (if Bytes.get t.dirty p = '\001' then p :: acc else acc)
-  in
-  loop (pages t - 1) []
+let fold_dirty t ~init ~f =
+  let n = pages t in
+  let acc = ref init in
+  for p = 0 to n - 1 do
+    if Bytes.get t.dirty p = '\001' then acc := f !acc p
+  done;
+  !acc
+
+let iter_dirty t f =
+  let n = pages t in
+  for p = 0 to n - 1 do
+    if Bytes.get t.dirty p = '\001' then f p
+  done
+
+let snapshot_dirty t = List.rev (fold_dirty t ~init:[] ~f:(fun acc p -> p :: acc))
 
 let clear_dirty t =
   let n = t.dirty_count in

@@ -53,8 +53,22 @@ val dirty_count : t -> int
 
 val dirty_bytes : t -> int
 
+val fold_dirty : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the indices of dirty pages in ascending order, straight
+    off the bitmap — what migration's copy loops use, so a pre-copy
+    round allocates no intermediate page list. *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** Iterate the dirty page indices in ascending order. *)
+
 val snapshot_dirty : t -> int list
-(** Indices of dirty pages, ascending. *)
+(** Indices of dirty pages, ascending ([fold_dirty] materialized; prefer
+    the fold/iter forms on hot paths). *)
+
+val reset_ids : unit -> unit
+(** Reset this domain's address-space id counter. Ids are allocated from
+    a domain-local counter; {!Cluster.create} resets it so every replica
+    sees the same id sequence regardless of the domain it runs on. *)
 
 val clear_dirty : t -> int
 (** Clear all dirty bits, returning how many were set — one pre-copy

@@ -69,9 +69,16 @@ type Message.body +=
   | Ks_ok
   | Ks_refused of string
 
-let txn_counter = ref 0
+(* Domain-local transaction counter — see [Proc.reset_ids]: replica
+   simulations on parallel domains must not share it, and resetting it
+   per cluster keeps txn values (Hashtbl keys) identical across domain
+   placements. *)
+let txn_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_txn_ids () = Domain.DLS.get txn_counter := 0
 
 let fresh_txn () =
+  let txn_counter = Domain.DLS.get txn_counter in
   incr txn_counter;
   !txn_counter
 

@@ -57,6 +57,11 @@ val create :
     [memory_bytes] is the workstation's RAM (2 MB on the paper's SUNs),
     bounding what programs and reservations it can accommodate. *)
 
+val reset_txn_ids : unit -> unit
+(** Reset this domain's IPC transaction counter. Called per cluster so
+    replica runs see identical txn sequences whatever domain executes
+    them. *)
+
 val shutdown : t -> unit
 (** Crash the workstation: detach from the network, kill every resident
     process, and discard all volatile kernel state — binding cache,

@@ -135,6 +135,67 @@ let test_wire_time_padding () =
   Alcotest.(check int) "padded" 52 (Time.to_us (Ethernet.wire_time net 10));
   Alcotest.(check int) "1KB frame" 820 (Time.to_us (Ethernet.wire_time net 1024))
 
+(* {1 Recipient-cache invalidation}
+
+   Delivery uses cached sorted rosters (whole-wire and per-group); these
+   tests churn membership between cached deliveries to prove the caches
+   invalidate on attach, detach, subscribe, and unsubscribe. *)
+
+let test_roster_sees_late_attach () =
+  let e, net = make_net () in
+  let hits = ref 0 in
+  let _a = Ethernet.attach net (addr 1) (fun _ -> ()) in
+  let _b = Ethernet.attach net (addr 2) (fun _ -> incr hits) in
+  (* Prime the broadcast roster cache... *)
+  Ethernet.send net (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+  Engine.run e;
+  Alcotest.(check int) "first broadcast" 1 !hits;
+  (* ...then attach a new station and broadcast again: the stale roster
+     would miss it. *)
+  let _c = Ethernet.attach net (addr 3) (fun _ -> hits := !hits + 10) in
+  Ethernet.send net (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+  Engine.run e;
+  Alcotest.(check int) "late attach receives" 12 !hits
+
+let test_roster_detach_then_reattach () =
+  let e, net = make_net () in
+  let hits = ref 0 in
+  let _a = Ethernet.attach net (addr 1) (fun _ -> ()) in
+  let b = Ethernet.attach net (addr 2) (fun _ -> incr hits) in
+  Ethernet.send net (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+  Engine.run e;
+  Ethernet.detach b;
+  Ethernet.send net (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+  Engine.run e;
+  Alcotest.(check int) "detached station silent" 1 !hits;
+  (* Reboot: same address, fresh station — the cache must pick it up. *)
+  let _b' = Ethernet.attach net (addr 2) (fun _ -> hits := !hits + 10) in
+  Ethernet.send net (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+  Engine.run e;
+  Alcotest.(check int) "reattached station receives" 11 !hits
+
+let test_group_roster_churn () =
+  let e, net = make_net () in
+  let log = ref [] in
+  let _a = Ethernet.attach net (addr 1) (fun _ -> ()) in
+  let b = Ethernet.attach net (addr 2) (fun _ -> log := 2 :: !log) in
+  let c = Ethernet.attach net (addr 3) (fun _ -> log := 3 :: !log) in
+  let cast () =
+    Ethernet.send net (Frame.multicast ~src:(addr 1) ~group:77 ~bytes:64 (P 0));
+    Engine.run e
+  in
+  Ethernet.subscribe b 77;
+  cast ();
+  (* Membership flips between cached deliveries. *)
+  Ethernet.subscribe c 77;
+  cast ();
+  Ethernet.unsubscribe b 77;
+  cast ();
+  Ethernet.detach c;
+  cast ();
+  Alcotest.(check (list int))
+    "each delivery sees current membership" [ 2; 2; 3; 3 ] (List.rev !log)
+
 (* {1 Bulk transfers} *)
 
 let test_transfer_rate_calibration () =
@@ -288,6 +349,26 @@ let test_bridge_locate () =
   | `Unknown -> ()
   | _ -> Alcotest.fail "addr 9 is nowhere"
 
+let test_bridge_partition_sever_heal () =
+  (* Severing and healing the bridge between cached deliveries: the far
+     segment's roster must drop out and come back. *)
+  let e, a, b = make_bridged () in
+  let far = ref 0 in
+  let _s1 = Ethernet.attach a (addr 1) (fun _ -> ()) in
+  let _s2 = Ethernet.attach b (addr 2) (fun _ -> incr far) in
+  let cast () =
+    Ethernet.send a (Frame.broadcast ~src:(addr 1) ~bytes:64 (P 0));
+    Engine.run e
+  in
+  cast ();
+  Alcotest.(check int) "joined: crosses" 1 !far;
+  Ethernet.sever_bridge a b;
+  cast ();
+  Alcotest.(check int) "partitioned: stays local" 1 !far;
+  Ethernet.heal_bridge a b;
+  cast ();
+  Alcotest.(check int) "healed: crosses again" 2 !far
+
 let test_bridge_bulk_copy_occupies_both () =
   let e, a, b = make_bridged () in
   let _s1 = Ethernet.attach a (addr 1) (fun _ -> ()) in
@@ -323,6 +404,15 @@ let () =
             test_attach_duplicate_raises;
           Alcotest.test_case "oversize rejected" `Quick
             test_oversize_frame_rejected;
+        ] );
+      ( "roster cache",
+        [
+          Alcotest.test_case "late attach" `Quick test_roster_sees_late_attach;
+          Alcotest.test_case "detach then reattach" `Quick
+            test_roster_detach_then_reattach;
+          Alcotest.test_case "group churn" `Quick test_group_roster_churn;
+          Alcotest.test_case "partition sever/heal" `Quick
+            test_bridge_partition_sever_heal;
         ] );
       ( "medium",
         [
