@@ -7,6 +7,8 @@
      vsim sweep PROG [--seeds ..] [-j N]    replica sweep on OCaml 5 domains
      vsim usage [--minutes M]               the pool-of-processors scenario
      vsim programs                          the program catalogue
+     vsim fuzz [--seeds N] [-j N]           seeded scenario fuzzing under
+                                            the invariant monitors
 *)
 
 let sec = Time.of_sec
@@ -306,6 +308,78 @@ let programs_cmd () =
     Programs.all;
   0
 
+(* {1 fuzz} *)
+
+(* Deterministic simulation testing: each seed expands to a full random
+   scenario (cluster, jobs, migrations, faults) and runs under the
+   Monitors bundle. A failure prints the violated invariant plus the
+   exact command line that replays it. *)
+
+let fuzz_cmd count base_seed single jobs forwarding =
+  let rebind =
+    if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
+  in
+  let replay o =
+    Scenario.replay_hint o.Scenario.o_scenario
+    ^ if forwarding then " --forwarding" else ""
+  in
+  match single with
+  | Some seed ->
+      (* Verbose single-seed replay, with full violation windows. *)
+      let sc = Scenario.of_seed seed in
+      print_endline (Scenario.describe sc);
+      let o = Scenario.run ~rebind sc in
+      Printf.printf "%d events checked; %d job(s) completed, %d failed\n"
+        o.Scenario.o_events o.Scenario.o_completed o.Scenario.o_failed;
+      if o.Scenario.o_violations = [] then begin
+        print_endline "all invariants held";
+        0
+      end
+      else begin
+        List.iter
+          (fun v -> Format.printf "%a@." Monitors.pp_violation v)
+          o.Scenario.o_violations;
+        if o.Scenario.o_violations_dropped > 0 then
+          Printf.printf "(%d further violations not retained)\n"
+            o.Scenario.o_violations_dropped;
+        1
+      end
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let cell seed () = Scenario.run ~rebind (Scenario.of_seed seed) in
+      let results =
+        Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
+      in
+      let failed = ref 0 and events = ref 0 in
+      List.iter
+        (fun o ->
+          events := !events + o.Scenario.o_events;
+          if o.Scenario.o_violations <> [] then begin
+            incr failed;
+            Printf.printf "FAIL %s\n" (Scenario.describe o.Scenario.o_scenario);
+            List.iter
+              (fun v ->
+                Printf.printf "  [%s] at %s (event #%d): %s\n"
+                  v.Monitors.vi_monitor
+                  (Time.to_string v.Monitors.vi_at)
+                  v.Monitors.vi_seq v.Monitors.vi_detail)
+              o.Scenario.o_violations;
+            Printf.printf "  REPLAY: %s\n" (replay o)
+          end)
+        results;
+      Printf.eprintf "fuzz: %d seeds (base %d) on %d domain%s in %.2f s\n%!"
+        count base_seed jobs
+        (if jobs = 1 then "" else "s")
+        (Unix.gettimeofday () -. t0);
+      if !failed = 0 then begin
+        Printf.printf "fuzz: %d seeds passed, %d events checked\n" count !events;
+        0
+      end
+      else begin
+        Printf.printf "fuzz: %d of %d seeds FAILED\n" !failed count;
+        1
+      end
+
 (* {1 Command wiring} *)
 
 open Cmdliner
@@ -434,6 +508,50 @@ let programs_t =
     (Cmd.info "programs" ~doc:"List the paper's programs and their models.")
     Term.(const programs_cmd $ const ())
 
+let fuzz_t =
+  let count =
+    Arg.(
+      value & opt int 64
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to fuzz.")
+  in
+  let base =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"N"
+          ~doc:"First seed; seeds $(docv)..$(docv)+count-1 are run.")
+  in
+  let single =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"K"
+          ~doc:
+            "Replay the single seed $(docv) verbosely, printing each \
+             violation with its captured event window.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parrun.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains to fan seeds over (each seed is one replica).")
+  in
+  let forwarding =
+    Arg.(
+      value & flag
+      & info [ "forwarding" ]
+          ~doc:
+            "Rebind with Demos/MP-style forwarding addresses instead of the \
+             paper's broadcast re-query — an ablation the $(b,residual) \
+             monitor is expected to reject.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run randomly generated scenarios (seed = test case) under the \
+          online invariant monitors; failures print a replayable seed.")
+    Term.(const fuzz_cmd $ count $ base $ single $ jobs $ forwarding)
+
 let () =
   let info =
     Cmd.info "vsim" ~version:"1.0"
@@ -443,4 +561,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ exec_t; migrate_t; sweep_t; usage_t; programs_t ]))
+       (Cmd.group info
+          [ exec_t; migrate_t; sweep_t; usage_t; programs_t; fuzz_t ]))

@@ -1,0 +1,60 @@
+(** Online invariant monitors over the typed trace stream.
+
+    One {!attach} call subscribes a bundle of protocol monitors to a
+    tracer. Each monitor is an incremental automaton fed every record as
+    it is emitted — including records later evicted from the ring — and
+    files a {!violation} the instant a property breaks, capturing the
+    surrounding event window eagerly (the ring may have evicted it by
+    the time the run ends).
+
+    The catalog (see DESIGN.md §4d for the paper claims each encodes):
+
+    - {b clock}: event timestamps are monotone and sequence numbers
+      dense — the simulation never observes time running backwards.
+    - {b conservation}: every delivered frame names a prior send on the
+      same segment, no frame is delivered twice to one station, and no
+      delivery targets a station that has detached (crashed).
+    - {b convergence}: within one migration attempt, per-round pre-copy
+      byte counts never increase (Section 3.1.2's termination argument).
+    - {b freeze}: no CPU slice is served to a logical host between its
+      [Lh_frozen] and [Lh_unfrozen] events (Section 3.1.1's "frozen"
+      really means no guest progress).
+    - {b residual}: after [Mig_committed], the old host's copy of the
+      logical host is never heard from again — no request delivery, no
+      forwarding, no lifecycle event names (old host, lh) (Section 5's
+      no-residual-dependencies claim; the Demos/MP forwarding ablation
+      deliberately violates it). *)
+
+type violation = {
+  vi_monitor : string;  (** Catalog name, e.g. ["residual"]. *)
+  vi_at : Time.t;  (** Virtual instant of the offending event. *)
+  vi_seq : int;  (** Sequence number of the offending event. *)
+  vi_detail : string;  (** What broke, with the key values inline. *)
+  vi_window : Tracer.record list;
+      (** The offending event and up to 32 predecessors, oldest first,
+          captured at detection time. *)
+}
+
+type t
+
+val attach : Tracer.t -> t
+(** Subscribe the monitor bundle. Records already retained in the ring
+    are replayed first (so attaching right after cluster creation sees
+    the boot-time attach events); attach before any frames have been
+    evicted. *)
+
+val violations : t -> violation list
+(** In detection order. At most 16 are retained; see {!dropped}. *)
+
+val dropped : t -> int
+(** Violations beyond the retention cap, counted but not stored. *)
+
+val events_seen : t -> int
+
+val ok : t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Multi-line: header plus the captured event window. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** All retained violations, or a one-line all-clear. *)

@@ -1,0 +1,218 @@
+type target = Target_any | Target_host of int | Target_local
+
+type job = {
+  j_at : Time.t;
+  j_ws : int;
+  j_prog : string;
+  j_target : target;
+  j_migrate_after : Time.span option;
+  j_strategy : Protocol.strategy;
+}
+
+type t = {
+  sc_seed : int;
+  sc_workstations : int;
+  sc_bridged : int;
+  sc_jobs : job list;
+  sc_faults : Faults.plan;
+  sc_horizon : Time.t;
+}
+
+(* tex (30 cpu-seconds) is excluded: it rarely finishes inside a fuzz
+   horizon and only stretches wall time. *)
+let programs =
+  [|
+    "cc68";
+    "make";
+    "preprocessor";
+    "assembler";
+    "linking loader";
+    "optimizer";
+    "parser";
+  |]
+
+let arbitrary ?(seed = 0) rng =
+  let ws = 3 + Rng.int rng 6 in
+  let bridged = if Rng.bool rng 0.3 then 1 + Rng.int rng (ws / 2) else 0 in
+  let njobs = 1 + Rng.int rng 4 in
+  let jobs =
+    List.init njobs (fun _ ->
+        let j_at = Time.of_us (Rng.int rng 5_000_000) in
+        let j_ws = Rng.int rng ws in
+        let j_prog = programs.(Rng.int rng (Array.length programs)) in
+        let j_target =
+          match Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 | 5 -> Target_any
+          | 6 | 7 -> Target_host (Rng.int rng ws)
+          | _ -> Target_local
+        in
+        let j_migrate_after =
+          if Rng.bool rng 0.5 then
+            Some (Time.of_us (1_000_000 + Rng.int rng 4_000_000))
+          else None
+        in
+        let j_strategy =
+          if Rng.bool rng 0.25 then Protocol.Freeze_and_copy
+          else Protocol.Precopy
+        in
+        { j_at; j_ws; j_prog; j_target; j_migrate_after; j_strategy })
+  in
+  let fault_event () =
+    let host () = Printf.sprintf "ws%d" (Rng.int rng ws) in
+    let window lo_s span_s =
+      let start = Time.of_us (lo_s * 1_000_000 + Rng.int rng 4_000_000) in
+      let stop =
+        Time.add start (Time.of_us (1_000_000 + Rng.int rng (span_s * 1_000_000)))
+      in
+      (start, stop)
+    in
+    match Rng.int rng 4 with
+    | 0 ->
+        let h = host () in
+        let at = Time.of_us (2_000_000 + Rng.int rng 8_000_000) in
+        let crash = Faults.Crash_host { host = h; at } in
+        if Rng.bool rng 0.6 then
+          [
+            crash;
+            Faults.Reboot_host
+              {
+                host = h;
+                at = Time.add at (Time.of_us (2_000_000 + Rng.int rng 4_000_000));
+              };
+          ]
+        else [ crash ]
+    | 1 ->
+        let start, stop = window 1 5 in
+        [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
+    | 2 ->
+        let start, stop = window 1 8 in
+        [
+          Faults.Slow_host
+            {
+              host = host ();
+              factor = 2. +. float_of_int (Rng.int rng 6);
+              start;
+              stop;
+            };
+        ]
+    | _ ->
+        if bridged > 0 then begin
+          let start, stop = window 2 4 in
+          [ Faults.Partition_bridge { start; stop } ]
+        end
+        else begin
+          let start, stop = window 1 5 in
+          [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
+        end
+  in
+  let sc_faults = List.concat (List.init (Rng.int rng 3) (fun _ -> fault_event ())) in
+  {
+    sc_seed = seed;
+    sc_workstations = ws;
+    sc_bridged = bridged;
+    sc_jobs = jobs;
+    sc_faults;
+    sc_horizon = Time.of_sec (18. +. (4. *. float_of_int njobs));
+  }
+
+let of_seed seed = arbitrary ~seed (Rng.create seed)
+
+let describe sc =
+  let job_word (j : job) =
+    Printf.sprintf "%s@%s%s" j.j_prog
+      (match j.j_target with
+      | Target_any -> "*"
+      | Target_host h -> Printf.sprintf "ws%d" h
+      | Target_local -> "local")
+      (match j.j_migrate_after with
+      | Some d -> Printf.sprintf "+mig@%s" (Time.to_string d)
+      | None -> "")
+  in
+  Printf.sprintf "seed %d: %d ws (%d bridged), jobs [%s], faults [%s], horizon %s"
+    sc.sc_seed sc.sc_workstations sc.sc_bridged
+    (String.concat "; " (List.map job_word sc.sc_jobs))
+    (Format.asprintf "%a" Faults.pp_plan sc.sc_faults)
+    (Time.to_string sc.sc_horizon)
+
+let replay_hint sc = Printf.sprintf "vsim fuzz --seed %d" sc.sc_seed
+
+type outcome = {
+  o_scenario : t;
+  o_violations : Monitors.violation list;
+  o_violations_dropped : int;
+  o_events : int;
+  o_completed : int;
+  o_failed : int;
+}
+
+let launch cl (j : job) ~completed ~failed =
+  let eng = Cluster.engine cl in
+  let cfg = Cluster.cfg cl in
+  ignore
+    (Cluster.user cl ~ws:j.j_ws ~name:"fuzz-shell" (fun k self ->
+         let w = Cluster.workstation cl j.j_ws in
+         let env = Cluster.env_for cl w in
+         let target =
+           match j.j_target with
+           | Target_any -> Remote_exec.Any
+           | Target_local -> Remote_exec.Local
+           | Target_host h -> Remote_exec.Named (Printf.sprintf "ws%d" h)
+         in
+         match Remote_exec.exec k cfg ~self ~env ~prog:j.j_prog ~target with
+         | Error _ -> incr failed
+         | Ok h -> (
+             (match j.j_migrate_after with
+             | Some d ->
+                 Proc.sleep eng d;
+                 (* Address the manager by its stable pid: it stays put
+                    when the program moves (see Experiment). *)
+                 let pm =
+                   match Cluster.find_workstation cl h.Remote_exec.h_host with
+                   | Some w -> Program_manager.pid w.Cluster.ws_pm
+                   | None -> Ids.program_manager_of h.Remote_exec.h_lh
+                 in
+                 ignore
+                   (Kernel.send k ~src:self ~dst:pm
+                      (Message.make
+                         (Protocol.Pm_migrate
+                            {
+                              lh = Some h.Remote_exec.h_lh;
+                              dest = None;
+                              force_destroy = false;
+                              strategy = j.j_strategy;
+                            })))
+             | None -> ());
+             match Remote_exec.wait k ~self h with
+             | Ok _ -> incr completed
+             | Error _ -> incr failed)))
+
+let run ?(rebind = Os_params.Broadcast_query) sc =
+  let cfg =
+    let base = Config.default in
+    if base.Config.os.Os_params.rebind = rebind then base
+    else { base with Config.os = { base.Config.os with Os_params.rebind } }
+  in
+  let cl =
+    Cluster.create ~seed:sc.sc_seed ~workstations:sc.sc_workstations
+      ~bridged:sc.sc_bridged ~cfg ~trace:true
+      ?faults:(match sc.sc_faults with [] -> None | plan -> Some plan)
+      ()
+  in
+  let mon = Monitors.attach (Cluster.tracer cl) in
+  let eng = Cluster.engine cl in
+  let completed = ref 0 and failed = ref 0 in
+  List.iter
+    (fun j ->
+      ignore
+        (Engine.schedule eng ~at:j.j_at (fun () ->
+             launch cl j ~completed ~failed)))
+    sc.sc_jobs;
+  Cluster.run cl ~until:sc.sc_horizon;
+  {
+    o_scenario = sc;
+    o_violations = Monitors.violations mon;
+    o_violations_dropped = Monitors.dropped mon;
+    o_events = Tracer.seq (Cluster.tracer cl);
+    o_completed = !completed;
+    o_failed = !failed;
+  }

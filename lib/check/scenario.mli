@@ -1,0 +1,66 @@
+(** Seeded random scenarios for deterministic simulation testing.
+
+    A scenario is a complete experiment description — cluster size and
+    topology, a random mix of programs with random arrival times and
+    targets, optional mid-run migrations, and a {!Faults.plan} — drawn
+    from a single {!Rng.t}, FoundationDB style: the seed {e is} the test
+    case, and any failure replays exactly with [vsim fuzz --seed N].
+
+    {!run} executes the scenario in a fresh cluster with the
+    {!Monitors} bundle attached and reports every invariant violation
+    together with its captured event window. *)
+
+type target = Target_any | Target_host of int | Target_local
+
+type job = {
+  j_at : Time.t;  (** Submission instant. *)
+  j_ws : int;  (** Submitting workstation index. *)
+  j_prog : string;  (** A {!Programs} table name. *)
+  j_target : target;
+  j_migrate_after : Time.span option;
+      (** If set, ask the program's manager to migrate it (to any
+          volunteer) this long after it started. *)
+  j_strategy : Protocol.strategy;
+}
+
+type t = {
+  sc_seed : int;  (** Also seeds the cluster RNG. *)
+  sc_workstations : int;
+  sc_bridged : int;
+  sc_jobs : job list;
+  sc_faults : Faults.plan;
+  sc_horizon : Time.t;
+}
+
+val arbitrary : ?seed:int -> Rng.t -> t
+(** Draw a scenario: 3–8 workstations (possibly split over a bridge),
+    1–4 jobs over a mix of program sizes, arrivals in the first five
+    virtual seconds, roughly half the jobs migrated mid-run, and 0–2
+    fault events (crash/reboot pairs, loss windows, host slowdowns, and
+    — on bridged clusters — partitions). [seed] is recorded in
+    [sc_seed] for replay (default 0). *)
+
+val of_seed : int -> t
+(** [arbitrary ~seed (Rng.create seed)]. *)
+
+val describe : t -> string
+(** One-line summary for failure reports. *)
+
+type outcome = {
+  o_scenario : t;
+  o_violations : Monitors.violation list;
+  o_violations_dropped : int;
+  o_events : int;  (** Typed events emitted over the run. *)
+  o_completed : int;  (** Jobs that ran to completion in the horizon. *)
+  o_failed : int;  (** Jobs refused, killed by faults, or timed out. *)
+}
+
+val run : ?rebind:Os_params.rebind_mode -> t -> outcome
+(** Execute in a fresh cluster (tracing on, monitors attached) until the
+    horizon. [rebind] defaults to the paper's [Broadcast_query];
+    [Forwarding] selects the Demos/MP ablation, whose forwarding
+    addresses are exactly the residual dependency the [residual]
+    monitor rejects — the built-in mutation test. *)
+
+val replay_hint : t -> string
+(** The command line that reproduces this scenario. *)

@@ -102,18 +102,27 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
   Address_space.reset_ids ();
   let eng = Engine.create () in
   let c_rng = Rng.create seed in
-  let c_net = Ethernet.create ~config:net_config eng (Rng.split c_rng) in
+  (* The tracer exists before the networks so they can emit typed frame
+     events; it consumes no randomness, so creating it early does not
+     perturb the RNG split sequence. *)
+  let c_tracer = Tracer.create eng in
+  Tracer.set_enabled c_tracer trace;
+  let c_net =
+    Ethernet.create ~config:net_config ~tracer:c_tracer ~seg:0 eng
+      (Rng.split c_rng)
+  in
   (* An optional second segment behind a store-and-forward bridge. *)
   let far_net =
     if bridged = 0 then c_net
     else begin
-      let n = Ethernet.create ~config:net_config eng (Rng.split c_rng) in
+      let n =
+        Ethernet.create ~config:net_config ~tracer:c_tracer ~seg:1 eng
+          (Rng.split c_rng)
+      in
       Ethernet.bridge c_net n ~forward_delay:bridge_delay;
       n
     end
   in
-  let c_tracer = Tracer.create eng in
-  Tracer.set_enabled c_tracer trace;
   let alloc = Ids.Lh_allocator.create () in
   let c_ctx = Context.of_kernels () in
   let boot_kernel ?(net = c_net) ~station ~host_name ~memory () =

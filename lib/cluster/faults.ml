@@ -1,3 +1,19 @@
+(* Typed trace event, one per injected action (window edges included),
+   so monitors and post-mortems can correlate violations with the fault
+   that provoked them. *)
+type Tracer.event += Fault_injected of { kind : string; detail : string }
+
+let () =
+  Tracer.register_view (function
+    | Fault_injected { kind; detail } ->
+        Some
+          {
+            Tracer.v_cat = "fault";
+            v_type = "injected";
+            v_fields = [ ("kind", Tracer.Str kind); ("detail", Str detail) ];
+          }
+    | _ -> None)
+
 type event =
   | Crash_host of { host : string; at : Time.t }
   | Reboot_host of { host : string; at : Time.t }
@@ -149,11 +165,12 @@ let injected t = t.injected
 
 let install eng trc hooks plan =
   let t = { injected = 0 } in
-  let fire fmt =
+  let fire kind fmt =
     Format.kasprintf
-      (fun m ->
+      (fun detail ->
         t.injected <- t.injected + 1;
-        Tracer.record trc ~category:"fault" m)
+        if Tracer.enabled trc then
+          Tracer.emit trc (Fault_injected { kind; detail }))
       fmt
   in
   let at when_ f = ignore (Engine.schedule eng ~at:when_ f) in
@@ -161,33 +178,33 @@ let install eng trc hooks plan =
     (function
       | Crash_host { host; at = when_ } ->
           at when_ (fun () ->
-              fire "crash %s" host;
+              fire "crash" "%s" host;
               hooks.h_crash host)
       | Reboot_host { host; at = when_ } ->
           at when_ (fun () ->
-              fire "reboot %s" host;
+              fire "reboot" "%s" host;
               hooks.h_reboot host)
       | Loss_window { p; start; stop } ->
           at start (fun () ->
-              fire "loss window opens: p=%.4f" p;
+              fire "loss" "window opens: p=%.4f" p;
               hooks.h_loss p);
           at stop (fun () ->
               let base = hooks.h_base_loss () in
-              fire "loss window closes: p=%.4f" base;
+              fire "loss" "window closes: p=%.4f" base;
               hooks.h_loss base)
       | Partition_bridge { start; stop } ->
           at start (fun () ->
-              fire "bridge severed";
+              fire "partition" "bridge severed";
               hooks.h_partition ~up:false);
           at stop (fun () ->
-              fire "bridge healed";
+              fire "partition" "bridge healed";
               hooks.h_partition ~up:true)
       | Slow_host { host; factor; start; stop } ->
           at start (fun () ->
-              fire "slow %s x%.1f" host factor;
+              fire "slow" "%s x%.1f" host factor;
               hooks.h_slow host factor);
           at stop (fun () ->
-              fire "slow %s ends" host;
+              fire "slow" "%s ends" host;
               hooks.h_slow host 1.0))
     plan;
   t

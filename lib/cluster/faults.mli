@@ -65,6 +65,9 @@ type hooks = {
       (** Set a host's CPU slowdown factor; [1.0] restores nominal. *)
 }
 
+(** Typed trace event, one per injected action (window edges included). *)
+type Tracer.event += Fault_injected of { kind : string; detail : string }
+
 type t
 (** An installed plan. *)
 

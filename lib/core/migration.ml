@@ -8,6 +8,97 @@ let pp_error ppf = function
   | Refused m -> Format.fprintf ppf "refused: %s" m
   | Transfer_failed m -> Format.fprintf ppf "transfer failed: %s" m
 
+(* Typed phase-transition events. Rounds are numbered from 1 (the
+   initial full copy); per-round events are emitted as each round's
+   acknowledgement lands, so monitors see them interleaved with the
+   guest's own activity. The convergence monitor asserts the emitted
+   [bytes] sequence is non-increasing. *)
+type Tracer.event +=
+  | Mig_start of {
+      lh : Ids.lh_id;
+      prog : string;
+      from_host : string;
+      strategy : string;
+    }
+  | Mig_dest of { lh : Ids.lh_id; dest : string }
+  | Mig_round of { lh : Ids.lh_id; round : int; bytes : int; span : Time.span }
+  | Mig_frozen_residue of { lh : Ids.lh_id; bytes : int }
+  | Mig_committed of {
+      lh : Ids.lh_id;
+      from_host : string;
+      dest : string;
+      freeze : Time.span;
+    }
+  | Mig_aborted of { lh : Ids.lh_id; reason : string }
+
+let () =
+  Tracer.register_view (function
+    | Mig_start { lh; prog; from_host; strategy } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "start";
+            v_fields =
+              [
+                ("lh", Tracer.Int lh);
+                ("prog", Str prog);
+                ("from", Str from_host);
+                ("strategy", Str strategy);
+              ];
+          }
+    | Mig_dest { lh; dest } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "dest";
+            v_fields = [ ("lh", Tracer.Int lh); ("dest", Str dest) ];
+          }
+    | Mig_round { lh; round; bytes; span } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "round";
+            v_fields =
+              [
+                ("lh", Tracer.Int lh);
+                ("round", Int round);
+                ("bytes", Int bytes);
+                ("span", Span span);
+              ];
+          }
+    | Mig_frozen_residue { lh; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "frozen_residue";
+            v_fields = [ ("lh", Tracer.Int lh); ("bytes", Int bytes) ];
+          }
+    | Mig_committed { lh; from_host; dest; freeze } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "committed";
+            v_fields =
+              [
+                ("lh", Tracer.Int lh);
+                ("from", Str from_host);
+                ("dest", Str dest);
+                ("freeze", Span freeze);
+              ];
+          }
+    | Mig_aborted { lh; reason } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "aborted";
+            v_fields = [ ("lh", Tracer.Int lh); ("reason", Str reason) ];
+          }
+    | _ -> None)
+
+let ev kernel mk =
+  let trc = Kernel.tracer kernel in
+  if Tracer.enabled trc then Tracer.emit trc (mk ())
+
 let kernel_state_span (cfg : Config.t) lh =
   let objects =
     Logical_host.process_count lh + List.length (Logical_host.spaces lh)
@@ -57,6 +148,14 @@ let rec precopy_rounds kernel (cfg : Config.t) ~self ~temp_lh ~lh ~k
         let round =
           { Protocol.r_bytes = residue; r_span = Time.sub (Engine.now eng) t0 }
         in
+        ev kernel (fun () ->
+            Mig_round
+              {
+                lh = Logical_host.id lh;
+                round = k + 1;
+                bytes = residue;
+                span = round.Protocol.r_span;
+              });
         precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:(k + 1)
           ~last_residue:residue (round :: acc)
   end
@@ -79,6 +178,14 @@ let run_copy_phase kernel cfg ~self ~temp_lh ~lh strategy =
           let first =
             { Protocol.r_bytes = total; r_span = Time.sub (Engine.now eng) t0 }
           in
+          ev kernel (fun () ->
+              Mig_round
+                {
+                  lh = Logical_host.id lh;
+                  round = 1;
+                  bytes = total;
+                  span = first.Protocol.r_span;
+                });
           precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:1 ~last_residue:total
             [ first ])
 
@@ -112,7 +219,28 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
   let my_host = Kernel.host_name kernel in
   let t_start = Engine.now eng in
   program.Progtable.p_status <- Progtable.Migrating;
+  ev kernel (fun () ->
+      Mig_start
+        {
+          lh = lh_id;
+          prog = program.Progtable.p_spec.Programs.prog_name;
+          from_host = my_host;
+          strategy = Protocol.strategy_name strategy;
+        });
   let finish_with result =
+    (match result with
+    | Ok o ->
+        ev kernel (fun () ->
+            Mig_committed
+              {
+                lh = lh_id;
+                from_host = my_host;
+                dest = o.Protocol.m_dest;
+                freeze = Time.sub o.Protocol.m_resumed_at o.Protocol.m_freeze_start;
+              })
+    | Error (e, _) ->
+        ev kernel (fun () ->
+            Mig_aborted { lh = lh_id; reason = Format.asprintf "%a" pp_error e }));
     (match program.Progtable.p_status with
     | Progtable.Migrating -> program.Progtable.p_status <- Progtable.Running
     | _ -> ());
@@ -131,6 +259,8 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
   match dest with
   | Error e -> finish_with (Error (e, None))
   | Ok dest -> (
+      ev kernel (fun () ->
+          Mig_dest { lh = lh_id; dest = dest.Scheduler.s_host });
       trace "step 1: %s (%a) will take %a" dest.Scheduler.s_host Ids.pp_pid
         dest.Scheduler.s_pm Ids.pp_lh lh_id;
       (* Step 2: initialize the new host under a temporary id. *)
@@ -172,6 +302,8 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
                 | Protocol.Precopy | Protocol.Vm_flush _ ->
                     Logical_host.clear_dirty lh
               in
+              ev kernel (fun () ->
+                  Mig_frozen_residue { lh = lh_id; bytes = final_bytes });
               trace "step 4: frozen; copying %d KB residue + kernel state"
                 (final_bytes / 1024);
               Kernel.bulk_transfer

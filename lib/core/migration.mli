@@ -36,6 +36,30 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** Typed phase-transition events, one per protocol step. Rounds number
+    from 1 (the initial full copy) and are emitted as each round's
+    acknowledgement lands; the emitted [bytes] sequence is non-increasing
+    (the paper's convergence claim, checked online by v_check).
+    [Mig_committed] carries the actual freeze window; every failure path
+    emits [Mig_aborted] instead. *)
+type Tracer.event +=
+  | Mig_start of {
+      lh : Ids.lh_id;
+      prog : string;
+      from_host : string;
+      strategy : string;
+    }
+  | Mig_dest of { lh : Ids.lh_id; dest : string }
+  | Mig_round of { lh : Ids.lh_id; round : int; bytes : int; span : Time.span }
+  | Mig_frozen_residue of { lh : Ids.lh_id; bytes : int }
+  | Mig_committed of {
+      lh : Ids.lh_id;
+      from_host : string;
+      dest : string;
+      freeze : Time.span;
+    }
+  | Mig_aborted of { lh : Ids.lh_id; reason : string }
+
 val migrate :
   kernel:Kernel.t ->
   cfg:Config.t ->

@@ -6,22 +6,83 @@ type selection = {
   s_responded_in : Time.span;
 }
 
-let selection_of_reply ~asked_at eng (pm, (m : Message.t)) =
+(* Typed trace events: one [Sched_query] per multicast offer, one
+   [Sched_bid] per volunteer heard, one [Sched_select] when a
+   destination is committed to. [host] is always the querying host. *)
+type Tracer.event +=
+  | Sched_query of { host : string; bytes : int }
+  | Sched_bid of {
+      host : string;
+      bidder : string;
+      free_memory : int;
+      guests : int;
+      responded_in : Time.span;
+    }
+  | Sched_select of { host : string; dest : string }
+
+let () =
+  Tracer.register_view (function
+    | Sched_query { host; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "sched";
+            v_type = "query";
+            v_fields = [ ("host", Tracer.Str host); ("bytes", Int bytes) ];
+          }
+    | Sched_bid { host; bidder; free_memory; guests; responded_in } ->
+        Some
+          {
+            Tracer.v_cat = "sched";
+            v_type = "bid";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("bidder", Str bidder);
+                ("free_memory", Int free_memory);
+                ("guests", Int guests);
+                ("responded_in", Span responded_in);
+              ];
+          }
+    | Sched_select { host; dest } ->
+        Some
+          {
+            Tracer.v_cat = "sched";
+            v_type = "select";
+            v_fields = [ ("host", Tracer.Str host); ("dest", Str dest) ];
+          }
+    | _ -> None)
+
+let ev k mk =
+  let trc = Kernel.tracer k in
+  if Tracer.enabled trc then Tracer.emit trc (mk ())
+
+let selection_of_reply ~asked_at k (pm, (m : Message.t)) =
   match m.Message.body with
   | Protocol.Pm_candidate { host; free_memory; guests } ->
+      let responded_in = Time.sub (Engine.now (Kernel.engine k)) asked_at in
+      ev k (fun () ->
+          Sched_bid
+            {
+              host = Kernel.host_name k;
+              bidder = host;
+              free_memory;
+              guests;
+              responded_in;
+            });
       Some
         {
           s_pm = pm;
           s_host = host;
           s_free_memory = free_memory;
           s_guests = guests;
-          s_responded_in = Time.sub (Engine.now eng) asked_at;
+          s_responded_in = responded_in;
         }
   | _ -> None
 
 let select_any ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in
+  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
   let c =
     Kernel.send_group k ~src:self ~group:Ids.program_manager_group
       (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
@@ -29,13 +90,17 @@ let select_any ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
   match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
   | None -> Error "no idle workstation volunteered"
   | Some reply -> (
-      match selection_of_reply ~asked_at eng reply with
-      | Some s -> Ok s
+      match selection_of_reply ~asked_at k reply with
+      | Some s ->
+          ev k (fun () ->
+              Sched_select { host = Kernel.host_name k; dest = s.s_host });
+          Ok s
       | None -> Error "malformed candidate reply")
 
 let select_host k (cfg : Config.t) ~self ~host =
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in
+  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes = 0 });
   let c =
     Kernel.send_group k ~src:self ~group:Ids.program_manager_group
       (Message.make (Protocol.Pm_query_host { host }))
@@ -43,18 +108,21 @@ let select_host k (cfg : Config.t) ~self ~host =
   match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
   | None -> Error (Printf.sprintf "host %s did not respond" host)
   | Some reply -> (
-      match selection_of_reply ~asked_at eng reply with
-      | Some s -> Ok s
+      match selection_of_reply ~asked_at k reply with
+      | Some s ->
+          ev k (fun () ->
+              Sched_select { host = Kernel.host_name k; dest = s.s_host });
+          Ok s
       | None -> Error "malformed candidate reply")
 
 let candidates ?(exclude = []) k (cfg : Config.t) ~self ~bytes ~window =
   ignore cfg;
-  let eng = Kernel.engine k in
-  let asked_at = Engine.now eng in
+  let asked_at = Engine.now (Kernel.engine k) in
+  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
   let c =
     Kernel.send_group k ~src:self ~group:Ids.program_manager_group
       (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
   in
   List.filter_map
-    (selection_of_reply ~asked_at eng)
+    (selection_of_reply ~asked_at k)
     (Kernel.collect_within k c ~window)

@@ -9,6 +9,21 @@
     systems." (Section 2.1.) There is no central queue and no global
     state: selection is one multicast and the first answer. *)
 
+(** Typed trace events: one [Sched_query] per multicast offer request,
+    one [Sched_bid] per volunteer heard (in response order), one
+    [Sched_select] when a destination is committed to. [host] is the
+    querying host; [Sched_query.bytes] is 0 for named-host queries. *)
+type Tracer.event +=
+  | Sched_query of { host : string; bytes : int }
+  | Sched_bid of {
+      host : string;
+      bidder : string;
+      free_memory : int;
+      guests : int;
+      responded_in : Time.span;
+    }
+  | Sched_select of { host : string; dest : string }
+
 type selection = {
   s_pm : Ids.pid;  (** Program manager to send the creation request to. *)
   s_host : string;

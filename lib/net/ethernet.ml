@@ -15,6 +15,94 @@ let default_config =
     loss_probability = 0.;
   }
 
+(* Typed trace events. [seg] identifies the segment, [frame] is a
+   per-segment transmission id: a bridged relay is a fresh transmission
+   on the peer wire, so per-segment conservation (every delivery names a
+   prior send) holds even across the store-and-forward bridge. *)
+type Tracer.event +=
+  | Frame_sent of {
+      seg : int;
+      frame : int;
+      src : Addr.t;
+      dst : Frame.dst;
+      bytes : int;
+    }
+  | Frame_dropped of {
+      seg : int;
+      frame : int;
+      src : Addr.t;
+      dst : Frame.dst;
+      bytes : int;
+    }
+  | Frame_delivered of { seg : int; frame : int; dst : Addr.t }
+  | Station_attached of { seg : int; addr : Addr.t }
+  | Station_detached of { seg : int; addr : Addr.t }
+
+let dst_string = function
+  | Frame.Unicast a -> Addr.to_string a
+  | Frame.Broadcast -> "*"
+  | Frame.Multicast g -> Printf.sprintf "group:%d" g
+
+let () =
+  Tracer.register_view (function
+    | Frame_sent { seg; frame; src; dst; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "net";
+            v_type = "frame_sent";
+            v_fields =
+              [
+                ("seg", Tracer.Int seg);
+                ("frame", Int frame);
+                ("src", Str (Addr.to_string src));
+                ("dst", Str (dst_string dst));
+                ("bytes", Int bytes);
+              ];
+          }
+    | Frame_dropped { seg; frame; src; dst; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "net";
+            v_type = "frame_dropped";
+            v_fields =
+              [
+                ("seg", Tracer.Int seg);
+                ("frame", Int frame);
+                ("src", Str (Addr.to_string src));
+                ("dst", Str (dst_string dst));
+                ("bytes", Int bytes);
+              ];
+          }
+    | Frame_delivered { seg; frame; dst } ->
+        Some
+          {
+            Tracer.v_cat = "net";
+            v_type = "frame_delivered";
+            v_fields =
+              [
+                ("seg", Tracer.Int seg);
+                ("frame", Int frame);
+                ("dst", Str (Addr.to_string dst));
+              ];
+          }
+    | Station_attached { seg; addr } ->
+        Some
+          {
+            Tracer.v_cat = "net";
+            v_type = "station_attached";
+            v_fields =
+              [ ("seg", Tracer.Int seg); ("addr", Str (Addr.to_string addr)) ];
+          }
+    | Station_detached { seg; addr } ->
+        Some
+          {
+            Tracer.v_cat = "net";
+            v_type = "station_detached";
+            v_fields =
+              [ ("seg", Tracer.Int seg); ("addr", Str (Addr.to_string addr)) ];
+          }
+    | _ -> None)
+
 type 'p station = {
   net : 'p t;
   addr : Addr.t;
@@ -43,9 +131,14 @@ and 'p t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  trc : Tracer.t option;
+  seg : int;
+  mutable next_frame : int;
+      (* Frame ids advance on every transmission, traced or not, so a
+         run's ids are stable no matter when tracing was toggled. *)
 }
 
-let create ?(config = default_config) eng rng =
+let create ?(config = default_config) ?tracer ?(seg = 0) eng rng =
   {
     eng;
     rng;
@@ -59,7 +152,17 @@ let create ?(config = default_config) eng rng =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    trc = tracer;
+    seg;
+    next_frame = 0;
   }
+
+(* Trace helper: the thunk defers event allocation to the enabled case,
+   keeping disabled-tracer runs allocation-free on the frame path. *)
+let ev t mk =
+  match t.trc with
+  | Some trc when Tracer.enabled trc -> Tracer.emit trc (mk ())
+  | _ -> ()
 
 let engine t = t.eng
 let config t = t.cfg
@@ -80,13 +183,15 @@ let attach t addr rx =
   let s = { net = t; addr; rx; groups = Hashtbl.create 4; live = true } in
   Hashtbl.replace t.stations key s;
   t.roster <- None;
+  ev t (fun () -> Station_attached { seg = t.seg; addr });
   s
 
 let detach s =
   s.live <- false;
   s.net.roster <- None;
   Hashtbl.iter (fun g () -> Hashtbl.remove s.net.group_rosters g) s.groups;
-  Hashtbl.remove s.net.stations (Addr.to_int s.addr)
+  Hashtbl.remove s.net.stations (Addr.to_int s.addr);
+  ev s.net (fun () -> Station_detached { seg = s.net.seg; addr = s.addr })
 
 let attached s = s.live
 
@@ -213,14 +318,38 @@ let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
          frame.Frame.bytes t.cfg.max_frame_bytes);
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + frame.Frame.bytes;
+  let fid = t.next_frame in
+  t.next_frame <- t.next_frame + 1;
+  ev t (fun () ->
+      Frame_sent
+        {
+          seg = t.seg;
+          frame = fid;
+          src = frame.Frame.src;
+          dst = frame.Frame.dst;
+          bytes = frame.Frame.bytes;
+        });
   let clear = reserve t frame.Frame.bytes in
-  if Rng.bool t.rng t.cfg.loss_probability then t.dropped <- t.dropped + 1
+  if Rng.bool t.rng t.cfg.loss_probability then begin
+    t.dropped <- t.dropped + 1;
+    ev t (fun () ->
+        Frame_dropped
+          {
+            seg = t.seg;
+            frame = fid;
+            src = frame.Frame.src;
+            dst = frame.Frame.dst;
+            bytes = frame.Frame.bytes;
+          })
+  end
   else begin
     let deliver_at = Time.add clear t.cfg.propagation in
     ignore
       (Engine.schedule t.eng ~at:deliver_at (fun () ->
            iter_recipients t frame (fun s ->
                t.delivered <- t.delivered + 1;
+               ev t (fun () ->
+                   Frame_delivered { seg = t.seg; frame = fid; dst = s.addr });
                s.rx frame)));
     (* Store-and-forward relay onto bridged segments: a single hop, after
        the frame has cleared this wire plus the bridge delay. *)

@@ -26,8 +26,38 @@ type 'p t
 type 'p station
 (** One attached host interface. *)
 
-val create : ?config:config -> Engine.t -> Rng.t -> 'p t
-(** A fresh segment. The RNG drives loss decisions only. *)
+(** {1 Typed trace events}
+
+    [seg] names the segment ({!create}'s [seg] label); [frame] is a
+    per-segment transmission id, fresh per wire occupation — a bridged
+    relay re-sends under a new id on the peer segment, so within one
+    segment every [Frame_delivered] names an earlier [Frame_sent]
+    (message conservation, checked online by the v_check monitors).
+    Deliveries are emitted per recipient, before the receive callback
+    runs, and only for stations still attached at delivery time. *)
+type Tracer.event +=
+  | Frame_sent of {
+      seg : int;
+      frame : int;
+      src : Addr.t;
+      dst : Frame.dst;
+      bytes : int;
+    }
+  | Frame_dropped of {
+      seg : int;
+      frame : int;
+      src : Addr.t;
+      dst : Frame.dst;
+      bytes : int;
+    }
+  | Frame_delivered of { seg : int; frame : int; dst : Addr.t }
+  | Station_attached of { seg : int; addr : Addr.t }
+  | Station_detached of { seg : int; addr : Addr.t }
+
+val create : ?config:config -> ?tracer:Tracer.t -> ?seg:int -> Engine.t -> Rng.t -> 'p t
+(** A fresh segment. The RNG drives loss decisions only. [tracer]
+    receives the typed events above; [seg] (default 0) labels them.
+    Bulk occupations ({!occupy}) are not framed and emit nothing. *)
 
 val engine : 'p t -> Engine.t
 val config : 'p t -> config

@@ -1,6 +1,6 @@
-(* Minimal JSON support for BENCH_results.json: enough of an emitter and
-   a recursive-descent parser to write the perf baseline and smoke-check
-   that it parses, without adding a dependency. *)
+(* Minimal JSON support: enough of an emitter and a recursive-descent
+   parser for the bench baseline (BENCH_results.json) and the tracer's
+   JSONL export, without adding a dependency. *)
 
 type t =
   | Null
@@ -70,6 +70,34 @@ let to_string v =
   let buf = Buffer.create 4096 in
   emit buf ~indent:0 v;
   Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Single-line form, one JSON value with no trailing newline — the JSONL
+   building block. *)
+let rec emit_compact buf v =
+  match v with
+  | Null | Bool _ | Num _ | Str _ -> emit buf ~indent:0 v
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape k));
+          emit_compact buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_compact_string v =
+  let buf = Buffer.create 256 in
+  emit_compact buf v;
   Buffer.contents buf
 
 (* {1 Parsing} *)

@@ -1,0 +1,25 @@
+(** Minimal JSON: an emitter and a strict recursive-descent parser.
+
+    Serves the bench baseline ([BENCH_results.json]) and the tracer's
+    JSONL export without pulling in a dependency. Numbers are floats;
+    integers round-trip exactly up to 2{^53}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), trailing newline. *)
+
+val to_compact_string : t -> string
+(** Single line, no spaces, no trailing newline — for JSONL. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)

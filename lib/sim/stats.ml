@@ -15,10 +15,20 @@ module Summary = struct
     mutable sum_sq : float;
     mutable lo : float;
     mutable hi : float;
+    mutable sorted : float array option;
+        (* cached sorted view; stale (None) after any [record] *)
   }
 
   let create () =
-    { rev_samples = []; n = 0; sum = 0.; sum_sq = 0.; lo = infinity; hi = neg_infinity }
+    {
+      rev_samples = [];
+      n = 0;
+      sum = 0.;
+      sum_sq = 0.;
+      lo = infinity;
+      hi = neg_infinity;
+      sorted = None;
+    }
 
   let record t x =
     t.rev_samples <- x :: t.rev_samples;
@@ -26,7 +36,8 @@ module Summary = struct
     t.sum <- t.sum +. x;
     t.sum_sq <- t.sum_sq +. (x *. x);
     if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x
+    if x > t.hi then t.hi <- x;
+    t.sorted <- None
 
   let count t = t.n
   let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
@@ -41,11 +52,19 @@ module Summary = struct
   let min t = if t.n = 0 then nan else t.lo
   let max t = if t.n = 0 then nan else t.hi
 
+  let sorted_samples t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.rev_samples in
+        Array.sort Float.compare a;
+        t.sorted <- Some a;
+        a
+
   let percentile t p =
     if t.n = 0 then nan
     else begin
-      let a = Array.of_list t.rev_samples in
-      Array.sort Float.compare a;
+      let a = sorted_samples t in
       let rank =
         int_of_float (Float.round (p /. 100. *. float_of_int (t.n - 1)))
       in

@@ -1,33 +1,199 @@
-type entry = { at : Time.t; category : string; message : string }
+type event = ..
+type event += Text of { category : string; message : string }
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Span of Time.t
+
+type view = {
+  v_cat : string;
+  v_type : string;
+  v_fields : (string * value) list;
+}
+
+(* Global view registry. Each layer registers its viewer when its module
+   initializes; an event can only reach a tracer if its defining module
+   is linked, which guarantees the viewer is registered by then. *)
+let viewers : (event -> view option) list ref = ref []
+
+let register_view f = viewers := !viewers @ [ f ]
+
+let view ev =
+  match ev with
+  | Text { category; message } ->
+      { v_cat = category; v_type = "text"; v_fields = [ ("msg", Str message) ] }
+  | _ ->
+      let rec first = function
+        | [] -> { v_cat = "?"; v_type = "opaque"; v_fields = [] }
+        | f :: rest -> ( match f ev with Some v -> v | None -> first rest)
+      in
+      first !viewers
+
+let pp_value ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Span t -> Format.pp_print_string ppf (Time.to_string t)
+
+let message_of ev =
+  match ev with
+  | Text { message; _ } -> message
+  | _ ->
+      let v = view ev in
+      Format.asprintf "%s%a" v.v_type
+        (fun ppf fields ->
+          List.iter
+            (fun (k, value) -> Format.fprintf ppf " %s=%a" k pp_value value)
+            fields)
+        v.v_fields
+
+type record = { at : Time.t; seq : int; ev : event }
 
 type t = {
   engine : Engine.t;
   mutable on : bool;
-  mutable rev_entries : entry list;
+  capacity : int;
+  mutable buf : record array; (* ring; empty until first emit *)
+  mutable start : int; (* index of oldest retained record *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable evicted : int;
+  mutable subscribers : (record -> unit) list; (* reversed *)
 }
 
-let create engine = { engine; on = true; rev_entries = [] }
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) engine =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
+  {
+    engine;
+    on = true;
+    capacity;
+    buf = [||];
+    start = 0;
+    len = 0;
+    next_seq = 0;
+    evicted = 0;
+    subscribers = [];
+  }
 
 let enabled t = t.on
 let set_enabled t on = t.on <- on
+let seq t = t.next_seq
+let dropped t = t.evicted
+
+let on_event t f = t.subscribers <- f :: t.subscribers
+
+let push t r =
+  if Array.length t.buf = 0 then t.buf <- Array.make t.capacity r;
+  if t.len < t.capacity then begin
+    t.buf.((t.start + t.len) mod t.capacity) <- r;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot. *)
+    t.buf.(t.start) <- r;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.evicted <- t.evicted + 1
+  end
+
+let emit t ev =
+  if t.on then begin
+    let r = { at = Engine.now t.engine; seq = t.next_seq; ev } in
+    t.next_seq <- t.next_seq + 1;
+    push t r;
+    (* Registration order: the list is consed, so fold from the right. *)
+    List.iter (fun f -> f r) (List.rev t.subscribers)
+  end
 
 let record t ~category message =
-  if t.on then
-    t.rev_entries <-
-      { at = Engine.now t.engine; category; message } :: t.rev_entries
+  if t.on then emit t (Text { category; message })
 
 let recordf t ~category fmt =
   Format.kasprintf (fun message -> record t ~category message) fmt
 
-let entries t = List.rev t.rev_entries
+let fold_records t f acc =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.buf.((t.start + i) mod t.capacity)
+  done;
+  !acc
+
+let records t = List.rev (fold_records t (fun acc r -> r :: acc) [])
+
+let records_between t ~lo ~hi =
+  List.rev
+    (fold_records t
+       (fun acc r -> if r.seq >= lo && r.seq <= hi then r :: acc else acc)
+       [])
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.buf <- [||]
+
+(* {2 Legacy string view} *)
+
+type entry = { at : Time.t; category : string; message : string }
+
+let entry_of_record (r : record) =
+  { at = r.at; category = (view r.ev).v_cat; message = message_of r.ev }
+
+let entries t =
+  List.rev (fold_records t (fun acc r -> entry_of_record r :: acc) [])
 
 let by_category t category =
-  List.filter (fun e -> String.equal e.category category) (entries t)
-
-let clear t = t.rev_entries <- []
+  List.rev
+    (fold_records t
+       (fun acc r ->
+         let e = entry_of_record r in
+         if String.equal e.category category then e :: acc else acc)
+       [])
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%10s] %s: %s" (Time.to_string e.at) e.category e.message
 
+let pp_record ppf r =
+  Format.fprintf ppf "#%-6d %a" r.seq pp_entry (entry_of_record r)
+
 let dump ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+
+(* {2 JSONL export} *)
+
+let json_of_value = function
+  | Int n -> Json_min.Num (float_of_int n)
+  | Float f -> Json_min.Num f
+  | Str s -> Json_min.Str s
+  | Bool b -> Json_min.Bool b
+  | Span s -> Json_min.Num (float_of_int (Time.to_us s))
+
+let jsonl_of_record r =
+  let v = view r.ev in
+  Json_min.to_compact_string
+    (Json_min.Obj
+       (("seq", Json_min.Num (float_of_int r.seq))
+        :: ("at_us", Json_min.Num (float_of_int (Time.to_us r.at)))
+        :: ("cat", Json_min.Str v.v_cat)
+        :: ("type", Json_min.Str v.v_type)
+        :: List.map (fun (k, value) -> (k, json_of_value value)) v.v_fields))
+
+let to_jsonl ?categories t =
+  let keep r =
+    match categories with
+    | None -> true
+    | Some cats -> List.mem (view r.ev).v_cat cats
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      if keep r then begin
+        Buffer.add_string buf (jsonl_of_record r);
+        Buffer.add_char buf '\n'
+      end)
+    (records t);
+  Buffer.contents buf

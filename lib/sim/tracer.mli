@@ -1,9 +1,107 @@
-(** Timestamped event traces.
+(** Typed, timestamped event traces.
 
-    Subsystems emit structured trace entries (IPC packets, migration phase
-    transitions, scheduler decisions); tests assert on them and examples
-    print them — the quickstart's rendering of the paper's Figure 2-1
-    communication paths is a filtered trace. *)
+    Subsystems emit {e typed} trace events (IPC packets, migration phase
+    transitions, scheduler decisions, frame deliveries); online invariant
+    monitors subscribe to the live stream, tests assert on it, and
+    examples print it — the quickstart's rendering of the paper's
+    Figure 2-1 communication paths is a filtered trace.
+
+    The event type is extensible: each layer declares its own variants
+    ([Ethernet.Frame_sent], [Kernel.Ipc_send], ...) and registers a
+    {!view} function that renders them into a category, a type tag and a
+    flat field list. The tracer itself stays at the bottom of the
+    dependency stack and never learns about kernels or frames.
+
+    Events land in a bounded ring buffer (oldest evicted first) and are
+    forwarded synchronously to any registered subscribers, so monitors
+    observe every event even ones later evicted from the ring. *)
+
+type event = ..
+(** The extensible event type. Layers add variants; anything without a
+    registered view still traces, rendered opaquely. *)
+
+type event += Text of { category : string; message : string }
+(** Free-form legacy events, emitted by {!record} and {!recordf}. *)
+
+(** Scalar field values carried by an event view. *)
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Span of Time.t  (** Rendered/exported as integer microseconds. *)
+
+type view = {
+  v_cat : string;  (** Subsystem tag, e.g. ["ipc"], ["migrate"]. *)
+  v_type : string;  (** Variant tag, e.g. ["frame_sent"]. *)
+  v_fields : (string * value) list;
+}
+
+val register_view : (event -> view option) -> unit
+(** Add a viewer to the global registry. Each layer registers one
+    function recognizing its own variants (returning [None] for
+    everything else) at module initialization. *)
+
+val view : event -> view
+(** Render an event through the registry. [Text] events view as their
+    category with a single [msg] field; unknown variants render as
+    category ["?"]. *)
+
+val message_of : event -> string
+(** One-line rendering of an event's fields ("k=v k=v ..."); the verbatim
+    message for [Text]. *)
+
+type record = { at : Time.t; seq : int; ev : event }
+(** A stamped event: virtual instant plus a per-tracer sequence number
+    (dense, starting at 0, never reused). *)
+
+type t
+
+val create : ?capacity:int -> Engine.t -> t
+(** A tracer stamping events with the engine's clock. [capacity] bounds
+    the ring buffer (default 65536 records). *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Recording defaults to on; large batch experiments turn it off. When
+    disabled, {!emit} is a complete no-op (subscribers included). Hot
+    paths should guard event construction with {!enabled}. *)
+
+val emit : t -> event -> unit
+(** Stamp and record a typed event, then notify subscribers in
+    registration order. No-op when disabled. *)
+
+val on_event : t -> (record -> unit) -> unit
+(** Subscribe to the live stream. Subscribers run synchronously inside
+    {!emit} and must not emit events themselves. *)
+
+val record : t -> category:string -> string -> unit
+(** Append a [Text] entry (no-op when disabled). *)
+
+val recordf :
+  t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}. *)
+
+val records : t -> record list
+(** Retained records, oldest first. Older events may have been evicted:
+    see {!dropped}. *)
+
+val records_between : t -> lo:int -> hi:int -> record list
+(** Retained records with [lo <= seq <= hi], oldest first. *)
+
+val seq : t -> int
+(** Number of events emitted so far (= next sequence number). *)
+
+val dropped : t -> int
+(** Events evicted from the ring so far. *)
+
+val clear : t -> unit
+
+(** {1 Legacy string view}
+
+    The original string-only API, kept for tests and examples: an entry
+    is a record rendered through its view. *)
 
 type entry = {
   at : Time.t;  (** Virtual instant of the event. *)
@@ -11,33 +109,28 @@ type entry = {
   message : string;  (** Human-readable description. *)
 }
 
-type t
-
-val create : Engine.t -> t
-(** A tracer stamping entries with the engine's clock. *)
-
-val enabled : t -> bool
-
-val set_enabled : t -> bool -> unit
-(** Recording defaults to on; large batch experiments turn it off. *)
-
-val record : t -> category:string -> string -> unit
-(** Append an entry (no-op when disabled). *)
-
-val recordf :
-  t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant of {!record}. *)
-
 val entries : t -> entry list
-(** All entries, oldest first. *)
+(** All retained events as rendered entries, oldest first. *)
 
 val by_category : t -> string -> entry list
 (** Entries whose category matches, oldest first. *)
 
-val clear : t -> unit
-
 val pp_entry : Format.formatter -> entry -> unit
 (** One-line rendering: ["\[   3.200ms\] ipc: ..."]. *)
 
+val pp_record : Format.formatter -> record -> unit
+(** One-line rendering including the sequence number. *)
+
 val dump : Format.formatter -> t -> unit
-(** Print all entries, one per line. *)
+(** Print all retained events, one per line. *)
+
+(** {1 JSONL export} *)
+
+val jsonl_of_record : record -> string
+(** One JSON object on a single line:
+    [{"seq":N,"at_us":N,"cat":"...","type":"...",<fields>}]. [Span]
+    fields export as integer microseconds. *)
+
+val to_jsonl : ?categories:string list -> t -> string
+(** All retained records (optionally restricted to the given view
+    categories), one JSON object per line. *)

@@ -1,10 +1,34 @@
 type priority = Foreground | Background
 
+(* One event per completed slice, emitted at the same point as the
+   [on_slice] hook — before the CPU is released — so a freeze draining
+   the CPU observes every slice event strictly before it reports the
+   host frozen (the freeze-window monitor depends on this ordering).
+   Owner 0 (untagged system work) is not traced. *)
+type Tracer.event += Slice of { owner : int; foreground : bool; span : Time.span }
+
+let () =
+  Tracer.register_view (function
+    | Slice { owner; foreground; span } ->
+        Some
+          {
+            Tracer.v_cat = "cpu";
+            v_type = "slice";
+            v_fields =
+              [
+                ("owner", Tracer.Int owner);
+                ("foreground", Bool foreground);
+                ("span", Span span);
+              ];
+          }
+    | _ -> None)
+
 type entry = { wake : unit -> unit; mutable abandoned : bool }
 
 type t = {
   eng : Engine.t;
   quantum : Time.span;
+  trc : Tracer.t option;
   fg : entry Queue.t;
   bg : entry Queue.t;
   mutable holder : int option; (* owner tag of the running request *)
@@ -14,10 +38,11 @@ type t = {
   fg_busy : Stats.Gauge.t;
 }
 
-let create eng ~quantum =
+let create ?tracer eng ~quantum =
   {
     eng;
     quantum;
+    trc = tracer;
     fg = Queue.create ();
     bg = Queue.create ();
     holder = None;
@@ -118,6 +143,11 @@ let compute_sliced ?(owner = 0) ?(gate = fun () -> ())
         (* Account the slice's effects (page dirtying) before any
            release, so a freeze draining the CPU cannot snapshot between
            the two. *)
+        (match t.trc with
+        | Some trc when Tracer.enabled trc && owner <> 0 ->
+            Tracer.emit trc
+              (Slice { owner; foreground = priority = Foreground; span = slice })
+        | _ -> ());
         on_slice slice;
         (* Yield only to a waiter of equal or higher priority (strict
            foreground-over-background, round-robin within a class), to a

@@ -13,9 +13,16 @@
 
 type priority = Foreground | Background
 
+(** One typed trace event per completed slice, emitted before the CPU is
+    released (at the same point as {!compute_sliced}'s [on_slice] hook),
+    so a freeze draining the CPU observes every slice event before the
+    host is reported frozen. [owner] is the logical-host tag; untagged
+    (owner 0) system work is not traced. *)
+type Tracer.event += Slice of { owner : int; foreground : bool; span : Time.span }
+
 type t
 
-val create : Engine.t -> quantum:Time.span -> t
+val create : ?tracer:Tracer.t -> Engine.t -> quantum:Time.span -> t
 
 val compute :
   ?owner:int ->

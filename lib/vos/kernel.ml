@@ -69,6 +69,92 @@ type Message.body +=
   | Ks_ok
   | Ks_refused of string
 
+(* Typed trace events. [host] is always the workstation emitting the
+   event, so monitors can attribute IPC activity to a specific copy of a
+   logical host (the no-residual-dependency check keys on exactly that). *)
+type Tracer.event +=
+  | Ipc_send of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_recv of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_reply of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_forward of {
+      host : string;
+      txn : Packet.txn;
+      lh : Ids.lh_id;
+      to_station : Addr.t;
+    }
+  | Binding_set of { host : string; lh : Ids.lh_id; station : Addr.t }
+  | Binding_invalidated of { host : string; lh : Ids.lh_id }
+  | Host_crashed of { host : string }
+  | Host_rebooted of { host : string }
+
+let () =
+  let pid p = Tracer.Str (Ids.pid_to_string p) in
+  let ipc type_ host txn src dst =
+    Some
+      {
+        Tracer.v_cat = "ipc";
+        v_type = type_;
+        v_fields =
+          [
+            ("host", Tracer.Str host);
+            ("txn", Int txn);
+            ("src", pid src);
+            ("dst", pid dst);
+          ];
+      }
+  in
+  Tracer.register_view (function
+    | Ipc_send { host; txn; src; dst } -> ipc "send" host txn src dst
+    | Ipc_recv { host; txn; src; dst } -> ipc "recv" host txn src dst
+    | Ipc_reply { host; txn; src; dst } -> ipc "reply" host txn src dst
+    | Ipc_forward { host; txn; lh; to_station } ->
+        Some
+          {
+            Tracer.v_cat = "ipc";
+            v_type = "forward";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("txn", Int txn);
+                ("lh", Int lh);
+                ("to", Str (Addr.to_string to_station));
+              ];
+          }
+    | Binding_set { host; lh; station } ->
+        Some
+          {
+            Tracer.v_cat = "bind";
+            v_type = "set";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("lh", Int lh);
+                ("station", Str (Addr.to_string station));
+              ];
+          }
+    | Binding_invalidated { host; lh } ->
+        Some
+          {
+            Tracer.v_cat = "bind";
+            v_type = "invalidated";
+            v_fields = [ ("host", Tracer.Str host); ("lh", Int lh) ];
+          }
+    | Host_crashed { host } ->
+        Some
+          {
+            Tracer.v_cat = "host";
+            v_type = "crashed";
+            v_fields = [ ("host", Tracer.Str host) ];
+          }
+    | Host_rebooted { host } ->
+        Some
+          {
+            Tracer.v_cat = "host";
+            v_type = "rebooted";
+            v_fields = [ ("host", Tracer.Str host) ];
+          }
+    | _ -> None)
+
 (* Domain-local transaction counter — see [Proc.reset_ids]: replica
    simulations on parallel domains must not share it, and resetting it
    per cluster keeps txn values (Hashtbl keys) identical across domain
@@ -105,6 +191,10 @@ let stat t name =
 
 let trace t fmt = Tracer.recordf t.trc ~category:"kernel" ("%s: " ^^ fmt) t.name
 
+(* Typed-event helper: the thunk defers allocation to the enabled case,
+   keeping the IPC fast path allocation-free under disabled tracing. *)
+let ev t mk = if Tracer.enabled t.trc then Tracer.emit t.trc (mk ())
+
 let memory_free t =
   let resident =
     Hashtbl.fold (fun _ lh acc -> acc + Logical_host.total_bytes lh) t.lh_table 0
@@ -130,8 +220,20 @@ let guest_count t =
        (logical_hosts t))
 
 let lookup_binding t lh = Hashtbl.find_opt t.bindings lh
-let set_binding t lh addr = Hashtbl.replace t.bindings lh addr
-let invalidate_binding t lh = Hashtbl.remove t.bindings lh
+
+(* Trace only actual changes: cache refreshes from traffic re-set the
+   same station on nearly every packet. *)
+let set_binding t lh addr =
+  (match Hashtbl.find_opt t.bindings lh with
+  | Some prev when Addr.equal prev addr -> ()
+  | _ -> ev t (fun () -> Binding_set { host = t.name; lh; station = addr }));
+  Hashtbl.replace t.bindings lh addr
+
+let invalidate_binding t lh =
+  if Hashtbl.mem t.bindings lh then begin
+    Hashtbl.remove t.bindings lh;
+    ev t (fun () -> Binding_invalidated { host = t.name; lh })
+  end
 let set_forward t lh addr = Hashtbl.replace t.forwards lh addr
 
 (* Cache refresh from traffic: every packet tells us where its sender's
@@ -238,6 +340,7 @@ let deliver_request t ~src ~dst ~txn ~msg ~origin =
               Hashtbl.replace inbound (src, txn) Logical_host.Queued;
               Mailbox.send (Vproc.inbox vp)
                 { Delivery.src; dst; txn; msg; origin };
+              ev t (fun () -> Ipc_recv { host = t.name; txn; src; dst });
               Delivered))
 
 (* {2 The send machine} *)
@@ -343,6 +446,7 @@ let send t ~src ~dst msg =
   charge t ~local_group:(Ids.is_local_group dst);
   bump t "sends";
   let os = make_osend t ~src ~dst msg in
+  ev t (fun () -> Ipc_send { host = t.name; txn = os.os_txn; src; dst });
   Hashtbl.replace t.outstanding os.os_txn os;
   osend_attempt t os;
   let r = Ivar.read os.os_ivar in
@@ -407,6 +511,14 @@ let receive t vp =
 let reply ?from t (d : Delivery.t) msg =
   charge t ~local_group:false;
   let reply_src = Option.value from ~default:d.Delivery.dst in
+  ev t (fun () ->
+      Ipc_reply
+        {
+          host = t.name;
+          txn = d.Delivery.txn;
+          src = reply_src;
+          dst = d.Delivery.src;
+        });
   let route_remote () =
     let station =
       match lookup_binding t d.Delivery.src.Ids.lh with
@@ -480,6 +592,9 @@ let handle_request t ~(frame_src : Addr.t) ~txn ~src ~dst ~msg =
       match Hashtbl.find_opt t.forwards dst.Ids.lh with
       | Some station when t.stn <> None ->
           bump t "forwarded";
+          ev t (fun () ->
+              Ipc_forward
+                { host = t.name; txn; lh = dst.Ids.lh; to_station = station });
           let pkt = Packet.Request { txn; src; dst; msg } in
           Ethernet.send t.net
             (Frame.unicast ~src:frame_src ~dst:station
@@ -629,6 +744,7 @@ let destroy_logical_host t lh =
         Hashtbl.remove t.outstanding txn
       end)
     (Hashtbl.copy t.outstanding);
+  ev t (fun () -> Logical_host.Lh_destroyed { host = t.name; lh = id });
   trace t "destroyed %a" Ids.pp_lh id
 
 let system_process t ~index ~name body =
@@ -666,6 +782,11 @@ let freeze_lh t lh =
   Logical_host.set_frozen lh true;
   Cpu.wait_clear t.kcpu ~owner:(Logical_host.id lh);
   List.iter Vproc.pause (Logical_host.processes lh);
+  (* Emitted only after the CPU drained the host's in-flight slice (and
+     its slice event), so the freeze-window monitor sees no guest
+     progress after this point. *)
+  ev t (fun () ->
+      Logical_host.Lh_frozen { host = t.name; lh = Logical_host.id lh });
   trace t "froze %a" Ids.pp_lh (Logical_host.id lh)
 
 let redeliver_deferred t lh =
@@ -687,6 +808,9 @@ let restart_osends t lh_id =
     (Hashtbl.copy t.outstanding)
 
 let unfreeze_lh t lh =
+  (* Emitted before any thawed process can resume. *)
+  ev t (fun () ->
+      Logical_host.Lh_unfrozen { host = t.name; lh = Logical_host.id lh });
   Logical_host.set_frozen lh false;
   List.iter Vproc.unpause (Logical_host.processes lh);
   Logical_host.thaw lh;
@@ -752,6 +876,9 @@ let extract_lh t lh =
         osend_attempt t os
       end)
     (Hashtbl.copy t.outstanding);
+  ev t (fun () ->
+      Logical_host.Lh_extracted
+        { host = t.name; lh = id; bytes = Logical_host.total_bytes lh });
   trace t "extracted %a" Ids.pp_lh id;
   { st_lh = lh; st_osends = !moved }
 
@@ -800,6 +927,9 @@ let install_lh t state =
   List.iter
     (fun os -> Hashtbl.replace t.outstanding os.os_txn os)
     state.st_osends;
+  ev t (fun () ->
+      Logical_host.Lh_installed
+        { host = t.name; lh = id; bytes = Logical_host.total_bytes lh });
   trace t "installed %a" Ids.pp_lh id;
   lh
 
@@ -882,7 +1012,7 @@ let create ~engine:eng ~rng:krng ~tracer:trc ~params:prm ~net ~station:self
       name;
       alloc;
       mem_bytes;
-      kcpu = Cpu.create eng ~quantum:prm.Os_params.cpu_quantum;
+      kcpu = Cpu.create ~tracer:trc eng ~quantum:prm.Os_params.cpu_quantum;
       lh_table = Hashtbl.create 16;
       the_host_lh;
       sys_procs = Hashtbl.create 8;
@@ -901,6 +1031,7 @@ let create ~engine:eng ~rng:krng ~tracer:trc ~params:prm ~net ~station:self
   t
 
 let shutdown t =
+  ev t (fun () -> Host_crashed { host = t.name });
   (match t.stn with
   | Some s ->
       Ethernet.detach s;
@@ -944,4 +1075,5 @@ let reboot t =
     (system_process t ~index:Ids.kernel_server_index ~name:(t.name ^ ":ks")
        (ks_body t));
   bump t "reboots";
+  ev t (fun () -> Host_rebooted { host = t.name });
   trace t "rebooted"

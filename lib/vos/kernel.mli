@@ -31,6 +31,35 @@
 
 type t
 
+(** {1 Typed trace events}
+
+    [host] is the workstation {e emitting} the event, so monitors can
+    attribute IPC activity to a specific copy of a logical host: after a
+    migration commits, the no-residual-dependency monitor rejects any of
+    these naming the old host and the migrated logical host.
+
+    [Ipc_send] fires when a send transaction is opened (once per logical
+    send, not per retransmission); [Ipc_recv] when a request is queued
+    to its target process (local or remote origin); [Ipc_reply] when the
+    reply is issued; [Ipc_forward] only in the Demos/MP forwarding
+    ablation, when a departed host's mail is relayed off the forwarding
+    address. Binding events fire on actual cache changes, not on the
+    per-packet refreshes that re-confirm an existing entry. *)
+type Tracer.event +=
+  | Ipc_send of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_recv of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_reply of { host : string; txn : Packet.txn; src : Ids.pid; dst : Ids.pid }
+  | Ipc_forward of {
+      host : string;
+      txn : Packet.txn;
+      lh : Ids.lh_id;
+      to_station : Addr.t;
+    }
+  | Binding_set of { host : string; lh : Ids.lh_id; station : Addr.t }
+  | Binding_invalidated of { host : string; lh : Ids.lh_id }
+  | Host_crashed of { host : string }
+  | Host_rebooted of { host : string }
+
 type send_error =
   | No_response
       (** Retransmissions and queries went unanswered past the

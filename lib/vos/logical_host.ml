@@ -1,5 +1,34 @@
 type inbound_state = Queued | In_service | Replied of Message.t * Time.t
 
+(* Lifecycle trace events, emitted by the owning kernel ([host] names the
+   workstation whose copy of the logical host the event concerns — after
+   a migration commits, none of these may mention the old host's copy). *)
+type Tracer.event +=
+  | Lh_frozen of { host : string; lh : Ids.lh_id }
+  | Lh_unfrozen of { host : string; lh : Ids.lh_id }
+  | Lh_extracted of { host : string; lh : Ids.lh_id; bytes : int }
+  | Lh_installed of { host : string; lh : Ids.lh_id; bytes : int }
+  | Lh_destroyed of { host : string; lh : Ids.lh_id }
+
+let () =
+  let v type_ host lh extra =
+    Some
+      {
+        Tracer.v_cat = "lh";
+        v_type = type_;
+        v_fields = ("host", Tracer.Str host) :: ("lh", Tracer.Int lh) :: extra;
+      }
+  in
+  Tracer.register_view (function
+    | Lh_frozen { host; lh } -> v "frozen" host lh []
+    | Lh_unfrozen { host; lh } -> v "unfrozen" host lh []
+    | Lh_extracted { host; lh; bytes } ->
+        v "extracted" host lh [ ("bytes", Tracer.Int bytes) ]
+    | Lh_installed { host; lh; bytes } ->
+        v "installed" host lh [ ("bytes", Tracer.Int bytes) ]
+    | Lh_destroyed { host; lh } -> v "destroyed" host lh []
+    | _ -> None)
+
 type t = {
   lh_id : Ids.lh_id;
   mutable prio : Cpu.priority;

@@ -19,6 +19,20 @@ type inbound_state =
       (** Reply sent and retained until the expiry instant for duplicate
           requests; each duplicate refreshes the expiry. *)
 
+(** Lifecycle trace events, emitted by the owning kernel. [host] names
+    the workstation whose {e copy} of the logical host the event
+    concerns; the no-residual-dependency monitor requires that after a
+    migration commits, no event mentions the old host's copy. A kernel
+    emits [Lh_frozen] only after the host's CPU has drained the frozen
+    host's running slice, and [Lh_unfrozen] before any thawed process
+    resumes. *)
+type Tracer.event +=
+  | Lh_frozen of { host : string; lh : Ids.lh_id }
+  | Lh_unfrozen of { host : string; lh : Ids.lh_id }
+  | Lh_extracted of { host : string; lh : Ids.lh_id; bytes : int }
+  | Lh_installed of { host : string; lh : Ids.lh_id; bytes : int }
+  | Lh_destroyed of { host : string; lh : Ids.lh_id }
+
 type t
 
 val create :

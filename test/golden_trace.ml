@@ -1,0 +1,18 @@
+(* Golden-trace generator: run the pinned migration scenario and print
+   its migration-phase events as JSONL. `dune runtest` diffs the output
+   against golden_trace.expected — any change to event content, order or
+   timing under this seed must be intentional (re-bless with
+   `dune promote`). *)
+
+let () =
+  let cl = Cluster.create ~seed:1985 ~workstations:4 ~trace:true () in
+  match
+    Experiment.migrate_program cl ~strategy:Protocol.Precopy
+      ~run_for:(Time.of_sec 3.) ~prog:"cc68" ()
+  with
+  | Error e ->
+      prerr_endline ("golden_trace: migration failed: " ^ e);
+      exit 1
+  | Ok _ ->
+      print_string
+        (Tracer.to_jsonl ~categories:[ "migrate"; "lh" ] (Cluster.tracer cl))

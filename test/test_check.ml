@@ -1,0 +1,188 @@
+(* Property tests for the simulation substrate (Heap, Engine.cancel) and
+   the deterministic-simulation-testing layer itself (Scenario +
+   Monitors). Randomness comes from the same Rng the scenario generator
+   uses, so every case is replayable from its seed. *)
+
+let drain_ints h =
+  let rec loop acc =
+    match Heap.pop h with Some x -> loop (x :: acc) | None -> List.rev acc
+  in
+  loop []
+
+(* Heap: popping everything yields the insertion multiset in sorted
+   order, whatever the (duplicate-heavy) input. *)
+let test_heap_pop_order () =
+  for seed = 1 to 25 do
+    let rng = Rng.create seed in
+    let n = 1 + Rng.int rng 300 in
+    let xs = List.init n (fun _ -> Rng.int rng 50) in
+    let h = Heap.create ~cmp:Int.compare in
+    List.iter (Heap.push h) xs;
+    Alcotest.(check int) "length" n (Heap.length h);
+    (match Heap.peek h with
+    | Some top ->
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: peek is min" seed)
+          (List.fold_left Stdlib.min Stdlib.max_int xs)
+          top
+    | None -> Alcotest.fail "non-empty heap peeked None");
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: pop order" seed)
+      (List.sort Int.compare xs) (drain_ints h)
+  done
+
+(* Heap: vacated slots are scrubbed. Pop leaves the element's old slot,
+   and grow leaves the Array.make fill element, in the backing array;
+   both must be overwritten or the heap pins dead values. Observed
+   through weak pointers: after popping everything, no pushed box may
+   survive a full GC. *)
+let heap_scrub_fill h weak n =
+  let rng = Rng.create 7 in
+  for i = 0 to n - 1 do
+    let r = ref (Rng.int rng 10_000) in
+    Weak.set weak i (Some r);
+    Heap.push h r
+  done
+
+let rec heap_scrub_drain h =
+  match Heap.pop h with Some _ -> heap_scrub_drain h | None -> ()
+
+let test_heap_scrub () =
+  let h = Heap.create ~cmp:(fun a b -> Int.compare !a !b) in
+  let n = 100 (* several grows: capacity 16 -> 32 -> 64 -> 128 *) in
+  let weak = Weak.create n in
+  heap_scrub_fill h weak n;
+  heap_scrub_drain h;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "popped elements retained by backing array" 0 !live;
+  (* Keep [h] reachable past the GC so the check exercised a live heap. *)
+  Alcotest.(check bool) "heap empty" true (Heap.is_empty h)
+
+(* Engine.cancel: cancelled events never fire, double-cancel is a no-op,
+   and [pending] counts exactly the survivors. *)
+let test_engine_cancel () =
+  for seed = 1 to 20 do
+    let rng = Rng.create (1000 + seed) in
+    let eng = Engine.create () in
+    let n = 1 + Rng.int rng 80 in
+    let fired = Array.make n false in
+    let handles =
+      Array.init n (fun i ->
+          Engine.schedule eng
+            ~at:(Time.of_us (Rng.int rng 1_000_000))
+            (fun () -> fired.(i) <- true))
+    in
+    let cancelled = Array.init n (fun _ -> Rng.bool rng 0.4) in
+    Array.iteri (fun i c -> if c then Engine.cancel handles.(i)) cancelled;
+    Array.iteri
+      (fun i c -> if c && i mod 2 = 0 then Engine.cancel handles.(i))
+      cancelled;
+    let survivors =
+      Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 cancelled
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: pending after cancels" seed)
+      survivors (Engine.pending eng);
+    Engine.run eng;
+    Array.iteri
+      (fun i c ->
+        if fired.(i) = c then
+          Alcotest.failf "seed %d: event %d %s" seed i
+            (if c then "fired though cancelled" else "never fired"))
+      cancelled;
+    Alcotest.(check int) "drained" 0 (Engine.pending eng)
+  done
+
+(* Stats: the percentile cache is invalidated by record. *)
+let test_percentile_cache () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.record s) [ 5.; 1.; 9. ];
+  Alcotest.(check (float 0.)) "p50" 5. (Stats.Summary.percentile s 50.);
+  Alcotest.(check (float 0.)) "p100" 9. (Stats.Summary.percentile s 100.);
+  Stats.Summary.record s 0.5;
+  Alcotest.(check (float 0.)) "p0 after record" 0.5
+    (Stats.Summary.percentile s 0.);
+  Alcotest.(check (float 0.)) "p100 after record" 9.
+    (Stats.Summary.percentile s 100.)
+
+(* Scenario runs are a pure function of the seed. *)
+let test_scenario_deterministic () =
+  let o1 = Scenario.run (Scenario.of_seed 42) in
+  let o2 = Scenario.run (Scenario.of_seed 42) in
+  Alcotest.(check int) "events" o1.Scenario.o_events o2.Scenario.o_events;
+  Alcotest.(check int) "completed" o1.Scenario.o_completed
+    o2.Scenario.o_completed;
+  Alcotest.(check int) "failed" o1.Scenario.o_failed o2.Scenario.o_failed
+
+(* The paper-faithful configuration holds every invariant on a spread of
+   seeds (a slice of what `vsim fuzz` sweeps). *)
+let test_invariants_hold () =
+  for seed = 1 to 8 do
+    let o = Scenario.run (Scenario.of_seed seed) in
+    match o.Scenario.o_violations with
+    | [] -> ()
+    | v :: _ ->
+        Alcotest.failf "seed %d: [%s] %s (replay: %s)" seed
+          v.Monitors.vi_monitor v.Monitors.vi_detail
+          (Scenario.replay_hint o.Scenario.o_scenario)
+  done
+
+(* Mutation test: the Demos/MP forwarding-address ablation leaves the
+   old host answering for a migrated logical host — exactly the residual
+   dependency the paper's broadcast rebinding avoids. The residual
+   monitor must object on some nearby seed, with the window naming the
+   old host. *)
+let test_forwarding_ablation_caught () =
+  let rec probe seed =
+    if seed > 40 then
+      Alcotest.fail "no residual violation in 40 seeds under Forwarding"
+    else
+      let o =
+        Scenario.run ~rebind:Os_params.Forwarding (Scenario.of_seed seed)
+      in
+      match
+        List.find_opt
+          (fun v -> v.Monitors.vi_monitor = "residual")
+          o.Scenario.o_violations
+      with
+      | Some v ->
+          Alcotest.(check bool)
+            "violation window captured" true (v.Monitors.vi_window <> [])
+      | None -> probe (seed + 1)
+  in
+  probe 1
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pop order is sorted insertion" `Quick
+            test_heap_pop_order;
+          Alcotest.test_case "pop/grow scrub vacated slots" `Quick
+            test_heap_scrub;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cancel never fires, pending exact" `Quick
+            test_engine_cancel;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile cache invalidates on record" `Quick
+            test_percentile_cache;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "same seed, same run" `Quick
+            test_scenario_deterministic;
+          Alcotest.test_case "invariants hold on paper config" `Slow
+            test_invariants_hold;
+          Alcotest.test_case "forwarding ablation caught by residual monitor"
+            `Slow test_forwarding_ablation_caught;
+        ] );
+    ]
