@@ -70,6 +70,11 @@ let par thunks = Parrun.run ~jobs:!jobs thunks
 let metrics : (string * float) list ref = ref []
 let metric name v = metrics := (name, v) :: !metrics
 
+(* Structured sub-reports: experiments that have a [to_json] on their
+   result type serialize it whole instead of hand-picking fields. *)
+let details : (string * Json_min.t) list ref = ref []
+let detail name j = details := (name, j) :: !details
+
 let ok what = function
   | Ok v -> v
   | Error e ->
@@ -178,6 +183,7 @@ let exec_cost () =
     (Time.to_ms cfg.Config.env_destroy)
     (Time.to_ms r.Experiment.er_setup +. Time.to_ms cfg.Config.env_destroy);
   metric "env_setup_ms" (Time.to_ms r.Experiment.er_setup);
+  detail "remote_exec_cc68" (Experiment.exec_result_to_json r);
   (* Program loading vs image size: one replica per program. *)
   row "program loading: paper 330 ms per 100 KB (sweep over real images)";
   row "  %-16s %10s %10s %12s" "program" "image KB" "load ms" "ms/100KB";
@@ -470,7 +476,8 @@ let usage () =
        "consistent with the paper"
      else "INCONSISTENT with the paper");
   metric "honored_frac" honored_frac;
-  metric "mean_idle" stats.Experiment.us_mean_idle
+  metric "mean_idle" stats.Experiment.us_mean_idle;
+  detail "usage" (Experiment.usage_to_json stats)
 
 (* {1 Ablations: design choices called out in DESIGN.md} *)
 
@@ -605,12 +612,9 @@ let rebind_ablation () =
     let outcome = ref "did not run" in
     let forwarded = ref 0 in
     ignore
-      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
-           match
-             Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"assembler"
-               ~target:Remote_exec.Any
-           with
+      (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+           let k = Context.kernel ctx and self = Context.self ctx in
+           match Remote_exec.exec ctx ~prog:"assembler" ~target:Remote_exec.Any with
            | Error e -> outcome := "exec failed: " ^ e
            | Ok h -> (
                Proc.sleep (Cluster.engine cl) (sec 1.);
@@ -632,7 +636,7 @@ let rebind_ablation () =
                      Option.iter
                        (fun w -> Kernel.shutdown w.Cluster.ws_kernel)
                        old_ws;
-                   match Remote_exec.wait k ~self h with
+                   match Remote_exec.wait ctx h with
                    | Ok _ ->
                        Option.iter
                          (fun w ->
@@ -687,12 +691,9 @@ let recovery () =
       ignore (Engine.schedule eng ~at:(sec 4.5) (fun () -> accepting 3 true));
     let outcome = ref "did not run" in
     ignore
-      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
-           match
-             Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
-               ~target:Remote_exec.Any
-           with
+      (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+           let k = Context.kernel ctx and self = Context.self ctx in
+           match Remote_exec.exec ctx ~prog:"tex" ~target:Remote_exec.Any with
            | Error e -> outcome := "exec failed: " ^ e
            | Ok h -> (
                Proc.sleep eng (Time.sub (sec 4.) (Engine.now eng));
@@ -723,7 +724,7 @@ let recovery () =
                      Printf.sprintf "rolled back after %.1f s (%s)" elapsed m
                  | _ -> "malformed migrate reply"
                in
-               match Remote_exec.wait k ~self h with
+               match Remote_exec.wait ctx h with
                | Ok (wall, _) ->
                    outcome :=
                      Printf.sprintf "%s; program completed (wall %.1f s)"
@@ -764,12 +765,9 @@ let internet () =
     open_segment 1 false;
     let result = ref (Error "incomplete") in
     ignore
-      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
-           match
-             Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"optimizer"
-               ~target:Remote_exec.Any
-           with
+      (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+           let k = Context.kernel ctx and self = Context.self ctx in
+           match Remote_exec.exec ctx ~prog:"optimizer" ~target:Remote_exec.Any with
            | Error e -> result := Error ("exec: " ^ e)
            | Ok h -> (
                if far then begin
@@ -848,10 +846,9 @@ let balance_ablation () =
     let done_at = ref Time.zero and completed = ref 0 in
     for i = 1 to 6 do
       ignore
-        (Cluster.user cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun k self ->
-             let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+        (Cluster.shell cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun ctx ->
              match
-               Remote_exec.exec_and_wait k cfg ~self ~env ~prog:"optimizer"
+               Remote_exec.exec_and_wait ctx ~prog:"optimizer"
                  ~target:(Remote_exec.Named "ws1")
              with
              | Ok _ ->
@@ -863,7 +860,7 @@ let balance_ablation () =
       if with_balancer then
         Some
           (Balancer.start ~interval:(sec 3.) ~imbalance:2
-             (Cluster.workstation cl 0).Cluster.ws_kernel cfg)
+             (Cluster.workstation cl 0).Cluster.ws_kernel)
       else None
     in
     Cluster.run cl ~until:(sec 300.);
@@ -991,6 +988,39 @@ let bechamel () =
       | _ -> row "  %-48s (no estimate)" name)
     results
 
+(* {1 E-serve: sustained traffic through the service layer} *)
+
+let serve () =
+  let duration = if !quick then 30. else 120. in
+  banner
+    (Printf.sprintf
+       "E-serve: sustained traffic, 32 workstations, %g simulated seconds \
+        (open-loop arrivals + admission control + continuous rebalancing)"
+       duration);
+  let cl = fresh_cluster ~seed:1985 ~workstations:32 () in
+  let params =
+    { Serve.Session.default_params with Serve.Session.duration = sec duration }
+  in
+  let s = Serve.Session.create ~params cl in
+  Serve.Session.drain s;
+  let m = Serve.Session.metrics s in
+  row "  submitted %d  completed %d  rejected %d  refused %d  failed %d"
+    m.Serve.Session.m_submitted m.Serve.Session.m_completed
+    m.Serve.Session.m_rejected m.Serve.Session.m_refused
+    m.Serve.Session.m_failed;
+  row "  throughput %.2f req/s  p95 submit-to-running %.1f ms  migrations %d \
+       (p95 freeze %.1f ms)"
+    m.Serve.Session.m_throughput_per_sec
+    (Stats.Summary.percentile m.Serve.Session.m_submit_to_running_ms 95.)
+    m.Serve.Session.m_migrations
+    (if Stats.Summary.count m.Serve.Session.m_freeze_ms = 0 then 0.
+     else Stats.Summary.percentile m.Serve.Session.m_freeze_ms 95.);
+  metric "serve_throughput_per_sec" m.Serve.Session.m_throughput_per_sec;
+  metric "serve_p95_submit_to_running_ms"
+    (Stats.Summary.percentile m.Serve.Session.m_submit_to_running_ms 95.);
+  metric "serve_migrations" (float_of_int m.Serve.Session.m_migrations);
+  detail "serve" (Serve.Session.metrics_to_json s)
+
 (* {1 Driver} *)
 
 let experiments =
@@ -1004,6 +1034,7 @@ let experiments =
     ("overheads", overheads);
     ("space-cost", space_cost);
     ("usage", usage);
+    ("serve", serve);
     ("precopy-ablation", precopy_ablation);
     ("loss-ablation", loss_ablation);
     ("scale", scale);
@@ -1019,6 +1050,7 @@ type report = {
   r_wall : float;
   r_events : int;
   r_metrics : (string * float) list;
+  r_details : (string * Json_min.t) list;
 }
 
 let reports : report list ref = ref []
@@ -1026,6 +1058,7 @@ let reports : report list ref = ref []
 let run_one (name, f) =
   ignore (drain_events ());
   metrics := [];
+  details := [];
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
@@ -1035,6 +1068,7 @@ let run_one (name, f) =
       r_wall = wall;
       r_events = drain_events ();
       r_metrics = List.rev !metrics;
+      r_details = List.rev !details;
     }
     :: !reports
 
@@ -1061,6 +1095,7 @@ let json_report () =
                         else 0.) );
                    ( "metrics",
                      Obj (List.map (fun (k, v) -> (k, Num v)) r.r_metrics) );
+                   ("details", Obj r.r_details);
                  ])
              !reports) );
     ]

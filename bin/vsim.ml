@@ -6,6 +6,8 @@
      vsim migrate PROG [--strategy S]       migrateprog
      vsim sweep PROG [--seeds ..] [-j N]    replica sweep on OCaml 5 domains
      vsim usage [--minutes M]               the pool-of-processors scenario
+     vsim serve [--rate R] [--duration S]   sustained traffic through the
+                                            Serve session layer (SLO metrics)
      vsim programs                          the program catalogue
      vsim fuzz [--seeds N] [-j N]           seeded scenario fuzzing under
                                             the invariant monitors
@@ -79,9 +81,7 @@ let report_faults cl =
 
 let exec_cmd seed workstations bridged trace faults prog at local reexec =
   let cl = make_cluster ?faults ~seed ~workstations ~bridged ~trace () in
-  let cfg = Cluster.cfg cl in
   let origin = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl origin in
   let target =
     if local then Remote_exec.Local
     else
@@ -92,11 +92,8 @@ let exec_cmd seed workstations bridged trace faults prog at local reexec =
   let on_host_failure = if reexec then `Reexec 3 else `Fail in
   let failed = ref false in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match
-           Remote_exec.exec_and_wait ~on_host_failure k cfg ~self ~env ~prog
-             ~target
-         with
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         match Remote_exec.exec_and_wait ~on_host_failure ctx ~prog ~target with
          | Error e ->
              Printf.printf "run failed: %s\n" e;
              failed := true
@@ -315,10 +312,76 @@ let programs_cmd () =
    Monitors bundle. A failure prints the violated invariant plus the
    exact command line that replays it. *)
 
-let fuzz_cmd count base_seed single jobs forwarding =
+let fuzz_serve_cmd count base_seed single jobs rebind forwarding =
+  let replay o =
+    Scenario.replay_serve_hint o.Scenario.so_scenario
+    ^ if forwarding then " --forwarding" else ""
+  in
+  match single with
+  | Some seed ->
+      let sv = Scenario.serve_of_seed seed in
+      print_endline (Scenario.describe_serve sv);
+      let o = Scenario.run_serve ~rebind sv in
+      Printf.printf "%d events checked; %d request(s) submitted, %d completed\n"
+        o.Scenario.so_events o.Scenario.so_submitted o.Scenario.so_completed;
+      if o.Scenario.so_violations = [] then begin
+        print_endline "all invariants held";
+        0
+      end
+      else begin
+        List.iter
+          (fun v -> Format.printf "%a@." Monitors.pp_violation v)
+          o.Scenario.so_violations;
+        if o.Scenario.so_violations_dropped > 0 then
+          Printf.printf "(%d further violations not retained)\n"
+            o.Scenario.so_violations_dropped;
+        1
+      end
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let cell seed () = Scenario.run_serve ~rebind (Scenario.serve_of_seed seed) in
+      let results =
+        Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
+      in
+      let failed = ref 0 and events = ref 0 in
+      List.iter
+        (fun o ->
+          events := !events + o.Scenario.so_events;
+          if o.Scenario.so_violations <> [] then begin
+            incr failed;
+            Printf.printf "FAIL %s\n"
+              (Scenario.describe_serve o.Scenario.so_scenario);
+            List.iter
+              (fun v ->
+                Printf.printf "  [%s] at %s (event #%d): %s\n"
+                  v.Monitors.vi_monitor
+                  (Time.to_string v.Monitors.vi_at)
+                  v.Monitors.vi_seq v.Monitors.vi_detail)
+              o.Scenario.so_violations;
+            Printf.printf "  REPLAY: %s\n" (replay o)
+          end)
+        results;
+      Printf.eprintf
+        "fuzz --serve: %d seeds (base %d) on %d domain%s in %.2f s\n%!" count
+        base_seed jobs
+        (if jobs = 1 then "" else "s")
+        (Unix.gettimeofday () -. t0);
+      if !failed = 0 then begin
+        Printf.printf "fuzz --serve: %d seeds passed, %d events checked\n" count
+          !events;
+        0
+      end
+      else begin
+        Printf.printf "fuzz --serve: %d of %d seeds FAILED\n" !failed count;
+        1
+      end
+
+let fuzz_cmd count base_seed single jobs forwarding serve_mode =
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
   in
+  if serve_mode then fuzz_serve_cmd count base_seed single jobs rebind forwarding
+  else
   let replay o =
     Scenario.replay_hint o.Scenario.o_scenario
     ^ if forwarding then " --forwarding" else ""
@@ -379,6 +442,90 @@ let fuzz_cmd count base_seed single jobs forwarding =
         Printf.printf "fuzz: %d of %d seeds FAILED\n" !failed count;
         1
       end
+
+(* {1 serve} *)
+
+(* Sustained traffic against a long-running cluster: open-loop Poisson
+   arrivals through the Serve session layer, with admission control, the
+   balancer migrating continuously, and SLO accounting. Replicas (seed,
+   seed+1, ...) are independent clusters fanned over domains; output is
+   merged in replica order, so stdout is byte-identical for any -j. *)
+
+let serve_cmd seed workstations bridged faults duration rate replicas jobs
+    json_out quick =
+  let duration = if quick then Float.min duration 30. else duration in
+  let replica i () =
+    match
+      try
+        Ok (Cluster.create ~seed:(seed + i) ~workstations ~bridged ?faults ())
+      with Invalid_argument m -> Error m
+    with
+    | Error m ->
+        Printf.eprintf "vsim serve: fault plan: %s\n" m;
+        exit 124
+    | Ok cl ->
+        let params =
+          {
+            Serve.Session.default_params with
+            Serve.Session.arrivals = Serve.Session.Poisson rate;
+            duration = sec duration;
+          }
+        in
+        let s = Serve.Session.create ~params cl in
+        Serve.Session.drain s;
+        let m = Serve.Session.metrics s in
+        let pct su p =
+          if Stats.Summary.count su = 0 then 0.
+          else Stats.Summary.percentile su p
+        in
+        let summary =
+          Printf.sprintf
+            "seed=%-5d ws=%-3d | submitted %d, completed %d (%.2f/s), \
+             rejected %d, refused %d, failed %d\n\
+            \  submit->running p50/p95/p99: %.0f/%.0f/%.0f ms; \
+             submit->complete p95: %.0f ms; queue-wait p95: %.0f ms\n\
+            \  migrations %d (%.3f/s), freeze p95 %.0f ms; balancer surveys \
+             %d, skips %d"
+            (seed + i) workstations m.Serve.Session.m_submitted
+            m.Serve.Session.m_completed m.Serve.Session.m_throughput_per_sec
+            m.Serve.Session.m_rejected m.Serve.Session.m_refused
+            m.Serve.Session.m_failed
+            (pct m.Serve.Session.m_submit_to_running_ms 50.)
+            (pct m.Serve.Session.m_submit_to_running_ms 95.)
+            (pct m.Serve.Session.m_submit_to_running_ms 99.)
+            (pct m.Serve.Session.m_submit_to_complete_ms 95.)
+            (pct m.Serve.Session.m_queue_wait_ms 95.)
+            m.Serve.Session.m_migrations
+            (float_of_int m.Serve.Session.m_migrations /. duration)
+            (pct m.Serve.Session.m_freeze_ms 95.)
+            m.Serve.Session.m_balancer_surveys m.Serve.Session.m_balancer_skips
+        in
+        (summary, Serve.Session.metrics_to_json s)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Parrun.run ~jobs (List.init replicas replica) in
+  Printf.eprintf "serve: %d replica%s on %d domain%s in %.2f s\n%!" replicas
+    (if replicas = 1 then "" else "s")
+    jobs
+    (if jobs = 1 then "" else "s")
+    (Unix.gettimeofday () -. t0);
+  let doc =
+    Json_min.Obj
+      [
+        ("schema", Json_min.Str "vsim-serve/1");
+        ("seed", Json_min.Num (float_of_int seed));
+        ("replicas", Json_min.Arr (List.map snd results));
+      ]
+  in
+  (match json_out with
+  | Some "-" -> print_string (Json_min.to_string doc)
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Json_min.to_string doc);
+      close_out oc;
+      List.iter (fun (s, _) -> print_endline s) results
+  | None -> List.iter (fun (s, _) -> print_endline s) results);
+  0
 
 (* {1 Command wiring} *)
 
@@ -503,6 +650,64 @@ let usage_t =
        ~doc:"Pool-of-processors scenario: owners, guests, preemptions.")
     Term.(const usage_cmd $ seed $ workstations $ faults_arg $ minutes $ rate)
 
+let serve_t =
+  let workstations =
+    Arg.(
+      value & opt int 64
+      & info [ "workstations"; "w" ] ~docv:"N"
+          ~doc:"Cluster size (the service tier defaults to 64).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 120.
+      & info [ "duration" ] ~docv:"SEC"
+          ~doc:"Arrival horizon in simulated seconds.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2.
+      & info [ "rate" ] ~docv:"R" ~doc:"Poisson arrival rate, requests/second.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:
+            "Independent seed replicas (seed, seed+1, ...), merged in \
+             replica order.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parrun.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains to fan replicas over. Output is byte-identical for any \
+             value.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics report (schema vsim-serve/1) to $(docv); \
+             $(b,-) prints it to stdout instead of the text summary.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Cap the horizon at 30 simulated seconds.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the cluster as a long-lived service: open-loop arrivals, \
+          admission control, continuous rebalancing, SLO accounting.")
+    Term.(
+      const serve_cmd $ seed $ workstations $ bridged $ faults_arg $ duration
+      $ rate $ replicas $ jobs $ json_out $ quick)
+
 let programs_t =
   Cmd.v
     (Cmd.info "programs" ~doc:"List the paper's programs and their models.")
@@ -545,12 +750,23 @@ let fuzz_t =
              paper's broadcast re-query — an ablation the $(b,residual) \
              monitor is expected to reject.")
   in
+  let serve_mode =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Fuzz sustained-load serve sessions instead of discrete job \
+             scenarios: each seed draws an open-loop arrival stream with \
+             tight admission caps, a fast balancer cycle, and random faults, \
+             all checked by the same monitors.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run randomly generated scenarios (seed = test case) under the \
           online invariant monitors; failures print a replayable seed.")
-    Term.(const fuzz_cmd $ count $ base $ single $ jobs $ forwarding)
+    Term.(
+      const fuzz_cmd $ count $ base $ single $ jobs $ forwarding $ serve_mode)
 
 let () =
   let info =
@@ -562,4 +778,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ exec_t; migrate_t; sweep_t; usage_t; programs_t; fuzz_t ]))
+          [ exec_t; migrate_t; sweep_t; usage_t; serve_t; programs_t; fuzz_t ]))

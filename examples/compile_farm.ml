@@ -13,9 +13,7 @@ let stages =
 
 let () =
   let cl = Cluster.create ~seed:7 ~workstations:8 () in
-  let cfg = Cluster.cfg cl in
   let origin = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl origin in
   let eng = Cluster.engine cl in
 
   (* The owner keeps editing on ws0 throughout: light foreground load
@@ -37,12 +35,12 @@ let () =
   let results = ref [] in
   let note fmt = Printf.ksprintf (fun s -> results := s :: !results) fmt in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"make" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"make" (fun ctx ->
          let t0 = Engine.now eng in
          List.iter
            (fun stage ->
              match
-               Remote_exec.exec_and_wait k cfg ~self ~env ~prog:stage
+               Remote_exec.exec_and_wait ctx ~prog:stage
                  ~target:Remote_exec.Any
              with
              | Ok (h, wall, _) ->
@@ -53,10 +51,9 @@ let () =
          note "pipeline finished in %s"
            (Time.to_string (Time.sub (Engine.now eng) t0))));
   ignore
-    (Cluster.user cl ~ws:0 ~name:"tex-shell" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"tex-shell" (fun ctx ->
          match
-           Remote_exec.exec_and_wait k cfg ~self ~env ~prog:"tex"
-             ~target:Remote_exec.Any
+           Remote_exec.exec_and_wait ctx ~prog:"tex" ~target:Remote_exec.Any
          with
          | Ok (h, wall, _) ->
              note "  %-16s on %-4s in %s" "tex" h.Remote_exec.h_host

@@ -8,17 +8,13 @@
 
 let () =
   let cl = Cluster.create ~seed:11 ~workstations:5 () in
-  let cfg = Cluster.cfg cl in
   let eng = Cluster.engine cl in
   let origin = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl origin in
 
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          Printf.printf "ws0$ tex thesis.tex @ *\n";
-         match
-           Remote_exec.exec k cfg ~self ~env ~prog:"tex" ~target:Remote_exec.Any
-         with
+         match Remote_exec.exec ctx ~prog:"tex" ~target:Remote_exec.Any with
          | Error e -> Printf.printf "exec failed: %s\n" e
          | Ok h -> (
              Printf.printf "[%s] tex running on %s\n"
@@ -32,7 +28,8 @@ let () =
                (Time.to_string (Engine.now eng))
                h.Remote_exec.h_host;
              (match
-                Kernel.send k ~src:self ~dst:host_pm
+                Kernel.send (Context.kernel ctx) ~src:(Context.self ctx)
+                  ~dst:host_pm
                   (Message.make
                      (Protocol.Pm_migrate
                         {
@@ -67,7 +64,7 @@ let () =
              | Ok { Message.body = Protocol.Pm_migrate_failed m; _ } ->
                  Printf.printf "migration failed: %s\n" m
              | _ -> Printf.printf "migration: unexpected reply\n");
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok (wall, cpu) ->
                  Printf.printf
                    "[%s] tex finished: wall %s, cpu %s — it never noticed\n"

@@ -14,10 +14,7 @@
 
 let () =
   let cl = Cluster.create ~seed:3 ~workstations:12 () in
-  let cfg = Cluster.cfg cl in
   let eng = Cluster.engine cl in
-  let origin = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl origin in
   let n_tasks = 10 in
   let finished = ref 0 in
   let span_sum = ref Time.zero in
@@ -27,9 +24,9 @@ let () =
   let slots = Array.init n_tasks (fun _ -> Ivar.create ()) in
   for i = 0 to n_tasks - 1 do
     ignore
-      (Cluster.user cl ~ws:0 ~name:(Printf.sprintf "task%d" i) (fun k self ->
+      (Cluster.shell cl ~ws:0 ~name:(Printf.sprintf "task%d" i) (fun ctx ->
            match
-             Remote_exec.exec_and_wait k cfg ~self ~env ~prog:"optimizer"
+             Remote_exec.exec_and_wait ctx ~prog:"optimizer"
                ~target:Remote_exec.Any
            with
            | Ok (h, wall, _) -> Ivar.fill slots.(i) (Some (h.Remote_exec.h_host, wall))
@@ -38,7 +35,7 @@ let () =
 
   (* The coordinator: survey the cluster early, then gather. *)
   ignore
-    (Cluster.user cl ~ws:0 ~name:"coordinator" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"coordinator" (fun ctx ->
          Proc.sleep eng (Time.of_sec 5.);
          Printf.printf "cluster-wide ps at t=5s:\n";
          List.iter
@@ -47,7 +44,7 @@ let () =
                (fun (prog, lh, status) ->
                  Printf.printf "  %-5s lh-%-4d %-12s %s\n" host lh prog status)
                programs)
-           (List.sort compare (Experiment.cluster_ps k cfg ~self));
+           (List.sort compare (Experiment.cluster_ps ctx));
          Array.iteri
            (fun i slot ->
              match Ivar.read slot with

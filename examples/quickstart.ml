@@ -10,19 +10,15 @@ let () =
      one simulated 10 Mbit Ethernet. [trace:true] records every kernel
      and program-manager event. *)
   let cl = Cluster.create ~seed:42 ~workstations:4 ~trace:true () in
-  let cfg = Cluster.cfg cl in
   let origin = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl origin in
 
   (* The "command interpreter": a user process on ws0 typing
-     [cc68 prog.c @ *]. *)
+     [cc68 prog.c @ *]. The shell body gets its execution context —
+     kernel, config, own pid, and environment — in one piece. *)
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          Printf.printf "ws0$ cc68 prog.c @ *\n";
-         match
-           Remote_exec.exec k cfg ~self ~env ~prog:"cc68"
-             ~target:Remote_exec.Any
-         with
+         match Remote_exec.exec ctx ~prog:"cc68" ~target:Remote_exec.Any with
          | Error e -> Printf.printf "exec failed: %s\n" e
          | Ok h -> (
              let t = h.Remote_exec.h_timings in
@@ -36,7 +32,7 @@ let () =
                (Time.to_string t.Remote_exec.t_setup);
              Printf.printf "  program image load  : %s (paper: 330 ms/100 KB)\n"
                (Time.to_string t.Remote_exec.t_load);
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok (wall, cpu) ->
                  Printf.printf "completed: wall %s, cpu %s\n"
                    (Time.to_string wall) (Time.to_string cpu)

@@ -15,9 +15,9 @@ let find_program cl (h : Remote_exec.handle) host =
   | Some w ->
       Progtable.find (Program_manager.table w.Cluster.ws_pm) h.Remote_exec.h_lh
 
-let migrate_it k self (h : Remote_exec.handle) =
+let migrate_it ctx (h : Remote_exec.handle) =
   match
-    Kernel.send k ~src:self
+    Kernel.send (Context.kernel ctx) ~src:(Context.self ctx)
       ~dst:(Ids.program_manager_of h.Remote_exec.h_lh)
       (Message.make
          (Protocol.Pm_migrate
@@ -33,7 +33,6 @@ let migrate_it k self (h : Remote_exec.handle) =
 
 let scenario ~use_origin_file_server =
   let cl = Cluster.create ~seed:23 ~workstations:5 () in
-  let cfg = Cluster.cfg cl in
   let origin = Cluster.workstation cl 0 in
   let label =
     if use_origin_file_server then
@@ -49,21 +48,25 @@ let scenario ~use_origin_file_server =
       in
       Programs.publish_images local_fs;
       File_server.add_file local_fs ~path:"optimizer.in" ~bytes:(64 * 1024);
-      { (Cluster.env_for cl origin) with Env.file_server = File_server.pid local_fs }
+      Some
+        {
+          (Cluster.env_for cl origin) with
+          Env.file_server = File_server.pid local_fs;
+        }
     end
-    else Cluster.env_for cl origin
+    else None
   in
   let status = ref "did not run" in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match
-           Remote_exec.exec k cfg ~self ~env ~prog:"optimizer"
-             ~target:Remote_exec.Any
-         with
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         let ctx =
+           match env with Some e -> Context.with_env ctx e | None -> ctx
+         in
+         match Remote_exec.exec ctx ~prog:"optimizer" ~target:Remote_exec.Any with
          | Error e -> status := "exec failed: " ^ e
          | Ok h -> (
              Proc.sleep (Cluster.engine cl) (Time.of_sec 1.);
-             match migrate_it k self h with
+             match migrate_it ctx h with
              | None -> status := "migration failed"
              | Some o -> (
                  match find_program cl h o.Protocol.m_dest with
@@ -71,7 +74,7 @@ let scenario ~use_origin_file_server =
                  | Some p ->
                      let deps =
                        Residual.residual_hosts ~ignore_display:true
-                         (Cluster.ctx cl) p
+                         (Cluster.directory cl) p
                      in
                      Printf.printf
                        "after migrating to %s, residual dependencies: [%s]\n"

@@ -132,15 +132,17 @@ let check_residual t (r : Tracer.record) =
   match r.Tracer.ev with
   | Migration.Mig_committed { lh; from_host; dest; _ } ->
       Hashtbl.replace t.banned (lh, from_host) ();
-      (* A later migration back is a fresh copy, not a residue. *)
       Hashtbl.remove t.banned (lh, dest)
   | Kernel.Ipc_recv { host; dst; _ } -> residual t r dst.Ids.lh host "delivery"
   | Kernel.Ipc_forward { host; lh; _ } -> residual t r lh host "forwarding"
+  | Logical_host.Lh_installed { host; lh; _ } ->
+      (* A migration back installs a fresh copy — not a residue — and the
+         install lands before [Mig_committed], so lift the ban here. *)
+      Hashtbl.remove t.banned (lh, host)
   | Logical_host.Lh_frozen { host; lh } | Logical_host.Lh_unfrozen { host; lh }
   | Logical_host.Lh_destroyed { host; lh } ->
       residual t r lh host "lifecycle event"
-  | Logical_host.Lh_extracted { host; lh; _ }
-  | Logical_host.Lh_installed { host; lh; _ } ->
+  | Logical_host.Lh_extracted { host; lh; _ } ->
       residual t r lh host "lifecycle event"
   | _ -> ()
 

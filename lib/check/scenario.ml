@@ -31,6 +31,54 @@ let programs =
     "parser";
   |]
 
+let gen_fault_event rng ~ws ~bridged =
+  let host () = Printf.sprintf "ws%d" (Rng.int rng ws) in
+  let window lo_s span_s =
+    let start = Time.of_us (lo_s * 1_000_000 + Rng.int rng 4_000_000) in
+    let stop =
+      Time.add start (Time.of_us (1_000_000 + Rng.int rng (span_s * 1_000_000)))
+    in
+    (start, stop)
+  in
+  match Rng.int rng 4 with
+  | 0 ->
+      let h = host () in
+      let at = Time.of_us (2_000_000 + Rng.int rng 8_000_000) in
+      let crash = Faults.Crash_host { host = h; at } in
+      if Rng.bool rng 0.6 then
+        [
+          crash;
+          Faults.Reboot_host
+            {
+              host = h;
+              at = Time.add at (Time.of_us (2_000_000 + Rng.int rng 4_000_000));
+            };
+        ]
+      else [ crash ]
+  | 1 ->
+      let start, stop = window 1 5 in
+      [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
+  | 2 ->
+      let start, stop = window 1 8 in
+      [
+        Faults.Slow_host
+          {
+            host = host ();
+            factor = 2. +. float_of_int (Rng.int rng 6);
+            start;
+            stop;
+          };
+      ]
+  | _ ->
+      if bridged > 0 then begin
+        let start, stop = window 2 4 in
+        [ Faults.Partition_bridge { start; stop } ]
+      end
+      else begin
+        let start, stop = window 1 5 in
+        [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
+      end
+
 let arbitrary ?(seed = 0) rng =
   let ws = 3 + Rng.int rng 6 in
   let bridged = if Rng.bool rng 0.3 then 1 + Rng.int rng (ws / 2) else 0 in
@@ -57,55 +105,9 @@ let arbitrary ?(seed = 0) rng =
         in
         { j_at; j_ws; j_prog; j_target; j_migrate_after; j_strategy })
   in
-  let fault_event () =
-    let host () = Printf.sprintf "ws%d" (Rng.int rng ws) in
-    let window lo_s span_s =
-      let start = Time.of_us (lo_s * 1_000_000 + Rng.int rng 4_000_000) in
-      let stop =
-        Time.add start (Time.of_us (1_000_000 + Rng.int rng (span_s * 1_000_000)))
-      in
-      (start, stop)
-    in
-    match Rng.int rng 4 with
-    | 0 ->
-        let h = host () in
-        let at = Time.of_us (2_000_000 + Rng.int rng 8_000_000) in
-        let crash = Faults.Crash_host { host = h; at } in
-        if Rng.bool rng 0.6 then
-          [
-            crash;
-            Faults.Reboot_host
-              {
-                host = h;
-                at = Time.add at (Time.of_us (2_000_000 + Rng.int rng 4_000_000));
-              };
-          ]
-        else [ crash ]
-    | 1 ->
-        let start, stop = window 1 5 in
-        [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
-    | 2 ->
-        let start, stop = window 1 8 in
-        [
-          Faults.Slow_host
-            {
-              host = host ();
-              factor = 2. +. float_of_int (Rng.int rng 6);
-              start;
-              stop;
-            };
-        ]
-    | _ ->
-        if bridged > 0 then begin
-          let start, stop = window 2 4 in
-          [ Faults.Partition_bridge { start; stop } ]
-        end
-        else begin
-          let start, stop = window 1 5 in
-          [ Faults.Loss_window { p = 0.005 +. Rng.float rng 0.04; start; stop } ]
-        end
+  let sc_faults =
+    List.concat (List.init (Rng.int rng 3) (fun _ -> gen_fault_event rng ~ws ~bridged))
   in
-  let sc_faults = List.concat (List.init (Rng.int rng 3) (fun _ -> fault_event ())) in
   {
     sc_seed = seed;
     sc_workstations = ws;
@@ -147,18 +149,15 @@ type outcome = {
 
 let launch cl (j : job) ~completed ~failed =
   let eng = Cluster.engine cl in
-  let cfg = Cluster.cfg cl in
   ignore
-    (Cluster.user cl ~ws:j.j_ws ~name:"fuzz-shell" (fun k self ->
-         let w = Cluster.workstation cl j.j_ws in
-         let env = Cluster.env_for cl w in
+    (Cluster.shell cl ~ws:j.j_ws ~name:"fuzz-shell" (fun ctx ->
          let target =
            match j.j_target with
            | Target_any -> Remote_exec.Any
            | Target_local -> Remote_exec.Local
            | Target_host h -> Remote_exec.Named (Printf.sprintf "ws%d" h)
          in
-         match Remote_exec.exec k cfg ~self ~env ~prog:j.j_prog ~target with
+         match Remote_exec.exec ctx ~prog:j.j_prog ~target with
          | Error _ -> incr failed
          | Ok h -> (
              (match j.j_migrate_after with
@@ -172,7 +171,8 @@ let launch cl (j : job) ~completed ~failed =
                    | None -> Ids.program_manager_of h.Remote_exec.h_lh
                  in
                  ignore
-                   (Kernel.send k ~src:self ~dst:pm
+                   (Kernel.send (Context.kernel ctx) ~src:(Context.self ctx)
+                      ~dst:pm
                       (Message.make
                          (Protocol.Pm_migrate
                             {
@@ -182,7 +182,7 @@ let launch cl (j : job) ~completed ~failed =
                               strategy = j.j_strategy;
                             })))
              | None -> ());
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok _ -> incr completed
              | Error _ -> incr failed)))
 
@@ -215,4 +215,101 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
     o_events = Tracer.seq (Cluster.tracer cl);
     o_completed = !completed;
     o_failed = !failed;
+  }
+
+(* {1 Serve mode: sustained-load scenarios} *)
+
+type serve = {
+  sv_seed : int;
+  sv_workstations : int;
+  sv_bridged : int;
+  sv_rate : float;
+  sv_duration : Time.span;
+  sv_max_in_flight : int;
+  sv_queue_limit : int;
+  sv_balancer_interval : Time.span;
+  sv_faults : Faults.plan;
+}
+
+let arbitrary_serve ?(seed = 0) rng =
+  let ws = 4 + Rng.int rng 9 in
+  let bridged = if Rng.bool rng 0.25 then 1 + Rng.int rng (ws / 2) else 0 in
+  let rate = 0.5 +. Rng.float rng 2.5 in
+  let duration = Time.of_us (15_000_000 + Rng.int rng 15_000_000) in
+  let faults =
+    List.concat
+      (List.init (Rng.int rng 3) (fun _ -> gen_fault_event rng ~ws ~bridged))
+  in
+  {
+    sv_seed = seed;
+    sv_workstations = ws;
+    sv_bridged = bridged;
+    sv_rate = rate;
+    sv_duration = duration;
+    sv_max_in_flight = 2 + Rng.int rng 7;
+    sv_queue_limit = 2 + Rng.int rng 7;
+    sv_balancer_interval = Time.of_us (2_000_000 + Rng.int rng 3_000_000);
+    sv_faults = faults;
+  }
+
+let serve_of_seed seed = arbitrary_serve ~seed (Rng.create seed)
+
+let describe_serve sv =
+  Printf.sprintf
+    "serve seed %d: %d ws (%d bridged), %.2f req/s for %s, cap %d + queue %d, \
+     faults [%s]"
+    sv.sv_seed sv.sv_workstations sv.sv_bridged sv.sv_rate
+    (Time.to_string sv.sv_duration)
+    sv.sv_max_in_flight sv.sv_queue_limit
+    (Format.asprintf "%a" Faults.pp_plan sv.sv_faults)
+
+let replay_serve_hint sv = Printf.sprintf "vsim fuzz --serve --seed %d" sv.sv_seed
+
+type serve_outcome = {
+  so_scenario : serve;
+  so_violations : Monitors.violation list;
+  so_violations_dropped : int;
+  so_events : int;
+  so_submitted : int;
+  so_completed : int;
+}
+
+let run_serve ?(rebind = Os_params.Broadcast_query) sv =
+  let cfg =
+    let base = Config.default in
+    if base.Config.os.Os_params.rebind = rebind then base
+    else { base with Config.os = { base.Config.os with Os_params.rebind } }
+  in
+  let cl =
+    Cluster.create ~seed:sv.sv_seed ~workstations:sv.sv_workstations
+      ~bridged:sv.sv_bridged ~cfg ~trace:true
+      ?faults:(match sv.sv_faults with [] -> None | plan -> Some plan)
+      ()
+  in
+  let mon = Monitors.attach (Cluster.tracer cl) in
+  let params =
+    {
+      Serve.Session.default_params with
+      Serve.Session.arrivals = Serve.Session.Poisson sv.sv_rate;
+      duration = sv.sv_duration;
+      (* tex is excluded for the same horizon reasons as in [programs]. *)
+      progs =
+        [ "cc68"; "make"; "preprocessor"; "assembler"; "parser"; "optimizer" ];
+      max_in_flight = sv.sv_max_in_flight;
+      queue_limit = sv.sv_queue_limit;
+      balancer_interval = Some sv.sv_balancer_interval;
+      snapshot_every = None;
+      drain_grace = Time.of_sec 30.;
+    }
+  in
+  let session = Serve.Session.create ~params cl in
+  Serve.Session.drain session;
+  let m = Serve.Session.metrics session in
+  {
+    so_scenario = sv;
+    so_violations = Monitors.violations mon;
+    so_violations_dropped = Monitors.dropped mon;
+    so_events = Tracer.seq (Cluster.tracer cl);
+    so_submitted = m.Serve.Session.m_submitted;
+    so_completed = m.Serve.Session.m_completed;
   }

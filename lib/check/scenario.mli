@@ -64,3 +64,50 @@ val run : ?rebind:Os_params.rebind_mode -> t -> outcome
 
 val replay_hint : t -> string
 (** The command line that reproduces this scenario. *)
+
+(** {1 Serve mode}
+
+    Sustained-load scenarios: instead of a handful of discrete jobs, a
+    {!Serve.Session} drives an open-loop Poisson stream with tight
+    admission caps (so queueing and rejection paths are exercised), a
+    fast balancer cycle, and the same random fault plans — all under the
+    same monitor bundle. *)
+
+type serve = {
+  sv_seed : int;
+  sv_workstations : int;
+  sv_bridged : int;
+  sv_rate : float;  (** Arrivals per second. *)
+  sv_duration : Time.span;  (** Arrival horizon. *)
+  sv_max_in_flight : int;
+  sv_queue_limit : int;
+  sv_balancer_interval : Time.span;
+  sv_faults : Faults.plan;
+}
+
+val arbitrary_serve : ?seed:int -> Rng.t -> serve
+(** Draw a serve scenario: 4–12 workstations (possibly bridged),
+    0.5–3 req/s for 15–30 virtual seconds, in-flight cap and queue
+    limit both 2–8, balancer every 2–5 s, and 0–2 fault events. *)
+
+val serve_of_seed : int -> serve
+(** [arbitrary_serve ~seed (Rng.create seed)]. *)
+
+val describe_serve : serve -> string
+
+val replay_serve_hint : serve -> string
+(** The [vsim fuzz --serve --seed N] command line that reproduces it. *)
+
+type serve_outcome = {
+  so_scenario : serve;
+  so_violations : Monitors.violation list;
+  so_violations_dropped : int;
+  so_events : int;
+  so_submitted : int;
+  so_completed : int;
+}
+
+val run_serve : ?rebind:Os_params.rebind_mode -> serve -> serve_outcome
+(** Execute in a fresh cluster (tracing on, monitors attached): create
+    the session, drain it, and report the violations with the session's
+    request counts. *)

@@ -11,7 +11,7 @@ type t = {
   c_net : Packet.t Ethernet.t;
   c_far : Packet.t Ethernet.t; (* == c_net when unbridged *)
   c_cfg : Config.t;
-  c_ctx : Context.t;
+  c_dir : Directory.t;
   c_tracer : Tracer.t;
   c_rng : Rng.t;
   c_fs : File_server.t;
@@ -23,7 +23,7 @@ type t = {
 let engine t = t.eng
 let net t = t.c_net
 let cfg t = t.c_cfg
-let ctx t = t.c_ctx
+let directory t = t.c_dir
 let tracer t = t.c_tracer
 let rng t = Rng.split t.c_rng
 let file_server t = t.c_fs
@@ -70,7 +70,7 @@ let install_faults t plan =
           (* The machine services died with the crash; a cold boot brings
              fresh ones up under the preserved well-known pids. *)
           ws.ws_pm <-
-            Program_manager.create k ~cfg:t.c_cfg ~ctx:t.c_ctx
+            Program_manager.create k ~cfg:t.c_cfg ~directory:t.c_dir
               ~rng:(Rng.split t.c_rng);
           ws.ws_display <- Display_server.create k;
           Name_server.register_direct t.c_ns
@@ -124,14 +124,14 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
     end
   in
   let alloc = Ids.Lh_allocator.create () in
-  let c_ctx = Context.of_kernels () in
+  let c_dir = Directory.of_kernels () in
   let boot_kernel ?(net = c_net) ~station ~host_name ~memory () =
     let k =
       Kernel.create ~engine:eng ~rng:(Rng.split c_rng) ~tracer:c_tracer
         ~params:cfg.Config.os ~net ~station:(Addr.of_int station) ~host_name
         ~allocator:alloc ~memory_bytes:memory
     in
-    Context.register c_ctx k;
+    Directory.register c_dir k;
     k
   in
   (* Station 0 is the server machine: bigger memory, no program manager
@@ -158,7 +158,7 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
           boot_kernel ~net ~station:(i + 1) ~host_name ~memory:memory_bytes ()
         in
         let pm =
-          Program_manager.create k ~cfg ~ctx:c_ctx ~rng:(Rng.split c_rng)
+          Program_manager.create k ~cfg ~directory:c_dir ~rng:(Rng.split c_rng)
         in
         let d = Display_server.create k in
         Name_server.register_direct c_ns ~name:(host_name ^ ":display")
@@ -171,7 +171,7 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
       c_net;
       c_far = far_net;
       c_cfg = cfg;
-      c_ctx;
+      c_dir;
       c_tracer;
       c_rng;
       c_fs;
@@ -203,6 +203,13 @@ let user t ~ws ~name body =
   let lh = Kernel.create_logical_host w.ws_kernel ~priority:Cpu.Foreground in
   Kernel.spawn_process w.ws_kernel lh ~name (fun vp ->
       body w.ws_kernel (Vproc.pid vp))
+
+let context t ~ws ~self =
+  let w = t.stations.(ws) in
+  Context.make ~kernel:w.ws_kernel ~cfg:t.c_cfg ~self ~env:(env_for t w)
+
+let shell t ~ws ~name body =
+  user t ~ws ~name (fun _k self -> body (context t ~ws ~self))
 
 let run ?until ?max_steps t = Engine.run ?until ?max_steps t.eng
 

@@ -51,7 +51,10 @@ val create :
 val engine : t -> Engine.t
 val net : t -> Packet.t Ethernet.t
 val cfg : t -> Config.t
-val ctx : t -> Context.t
+
+val directory : t -> Directory.t
+(** The logical-host to kernel registry program bodies resolve through. *)
+
 val tracer : t -> Tracer.t
 val rng : t -> Rng.t
 (** A fresh independent stream per call. *)
@@ -77,7 +80,18 @@ val user :
 (** Spawn an interactive-user process (foreground priority, own logical
     host) on a workstation — the "command interpreter" from which
     programs are launched. The body gets the workstation's kernel and
-    its own pid. *)
+    its own pid. Prefer {!shell} when the body talks to the
+    {!Remote_exec} API. *)
+
+val context : t -> ws:int -> self:Ids.pid -> Context.t
+(** The execution context of a client process [self] running on
+    workstation [ws]: that workstation's kernel, the cluster config, and
+    the standard environment from {!env_for}. *)
+
+val shell :
+  t -> ws:int -> name:string -> (Context.t -> unit) -> Vproc.t
+(** {!user}, but the body receives its ready-made {!Context.t} — the
+    idiom for driving {!Remote_exec} and [Serve]. *)
 
 val run : ?until:Time.t -> ?max_steps:int -> t -> unit
 (** Drive the simulation. Without [until], runs the event queue dry —

@@ -9,16 +9,27 @@ type exec_result = {
   er_total : Time.span;
 }
 
+let exec_result_to_json r =
+  Json_min.Obj
+    [
+      ("host", Json_min.Str r.er_host);
+      ( "select_ms",
+        match r.er_select with
+        | Some s -> Json_min.Num (Time.to_ms s)
+        | None -> Json_min.Null );
+      ("setup_ms", Json_min.Num (Time.to_ms r.er_setup));
+      ("load_ms", Json_min.Num (Time.to_ms r.er_load));
+      ("total_ms", Json_min.Num (Time.to_ms r.er_total));
+    ]
+
 let horizon_run ?(slack = Time.of_sec 200.) cl =
   Cluster.run cl ~until:(Time.add (Cluster.now cl) slack)
 
 let remote_exec cl ?(ws = 0) ?(target = Remote_exec.Any) ~prog () =
-  let w = Cluster.workstation cl ws in
-  let env = Cluster.env_for cl w in
   let result = ref (Error "experiment did not complete") in
   ignore
-    (Cluster.user cl ~ws ~name:"shell" (fun k self ->
-         match Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog ~target with
+    (Cluster.shell cl ~ws ~name:"shell" (fun ctx ->
+         match Remote_exec.exec ctx ~prog ~target with
          | Error e -> result := Error e
          | Ok h ->
              result :=
@@ -30,7 +41,7 @@ let remote_exec cl ?(ws = 0) ?(target = Remote_exec.Any) ~prog () =
                    er_load = h.Remote_exec.h_timings.Remote_exec.t_load;
                    er_total = h.Remote_exec.h_timings.Remote_exec.t_total;
                  };
-             ignore (Remote_exec.wait k ~self h)));
+             ignore (Remote_exec.wait ctx h)));
   horizon_run cl;
   !result
 
@@ -43,18 +54,13 @@ let find_program cl (h : Remote_exec.handle) =
 
 let dirty_rate cl ~prog ~window ~reps ?(warmup = Time.of_sec 1.) () =
   let eng = Cluster.engine cl in
-  let cfg = Cluster.cfg cl in
-  let w = Cluster.workstation cl 0 in
-  let env = Cluster.env_for cl w in
   let samples = ref [] in
   let failure = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"sampler" (fun k self ->
+    (Cluster.shell cl ~ws:0 ~name:"sampler" (fun ctx ->
          let rec collect need =
            if need > 0 then begin
-             match
-               Remote_exec.exec k cfg ~self ~env ~prog ~target:Remote_exec.Local
-             with
+             match Remote_exec.exec ctx ~prog ~target:Remote_exec.Local with
              | Error e -> failure := Some e
              | Ok h -> (
                  match find_program cl h with
@@ -81,7 +87,7 @@ let dirty_rate cl ~prog ~window ~reps ?(warmup = Time.of_sec 1.) () =
                        else 0
                      in
                      let left = windows need in
-                     ignore (Remote_exec.wait k ~self h);
+                     ignore (Remote_exec.wait ctx h);
                      collect left)
            end
          in
@@ -101,13 +107,11 @@ let dirty_rate_jobs ?(workstations = 2) ~base_seed ~prog ~window ~reps () =
 let migrate_program cl ?(ws = 0) ?(strategy = Protocol.Precopy)
     ?(run_for = Time.of_sec 3.) ?(extra_processes = 0) ~prog () =
   let eng = Cluster.engine cl in
-  let cfg = Cluster.cfg cl in
-  let w = Cluster.workstation cl ws in
-  let env = Cluster.env_for cl w in
   let result = ref (Error "experiment did not complete") in
   ignore
-    (Cluster.user cl ~ws ~name:"shell" (fun k self ->
-         match Remote_exec.exec k cfg ~self ~env ~prog ~target:Remote_exec.Any with
+    (Cluster.shell cl ~ws ~name:"shell" (fun ctx ->
+         let k = Context.kernel ctx and self = Context.self ctx in
+         match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
          | Error e -> result := Error ("exec: " ^ e)
          | Ok h -> (
              (match (find_program cl h, Cluster.find_workstation cl h.Remote_exec.h_host) with
@@ -157,13 +161,15 @@ let migrate_program cl ?(ws = 0) ?(strategy = Protocol.Precopy)
   horizon_run cl;
   !result
 
-let cluster_ps k cfg ~self =
+let cluster_ps (ctx : Context.t) =
+  let k = Context.kernel ctx in
   let c =
-    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+    Kernel.send_group k ~src:(Context.self ctx)
+      ~group:Ids.program_manager_group
       (Message.make Protocol.Pm_list_programs)
   in
   let replies =
-    Kernel.collect_within k c ~window:cfg.Config.select_timeout
+    Kernel.collect_within k c ~window:(Context.cfg ctx).Config.select_timeout
   in
   List.filter_map
     (fun ((pm : Ids.pid), (m : Message.t)) ->
@@ -230,6 +236,21 @@ type usage_stats = {
   us_owner_active_fraction : float;
   us_mean_freeze_ms : float;
 }
+
+let usage_to_json s =
+  Json_min.Obj
+    [
+      ("submitted", Json_min.Num (float_of_int s.us_submitted));
+      ("honored", Json_min.Num (float_of_int s.us_honored));
+      ("refused", Json_min.Num (float_of_int s.us_refused));
+      ("completed", Json_min.Num (float_of_int s.us_completed));
+      ("preemptions", Json_min.Num (float_of_int s.us_preemptions));
+      ( "preempt_destroyed",
+        Json_min.Num (float_of_int s.us_preempt_destroyed) );
+      ("mean_idle", Json_min.Num s.us_mean_idle);
+      ("owner_active_fraction", Json_min.Num s.us_owner_active_fraction);
+      ("mean_freeze_ms", Json_min.Num s.us_mean_freeze_ms);
+    ]
 
 let pp_usage ppf s =
   Format.fprintf ppf
@@ -306,7 +327,6 @@ let install_owner cl w params ~preempted ~destroyed ~freeze_ms =
 
 let usage cl p =
   let eng = Cluster.engine cl in
-  let cfg = Cluster.cfg cl in
   let submitted = ref 0
   and honored = ref 0
   and refused = ref 0
@@ -327,18 +347,14 @@ let usage cl p =
     (fun j ->
       let ws = j mod n_ws in
       let prog = progs.(j mod Array.length progs) in
-      let w = Cluster.workstation cl ws in
-      let env = Cluster.env_for cl w in
       incr submitted;
       ignore
-        (Cluster.user cl ~ws ~name:"job-shell" (fun k self ->
-             match
-               Remote_exec.exec k cfg ~self ~env ~prog ~target:Remote_exec.Any
-             with
+        (Cluster.shell cl ~ws ~name:"job-shell" (fun ctx ->
+             match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
              | Error _ -> incr refused
              | Ok h -> (
                  incr honored;
-                 match Remote_exec.wait k ~self h with
+                 match Remote_exec.wait ctx h with
                  | Ok _ -> incr completed
                  | Error _ -> ()))));
   Cluster.run cl ~until:p.u_horizon;

@@ -29,6 +29,11 @@ type exec_result = {
   er_total : Time.span;
 }
 
+val exec_result_to_json : exec_result -> Json_min.t
+(** Flat object of millisecond timings plus the host — the uniform
+    result shape the bench harness serializes directly (a missing
+    selection, i.e. local execution, is [Null]). *)
+
 val remote_exec :
   Cluster.t ->
   ?ws:int ->
@@ -91,8 +96,7 @@ val migrate_program :
     execution on ... all workstations in the system" (Section 2). *)
 
 val cluster_ps :
-  Kernel.t -> Config.t -> self:Ids.pid ->
-  (string * (string * Ids.lh_id * string) list) list
+  Context.t -> (string * (string * Ids.lh_id * string) list) list
 (** Ask every program manager (one group send) what it is running;
     returns (host, listing) pairs in response order. Blocking; call from
     a simulated process. *)
@@ -139,5 +143,8 @@ val usage : Cluster.t -> usage_params -> usage_stats
 (** The full pool-of-processors scenario: owners come and go (pausing
     volunteering and reclaiming their machines via [migrateprog] when
     they return), jobs arrive Poisson and run "[@ *]". *)
+
+val usage_to_json : usage_stats -> Json_min.t
+(** Flat object mirroring {!usage_stats} field for field. *)
 
 val pp_usage : Format.formatter -> usage_stats -> unit

@@ -2,10 +2,12 @@ type t = {
   daemon : Proc.t;
   mutable survey_count : int;
   mutable rebalance_count : int;
+  mutable skip_count : int;
 }
 
 let surveys t = t.survey_count
 let rebalances t = t.rebalance_count
+let skips t = t.skip_count
 let stop t = Proc.kill t.daemon
 
 (* One survey: every program manager's migratable-guest list, with the
@@ -23,41 +25,58 @@ let survey k ~self =
     (Kernel.collect_within k c ~window:(Time.of_ms 200.))
   |> List.sort (fun (_, a, _) (_, b, _) -> String.compare a b)
 
-let rebalance_once t k ~self ~imbalance =
+let rebalance_once t k ~self ~imbalance ~on_outcome =
   match survey k ~self with
   | [] | [ _ ] -> ()
-  | loads -> (
+  | loads ->
       let by_load =
         List.sort
           (fun (_, _, a) (_, _, b) -> Int.compare (List.length a) (List.length b))
           loads
       in
       let _, _, least = List.hd by_load in
-      let busy_pm, busy_host, busiest = List.hd (List.rev by_load) in
-      match busiest with
-      | victim :: _ when List.length busiest - List.length least >= imbalance
-        -> (
-          Tracer.recordf (Kernel.tracer k) ~category:"balance"
-            "moving one guest off %s (%d vs %d guests)" busy_host
-            (List.length busiest) (List.length least);
-          match
-            Kernel.send k ~src:self ~dst:busy_pm
-              (Message.make
-                 (Protocol.Pm_migrate
-                    {
-                      lh = Some victim;
-                      dest = None;
-                      force_destroy = false;
-                      strategy = Protocol.Precopy;
-                    }))
-          with
-          | Ok { Message.body = Protocol.Pm_migrated (_ :: _); _ } ->
-              t.rebalance_count <- t.rebalance_count + 1
-          | Ok _ | Error _ -> ())
-      | _ -> ())
+      let floor = List.length least in
+      (* Busiest first. A surveyed host can crash between answering the
+         survey and receiving the migrate request — the send then gives
+         up with no-response. Skip it and try the next-busiest candidate
+         rather than abandoning the cycle (and never let a dead host
+         wedge the daemon). The list is sorted, so the first candidate
+         below the imbalance threshold ends the scan. *)
+      let rec try_candidates = function
+        | [] -> ()
+        | (busy_pm, busy_host, busiest) :: rest -> (
+            match busiest with
+            | victim :: _ when List.length busiest - floor >= imbalance -> (
+                Tracer.recordf (Kernel.tracer k) ~category:"balance"
+                  "moving one guest off %s (%d vs %d guests)" busy_host
+                  (List.length busiest) floor;
+                match
+                  Kernel.send k ~src:self ~dst:busy_pm
+                    (Message.make
+                       (Protocol.Pm_migrate
+                          {
+                            lh = Some victim;
+                            dest = None;
+                            force_destroy = false;
+                            strategy = Protocol.Precopy;
+                          }))
+                with
+                | Ok { Message.body = Protocol.Pm_migrated (_ :: _ as os); _ }
+                  ->
+                    t.rebalance_count <- t.rebalance_count + 1;
+                    List.iter on_outcome os
+                | Ok _ | Error _ ->
+                    t.skip_count <- t.skip_count + 1;
+                    Tracer.recordf (Kernel.tracer k) ~category:"balance"
+                      "%s unreachable or refused; trying next busiest"
+                      busy_host;
+                    try_candidates rest)
+            | _ -> ())
+      in
+      try_candidates (List.rev by_load)
 
-let start ?(interval = Time.of_sec 5.) ?(imbalance = 2) k cfg =
-  ignore (cfg : Config.t);
+let start ?(interval = Time.of_sec 5.) ?(imbalance = 2)
+    ?(on_outcome = fun (_ : Protocol.migration_outcome) -> ()) k =
   let eng = Kernel.engine k in
   let lh = Kernel.create_logical_host k ~priority:Cpu.Foreground in
   let self = Vproc.pid (Kernel.create_process k lh) in
@@ -67,14 +86,21 @@ let start ?(interval = Time.of_sec 5.) ?(imbalance = 2) k cfg =
         let rec loop () =
           Proc.sleep eng interval;
           (match !t_cell with
-          | Some t ->
+          | Some t -> (
               t.survey_count <- t.survey_count + 1;
-              rebalance_once t k ~self ~imbalance
+              (* A cycle must never take the daemon down: whatever a
+                 mid-cycle crash does to the survey or the migrate
+                 conversation, absorb it and try again next interval. *)
+              try rebalance_once t k ~self ~imbalance ~on_outcome
+              with exn ->
+                t.skip_count <- t.skip_count + 1;
+                Tracer.recordf (Kernel.tracer k) ~category:"balance"
+                  "cycle aborted (%s); continuing" (Printexc.to_string exn))
           | None -> ());
           loop ()
         in
         loop ())
   in
-  let t = { daemon; survey_count = 0; rebalance_count = 0 } in
+  let t = { daemon; survey_count = 0; rebalance_count = 0; skip_count = 0 } in
   t_cell := Some t;
   t

@@ -11,18 +11,25 @@
     every program manager, and if the busiest workstation runs at least
     [imbalance] more guests than the idlest volunteer, it asks the busy
     host's manager to migrate one guest (destination chosen by the normal
-    decentralized selection). One move per cycle keeps it stable. *)
+    decentralized selection). One move per cycle keeps it stable.
+
+    Crash resilience: a surveyed host can crash between answering the
+    survey and receiving the migrate request. The daemon skips it, tries
+    the next-busiest candidate, and counts the skip — a dead host never
+    wedges the cycle loop. *)
 
 type t
 
 val start :
   ?interval:Time.span ->
   ?imbalance:int ->
+  ?on_outcome:(Protocol.migration_outcome -> unit) ->
   Kernel.t ->
-  Config.t ->
   t
 (** Start the daemon on the given workstation. [interval] defaults to
-    5 s, [imbalance] to 2 guests. *)
+    5 s, [imbalance] to 2 guests. [on_outcome] is invoked once per
+    completed rebalancing migration with the full migration outcome —
+    service layers use it for freeze-time accounting. *)
 
 val stop : t -> unit
 
@@ -31,3 +38,7 @@ val surveys : t -> int
 
 val rebalances : t -> int
 (** Migrations triggered. *)
+
+val skips : t -> int
+(** Candidates skipped mid-cycle — unreachable (crashed) or refusing
+    busy hosts the daemon stepped past. *)

@@ -1,20 +1,9 @@
-type t = { mutable all : Kernel.t list (* reverse registration order *) }
+type t = { kernel : Kernel.t; cfg : Config.t; self : Ids.pid; env : Env.t }
 
-let of_kernels () = { all = [] }
-
-let register t k = t.all <- k :: t.all
-
-let kernels t = List.rev t.all
-
-let locate t lh_id =
-  List.find_opt (fun k -> Kernel.find_lh k lh_id <> None) (kernels t)
-
-let current t lh_id =
-  match locate t lh_id with
-  | Some k -> k
-  | None ->
-      failwith
-        (Printf.sprintf "Context.current: lh-%d not resident anywhere" lh_id)
-
-let find_host t name =
-  List.find_opt (fun k -> String.equal (Kernel.host_name k) name) (kernels t)
+let make ~kernel ~cfg ~self ~env = { kernel; cfg; self; env }
+let with_env t env = { t with env }
+let kernel t = t.kernel
+let cfg t = t.cfg
+let self t = t.self
+let env t = t.env
+let engine t = Kernel.engine t.kernel

@@ -1,32 +1,40 @@
-(** Locating the kernel a logical host currently runs on.
+(** The execution context a client carries into the remote-execution API.
 
-    Programs in V reach "their" kernel server and program manager through
-    local group ids — [{my_lh, 1}] resolves to whichever host currently
-    runs the logical host (Section 2.1). Simulated program bodies hold
-    OCaml handles rather than send packets for every kernel call, so they
-    need the same indirection in handle form: a context maps a logical
-    host id to the kernel currently hosting it. Program code must re-ask
-    on every use; caching the kernel across a blocking call is exactly
-    the bug transparency is meant to prevent. *)
+    Every client-side operation in V needs the same four things: the
+    kernel handle of the workstation it runs on, the cluster
+    configuration, its own process id (the reply address for kernel
+    sends), and the execution environment that travels with created
+    programs (Section 2.2's per-program environment: file server,
+    display, name cache, arguments). Threading them as four positional
+    and labelled arguments through every call — the historical
+    [Kernel.t -> Config.t -> self:… -> env:…] soup — made each new
+    entry point grow the same tuple. A {!t} packages them once; APIs
+    such as {!Remote_exec} and [Serve] take the context and nothing
+    else.
 
-type t
+    A context is cheap and immutable: derive variants with {!with_env}
+    (e.g. a private file server) rather than mutating. *)
 
-val of_kernels : unit -> t
-(** An empty registry to which kernels are added as they boot. *)
+type t = {
+  kernel : Kernel.t;  (** The workstation this client runs on. *)
+  cfg : Config.t;
+  self : Ids.pid;  (** The client process — reply address for sends. *)
+  env : Env.t;  (** Environment handed to programs it creates. *)
+}
 
-val register : t -> Kernel.t -> unit
+val make : kernel:Kernel.t -> cfg:Config.t -> self:Ids.pid -> env:Env.t -> t
 
-val kernels : t -> Kernel.t list
-(** In registration order. *)
+val with_env : t -> Env.t -> t
+(** Same client, different program environment. *)
 
-val locate : t -> Ids.lh_id -> Kernel.t option
-(** The kernel currently hosting the logical host, if any. *)
+val kernel : t -> Kernel.t
 
-val current : t -> Ids.lh_id -> Kernel.t
-(** Like {!locate}.
-    @raise Failure if the logical host is not resident anywhere — it is
-    mid-migration or destroyed; simulated program bodies treat this as
-    "retry after a beat". *)
+val cfg : t -> Config.t
 
-val find_host : t -> string -> Kernel.t option
-(** Look a kernel up by workstation name. *)
+val self : t -> Ids.pid
+
+val env : t -> Env.t
+
+val engine : t -> Engine.t
+(** [Kernel.engine (kernel t)] — the simulation clock this client is
+    driven by. *)

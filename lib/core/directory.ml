@@ -1,0 +1,20 @@
+type t = { mutable all : Kernel.t list (* reverse registration order *) }
+
+let of_kernels () = { all = [] }
+
+let register t k = t.all <- k :: t.all
+
+let kernels t = List.rev t.all
+
+let locate t lh_id =
+  List.find_opt (fun k -> Kernel.find_lh k lh_id <> None) (kernels t)
+
+let current t lh_id =
+  match locate t lh_id with
+  | Some k -> k
+  | None ->
+      failwith
+        (Printf.sprintf "Directory.current: lh-%d not resident anywhere" lh_id)
+
+let find_host t name =
+  List.find_opt (fun k -> String.equal (Kernel.host_name k) name) (kernels t)

@@ -28,7 +28,7 @@ let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
       read_debt := !read_debt -. 1.;
       count_io self;
       gate ();
-      let k = Context.current ctx lh_id in
+      let k = Directory.current ctx lh_id in
       match
         File_server.Client.read k ~self ~server:env.Env.file_server
           ~path:(spec.Programs.prog_name ^ ".in")
@@ -41,7 +41,7 @@ let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
       write_debt := !write_debt -. 1.;
       count_io self;
       gate ();
-      let k = Context.current ctx lh_id in
+      let k = Directory.current ctx lh_id in
       match
         File_server.Client.write k ~self ~server:env.Env.file_server
           ~path:(spec.Programs.prog_name ^ ".out")
@@ -57,7 +57,7 @@ let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
       (* One chunk is one scheduler quantum; after a migration the next
          chunk lands on the new workstation's CPU. *)
       gate ();
-      let k = Context.current ctx lh_id in
+      let k = Directory.current ctx lh_id in
       let quantum = (Kernel.params k).Os_params.cpu_quantum in
       let chunk = Time.min quantum remaining in
       Cpu.compute_sliced ~owner:lh_id ~gate
@@ -79,7 +79,7 @@ let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
   (* Terminal output goes through the display server co-resident with the
      originating workstation's frame buffer (Section 2.1). *)
   gate ();
-  let k = Context.current ctx lh_id in
+  let k = Directory.current ctx lh_id in
   ignore
     (Display_server.Client.write k ~self ~server:env.Env.display
        (Printf.sprintf "%s: done (%s)" spec.Programs.prog_name

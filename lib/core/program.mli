@@ -5,17 +5,17 @@
     {!Dirty_model} in proportion to CPU actually granted), issue the
     spec's file-server I/O, and announce completion on the originating
     display. The body re-resolves its current kernel through the
-    {!Context} at every chunk, which is what makes it oblivious to
+    {!Directory} at every chunk, which is what makes it oblivious to
     migration — the only "special provision" it ever takes is the one V
     imposes on all programs: talk to the world through IPC. *)
 
 val body :
-  Context.t -> Rng.t -> Progtable.program -> Vproc.t -> unit
+  Directory.t -> Rng.t -> Progtable.program -> Vproc.t -> unit
 (** Run to completion (or die with the logical host). Must execute as the
     program's root process. *)
 
 val run_spec :
-  Context.t ->
+  Directory.t ->
   Rng.t ->
   lh:Logical_host.t ->
   spec:Programs.spec ->

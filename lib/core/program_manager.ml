@@ -1,7 +1,7 @@
 type t = {
   pm_kernel : Kernel.t;
   cfg : Config.t;
-  ctx : Context.t;
+  directory : Directory.t;
   rng : Rng.t;
   tbl : Progtable.t;
   mutable pm_pid : Ids.pid;
@@ -131,7 +131,7 @@ let handle_create t d ~prog ~env ~priority ~explicit_host =
             in
             let body_rng = Rng.split t.rng in
             Kernel.start_process k root ~name:prog (fun vp ->
-                Program.body t.ctx body_rng program vp);
+                Program.body t.directory body_rng program vp);
             (match Vproc.thread root with
             | Some thread -> Proc.on_exit thread (fun _ -> reap t program)
             | None -> ());
@@ -319,12 +319,12 @@ let serve t d =
               }))
   | _ -> Kernel.reply k d (Message.make (Protocol.Pm_refused "unknown request"))
 
-let create ?(accepting = true) k ~cfg ~ctx ~rng =
+let create ?(accepting = true) k ~cfg ~directory ~rng =
   let t =
     {
       pm_kernel = k;
       cfg;
-      ctx;
+      directory;
       rng;
       tbl = Progtable.create k;
       pm_pid = Ids.pid 0 0;

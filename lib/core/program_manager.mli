@@ -13,7 +13,12 @@
 type t
 
 val create :
-  ?accepting:bool -> Kernel.t -> cfg:Config.t -> ctx:Context.t -> rng:Rng.t -> t
+  ?accepting:bool ->
+  Kernel.t ->
+  cfg:Config.t ->
+  directory:Directory.t ->
+  rng:Rng.t ->
+  t
 (** Start the program manager on a workstation. [accepting] (default
     true) is the owner's policy switch: whether this workstation
     volunteers for guest work. *)

@@ -23,7 +23,11 @@ let image_bytes prog =
       + spec.Programs.image.File_server.active_bytes
   | exception Not_found -> 0
 
-let rec exec ?(attempts = 5) k cfg ~self ~env ~prog ~target =
+let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
+  let k = ctx.Context.kernel in
+  let cfg = ctx.Context.cfg in
+  let self = ctx.Context.self in
+  let env = ctx.Context.env in
   let eng = Kernel.engine k in
   let t0 = Engine.now eng in
   let selection =
@@ -88,19 +92,20 @@ let rec exec ?(attempts = 5) k cfg ~self ~env ~prog ~target =
              (selection races under bursts of "@ *"); pick again. *)
           if String.equal m "not willing" && target = Any && attempts > 1 then begin
             Proc.sleep eng (Time.of_ms 50.);
-            exec ~attempts:(attempts - 1) k cfg ~self ~env ~prog ~target
+            exec ~attempts:(attempts - 1) ctx ~prog ~target
           end
           else Error m
       | Ok _ -> Error "malformed creation reply"
       | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e))
 
-let wait k ~self handle =
+let wait (ctx : Context.t) handle =
+  let k = ctx.Context.kernel in
   (* Address the program manager through the program's logical-host id:
      this resolves to whichever workstation the program lives on now, so
      waiting is oblivious to migrations (Section 2.1's local groups). *)
   let pm = Ids.program_manager_of handle.h_lh in
   match
-    Kernel.send k ~src:self ~dst:pm
+    Kernel.send k ~src:ctx.Context.self ~dst:pm
       (Message.make (Protocol.Pm_wait { lh = handle.h_lh }))
   with
   | Ok { Message.body = Progtable.Pm_exited { wall; cpu; ok }; _ } ->
@@ -110,9 +115,9 @@ let wait k ~self handle =
   | Ok _ -> Error "malformed wait reply"
   | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e)
 
-let manage k ~self handle body =
+let manage (ctx : Context.t) handle body =
   match
-    Kernel.send k ~src:self
+    Kernel.send ctx.Context.kernel ~src:ctx.Context.self
       ~dst:(Ids.program_manager_of handle.h_lh)
       (Message.make body)
   with
@@ -123,14 +128,14 @@ let manage k ~self handle body =
   | Ok _ -> Error "malformed reply"
   | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e)
 
-let suspend k ~self handle =
-  manage k ~self handle (Protocol.Pm_suspend { lh = handle.h_lh })
+let suspend ctx handle =
+  manage ctx handle (Protocol.Pm_suspend { lh = handle.h_lh })
 
-let resume k ~self handle =
-  manage k ~self handle (Protocol.Pm_resume { lh = handle.h_lh })
+let resume ctx handle =
+  manage ctx handle (Protocol.Pm_resume { lh = handle.h_lh })
 
-let destroy k ~self handle =
-  manage k ~self handle (Protocol.Pm_destroy { lh = handle.h_lh })
+let destroy ctx handle =
+  manage ctx handle (Protocol.Pm_destroy { lh = handle.h_lh })
 
 (* Wait errors that mean the program's host died under it (as opposed to
    the program itself failing): the send machine gave up reaching any
@@ -140,12 +145,12 @@ let host_failure_error = function
   | "no-response" | "no such program" -> true
   | _ -> false
 
-let rec exec_and_wait ?(on_host_failure = `Fail) k cfg ~self ~env ~prog ~target
-    =
-  match exec k cfg ~self ~env ~prog ~target with
+let rec exec_and_wait ?(on_host_failure = `Fail) (ctx : Context.t) ~prog
+    ~target =
+  match exec ctx ~prog ~target with
   | Error e -> Error e
   | Ok handle -> (
-      match wait k ~self handle with
+      match wait ctx handle with
       | Ok (wall, cpu) -> Ok (handle, wall, cpu)
       | Error e -> (
           match on_host_failure with
@@ -153,10 +158,12 @@ let rec exec_and_wait ?(on_host_failure = `Fail) k cfg ~self ~env ~prog ~target
               (* At-least-once semantics: the program is re-run from
                  scratch somewhere else. Callers opting in must tolerate
                  re-execution of side effects. *)
-              Tracer.recordf (Kernel.tracer k) ~category:"exec"
+              Tracer.recordf
+                (Kernel.tracer ctx.Context.kernel)
+                ~category:"exec"
                 "%s lost on %s (%s); re-executing (%d attempts left)" prog
                 handle.h_host e (attempts - 1);
               exec_and_wait
                 ~on_host_failure:(`Reexec (attempts - 1))
-                k cfg ~self ~env ~prog ~target
+                ctx ~prog ~target
           | `Reexec _ | `Fail -> Error e))

@@ -32,31 +32,31 @@ type handle = {
 
 val exec :
   ?attempts:int ->
-  Kernel.t ->
-  Config.t ->
-  self:Ids.pid ->
-  env:Env.t ->
+  Context.t ->
   prog:string ->
   target:target ->
   (handle, string) result
 (** Start a program; returns once it is running. Blocking; call from a
-    simulated process. With [target = Any], a volunteer that filled up
-    between answering the query and receiving the creation request causes
-    re-selection, up to [attempts] (default 5) tries. *)
+    simulated process (the context's [self]). With [target = Any], a
+    volunteer that filled up between answering the query and receiving
+    the creation request causes re-selection, up to [attempts] (default
+    5) tries. *)
 
-val wait :
-  Kernel.t -> self:Ids.pid -> handle -> (Time.span * Time.span, string) result
+val wait : Context.t -> handle -> (Time.span * Time.span, string) result
 (** Block until the program exits; returns (wall time, CPU time). Works
     across migrations: if the program moved, the manager named in the
     handle no longer knows it and the wait is retried against the
     program's current host via the binding machinery. *)
 
+val host_failure_error : string -> bool
+(** Whether a {!wait} error means the program's {e host} died under it
+    (unreachable manager, or a rebooted manager that never heard of the
+    program) — the errors re-execution can recover from — as opposed to
+    the program itself failing. *)
+
 val exec_and_wait :
   ?on_host_failure:[ `Fail | `Reexec of int ] ->
-  Kernel.t ->
-  Config.t ->
-  self:Ids.pid ->
-  env:Env.t ->
+  Context.t ->
   prog:string ->
   target:target ->
   (handle * Time.span * Time.span, string) result
@@ -77,11 +77,11 @@ val exec_and_wait :
     (Section 2): all three address the program manager through the
     program's logical-host id, which resolves to its current host. *)
 
-val suspend : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+val suspend : Context.t -> handle -> (unit, string) result
 (** Freeze the program in place (the migration freeze, minus the copy). *)
 
-val resume : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+val resume : Context.t -> handle -> (unit, string) result
 
-val destroy : Kernel.t -> self:Ids.pid -> handle -> (unit, string) result
+val destroy : Context.t -> handle -> (unit, string) result
 (** Terminate the program wherever it currently runs. Completion waiters
     are answered with a failure. *)

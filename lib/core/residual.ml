@@ -20,14 +20,14 @@ let bindings (p : Progtable.program) =
 let dependencies ctx p =
   List.filter_map
     (fun (what, pid) ->
-      match Context.locate ctx pid.Ids.lh with
+      match Directory.locate ctx pid.Ids.lh with
       | Some k ->
           Some { d_what = what; d_pid = pid; d_host = Kernel.host_name k }
       | None -> None)
     (bindings p)
 
 let current_host ctx (p : Progtable.program) =
-  match Context.locate ctx (Logical_host.id p.Progtable.p_lh) with
+  match Directory.locate ctx (Logical_host.id p.Progtable.p_lh) with
   | Some k -> Some (Kernel.host_name k)
   | None -> None
 

@@ -15,17 +15,17 @@ type dependency = {
   d_host : string;  (** Workstation currently serving it. *)
 }
 
-val dependencies : Context.t -> Progtable.program -> dependency list
+val dependencies : Directory.t -> Progtable.program -> dependency list
 (** Every environment binding, resolved to its current host. Bindings to
     services not currently resident anywhere are omitted. *)
 
 val residual_hosts :
-  ?ignore_display:bool -> Context.t -> Progtable.program -> string list
+  ?ignore_display:bool -> Directory.t -> Progtable.program -> string list
 (** Hosts other than the program's current workstation that it depends
     on. The display dependency is inherent (output belongs on the
     owner's screen) and usually excluded with [~ignore_display:true]. *)
 
 val depends_on :
-  ?ignore_display:bool -> Context.t -> Progtable.program -> host:string -> bool
+  ?ignore_display:bool -> Directory.t -> Progtable.program -> host:string -> bool
 (** Does the program depend on the named workstation? The origin-failure
     experiment asks this about the original host after migration. *)

@@ -18,7 +18,7 @@ let join t =
 let spawn ctx rng ~(parent : Progtable.program) ~prog =
   let lh = parent.Progtable.p_lh in
   let lh_id = Logical_host.id lh in
-  let k = Context.current ctx lh_id in
+  let k = Directory.current ctx lh_id in
   match Programs.find prog with
   | exception Not_found -> Error ("unknown program: " ^ prog)
   | spec -> (

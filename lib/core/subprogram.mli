@@ -16,7 +16,7 @@
 type t
 
 val spawn :
-  Context.t ->
+  Directory.t ->
   Rng.t ->
   parent:Progtable.program ->
   prog:string ->

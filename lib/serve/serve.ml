@@ -1,0 +1,381 @@
+module Session = struct
+  type arrivals = Poisson of float | Trace of Time.t list
+
+  type params = {
+    arrivals : arrivals;
+    duration : Time.span;
+    progs : string list;
+    max_in_flight : int;
+    queue_limit : int;
+    balancer_interval : Time.span option;
+    snapshot_every : Time.span option;
+    reexec_attempts : int;
+    drain_grace : Time.span;
+  }
+
+  let default_params =
+    {
+      arrivals = Poisson 2.;
+      duration = Time.of_sec 120.;
+      progs = [ "cc68"; "preprocessor"; "assembler"; "make"; "optimizer" ];
+      max_in_flight = 24;
+      queue_limit = 64;
+      balancer_interval = Some (Time.of_sec 5.);
+      snapshot_every = Some (Time.of_sec 10.);
+      reexec_attempts = 1;
+      drain_grace = Time.of_sec 60.;
+    }
+
+  type request = {
+    rq_prog : string;
+    rq_submitted : Time.t;
+    mutable rq_handle : Remote_exec.handle;
+  }
+
+  type t = {
+    s_cluster : Cluster.t;
+    s_params : params;
+    (* Admission: a fixed number of slots; the waiting room is a FIFO of
+       gates, each blocking one submitting process. [release] hands the
+       freed slot to the queue head, so [s_in_flight] stays at the cap
+       while anyone waits. *)
+    mutable s_in_flight : int;
+    s_waiting : unit Ivar.t Queue.t;
+    in_flight_gauge : Stats.Gauge.t;
+    queued_gauge : Stats.Gauge.t;
+    (* Request accounting. *)
+    mutable submitted : int;
+    mutable rejected : int;
+    mutable refused : int;
+    mutable completed : int;
+    mutable failed : int;
+    mutable reexecs : int;
+    queue_wait_ms : Stats.Summary.t;
+    submit_to_running_ms : Stats.Summary.t;
+    submit_to_complete_ms : Stats.Summary.t;
+    (* Rebalancing. *)
+    mutable migrations : int;
+    freeze_ms : Stats.Summary.t;
+    mutable s_balancer : Balancer.t option;
+    mutable snapshots : Json_min.t list;  (** Reverse order. *)
+  }
+
+  let cluster t = t.s_cluster
+  let now t = Engine.now (Cluster.engine t.s_cluster)
+
+  (* {1 Admission} *)
+
+  let acquire t =
+    if t.s_in_flight < t.s_params.max_in_flight && Queue.is_empty t.s_waiting
+    then begin
+      t.s_in_flight <- t.s_in_flight + 1;
+      Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight);
+      Ok ()
+    end
+    else if Queue.length t.s_waiting >= t.s_params.queue_limit then
+      Error "admission queue full"
+    else begin
+      let gate = Ivar.create () in
+      Queue.add gate t.s_waiting;
+      Stats.Gauge.set t.queued_gauge (float_of_int (Queue.length t.s_waiting));
+      (* Blocks this simulated process until a slot is handed over. *)
+      Ivar.read gate;
+      Ok ()
+    end
+
+  let release t =
+    match Queue.take_opt t.s_waiting with
+    | Some gate ->
+        (* Slot transfer: the head of the queue inherits it, so the
+           in-flight count is unchanged. *)
+        Stats.Gauge.set t.queued_gauge (float_of_int (Queue.length t.s_waiting));
+        Ivar.fill gate ()
+    | None ->
+        t.s_in_flight <- t.s_in_flight - 1;
+        Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight)
+
+  (* {1 The request path} *)
+
+  let submit t ctx ~prog =
+    let submitted_at = now t in
+    t.submitted <- t.submitted + 1;
+    match acquire t with
+    | Error e ->
+        t.rejected <- t.rejected + 1;
+        Error e
+    | Ok () -> (
+        Stats.Summary.record t.queue_wait_ms
+          (Time.to_ms (Time.sub (now t) submitted_at));
+        match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
+        | Error e ->
+            t.refused <- t.refused + 1;
+            release t;
+            Error e
+        | Ok h ->
+            Stats.Summary.record t.submit_to_running_ms
+              (Time.to_ms (Time.sub (now t) submitted_at));
+            Ok { rq_prog = prog; rq_submitted = submitted_at; rq_handle = h })
+
+  let rec wait_with_reexec t ctx rq attempts =
+    match Remote_exec.wait ctx rq.rq_handle with
+    | Ok _ -> Ok ()
+    | Error e when Remote_exec.host_failure_error e && attempts > 0 -> (
+        t.reexecs <- t.reexecs + 1;
+        match Remote_exec.exec ctx ~prog:rq.rq_prog ~target:Remote_exec.Any with
+        | Error e' -> Error e'
+        | Ok h ->
+            rq.rq_handle <- h;
+            wait_with_reexec t ctx rq (attempts - 1))
+    | Error e -> Error e
+
+  let await t ctx rq =
+    let result = wait_with_reexec t ctx rq t.s_params.reexec_attempts in
+    release t;
+    let span = Time.sub (now t) rq.rq_submitted in
+    match result with
+    | Ok () ->
+        t.completed <- t.completed + 1;
+        Stats.Summary.record t.submit_to_complete_ms (Time.to_ms span);
+        Ok span
+    | Error e ->
+        t.failed <- t.failed + 1;
+        Error e
+
+  (* {1 Periodic snapshots} *)
+
+  let take_snapshot t =
+    let p pct =
+      let s = t.submit_to_running_ms in
+      if Stats.Summary.count s = 0 then 0. else Stats.Summary.percentile s pct
+    in
+    t.snapshots <-
+      Json_min.Obj
+        [
+          ("t_s", Json_min.Num (Time.to_sec (now t)));
+          ("submitted", Json_min.Num (float_of_int t.submitted));
+          ("completed", Json_min.Num (float_of_int t.completed));
+          ("in_flight", Json_min.Num (float_of_int t.s_in_flight));
+          ("queued", Json_min.Num (float_of_int (Queue.length t.s_waiting)));
+          ("p95_submit_to_running_ms", Json_min.Num (p 95.));
+        ]
+      :: t.snapshots
+
+  (* {1 Session construction} *)
+
+  let install_arrivals t =
+    let cl = t.s_cluster in
+    let eng = Cluster.engine cl in
+    let n_ws = Cluster.size cl in
+    let progs = Array.of_list t.s_params.progs in
+    let launch i =
+      let ws = i mod n_ws in
+      let prog = progs.(i mod Array.length progs) in
+      ignore
+        (Cluster.shell cl ~ws ~name:(Printf.sprintf "serve-%d" i) (fun ctx ->
+             match submit t ctx ~prog with
+             | Error _ -> ()
+             | Ok rq -> ignore (await t ctx rq)))
+    in
+    match t.s_params.arrivals with
+    | Poisson rate_per_sec ->
+        Arrivals.poisson_stream eng (Cluster.rng cl) ~rate_per_sec
+          ~until:t.s_params.duration launch
+    | Trace instants ->
+        List.iteri
+          (fun i at ->
+            if Time.(at <= t.s_params.duration) then
+              ignore (Engine.schedule eng ~at (fun () -> launch i)))
+          instants
+
+  let install_snapshots t =
+    match t.s_params.snapshot_every with
+    | None -> ()
+    | Some every ->
+        let eng = Cluster.engine t.s_cluster in
+        let n = Time.to_us t.s_params.duration / Stdlib.max 1 (Time.to_us every) in
+        for k = 1 to n do
+          ignore
+            (Engine.schedule eng
+               ~at:(Time.of_us (k * Time.to_us every))
+               (fun () -> take_snapshot t))
+        done
+
+  let create ?(params = default_params) cl =
+    if params.progs = [] then invalid_arg "Serve.Session.create: empty progs";
+    let eng = Cluster.engine cl in
+    let t =
+      {
+        s_cluster = cl;
+        s_params = params;
+        s_in_flight = 0;
+        s_waiting = Queue.create ();
+        in_flight_gauge = Stats.Gauge.create eng ~initial:0.;
+        queued_gauge = Stats.Gauge.create eng ~initial:0.;
+        submitted = 0;
+        rejected = 0;
+        refused = 0;
+        completed = 0;
+        failed = 0;
+        reexecs = 0;
+        queue_wait_ms = Stats.Summary.create ();
+        submit_to_running_ms = Stats.Summary.create ();
+        submit_to_complete_ms = Stats.Summary.create ();
+        migrations = 0;
+        freeze_ms = Stats.Summary.create ();
+        s_balancer = None;
+        snapshots = [];
+      }
+    in
+    (match params.balancer_interval with
+    | None -> ()
+    | Some interval ->
+        t.s_balancer <-
+          Some
+            (Balancer.start ~interval
+               ~on_outcome:(fun o ->
+                 t.migrations <- t.migrations + 1;
+                 Stats.Summary.record t.freeze_ms
+                   (Time.to_ms (Protocol.freeze_span o)))
+               (Cluster.workstation cl 0).Cluster.ws_kernel));
+    install_arrivals t;
+    install_snapshots t;
+    t
+
+  let drain t =
+    Cluster.run t.s_cluster
+      ~until:(Time.add t.s_params.duration t.s_params.drain_grace)
+
+  (* {1 Metrics} *)
+
+  type metrics = {
+    m_submitted : int;
+    m_rejected : int;
+    m_refused : int;
+    m_completed : int;
+    m_failed : int;
+    m_reexecs : int;
+    m_throughput_per_sec : float;
+    m_queue_wait_ms : Stats.Summary.t;
+    m_submit_to_running_ms : Stats.Summary.t;
+    m_submit_to_complete_ms : Stats.Summary.t;
+    m_migrations : int;
+    m_freeze_ms : Stats.Summary.t;
+    m_balancer_surveys : int;
+    m_balancer_skips : int;
+    m_mean_in_flight : float;
+    m_mean_queued : float;
+  }
+
+  let metrics t =
+    let horizon_s = Time.to_sec t.s_params.duration in
+    {
+      m_submitted = t.submitted;
+      m_rejected = t.rejected;
+      m_refused = t.refused;
+      m_completed = t.completed;
+      m_failed = t.failed;
+      m_reexecs = t.reexecs;
+      m_throughput_per_sec =
+        (if horizon_s > 0. then float_of_int t.completed /. horizon_s else 0.);
+      m_queue_wait_ms = t.queue_wait_ms;
+      m_submit_to_running_ms = t.submit_to_running_ms;
+      m_submit_to_complete_ms = t.submit_to_complete_ms;
+      m_migrations = t.migrations;
+      m_freeze_ms = t.freeze_ms;
+      m_balancer_surveys =
+        (match t.s_balancer with Some b -> Balancer.surveys b | None -> 0);
+      m_balancer_skips =
+        (match t.s_balancer with Some b -> Balancer.skips b | None -> 0);
+      m_mean_in_flight = Stats.Gauge.time_average t.in_flight_gauge;
+      m_mean_queued = Stats.Gauge.time_average t.queued_gauge;
+    }
+
+  let summary_json s =
+    let n = Stats.Summary.count s in
+    let g v = if n = 0 || Float.is_nan v then 0. else v in
+    Json_min.Obj
+      [
+        ("count", Json_min.Num (float_of_int n));
+        ("mean", Json_min.Num (g (Stats.Summary.mean s)));
+        ("p50", Json_min.Num (g (Stats.Summary.percentile s 50.)));
+        ("p95", Json_min.Num (g (Stats.Summary.percentile s 95.)));
+        ("p99", Json_min.Num (g (Stats.Summary.percentile s 99.)));
+        ("max", Json_min.Num (g (Stats.Summary.max s)));
+      ]
+
+  (* Fixed-edge freeze-time histogram: the paper's headline is that
+     freezes stay sub-second, so buckets resolve the sub-second range. *)
+  let freeze_histogram s =
+    let edges = [| 50.; 100.; 200.; 500. |] in
+    let counts = Array.make (Array.length edges + 1) 0 in
+    List.iter
+      (fun v ->
+        let rec slot i =
+          if i >= Array.length edges then Array.length edges
+          else if v < edges.(i) then i
+          else slot (i + 1)
+        in
+        let i = slot 0 in
+        counts.(i) <- counts.(i) + 1)
+      (Stats.Summary.samples s);
+    let label i =
+      if i = 0 then Printf.sprintf "<%.0fms" edges.(0)
+      else if i = Array.length edges then
+        Printf.sprintf ">=%.0fms" edges.(Array.length edges - 1)
+      else Printf.sprintf "%.0f-%.0fms" edges.(i - 1) edges.(i)
+    in
+    Json_min.Arr
+      (List.init (Array.length counts) (fun i ->
+           Json_min.Obj
+             [
+               ("bucket", Json_min.Str (label i));
+               ("count", Json_min.Num (float_of_int counts.(i)));
+             ]))
+
+  let metrics_to_json t =
+    let m = metrics t in
+    let num i = Json_min.Num (float_of_int i) in
+    let horizon_s = Time.to_sec t.s_params.duration in
+    Json_min.Obj
+      [
+        ("schema", Json_min.Str "vsim-serve/1");
+        ("workstations", num (Cluster.size t.s_cluster));
+        ("duration_s", Json_min.Num horizon_s);
+        ( "arrivals",
+          Json_min.Str
+            (match t.s_params.arrivals with
+            | Poisson r -> Printf.sprintf "poisson:%g/s" r
+            | Trace ts -> Printf.sprintf "trace:%d" (List.length ts)) );
+        ("submitted", num m.m_submitted);
+        ("rejected", num m.m_rejected);
+        ("refused", num m.m_refused);
+        ("completed", num m.m_completed);
+        ("failed", num m.m_failed);
+        ("reexecs", num m.m_reexecs);
+        ("throughput_per_sec", Json_min.Num m.m_throughput_per_sec);
+        ( "latency_ms",
+          Json_min.Obj
+            [
+              ("queue_wait", summary_json m.m_queue_wait_ms);
+              ("submit_to_running", summary_json m.m_submit_to_running_ms);
+              ("submit_to_complete", summary_json m.m_submit_to_complete_ms);
+            ] );
+        ( "migration",
+          Json_min.Obj
+            [
+              ("count", num m.m_migrations);
+              ( "per_sec",
+                Json_min.Num
+                  (if horizon_s > 0. then
+                     float_of_int m.m_migrations /. horizon_s
+                   else 0.) );
+              ("freeze_ms", summary_json m.m_freeze_ms);
+              ("freeze_histogram", freeze_histogram m.m_freeze_ms);
+              ("balancer_surveys", num m.m_balancer_surveys);
+              ("balancer_skips", num m.m_balancer_skips);
+            ] );
+        ("mean_in_flight", Json_min.Num m.m_mean_in_flight);
+        ("mean_queued", Json_min.Num m.m_mean_queued);
+        ("snapshots", Json_min.Arr (List.rev t.snapshots));
+      ]
+end

@@ -1,0 +1,98 @@
+(** Sustained-traffic service layer.
+
+    The paper's facilities are exercised one command at a time; this
+    module runs the cluster as a long-lived service: an open-loop
+    arrival process submits programs continuously, an admission
+    controller bounds how many run at once (queueing the overflow in a
+    bounded waiting room), the {!Balancer} rebalances placements with
+    pre-copy migration, and every request is accounted against
+    service-level objectives — submit-to-running and submit-to-complete
+    latency percentiles, throughput, migration rate, and freeze-time
+    distribution.
+
+    All accounting is in virtual time, so a session is deterministic
+    per cluster seed: replicas fanned over domains merge byte-identical
+    (see [vsim serve -j]). *)
+
+module Session : sig
+  (** How requests arrive. *)
+  type arrivals =
+    | Poisson of float  (** Open-loop Poisson stream, arrivals/second. *)
+    | Trace of Time.t list  (** Explicit submission instants. *)
+
+  type params = {
+    arrivals : arrivals;
+    duration : Time.span;  (** Arrival horizon (virtual). *)
+    progs : string list;  (** Round-robin program mix. *)
+    max_in_flight : int;  (** Admission: concurrent dispatched requests. *)
+    queue_limit : int;  (** Waiting-room bound; beyond it, reject. *)
+    balancer_interval : Time.span option;
+        (** Rebalancing cycle period; [None] disables the balancer. *)
+    snapshot_every : Time.span option;
+        (** Periodic metric snapshots; [None] disables them. *)
+    reexec_attempts : int;
+        (** Re-executions allowed when a request's host dies under it. *)
+    drain_grace : Time.span;
+        (** How long past [duration] {!drain} lets stragglers finish. *)
+  }
+
+  val default_params : params
+  (** 2 req/s Poisson for 120 s over the five usage-mix programs,
+      [max_in_flight] 24, [queue_limit] 64, balancer every 5 s,
+      snapshots every 10 s, one re-execution, 60 s grace. *)
+
+  type t
+  type request
+
+  val create : ?params:params -> Cluster.t -> t
+  (** Open a session on the cluster: installs the arrival process (each
+      arrival submits from a round-robin workstation's shell) and starts
+      the balancer. The simulation does not advance until {!drain}. *)
+
+  val cluster : t -> Cluster.t
+
+  val submit : t -> Context.t -> prog:string -> (request, string) result
+  (** Submit one request from a client process. Blocks (in virtual
+      time) in the admission queue while the in-flight cap is reached,
+      then dispatches via {!Remote_exec.exec}. [Error] means the
+      waiting room was full (rejected) or every volunteer refused.
+      Returns with the program {e running}. *)
+
+  val await : t -> Context.t -> request -> (Time.span, string) result
+  (** Wait for a submitted request; returns its submit-to-complete
+      span. If the program's host dies under it, re-executes up to
+      [reexec_attempts] times before giving up. Releasing the admission
+      slot happens here (or on {!submit} failure). *)
+
+  val drain : t -> unit
+  (** Drive the simulation through the arrival horizon plus
+      [drain_grace], letting in-flight requests finish. *)
+
+  (** Aggregated service metrics; all spans in milliseconds. *)
+  type metrics = {
+    m_submitted : int;
+    m_rejected : int;  (** Turned away at the full waiting room. *)
+    m_refused : int;  (** Dispatched but no volunteer accepted. *)
+    m_completed : int;
+    m_failed : int;  (** Started but never finished (faults). *)
+    m_reexecs : int;
+    m_throughput_per_sec : float;  (** Completions per virtual second. *)
+    m_queue_wait_ms : Stats.Summary.t;
+    m_submit_to_running_ms : Stats.Summary.t;
+    m_submit_to_complete_ms : Stats.Summary.t;
+    m_migrations : int;
+    m_freeze_ms : Stats.Summary.t;
+    m_balancer_surveys : int;
+    m_balancer_skips : int;
+    m_mean_in_flight : float;
+    m_mean_queued : float;
+  }
+
+  val metrics : t -> metrics
+
+  val metrics_to_json : t -> Json_min.t
+  (** The session's full report (schema ["vsim-serve/1"]): the
+      {!metrics} scalars, p50/p95/p99 latency objects, a freeze-time
+      histogram, and the periodic snapshots. Deterministic per seed —
+      contains no wall-clock quantities. *)
+end

@@ -93,10 +93,9 @@ let test_burst_respects_max_guests () =
   let placed = ref [] in
   for i = 1 to 9 do
     ignore
-      (Cluster.user cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+      (Cluster.shell cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun ctx ->
            match
-             Remote_exec.exec k cfg ~self ~env ~prog:"cc68"
+             Remote_exec.exec ctx ~prog:"cc68"
                ~target:Remote_exec.Any
            with
            | Ok h -> placed := h.Remote_exec.h_host :: !placed
@@ -126,13 +125,11 @@ let test_exec_retry_stops_eventually () =
       ~cfg:{ Config.default with Config.max_guests = 0 }
       ()
   in
-  let cfg = Cluster.cfg cl in
   let result = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          result :=
-           Some (Remote_exec.exec k cfg ~self ~env ~prog:"make" ~target:Remote_exec.Any)));
+           Some (Remote_exec.exec ctx ~prog:"make" ~target:Remote_exec.Any)));
   Cluster.run cl ~until:(sec 30.);
   match !result with
   | Some (Error _) -> ()
@@ -143,16 +140,14 @@ let test_exec_retry_stops_eventually () =
 
 let test_cluster_ps_sees_programs () =
   let cl = Cluster.create ~seed:23 ~workstations:4 () in
-  let cfg = Cluster.cfg cl in
   let listing = ref [] in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"driver" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"driver" (fun ctx ->
          let h =
            Result.get_ok
-             (Remote_exec.exec k cfg ~self ~env ~prog:"tex" ~target:Remote_exec.Any)
+             (Remote_exec.exec ctx ~prog:"tex" ~target:Remote_exec.Any)
          in
-         listing := Experiment.cluster_ps k cfg ~self;
+         listing := Experiment.cluster_ps ctx;
          ignore h));
   Cluster.run cl ~until:(sec 60.);
   let hosts_with_programs =
@@ -207,9 +202,9 @@ let test_cross_segment_migration () =
   let result = ref (Error "incomplete") in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"optimizer"
+           Remote_exec.exec ctx ~prog:"optimizer"
              ~target:Remote_exec.Any
          with
          | Error e -> result := Error ("exec: " ^ e)
@@ -233,7 +228,7 @@ let test_cross_segment_migration () =
                        }))
              with
              | Ok { Message.body = Protocol.Pm_migrated [ o ]; _ } -> (
-                 match Remote_exec.wait k ~self h with
+                 match Remote_exec.wait ctx h with
                  | Ok (_, cpu) -> result := Ok (o, cpu)
                  | Error e -> result := Error ("wait: " ^ e))
              | _ -> result := Error "migration failed")));

@@ -68,10 +68,9 @@ let test_exec_named_host () =
   let cl = default_cluster () in
   let result = ref (Error "no result") in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          result :=
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"make"
+           Remote_exec.exec ctx ~prog:"make"
              ~target:(Remote_exec.Named "ws3")));
   Cluster.run cl ~until:(sec 30.);
   let h = ok "named exec" !result in
@@ -96,10 +95,9 @@ let test_exec_and_wait_reports_times () =
   let cl = default_cluster () in
   let result = ref (Error "no result") in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          result :=
-           Remote_exec.exec_and_wait k (Cluster.cfg cl) ~self ~env ~prog:"cc68"
+           Remote_exec.exec_and_wait ctx ~prog:"cc68"
              ~target:Remote_exec.Any));
   Cluster.run cl ~until:(sec 60.);
   let _, wall, cpu = ok "exec_and_wait" !result in
@@ -170,9 +168,9 @@ let test_migrate_program_still_completes () =
   let done_count = ref 0 in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"assembler"
+           Remote_exec.exec ctx ~prog:"assembler"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -192,7 +190,7 @@ let test_migrate_program_still_completes () =
               with
              | Ok { Message.body = Protocol.Pm_migrated [ _ ]; _ } -> ()
              | _ -> Alcotest.fail "migration failed");
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok (_, cpu) ->
                  (* The full 8 s of CPU despite moving hosts mid-run. *)
                  let s = Time.to_sec cpu in
@@ -255,9 +253,9 @@ let test_migrate_dest_dies_mid_copy () =
   let result = ref (Error "no result") in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:(Remote_exec.Named "ws1")
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -310,15 +308,14 @@ let test_migrateprog_all_guests () =
   let outcomes = ref [] in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
-         let cfg = Cluster.cfg cl in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          let h1 =
            Result.get_ok
-             (Remote_exec.exec k cfg ~self ~env ~prog:"parser" ~target:Remote_exec.Any)
+             (Remote_exec.exec ctx ~prog:"parser" ~target:Remote_exec.Any)
          in
          let h2 =
            Result.get_ok
-             (Remote_exec.exec k cfg ~self ~env ~prog:"optimizer" ~target:Remote_exec.Any)
+             (Remote_exec.exec ctx ~prog:"optimizer" ~target:Remote_exec.Any)
          in
          Alcotest.(check string) "both on ws1 (a)" "ws1" h1.Remote_exec.h_host;
          Alcotest.(check string) "both on ws1 (b)" "ws1" h2.Remote_exec.h_host;
@@ -352,9 +349,9 @@ let test_migrateprog_force_destroy_when_no_host () =
   let replied = ref false in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -379,20 +376,16 @@ let test_migrateprog_force_destroy_when_no_host () =
   Alcotest.(check int) "guest destroyed" 0
     (List.length (Program_manager.programs (Cluster.workstation cl 1).Cluster.ws_pm))
 
-let exec_then_migrate cl ~prog k self =
+let exec_then_migrate cl ~prog ctx =
   (* The driver lives on ws0; keep the program off it so killing the
      program's old host never kills the driver. *)
   Program_manager.set_accepting (Cluster.workstation cl 0).Cluster.ws_pm false;
-  let env = Cluster.env_for cl (Cluster.workstation cl 0) in
-  match
-    Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog
-      ~target:Remote_exec.Any
-  with
+  match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
   | Error e -> Error ("exec: " ^ e)
   | Ok h -> (
       Proc.sleep (Cluster.engine cl) (sec 1.);
       match
-        Kernel.send k ~src:self
+        Kernel.send (Context.kernel ctx) ~src:(Context.self ctx)
           ~dst:(Ids.program_manager_of h.Remote_exec.h_lh)
           (Message.make
              (Protocol.Pm_migrate
@@ -412,16 +405,15 @@ let test_suspend_resume_stretches_wall_time () =
   let cl = default_cluster () in
   let result = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"cc68"
+           Remote_exec.exec ctx ~prog:"cc68"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
          | Ok h ->
              Proc.sleep (Cluster.engine cl) (sec 1.);
-             (match Remote_exec.suspend k ~self h with
+             (match Remote_exec.suspend ctx h with
              | Ok () -> ()
              | Error e -> Alcotest.failf "suspend: %s" e);
              (* Frozen: CPU consumption must not advance. *)
@@ -431,10 +423,10 @@ let test_suspend_resume_stretches_wall_time () =
              Alcotest.(check int) "no cpu while suspended"
                (Time.to_us cpu_at_suspend)
                (Time.to_us p.Progtable.p_cpu_used);
-             (match Remote_exec.resume k ~self h with
+             (match Remote_exec.resume ctx h with
              | Ok () -> ()
              | Error e -> Alcotest.failf "resume: %s" e);
-             result := Some (Remote_exec.wait k ~self h)));
+             result := Some (Remote_exec.wait ctx h)));
   Cluster.run cl ~until:(sec 60.);
   match !result with
   | Some (Ok (wall, cpu)) ->
@@ -451,16 +443,15 @@ let test_suspend_twice_refused () =
   let cl = default_cluster () in
   let second = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          let h =
            Result.get_ok
-             (Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+             (Remote_exec.exec ctx ~prog:"tex"
                 ~target:Remote_exec.Any)
          in
          Proc.sleep (Cluster.engine cl) (sec 1.);
-         ignore (Remote_exec.suspend k ~self h);
-         second := Some (Remote_exec.suspend k ~self h)));
+         ignore (Remote_exec.suspend ctx h);
+         second := Some (Remote_exec.suspend ctx h)));
   Cluster.run cl ~until:(sec 30.);
   match !second with
   | Some (Error _) -> ()
@@ -472,14 +463,14 @@ let test_migrate_suspended_refused () =
   let refused = ref false in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          let h =
            Result.get_ok
-             (Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+             (Remote_exec.exec ctx ~prog:"tex"
                 ~target:Remote_exec.Any)
          in
          Proc.sleep (Cluster.engine cl) (sec 1.);
-         ignore (Remote_exec.suspend k ~self h);
+         ignore (Remote_exec.suspend ctx h);
          match
            Kernel.send k ~src:self
              ~dst:(Ids.program_manager_of h.Remote_exec.h_lh)
@@ -502,20 +493,19 @@ let test_destroy_answers_waiters_with_failure () =
   let cl = default_cluster () in
   let wait_result = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          let h =
            Result.get_ok
-             (Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+             (Remote_exec.exec ctx ~prog:"tex"
                 ~target:Remote_exec.Any)
          in
          (* A second shell waits for completion... *)
          ignore
-           (Cluster.user cl ~ws:1 ~name:"waiter" (fun k2 self2 ->
-                wait_result := Some (Remote_exec.wait k2 ~self:self2 h)));
+           (Cluster.shell cl ~ws:1 ~name:"waiter" (fun ctx2 ->
+                wait_result := Some (Remote_exec.wait ctx2 h)));
          Proc.sleep (Cluster.engine cl) (sec 2.);
          (* ... and the owner kills the program. *)
-         match Remote_exec.destroy k ~self h with
+         match Remote_exec.destroy ctx h with
          | Ok () -> ()
          | Error e -> Alcotest.failf "destroy: %s" e));
   Cluster.run cl ~until:(sec 60.);
@@ -530,12 +520,12 @@ let test_suspend_works_across_migration () =
   let cl = default_cluster () in
   let suspended = ref None in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match exec_then_migrate cl ~prog:"tex" k self with
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         match exec_then_migrate cl ~prog:"tex" ctx with
          | Error e -> Alcotest.fail e
          | Ok (h, o) ->
              ignore o;
-             suspended := Some (Remote_exec.suspend k ~self h)));
+             suspended := Some (Remote_exec.suspend ctx h)));
   Cluster.run cl ~until:(sec 60.);
   match !suspended with
   | Some (Ok ()) -> ()
@@ -548,10 +538,9 @@ let test_subprograms_share_logical_host () =
   let cl = default_cluster () in
   let checks = ref 0 in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -561,12 +550,12 @@ let test_subprograms_share_logical_host () =
              | Some parent ->
                  let sub1 =
                    Result.get_ok
-                     (Subprogram.spawn (Cluster.ctx cl) (Cluster.rng cl)
+                     (Subprogram.spawn (Cluster.directory cl) (Cluster.rng cl)
                         ~parent ~prog:"cc68")
                  in
                  let sub2 =
                    Result.get_ok
-                     (Subprogram.spawn (Cluster.ctx cl) (Cluster.rng cl)
+                     (Subprogram.spawn (Cluster.directory cl) (Cluster.rng cl)
                         ~parent ~prog:"assembler")
                  in
                  (* Same logical host, three address spaces. *)
@@ -597,9 +586,9 @@ let test_subprograms_migrate_with_parent () =
   let sub_exit = ref None in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -609,7 +598,7 @@ let test_subprograms_migrate_with_parent () =
              | Some parent -> (
                  let sub =
                    Result.get_ok
-                     (Subprogram.spawn (Cluster.ctx cl) (Cluster.rng cl)
+                     (Subprogram.spawn (Cluster.directory cl) (Cluster.rng cl)
                         ~parent ~prog:"parser")
                  in
                  Proc.sleep (Cluster.engine cl) (sec 2.);
@@ -649,9 +638,9 @@ let test_remote_subprogram_does_not_migrate_with_parent () =
   let cl = default_cluster ~seed:61 () in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -659,7 +648,7 @@ let test_remote_subprogram_does_not_migrate_with_parent () =
              (* The parent "executes a sub-program remotely": same library
                 call, from anywhere. *)
              match
-               Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"cc68"
+               Remote_exec.exec ctx ~prog:"cc68"
                  ~target:Remote_exec.Any
              with
              | Error e -> Alcotest.failf "child exec: %s" e
@@ -719,10 +708,9 @@ let test_balancer_spreads_skewed_load () =
   let completed = ref 0 in
   for i = 1 to 6 do
     ignore
-      (Cluster.user cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+      (Cluster.shell cl ~ws:0 ~name:(Printf.sprintf "job%d" i) (fun ctx ->
            match
-             Remote_exec.exec_and_wait k cfg ~self ~env ~prog:"optimizer"
+             Remote_exec.exec_and_wait ctx ~prog:"optimizer"
                ~target:(Remote_exec.Named "ws1")
            with
            | Ok _ -> incr completed
@@ -730,7 +718,7 @@ let test_balancer_spreads_skewed_load () =
   done;
   let b =
     Balancer.start ~interval:(sec 3.) ~imbalance:2
-      (Cluster.workstation cl 0).Cluster.ws_kernel cfg
+      (Cluster.workstation cl 0).Cluster.ws_kernel
   in
   Cluster.run cl ~until:(sec 120.);
   Alcotest.(check int) "all six completed" 6 !completed;
@@ -742,7 +730,7 @@ let test_balancer_idle_cluster_no_moves () =
   let cl = Cluster.create ~seed:42 ~workstations:4 () in
   let b =
     Balancer.start ~interval:(sec 2.)
-      (Cluster.workstation cl 0).Cluster.ws_kernel (Cluster.cfg cl)
+      (Cluster.workstation cl 0).Cluster.ws_kernel
   in
   Cluster.run cl ~until:(sec 30.);
   Alcotest.(check int) "nothing to move" 0 (Balancer.rebalances b);
@@ -764,15 +752,15 @@ let test_forwarding_relays_stale_references () =
   let done_ok = ref false in
   let old_host = ref "" in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match exec_then_migrate cl ~prog:"assembler" k self with
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         match exec_then_migrate cl ~prog:"assembler" ctx with
          | Error e -> Alcotest.fail e
          | Ok (h, o) -> (
              old_host := o.Protocol.m_from;
              (* Our binding for the program's logical host is stale (it
                 points at the old host); with no Where_is mechanism the
                 completion wait must ride the forwarding address. *)
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok _ -> done_ok := true
              | Error e -> Alcotest.failf "wait via forwarding: %s" e)));
   Cluster.run cl ~until:(sec 120.);
@@ -795,14 +783,14 @@ let test_forwarding_fails_after_old_host_reboot () =
     in
     let result = ref None in
     ignore
-      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-           match exec_then_migrate cl ~prog:"tex" k self with
+      (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+           match exec_then_migrate cl ~prog:"tex" ctx with
            | Error e -> Alcotest.fail e
            | Ok (h, o) ->
                (match Cluster.find_workstation cl o.Protocol.m_from with
                | Some w -> Kernel.shutdown w.Cluster.ws_kernel
                | None -> Alcotest.fail "old host not found");
-               result := Some (Remote_exec.wait k ~self h)));
+               result := Some (Remote_exec.wait ctx h)));
     Cluster.run cl ~until:(sec 200.);
     !result
   in
@@ -821,10 +809,9 @@ let test_no_residual_dependencies_with_global_servers () =
   let cl = default_cluster () in
   let checked = ref false in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"parser"
+           Remote_exec.exec ctx ~prog:"parser"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -842,12 +829,12 @@ let test_no_residual_dependencies_with_global_servers () =
                  (* Files and names come from the server machine; the only
                     cross-host binding besides it is the owner's display. *)
                  let deps =
-                   Residual.residual_hosts ~ignore_display:true (Cluster.ctx cl) p
+                   Residual.residual_hosts ~ignore_display:true (Cluster.directory cl) p
                  in
                  Alcotest.(check (list string))
                    "only the server machine" [ "fileserver" ] deps;
                  Alcotest.(check bool) "origin not depended on" false
-                   (Residual.depends_on ~ignore_display:true (Cluster.ctx cl) p
+                   (Residual.depends_on ~ignore_display:true (Cluster.directory cl) p
                       ~host:"ws0");
                  checked := true)));
   Cluster.run cl ~until:(sec 30.);
@@ -862,9 +849,9 @@ let test_survives_origin_reboot_after_migration () =
   let prog_ref = ref None in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"optimizer"
+           Remote_exec.exec ctx ~prog:"optimizer"
              ~target:Remote_exec.Any
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -914,8 +901,8 @@ let test_freeze_span_matches_program_experience () =
   let outcome = ref None in
   let longest_stall = ref Time.zero in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         match exec_then_migrate cl ~prog:"tex" k self with
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         match exec_then_migrate cl ~prog:"tex" ctx with
          | Error e -> Alcotest.fail e
          | Ok (_, o) -> outcome := Some o));
   ignore
@@ -983,9 +970,9 @@ let run_migration_scenario ~seed ~migrate_after_ms ~strategy ~loss =
   let verdict = ref (Error "scenario incomplete") in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"assembler"
+           Remote_exec.exec ctx ~prog:"assembler"
              ~target:Remote_exec.Any
          with
          | Error e -> verdict := Error ("exec: " ^ e)
@@ -1011,7 +998,7 @@ let run_migration_scenario ~seed ~migrate_after_ms ~strategy ~loss =
                | Ok { Message.body = Protocol.Pm_migrated [ _ ]; _ } -> true
                | _ -> false
              in
-             match Remote_exec.wait k ~self h with
+             match Remote_exec.wait ctx h with
              | Ok (_, cpu) ->
                  let s = Time.to_sec cpu in
                  if s < 7.99 || s > 8.01 then

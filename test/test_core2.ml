@@ -52,26 +52,26 @@ let mini_kernels () =
   in
   (eng, mk 0 "alpha", mk 1 "beta")
 
-let test_context_locate () =
+let test_directory_locate () =
   let _, ka, kb = mini_kernels () in
-  let ctx = Context.of_kernels () in
-  Context.register ctx ka;
-  Context.register ctx kb;
-  Alcotest.(check int) "two kernels" 2 (List.length (Context.kernels ctx));
+  let dir = Directory.of_kernels () in
+  Directory.register dir ka;
+  Directory.register dir kb;
+  Alcotest.(check int) "two kernels" 2 (List.length (Directory.kernels dir));
   let lh = Kernel.create_logical_host kb ~priority:Cpu.Foreground in
-  (match Context.locate ctx (Logical_host.id lh) with
+  (match Directory.locate dir (Logical_host.id lh) with
   | Some k -> Alcotest.(check string) "on beta" "beta" (Kernel.host_name k)
   | None -> Alcotest.fail "not located");
   Alcotest.(check bool) "current finds it" true
-    (Kernel.host_name (Context.current ctx (Logical_host.id lh)) = "beta");
+    (Kernel.host_name (Directory.current dir (Logical_host.id lh)) = "beta");
   Alcotest.(check bool) "find_host" true
-    (Option.is_some (Context.find_host ctx "alpha"));
+    (Option.is_some (Directory.find_host dir "alpha"));
   Alcotest.(check bool) "find_host misses" true
-    (Context.find_host ctx "gamma" = None)
+    (Directory.find_host dir "gamma" = None)
 
-let test_context_current_raises_for_unknown () =
-  let ctx = Context.of_kernels () in
-  match Context.current ctx 424242 with
+let test_directory_current_raises_for_unknown () =
+  let dir = Directory.of_kernels () in
+  match Directory.current dir 424242 with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected Failure"
 
@@ -199,9 +199,9 @@ let test_progtable_charge_accumulates () =
 
 let test_residual_lists_name_cache_bindings () =
   let _, ka, kb = mini_kernels () in
-  let ctx = Context.of_kernels () in
-  Context.register ctx ka;
-  Context.register ctx kb;
+  let dir = Directory.of_kernels () in
+  Directory.register dir ka;
+  Directory.register dir kb;
   let tbl = Progtable.create ka in
   let service_lh = Kernel.create_logical_host kb ~priority:Cpu.Foreground in
   let service_pid = Ids.pid (Logical_host.id service_lh) 16 in
@@ -220,18 +220,18 @@ let test_residual_lists_name_cache_bindings () =
       ~model:(Dirty_model.create spec.Programs.dirty space)
       ~origin:"alpha"
   in
-  let deps = Residual.dependencies ctx p in
+  let deps = Residual.dependencies dir p in
   (* file-server, display and one cache entry all resolve to beta. *)
   Alcotest.(check int) "three bindings" 3 (List.length deps);
   List.iter
     (fun d -> Alcotest.(check string) "on beta" "beta" d.Residual.d_host)
     deps;
   Alcotest.(check (list string)) "residual hosts (display counted)" [ "beta" ]
-    (Residual.residual_hosts ctx p);
+    (Residual.residual_hosts dir p);
   Alcotest.(check bool) "depends_on beta" true
-    (Residual.depends_on ctx p ~host:"beta");
+    (Residual.depends_on dir p ~host:"beta");
   Alcotest.(check bool) "not on alpha" false
-    (Residual.depends_on ctx p ~host:"alpha")
+    (Residual.depends_on dir p ~host:"alpha")
 
 let () =
   Alcotest.run "v_core_units"
@@ -241,11 +241,11 @@ let () =
           Alcotest.test_case "make/lookup" `Quick test_env_make_and_lookup;
           Alcotest.test_case "bytes grow" `Quick test_env_bytes_grows_with_content;
         ] );
-      ( "context",
+      ( "directory",
         [
-          Alcotest.test_case "locate/current/find" `Quick test_context_locate;
+          Alcotest.test_case "locate/current/find" `Quick test_directory_locate;
           Alcotest.test_case "unknown raises" `Quick
-            test_context_current_raises_for_unknown;
+            test_directory_current_raises_for_unknown;
         ] );
       ( "config",
         [

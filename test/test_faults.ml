@@ -144,9 +144,9 @@ let test_source_crash_releases_reservation () =
     (Cluster.workstations cl);
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:(Remote_exec.Named "ws1")
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -205,9 +205,9 @@ let crash_dest_at_round ~round =
          Kernel.shutdown dest));
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:(Remote_exec.Named "ws1")
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -241,7 +241,7 @@ let crash_dest_at_round ~round =
                | Ok _ -> Error "malformed reply"
                | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e));
              free_after := Kernel.memory_free src;
-             wait_result := Remote_exec.wait k ~self h));
+             wait_result := Remote_exec.wait ctx h));
   Cluster.run cl ~until:(sec 120.);
   (!migration, !wait_result, (!free_before, !free_after), dest)
 
@@ -289,9 +289,9 @@ let test_retry_reselects_excluding_failed () =
   let outcome = ref (Error "did not run") in
   ignore
     (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:(Remote_exec.Named "ws1")
          with
          | Error e -> Alcotest.failf "exec: %s" e
@@ -343,11 +343,10 @@ let test_reexec_on_host_crash () =
            (Cluster.workstations cl)));
   let result = ref (Error "did not run") in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          result :=
-           Remote_exec.exec_and_wait ~on_host_failure:(`Reexec 3) k
-             (Cluster.cfg cl) ~self ~env ~prog:"make" ~target:Remote_exec.Any));
+           Remote_exec.exec_and_wait ~on_host_failure:(`Reexec 3) ctx
+             ~prog:"make" ~target:Remote_exec.Any));
   Cluster.run cl ~until:(sec 120.);
   match !result with
   | Ok (h, _, cpu) ->
@@ -385,10 +384,9 @@ let test_partition_window_heals () =
     (Cluster.workstations cl);
   let result = ref (Error "did not run") in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          result :=
-           Remote_exec.exec_and_wait k (Cluster.cfg cl) ~self ~env ~prog:"cc68"
+           Remote_exec.exec_and_wait ctx ~prog:"cc68"
              ~target:Remote_exec.Any));
   Cluster.run cl ~until:(sec 120.);
   match !result with
@@ -418,11 +416,10 @@ let test_crash_reboot_cycle () =
     (Cluster.workstations cl);
   let result = ref (Error "did not run") in
   ignore
-    (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
          Proc.sleep (Cluster.engine cl) (sec 5.);
          result :=
-           Remote_exec.exec_and_wait k (Cluster.cfg cl) ~self ~env ~prog:"cc68"
+           Remote_exec.exec_and_wait ctx ~prog:"cc68"
              ~target:Remote_exec.Any));
   Cluster.run cl ~until:(sec 120.);
   (match !result with
@@ -438,10 +435,9 @@ let test_slow_host_stretches_run () =
     let cl = Cluster.create ~seed:95 ~workstations:2 ?faults () in
     let wall = ref Time.zero in
     ignore
-      (Cluster.user cl ~ws:0 ~name:"shell" (fun k self ->
-           let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+      (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
            match
-             Remote_exec.exec_and_wait k (Cluster.cfg cl) ~self ~env
+             Remote_exec.exec_and_wait ctx
                ~prog:"cc68" ~target:(Remote_exec.Named "ws1")
            with
            | Ok (_, w, _) -> wall := w
@@ -484,12 +480,10 @@ let chaos_run ~seed =
   List.iteri
     (fun i (ws, prog, delay) ->
       ignore
-        (Cluster.user cl ~ws ~name:(Printf.sprintf "shell%d" i) (fun k self ->
+        (Cluster.shell cl ~ws ~name:(Printf.sprintf "shell%d" i) (fun ctx ->
              Proc.sleep eng delay;
-             let env = Cluster.env_for cl (Cluster.workstation cl ws) in
              let r =
-               Remote_exec.exec_and_wait ~on_host_failure:(`Reexec 3) k
-                 (Cluster.cfg cl) ~self ~env ~prog ~target:Remote_exec.Any
+               Remote_exec.exec_and_wait ~on_host_failure:(`Reexec 3) ctx ~prog ~target:Remote_exec.Any
              in
              results := (i, Result.is_ok r) :: !results)))
     [ (0, "cc68", ms 10.); (3, "make", ms 200.); (4, "assembler", ms 400.) ];
@@ -497,9 +491,9 @@ let chaos_run ~seed =
   let migration = ref "no result" in
   ignore
     (Cluster.user cl ~ws:0 ~name:"migrator" (fun k self ->
-         let env = Cluster.env_for cl (Cluster.workstation cl 0) in
+         let ctx = Cluster.context cl ~ws:0 ~self in
          match
-           Remote_exec.exec k (Cluster.cfg cl) ~self ~env ~prog:"tex"
+           Remote_exec.exec ctx ~prog:"tex"
              ~target:(Remote_exec.Named "ws1")
          with
          | Error e -> migration := "exec: " ^ e
@@ -520,12 +514,12 @@ let chaos_run ~seed =
              with
              | Ok { Message.body = Protocol.Pm_migrated [ _ ]; _ } -> (
                  migration := "migrated";
-                 match Remote_exec.wait k ~self h with
+                 match Remote_exec.wait ctx h with
                  | Ok _ -> migration := "migrated+completed"
                  | Error e -> migration := "migrated but lost: " ^ e)
              | Ok { Message.body = Protocol.Pm_migrate_failed _; _ } -> (
                  migration := "rolled back";
-                 match Remote_exec.wait k ~self h with
+                 match Remote_exec.wait ctx h with
                  | Ok _ -> migration := "rolled back+completed"
                  | Error e -> migration := "rolled back but lost: " ^ e)
              | Ok _ -> migration := "malformed reply"
