@@ -120,17 +120,21 @@ let exec_cmd seed workstations bridged trace faults prog at local reexec =
 
 (* {1 migrate} *)
 
+let strategy_token = function
+  | `Precopy -> "precopy"
+  | `Freeze -> "freeze"
+  | `Cor -> "cor"
+  | `Vmflush -> "vmflush"
+
 let strategy_conv =
   let parse = function
     | "precopy" -> Ok `Precopy
     | "freeze" -> Ok `Freeze
+    | "cor" -> Ok `Cor
     | "vmflush" -> Ok `Vmflush
     | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
   in
-  let print ppf s =
-    Format.pp_print_string ppf
-      (match s with `Precopy -> "precopy" | `Freeze -> "freeze" | `Vmflush -> "vmflush")
-  in
+  let print ppf s = Format.pp_print_string ppf (strategy_token s) in
   Cmdliner.Arg.conv (parse, print)
 
 let migrate_cmd seed workstations bridged trace faults prog strategy run_for =
@@ -139,6 +143,7 @@ let migrate_cmd seed workstations bridged trace faults prog strategy run_for =
     match strategy with
     | `Precopy -> Protocol.Precopy
     | `Freeze -> Protocol.Freeze_and_copy
+    | `Cor -> Protocol.Copy_on_reference
     | `Vmflush ->
         Protocol.Vm_flush { page_server = File_server.pid (Cluster.file_server cl) }
   in
@@ -232,6 +237,7 @@ let sweep_cmd prog seeds_s ws_s fault_specs migrate strategy run_for jobs =
             match strategy with
             | `Precopy -> Protocol.Precopy
             | `Freeze -> Protocol.Freeze_and_copy
+            | `Cor -> Protocol.Copy_on_reference
             | `Vmflush ->
                 Protocol.Vm_flush
                   { page_server = File_server.pid (Cluster.file_server cl) }
@@ -312,16 +318,13 @@ let programs_cmd () =
    Monitors bundle. A failure prints the violated invariant plus the
    exact command line that replays it. *)
 
-let fuzz_serve_cmd count base_seed single jobs rebind forwarding =
-  let replay o =
-    Scenario.replay_serve_hint o.Scenario.so_scenario
-    ^ if forwarding then " --forwarding" else ""
-  in
+let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
+  let replay o = Scenario.replay_serve_hint o.Scenario.so_scenario ^ suffix in
   match single with
   | Some seed ->
       let sv = Scenario.serve_of_seed seed in
       print_endline (Scenario.describe_serve sv);
-      let o = Scenario.run_serve ~rebind sv in
+      let o = Scenario.run_serve ~rebind ?strategy sv in
       Printf.printf "%d events checked; %d request(s) submitted, %d completed\n"
         o.Scenario.so_events o.Scenario.so_submitted o.Scenario.so_completed;
       if o.Scenario.so_violations = [] then begin
@@ -339,7 +342,9 @@ let fuzz_serve_cmd count base_seed single jobs rebind forwarding =
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () = Scenario.run_serve ~rebind (Scenario.serve_of_seed seed) in
+      let cell seed () =
+        Scenario.run_serve ~rebind ?strategy (Scenario.serve_of_seed seed)
+      in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -376,20 +381,42 @@ let fuzz_serve_cmd count base_seed single jobs rebind forwarding =
         1
       end
 
-let fuzz_cmd count base_seed single jobs forwarding serve_mode =
+let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
   in
-  if serve_mode then fuzz_serve_cmd count base_seed single jobs rebind forwarding
-  else
-  let replay o =
-    Scenario.replay_hint o.Scenario.o_scenario
-    ^ if forwarding then " --forwarding" else ""
+  (* vm-flush needs a per-cluster page-server pid, which a generated
+     scenario can't carry; the three self-contained disciplines are the
+     meaningful mutation targets. *)
+  let strategy =
+    match strategy_arg with
+    | None -> None
+    | Some `Precopy -> Some Protocol.Precopy
+    | Some `Freeze -> Some Protocol.Freeze_and_copy
+    | Some `Cor -> Some Protocol.Copy_on_reference
+    | Some `Vmflush ->
+        prerr_endline
+          "vsim fuzz: --strategy vmflush is not supported (it needs a \
+           page-server pid); use precopy, freeze or cor";
+        exit 124
   in
+  let suffix =
+    (if forwarding then " --forwarding" else "")
+    ^
+    match strategy_arg with
+    | Some s -> " --strategy " ^ strategy_token s
+    | None -> ""
+  in
+  if serve_mode then fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
+  else
+  let prep sc =
+    match strategy with None -> sc | Some s -> Scenario.force_strategy s sc
+  in
+  let replay o = Scenario.replay_hint o.Scenario.o_scenario ^ suffix in
   match single with
   | Some seed ->
       (* Verbose single-seed replay, with full violation windows. *)
-      let sc = Scenario.of_seed seed in
+      let sc = prep (Scenario.of_seed seed) in
       print_endline (Scenario.describe sc);
       let o = Scenario.run ~rebind sc in
       Printf.printf "%d events checked; %d job(s) completed, %d failed\n"
@@ -409,7 +436,7 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode =
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () = Scenario.run ~rebind (Scenario.of_seed seed) in
+      let cell seed () = Scenario.run ~rebind (prep (Scenario.of_seed seed)) in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -760,13 +787,26 @@ let fuzz_t =
              tight admission caps, a fast balancer cycle, and random faults, \
              all checked by the same monitors.")
   in
+  let strategy =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Mutation mode: force every job onto one copy discipline \
+             ($(b,precopy), $(b,freeze) or $(b,cor)), make its migration \
+             unconditional, and drop the fault plan. With $(b,cor) the \
+             $(b,residual) monitor is expected to flag the retained page \
+             source on every seed.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run randomly generated scenarios (seed = test case) under the \
           online invariant monitors; failures print a replayable seed.")
     Term.(
-      const fuzz_cmd $ count $ base $ single $ jobs $ forwarding $ serve_mode)
+      const fuzz_cmd $ count $ base $ single $ jobs $ forwarding $ serve_mode
+      $ strategy)
 
 let () =
   let info =

@@ -135,6 +135,11 @@ let check_residual t (r : Tracer.record) =
       Hashtbl.remove t.banned (lh, dest)
   | Kernel.Ipc_recv { host; dst; _ } -> residual t r dst.Ids.lh host "delivery"
   | Kernel.Ipc_forward { host; lh; _ } -> residual t r lh host "forwarding"
+  | Kernel.Page_fault_service { host; lh; _ } ->
+      (* Copy-on-reference by design: the old host still serves the
+         departed program's pages — exactly the dependency this monitor
+         exists to reject. *)
+      residual t r lh host "page-fault service"
   | Logical_host.Lh_installed { host; lh; _ } ->
       (* A migration back installs a fresh copy — not a residue — and the
          install lands before [Mig_committed], so lift the ban here. *)

@@ -21,9 +21,10 @@
       really means no guest progress).
     - {b residual}: after [Mig_committed], the old host's copy of the
       logical host is never heard from again — no request delivery, no
-      forwarding, no lifecycle event names (old host, lh) (Section 5's
-      no-residual-dependencies claim; the Demos/MP forwarding ablation
-      deliberately violates it). *)
+      forwarding, no page-fault service, no lifecycle event names
+      (old host, lh) (Section 5's no-residual-dependencies claim; the
+      Demos/MP forwarding ablation and the copy-on-reference strategy
+      deliberately violate it). *)
 
 type violation = {
   vi_monitor : string;  (** Catalog name, e.g. ["residual"]. *)

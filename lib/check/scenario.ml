@@ -119,6 +119,31 @@ let arbitrary ?(seed = 0) rng =
 
 let of_seed seed = arbitrary ~seed (Rng.create seed)
 
+(* Mutation mode for `vsim fuzz --strategy`: take a generated scenario
+   and force every job onto one copy discipline. Applied after the
+   normal draws, so seeds keep producing byte-identical scenarios when
+   no strategy is forced. Migrations are made unconditional (jobs
+   without one draw a fixed mid-run instant) and fault plans dropped, so
+   every seed actually exercises the strategy under test rather than
+   hiding behind a crashed destination. *)
+let force_strategy strategy sc =
+  {
+    sc with
+    sc_jobs =
+      List.map
+        (fun j ->
+          {
+            j with
+            j_strategy = strategy;
+            j_migrate_after =
+              (match j.j_migrate_after with
+              | Some _ as d -> d
+              | None -> Some (Time.of_us 1_500_000));
+          })
+        sc.sc_jobs;
+    sc_faults = [];
+  }
+
 let describe sc =
   let job_word (j : job) =
     Printf.sprintf "%s@%s%s" j.j_prog
@@ -274,7 +299,7 @@ type serve_outcome = {
   so_completed : int;
 }
 
-let run_serve ?(rebind = Os_params.Broadcast_query) sv =
+let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
   let cfg =
     let base = Config.default in
     if base.Config.os.Os_params.rebind = rebind then base
@@ -298,6 +323,7 @@ let run_serve ?(rebind = Os_params.Broadcast_query) sv =
       max_in_flight = sv.sv_max_in_flight;
       queue_limit = sv.sv_queue_limit;
       balancer_interval = Some sv.sv_balancer_interval;
+      strategy;
       snapshot_every = None;
       drain_grace = Time.of_sec 30.;
     }

@@ -43,6 +43,13 @@ val arbitrary : ?seed:int -> Rng.t -> t
 val of_seed : int -> t
 (** [arbitrary ~seed (Rng.create seed)]. *)
 
+val force_strategy : Protocol.strategy -> t -> t
+(** Mutation mode ([vsim fuzz --strategy]): force every job onto one
+    copy discipline, make each job's migration unconditional, and drop
+    the fault plan — so every seed genuinely exercises the strategy.
+    Generation itself is untouched: without this call, seeds keep
+    producing byte-identical scenarios. *)
+
 val describe : t -> string
 (** One-line summary for failure reports. *)
 
@@ -107,7 +114,12 @@ type serve_outcome = {
   so_completed : int;
 }
 
-val run_serve : ?rebind:Os_params.rebind_mode -> serve -> serve_outcome
+val run_serve :
+  ?rebind:Os_params.rebind_mode ->
+  ?strategy:Protocol.strategy ->
+  serve ->
+  serve_outcome
 (** Execute in a fresh cluster (tracing on, monitors attached): create
     the session, drain it, and report the violations with the session's
-    request counts. *)
+    request counts. [strategy] forces the copy discipline the balancer
+    uses for its migrations ([vsim fuzz --serve --strategy]). *)

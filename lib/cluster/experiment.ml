@@ -285,7 +285,9 @@ let install_owner cl w params ~preempted ~destroyed ~freeze_ms =
                          lh = None;
                          dest = None;
                          force_destroy = true;
-                         strategy = Protocol.Precopy;
+                         strategy =
+                           Protocol.strategy_of_config
+                             (Cluster.cfg cl).Config.strategy;
                        }))
              with
              | Ok { Message.body = Protocol.Pm_migrated outcomes; _ } ->

@@ -25,7 +25,7 @@ let survey k ~self =
     (Kernel.collect_within k c ~window:(Time.of_ms 200.))
   |> List.sort (fun (_, a, _) (_, b, _) -> String.compare a b)
 
-let rebalance_once t k ~self ~imbalance ~on_outcome =
+let rebalance_once t k ~self ~imbalance ~strategy ~on_outcome =
   match survey k ~self with
   | [] | [ _ ] -> ()
   | loads ->
@@ -58,7 +58,7 @@ let rebalance_once t k ~self ~imbalance ~on_outcome =
                             lh = Some victim;
                             dest = None;
                             force_destroy = false;
-                            strategy = Protocol.Precopy;
+                            strategy;
                           }))
                 with
                 | Ok { Message.body = Protocol.Pm_migrated (_ :: _ as os); _ }
@@ -76,6 +76,7 @@ let rebalance_once t k ~self ~imbalance ~on_outcome =
       try_candidates (List.rev by_load)
 
 let start ?(interval = Time.of_sec 5.) ?(imbalance = 2)
+    ?(strategy = Protocol.Precopy)
     ?(on_outcome = fun (_ : Protocol.migration_outcome) -> ()) k =
   let eng = Kernel.engine k in
   let lh = Kernel.create_logical_host k ~priority:Cpu.Foreground in
@@ -91,7 +92,7 @@ let start ?(interval = Time.of_sec 5.) ?(imbalance = 2)
               (* A cycle must never take the daemon down: whatever a
                  mid-cycle crash does to the survey or the migrate
                  conversation, absorb it and try again next interval. *)
-              try rebalance_once t k ~self ~imbalance ~on_outcome
+              try rebalance_once t k ~self ~imbalance ~strategy ~on_outcome
               with exn ->
                 t.skip_count <- t.skip_count + 1;
                 Tracer.recordf (Kernel.tracer k) ~category:"balance"

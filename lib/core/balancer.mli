@@ -23,13 +23,16 @@ type t
 val start :
   ?interval:Time.span ->
   ?imbalance:int ->
+  ?strategy:Protocol.strategy ->
   ?on_outcome:(Protocol.migration_outcome -> unit) ->
   Kernel.t ->
   t
 (** Start the daemon on the given workstation. [interval] defaults to
-    5 s, [imbalance] to 2 guests. [on_outcome] is invoked once per
-    completed rebalancing migration with the full migration outcome —
-    service layers use it for freeze-time accounting. *)
+    5 s, [imbalance] to 2 guests, [strategy] (the copy discipline every
+    triggered migration uses) to [Protocol.Precopy]. [on_outcome] is
+    invoked once per completed rebalancing migration with the full
+    migration outcome — service layers use it for freeze-time
+    accounting. *)
 
 val stop : t -> unit
 

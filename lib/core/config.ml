@@ -1,3 +1,16 @@
+type migration_strategy = Pre_copy | Freeze_and_copy | Copy_on_reference
+
+let migration_strategy_name = function
+  | Pre_copy -> "precopy"
+  | Freeze_and_copy -> "freeze-and-copy"
+  | Copy_on_reference -> "copy-on-reference"
+
+let migration_strategy_of_string = function
+  | "precopy" | "pre-copy" -> Some Pre_copy
+  | "freeze" | "freeze-and-copy" -> Some Freeze_and_copy
+  | "cor" | "copy-on-reference" -> Some Copy_on_reference
+  | _ -> None
+
 type t = {
   os : Os_params.t;
   env_setup : Time.span;
@@ -14,6 +27,7 @@ type t = {
   migration_retries : int;
   kernel_state_base : Time.span;
   kernel_state_per_object : Time.span;
+  strategy : migration_strategy;
 }
 
 let default =
@@ -33,6 +47,7 @@ let default =
     migration_retries = 0;
     kernel_state_base = Time.of_ms 14.;
     kernel_state_per_object = Time.of_ms 9.;
+    strategy = Pre_copy;
   }
 
 let sum_env_spans t = Time.add t.env_setup t.env_destroy

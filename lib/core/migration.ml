@@ -160,46 +160,127 @@ let rec precopy_rounds kernel (cfg : Config.t) ~self ~temp_lh ~lh ~k
           ~last_residue:residue (round :: acc)
   end
 
-let run_copy_phase kernel cfg ~self ~temp_lh ~lh strategy =
-  let eng = Kernel.engine kernel in
-  match strategy with
-  | Protocol.Freeze_and_copy -> Ok []
-  | Protocol.Precopy | Protocol.Vm_flush _ ->
-      (* Initial copy of the complete address spaces — code and
-         initialized data move while the program keeps running. The
-         VM-flush variant has identical wire timing; the bytes flow to
-         the page server instead of the new host. *)
-      let total = Logical_host.total_bytes lh in
-      let t0 = Engine.now eng in
-      ignore (Logical_host.clear_dirty lh);
-      (match acked_copy kernel ~self ~temp_lh ~bytes:total with
-      | Error e -> Error e
-      | Ok () ->
-          let first =
-            { Protocol.r_bytes = total; r_span = Time.sub (Engine.now eng) t0 }
-          in
-          ev kernel (fun () ->
-              Mig_round
-                {
-                  lh = Logical_host.id lh;
-                  round = 1;
-                  bytes = total;
-                  span = first.Protocol.r_span;
-                });
-          precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:1 ~last_residue:total
-            [ first ])
+(* The pluggable part of the five-step protocol. Every strategy shares
+   host selection, reservation, freeze, kernel-state copy, extract /
+   install and rebind; a strategy decides only (a) what moves while the
+   program still runs, (b) what must move inside the freeze window, (c)
+   whether the source keeps the memory image and serves page faults
+   after commit, and (d) how many bytes are expected to cross the wire
+   again after the program resumes. *)
+module Strategy = struct
+  type nonrec t = {
+    s_protocol : Protocol.strategy;
+    s_copy_phase :
+      Kernel.t ->
+      Config.t ->
+      self:Ids.pid ->
+      temp_lh:Ids.lh_id ->
+      lh:Logical_host.t ->
+      (Protocol.round list, error) result;
+        (* Step 3, program still running. *)
+    s_frozen_residue : Logical_host.t -> int;
+        (* Step 4: bytes that must cross the wire while frozen. *)
+    s_page_source : Kernel.t -> Ids.pid option;
+        (* Step 5: pid the destination faults pages from, if the memory
+           image stays behind (copy-on-reference). *)
+    s_faultin : Progtable.program -> lh:Logical_host.t -> final_bytes:int -> int;
+        (* Bytes expected to move again after commit. *)
+  }
 
-let faultin_estimate (program : Progtable.program) ~final_bytes = function
-  | Protocol.Vm_flush _ ->
-      (* Pages dirty on the old host and referenced on the new one cross
-         the wire twice (Section 3.2): the rewritten hot set plus the
-         frozen residue. *)
-      let hot =
-        int_of_float
-          (1024. *. (Dirty_model.params program.Progtable.p_model).Dirty_model.hot_kb)
-      in
-      hot + final_bytes
-  | Protocol.Precopy | Protocol.Freeze_and_copy -> 0
+  let protocol t = t.s_protocol
+  let name t = Protocol.strategy_name t.s_protocol
+
+  (* Initial copy of the complete address spaces — code and initialized
+     data move while the program keeps running — then dirty-residue
+     rounds until they stop paying off (Section 3.1.2). *)
+  let full_copy_then_rounds kernel cfg ~self ~temp_lh ~lh =
+    let eng = Kernel.engine kernel in
+    let total = Logical_host.total_bytes lh in
+    let t0 = Engine.now eng in
+    ignore (Logical_host.clear_dirty lh);
+    match acked_copy kernel ~self ~temp_lh ~bytes:total with
+    | Error e -> Error e
+    | Ok () ->
+        let first =
+          { Protocol.r_bytes = total; r_span = Time.sub (Engine.now eng) t0 }
+        in
+        ev kernel (fun () ->
+            Mig_round
+              {
+                lh = Logical_host.id lh;
+                round = 1;
+                bytes = total;
+                span = first.Protocol.r_span;
+              });
+        precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:1 ~last_residue:total
+          [ first ]
+
+  let no_copy_phase _kernel _cfg ~self:_ ~temp_lh:_ ~lh:_ = Ok []
+  let no_page_source _kernel = None
+  let no_faultin _program ~lh:_ ~final_bytes:_ = 0
+
+  let pre_copy =
+    {
+      s_protocol = Protocol.Precopy;
+      s_copy_phase = full_copy_then_rounds;
+      s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_page_source = no_page_source;
+      s_faultin = no_faultin;
+    }
+
+  (* The "simplest approach" of Section 3.1: no copying while running,
+     so the whole image crosses the wire inside the freeze window. *)
+  let freeze_and_copy =
+    {
+      s_protocol = Protocol.Freeze_and_copy;
+      s_copy_phase = no_copy_phase;
+      s_frozen_residue = Logical_host.total_bytes;
+      s_page_source = no_page_source;
+      s_faultin = no_faultin;
+    }
+
+  (* Accent/Demos-style: only kernel state moves at migration time. The
+     freeze window is minimal, but the source keeps the memory image —
+     its kernel server answers the new copy's page faults until every
+     page has been referenced, the residual dependency of Section 3.2. *)
+  let copy_on_reference =
+    {
+      s_protocol = Protocol.Copy_on_reference;
+      s_copy_phase = no_copy_phase;
+      s_frozen_residue = (fun _ -> 0);
+      s_page_source =
+        (fun kernel ->
+          Some (Ids.kernel_server_of (Logical_host.id (Kernel.host_lh kernel))));
+      s_faultin = (fun _program ~lh ~final_bytes:_ -> Logical_host.total_bytes lh);
+    }
+
+  (* VM-flush (Section 3.2): wire timing of the copy phase is identical
+     to pre-copy — the bytes flow to the page server instead of the new
+     host — and dirty-then-referenced pages cross the wire twice: the
+     rewritten hot set plus the frozen residue fault back in later. *)
+  let vm_flush ~page_server =
+    {
+      s_protocol = Protocol.Vm_flush { page_server };
+      s_copy_phase = full_copy_then_rounds;
+      s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_page_source = no_page_source;
+      s_faultin =
+        (fun program ~lh:_ ~final_bytes ->
+          let hot =
+            int_of_float
+              (1024.
+              *. (Dirty_model.params program.Progtable.p_model)
+                   .Dirty_model.hot_kb)
+          in
+          hot + final_bytes);
+    }
+
+  let of_protocol = function
+    | Protocol.Precopy -> pre_copy
+    | Protocol.Freeze_and_copy -> freeze_and_copy
+    | Protocol.Copy_on_reference -> copy_on_reference
+    | Protocol.Vm_flush { page_server } -> vm_flush ~page_server
+end
 
 let cancel_reservation_best_effort kernel ~self ~pm ~temp_lh =
   ignore
@@ -210,6 +291,7 @@ let cancel_reservation_best_effort kernel ~self ~pm ~temp_lh =
    destination was tried (None if failure struck before selection), so a
    retry can exclude it when re-running host selection. *)
 let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
+  let strat = Strategy.of_protocol strategy in
   let eng = Kernel.engine kernel in
   let trace fmt =
     Tracer.recordf (Kernel.tracer kernel) ~category:"migrate" fmt
@@ -279,8 +361,8 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
           (match Kernel.lookup_binding kernel dest.Scheduler.s_pm.Ids.lh with
           | Some st -> Kernel.set_binding kernel temp_lh st
           | None -> ());
-          (* Step 3: pre-copy (strategy-dependent). *)
-          match run_copy_phase kernel cfg ~self ~temp_lh ~lh strategy with
+          (* Step 3: the strategy's copy phase, program still running. *)
+          match strat.Strategy.s_copy_phase kernel cfg ~self ~temp_lh ~lh with
           | Error e ->
               (* Nothing was frozen yet; just drop the reservation. *)
               cancel_reservation_best_effort kernel ~self
@@ -296,12 +378,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
               (* Step 4: freeze and complete the copy. *)
               let freeze_start = Engine.now eng in
               Kernel.freeze_lh kernel lh;
-              let final_bytes =
-                match strategy with
-                | Protocol.Freeze_and_copy -> Logical_host.total_bytes lh
-                | Protocol.Precopy | Protocol.Vm_flush _ ->
-                    Logical_host.clear_dirty lh
-              in
+              let final_bytes = strat.Strategy.s_frozen_residue lh in
               ev kernel (fun () ->
                   Mig_frozen_residue { lh = lh_id; bytes = final_bytes });
               trace "step 4: frozen; copying %d KB residue + kernel state"
@@ -313,7 +390,11 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
               Proc.sleep eng ks_span;
               (* Step 5: transfer control — extract here, install there —
                  and rebind. *)
-              let state = Kernel.extract_lh kernel lh in
+              let state =
+                Kernel.extract_lh
+                  ?page_source:(strat.Strategy.s_page_source kernel)
+                  kernel lh
+              in
               let install =
                 Kernel.send kernel ~src:self
                   ~dst:(Ids.kernel_server_of temp_lh)
@@ -360,7 +441,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
                          m_kernel_state = ks_span;
                          m_total = Time.sub (Engine.now eng) t_start;
                          m_faultin_bytes =
-                           faultin_estimate program ~final_bytes strategy;
+                           strat.Strategy.s_faultin program ~lh ~final_bytes;
                        })
               | Ok { Message.body = Kernel.Ks_refused m; _ } ->
                   (* Destination reneged: resurrect the old copy. *)

@@ -23,11 +23,18 @@
     excluded, so a crashed host that is still being advertised by stale
     bindings cannot be picked twice.
 
-    Alternative strategies exist for the benches: [Freeze_and_copy] is
-    the naive scheme the paper argues against (freeze for the entire
-    copy), and [Vm_flush] is the Section 3.2 variant that flushes dirty
-    pages to a network page server and lets the new host demand-fault
-    them in. *)
+    The copy discipline is pluggable ({!Strategy}): every strategy
+    shares steps 1, 2, 4's freeze + kernel-state copy, and step 5's
+    extract/install/rebind, and differs only in what moves while the
+    program runs, what must move while it is frozen, and what is left
+    owing afterwards. [Pre_copy] is the paper's contribution;
+    [Freeze_and_copy] is the naive scheme it argues against (freeze for
+    the entire copy); [Copy_on_reference] is the Accent/Demos-style
+    scheme that moves only kernel state and faults pages from the source
+    on first touch (deliberately creating the residual dependencies the
+    paper rejects); and [Vm_flush] is the Section 3.2 variant that
+    flushes dirty pages to a network page server and lets the new host
+    demand-fault them in. *)
 
 type error =
   | No_host of string  (** Nobody volunteered. *)
@@ -59,6 +66,36 @@ type Tracer.event +=
       freeze : Time.span;
     }
   | Mig_aborted of { lh : Ids.lh_id; reason : string }
+
+(** The pluggable copy discipline. A strategy bundles the four decisions
+    that distinguish the paper's pre-copy from its alternatives; all of
+    the surrounding five-step protocol is shared. *)
+module Strategy : sig
+  type t
+
+  val pre_copy : t
+  (** Full copy plus dirty-residue rounds while running; only the last
+      residue moves frozen (Section 3.1.2). *)
+
+  val freeze_and_copy : t
+  (** Nothing moves while running; the whole image moves frozen — the
+      maximal freeze window. *)
+
+  val copy_on_reference : t
+  (** Only kernel state moves; the source retains the memory image and
+      serves page faults after commit ({!Kernel.service_page_faults}) —
+      minimal freeze window, residual source dependency. *)
+
+  val vm_flush : page_server:Ids.pid -> t
+  (** Pre-copy wire timing toward a page server; dirty-then-referenced
+      pages cross the wire twice (Section 3.2). *)
+
+  val of_protocol : Protocol.strategy -> t
+  (** The strategy named by a [Pm_migrate] request. *)
+
+  val protocol : t -> Protocol.strategy
+  val name : t -> string
+end
 
 val migrate :
   kernel:Kernel.t ->

@@ -58,6 +58,11 @@ let run_spec ctx rng ~lh ~spec ~env ~model ~charge ~self =
          chunk lands on the new workstation's CPU. *)
       gate ();
       let k = Directory.current ctx lh_id in
+      (* After a copy-on-reference migration, pages first-touched during
+         the previous chunk are pulled from the old host here — a
+         scheduling boundary, where blocking IPC is safe (the compute
+         slice below holds the CPU). *)
+      Kernel.service_page_faults k ~self ~lh:lh_id;
       let quantum = (Kernel.params k).Os_params.cpu_quantum in
       let chunk = Time.min quantum remaining in
       Cpu.compute_sliced ~owner:lh_id ~gate

@@ -29,12 +29,19 @@ let pp_outcome ppf o =
 type strategy =
   | Precopy
   | Freeze_and_copy
+  | Copy_on_reference
   | Vm_flush of { page_server : Ids.pid }
 
 let strategy_name = function
   | Precopy -> "precopy"
   | Freeze_and_copy -> "freeze-and-copy"
+  | Copy_on_reference -> "copy-on-reference"
   | Vm_flush _ -> "vm-flush"
+
+let strategy_of_config = function
+  | Config.Pre_copy -> Precopy
+  | Config.Freeze_and_copy -> Freeze_and_copy
+  | Config.Copy_on_reference -> Copy_on_reference
 
 type Message.body +=
   | Pm_query_candidates of { bytes : int; exclude : string list }

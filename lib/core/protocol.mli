@@ -45,6 +45,12 @@ type strategy =
   | Freeze_and_copy
       (** The "simplest approach" of Section 3.1: freeze first, then copy
           everything — the baseline pre-copy is measured against. *)
+  | Copy_on_reference
+      (** The Accent/Demos-style alternative the paper argues against:
+          move only the kernel state, leave the memory image behind, and
+          fault pages across from the old host on first touch. Minimal
+          freeze window, but the program stays dependent on its source
+          host for as long as unreferenced pages remain there. *)
   | Vm_flush of { page_server : Ids.pid }
       (** Section 3.2: flush dirty pages to a network page server
           (repeatedly, pre-copy style), freeze, flush the residue; the
@@ -52,6 +58,10 @@ type strategy =
           pages cross the wire twice. *)
 
 val strategy_name : strategy -> string
+
+val strategy_of_config : Config.migration_strategy -> strategy
+(** Lift the configuration-level strategy choice (which cannot name
+    per-cluster pids, so excludes [Vm_flush]) into the wire vocabulary. *)
 
 (** {1 Program-manager messages} *)
 

@@ -18,13 +18,31 @@ let bindings (p : Progtable.program) =
   base @ ns @ cache
 
 let dependencies ctx p =
-  List.filter_map
-    (fun (what, pid) ->
-      match Directory.locate ctx pid.Ids.lh with
-      | Some k ->
-          Some { d_what = what; d_pid = pid; d_host = Kernel.host_name k }
-      | None -> None)
-    (bindings p)
+  let bound =
+    List.filter_map
+      (fun (what, pid) ->
+        match Directory.locate ctx pid.Ids.lh with
+        | Some k ->
+            Some { d_what = what; d_pid = pid; d_host = Kernel.host_name k }
+        | None -> None)
+      (bindings p)
+  in
+  (* Copy-on-reference leaves a dependency no environment binding shows:
+     the old host's kernel server still holds unreferenced pages. *)
+  let lh_id = Logical_host.id p.Progtable.p_lh in
+  let page_source =
+    match Directory.locate ctx lh_id with
+    | None -> []
+    | Some here -> (
+        match Kernel.fault_source here lh_id with
+        | None -> []
+        | Some pid -> (
+            match Directory.locate ctx pid.Ids.lh with
+            | Some src ->
+                [ { d_what = "page-source"; d_pid = pid; d_host = Kernel.host_name src } ]
+            | None -> []))
+  in
+  bound @ page_source
 
 let current_host ctx (p : Progtable.program) =
   match Directory.locate ctx (Logical_host.id p.Progtable.p_lh) with

@@ -10,14 +10,18 @@
     report which workstations it still depends on. *)
 
 type dependency = {
-  d_what : string;  (** Which binding, e.g. ["file-server"]. *)
+  d_what : string;
+      (** Which binding, e.g. ["file-server"] — or ["page-source"] for a
+          copy-on-reference old host still serving page faults. *)
   d_pid : Ids.pid;
   d_host : string;  (** Workstation currently serving it. *)
 }
 
 val dependencies : Directory.t -> Progtable.program -> dependency list
-(** Every environment binding, resolved to its current host. Bindings to
-    services not currently resident anywhere are omitted. *)
+(** Every environment binding, resolved to its current host, plus the
+    copy-on-reference page source when the program's pages still live on
+    its old host. Bindings to services not currently resident anywhere
+    are omitted. *)
 
 val residual_hosts :
   ?ignore_display:bool -> Directory.t -> Progtable.program -> string list

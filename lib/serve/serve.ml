@@ -8,6 +8,7 @@ module Session = struct
     max_in_flight : int;
     queue_limit : int;
     balancer_interval : Time.span option;
+    strategy : Protocol.strategy option;
     snapshot_every : Time.span option;
     reexec_attempts : int;
     drain_grace : Time.span;
@@ -21,6 +22,7 @@ module Session = struct
       max_in_flight = 24;
       queue_limit = 64;
       balancer_interval = Some (Time.of_sec 5.);
+      strategy = None;
       snapshot_every = Some (Time.of_sec 10.);
       reexec_attempts = 1;
       drain_grace = Time.of_sec 60.;
@@ -229,9 +231,15 @@ module Session = struct
     (match params.balancer_interval with
     | None -> ()
     | Some interval ->
+        let strategy =
+          match params.strategy with
+          | Some s -> s
+          | None ->
+              Protocol.strategy_of_config (Cluster.cfg cl).Config.strategy
+        in
         t.s_balancer <-
           Some
-            (Balancer.start ~interval
+            (Balancer.start ~interval ~strategy
                ~on_outcome:(fun o ->
                  t.migrations <- t.migrations + 1;
                  Stats.Summary.record t.freeze_ms

@@ -28,6 +28,9 @@ module Session : sig
     queue_limit : int;  (** Waiting-room bound; beyond it, reject. *)
     balancer_interval : Time.span option;
         (** Rebalancing cycle period; [None] disables the balancer. *)
+    strategy : Protocol.strategy option;
+        (** Copy discipline for balancer-triggered migrations; [None]
+            falls back to the cluster's {!Config.t.strategy}. *)
     snapshot_every : Time.span option;
         (** Periodic metric snapshots; [None] disables them. *)
     reexec_attempts : int;

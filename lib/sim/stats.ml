@@ -63,6 +63,11 @@ module Summary = struct
 
   let percentile t p =
     if t.n = 0 then nan
+      (* The extremes (and any out-of-range [p]) never need the sorted
+         view: [lo]/[hi] are maintained incrementally, and a single
+         sample is every percentile of itself. *)
+    else if t.n = 1 || p <= 0. then t.lo
+    else if p >= 100. then t.hi
     else begin
       let a = sorted_samples t in
       let rank =

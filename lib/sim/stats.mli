@@ -30,8 +30,9 @@ module Summary : sig
 
   val percentile : t -> float -> float
   (** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
-      samples. Meaningless (returns [nan]) when empty, like the other
-      accessors. *)
+      samples. Total on its edge cases: empty returns [nan] (like the
+      other accessors), a single sample is every percentile of itself,
+      and [p] outside [\[0,100\]] clamps to {!min}/{!max}. *)
 
   val samples : t -> float list
   (** All recorded samples in recording order. *)

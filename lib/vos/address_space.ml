@@ -8,6 +8,15 @@ type t = {
   active_pages : int;
   dirty : Bytes.t; (* one byte per page: 0 clean, 1 dirty *)
   mutable dirty_count : int;
+  (* Copy-on-reference residency. [None] means every page is local (the
+     common case: no bitmap allocated). After [evict_all], a page is
+     absent until first touched; the touch queues it on [pending] so the
+     owning process can pull it from the source host at its next
+     scheduling boundary. *)
+  mutable resident : Bytes.t option; (* 0 absent, 1 resident *)
+  mutable absent_count : int;
+  mutable pending : int list; (* faulted pages, most recent first *)
+  mutable pending_count : int;
 }
 
 (* Domain-local, so replica simulations running on parallel domains
@@ -36,6 +45,10 @@ let create ?(page_bytes = 1024) ~code_bytes ~data_bytes ~active_bytes () =
     active_pages;
     dirty = Bytes.make total '\000';
     dirty_count = 0;
+    resident = None;
+    absent_count = 0;
+    pending = [];
+    pending_count = 0;
   }
 
 let id t = t.id
@@ -56,6 +69,14 @@ let segment_first t = function
 let touch t p =
   if p < 0 || p >= pages t then
     invalid_arg (Printf.sprintf "Address_space.touch: page %d of %d" p (pages t));
+  (match t.resident with
+  | Some r when Bytes.get r p = '\000' ->
+      Bytes.set r p '\001';
+      t.absent_count <- t.absent_count - 1;
+      t.pending <- p :: t.pending;
+      t.pending_count <- t.pending_count + 1;
+      if t.absent_count = 0 then t.resident <- None
+  | _ -> ());
   if Bytes.get t.dirty p = '\000' then begin
     Bytes.set t.dirty p '\001';
     t.dirty_count <- t.dirty_count + 1
@@ -96,3 +117,25 @@ let clear_dirty t =
 let fill_all_dirty t =
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\001';
   t.dirty_count <- pages t
+
+let evict_all t =
+  let n = pages t in
+  t.resident <- (if n = 0 then None else Some (Bytes.make n '\000'));
+  t.absent_count <- n;
+  t.pending <- [];
+  t.pending_count <- 0
+
+let make_all_resident t =
+  t.resident <- None;
+  t.absent_count <- 0;
+  t.pending <- [];
+  t.pending_count <- 0
+
+let absent_count t = t.absent_count
+let pending_fault_count t = t.pending_count
+
+let take_pending_faults t =
+  let ps = List.rev t.pending in
+  t.pending <- [];
+  t.pending_count <- 0;
+  ps

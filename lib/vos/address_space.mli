@@ -78,3 +78,30 @@ val clear_dirty : t -> int
 val fill_all_dirty : t -> unit
 (** Mark every page dirty — the state of a freshly loaded program before
     its first full copy. *)
+
+(** {1 Copy-on-reference residency}
+
+    A copy-on-reference migration installs the space with every page
+    absent; the first touch of an absent page marks it resident and
+    queues a fault, and the owning process drains the queue by pulling
+    the pages from the source host. When no pages were ever evicted the
+    machinery costs nothing (no bitmap is allocated). *)
+
+val evict_all : t -> unit
+(** Mark every page absent and forget queued faults — the destination's
+    view of a freshly copy-on-reference-installed space. *)
+
+val make_all_resident : t -> unit
+(** Drop residency tracking entirely (all pages local, no faults
+    pending) — applied when a space is extracted for migration, since
+    whatever copy discipline moves it next accounts for every page. *)
+
+val absent_count : t -> int
+(** Pages still on the source host (0 when residency is not tracked). *)
+
+val pending_fault_count : t -> int
+(** First-touch faults queued since the last {!take_pending_faults}. *)
+
+val take_pending_faults : t -> int list
+(** Return the queued faulted page indices in touch order and clear the
+    queue. The caller owes the source host one page transfer each. *)

@@ -18,7 +18,14 @@ type osend = {
   mutable os_timer : Engine.handle option;
 }
 
-type lh_state = { st_lh : Logical_host.t; st_osends : osend list }
+type lh_state = {
+  st_lh : Logical_host.t;
+  st_osends : osend list;
+  st_page_source : Ids.pid option;
+      (* Copy-on-reference: the source host's kernel server, still holding
+         every page. The installing kernel evicts the spaces and faults
+         pages back from this pid on first touch. *)
+}
 
 type collector = {
   c_txn : Packet.txn;
@@ -55,6 +62,14 @@ type t = {
   reservations : (Ids.lh_id, reservation) Hashtbl.t;
   forwards : (Ids.lh_id, Addr.t) Hashtbl.t;
       (* Demos/MP-ablation mode only: where a departed logical host went *)
+  page_sources : (Ids.lh_id, unit) Hashtbl.t;
+      (* Copy-on-reference source side: departed logical hosts whose
+         memory image stayed behind; this kernel answers their page
+         faults — the residual dependency the paper warns about. *)
+  fault_sources : (Ids.lh_id, Ids.pid) Hashtbl.t;
+      (* Copy-on-reference destination side: resident logical host ->
+         the old host's kernel server that still holds its unreferenced
+         pages. *)
   stats : (string, int ref) Hashtbl.t;
 }
 
@@ -66,6 +81,7 @@ type Message.body +=
   | Ks_install of lh_state
   | Ks_installed of { resumed_at : Time.t }
   | Ks_destroy_lh of Ids.lh_id
+  | Ks_fault_pages of { lh : Ids.lh_id; pages : int; bytes : int }
   | Ks_ok
   | Ks_refused of string
 
@@ -86,6 +102,12 @@ type Tracer.event +=
   | Binding_invalidated of { host : string; lh : Ids.lh_id }
   | Host_crashed of { host : string }
   | Host_rebooted of { host : string }
+  | Page_fault_service of {
+      host : string;  (* the OLD host, serving pages it kept *)
+      lh : Ids.lh_id;  (* the departed logical host being served *)
+      pages : int;
+      bytes : int;
+    }
 
 let () =
   let pid p = Tracer.Str (Ids.pid_to_string p) in
@@ -152,6 +174,19 @@ let () =
             Tracer.v_cat = "host";
             v_type = "rebooted";
             v_fields = [ ("host", Tracer.Str host) ];
+          }
+    | Page_fault_service { host; lh; pages; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "page-fault";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("lh", Int lh);
+                ("pages", Int pages);
+                ("bytes", Int bytes);
+              ];
           }
     | _ -> None)
 
@@ -712,6 +747,7 @@ let destroy_logical_host t lh =
   let id = Logical_host.id lh in
   List.iter Vproc.kill (Logical_host.processes lh);
   Hashtbl.remove t.lh_table id;
+  Hashtbl.remove t.fault_sources id;
   invalidate_binding t id;
   (* Wake local senders whose requests died with the host. *)
   List.iter
@@ -824,9 +860,15 @@ let kernel_state_copy_span _t lh =
   in
   Time.add (Time.of_ms 14.) (Time.mul (Time.of_ms 9.) objects)
 
-let extract_lh t lh =
+let extract_lh ?page_source t lh =
   assert (Logical_host.frozen lh);
   let id = Logical_host.id lh in
+  (* Whatever copy discipline moves the host next accounts for every
+     page, so any copy-on-reference residency state from a previous
+     migration is collapsed here; likewise we stop being a fault client
+     of our own source. *)
+  List.iter Address_space.make_all_resident (Logical_host.spaces lh);
+  Hashtbl.remove t.fault_sources id;
   (* 1. Collect outstanding sends originated inside the migrating host:
         they are kernel state that moves with it. *)
   let moved = ref [] in
@@ -879,8 +921,12 @@ let extract_lh t lh =
   ev t (fun () ->
       Logical_host.Lh_extracted
         { host = t.name; lh = id; bytes = Logical_host.total_bytes lh });
+  (if page_source <> None then begin
+     Hashtbl.replace t.page_sources id ();
+     trace t "retaining pages of %a for copy-on-reference" Ids.pp_lh id
+   end);
   trace t "extracted %a" Ids.pp_lh id;
-  { st_lh = lh; st_osends = !moved }
+  { st_lh = lh; st_osends = !moved; st_page_source = page_source }
 
 (* Re-arming expiry timer: fires at the recorded deadline; if traffic
    refreshed [r_expires] in the meantime, re-arm for the new deadline
@@ -923,6 +969,10 @@ let install_lh t state =
   let lh = state.st_lh in
   let id = Logical_host.id lh in
   Hashtbl.replace t.lh_table id lh;
+  (* Residency beats a stale retained-pages marker: set when a
+     copy-on-reference install failed and the source resurrects the old
+     copy, or when a departed host migrates back home. *)
+  Hashtbl.remove t.page_sources id;
   invalidate_binding t id;
   List.iter
     (fun os -> Hashtbl.replace t.outstanding os.os_txn os)
@@ -940,6 +990,47 @@ let announce_lh t lh =
     lh_hosting_or_reserved t lh
     && t.prm.Os_params.rebind = Os_params.Broadcast_query
   then transmit_broadcast t (Packet.Here_is { lh; station = t.self })
+
+(* {2 Copy-on-reference page faulting} *)
+
+let serves_pages_for t lh = Hashtbl.mem t.page_sources lh
+let page_source_count t = Hashtbl.length t.page_sources
+let fault_source t lh = Hashtbl.find_opt t.fault_sources lh
+
+(* Runs in the faulting process' own context at a scheduling boundary
+   (never while it holds the CPU): drain the first-touch queues of the
+   host's spaces and pull the pages from the old host in one batched
+   request. The requester blocks until the page data has crossed the
+   wire — that round trip to the source is the copy-on-reference cost
+   the paper's Section 3.2 argues against. *)
+let service_page_faults t ~self ~lh:lh_id =
+  match Hashtbl.find_opt t.fault_sources lh_id with
+  | None -> ()
+  | Some source -> (
+      match Hashtbl.find_opt t.lh_table lh_id with
+      | None -> ()
+      | Some lh ->
+          let pages, bytes =
+            List.fold_left
+              (fun (p, b) sp ->
+                let n = List.length (Address_space.take_pending_faults sp) in
+                (p + n, b + (n * Address_space.page_bytes sp)))
+              (0, 0) (Logical_host.spaces lh)
+          in
+          if pages > 0 then begin
+            bump t "page_faults";
+            match
+              send t ~src:self ~dst:source
+                (Message.make (Ks_fault_pages { lh = lh_id; pages; bytes }))
+            with
+            | Ok _ -> ()
+            | Error No_response ->
+                (* The source is gone and the unreferenced pages with it —
+                   the fragility copy-on-reference accepts. Drop the
+                   dependency so the program is not stuck retrying. *)
+                Hashtbl.remove t.fault_sources lh_id;
+                trace t "page source for %a lost" Ids.pp_lh lh_id
+          end)
 
 (* {2 Kernel server} *)
 
@@ -975,6 +1066,14 @@ let ks_body t vp =
             cancel_reservation t ~temp_lh:temp;
             if memory_free t >= Logical_host.total_bytes state.st_lh then begin
               let lh = install_lh t state in
+              (match state.st_page_source with
+              | Some source ->
+                  (* Copy-on-reference: the memory image never came.
+                     Every page starts absent; first touches queue faults
+                     serviced from the old host's kernel server. *)
+                  Hashtbl.replace t.fault_sources (Logical_host.id lh) source;
+                  List.iter Address_space.evict_all (Logical_host.spaces lh)
+              | None -> ());
               unfreeze_lh t lh;
               let resumed_at = Engine.now t.eng in
               announce_lh t (Logical_host.id lh);
@@ -987,6 +1086,20 @@ let ks_body t vp =
                 destroy_logical_host t lh;
                 reply t d (Message.make Ks_ok)
             | None -> reply t d (Message.make (Ks_refused "no such logical host")))
+        | Ks_fault_pages { lh = flh; pages; bytes } ->
+            if serves_pages_for t flh then begin
+              bump t "page_fault_serves";
+              ev t (fun () ->
+                  Page_fault_service { host = t.name; lh = flh; pages; bytes });
+              let to_station =
+                match d.Delivery.origin with
+                | Delivery.Remote s -> Some s
+                | Delivery.Local -> None
+              in
+              bulk_transfer ?to_station t ~bytes;
+              reply t d (Message.make Ks_ok)
+            end
+            else reply t d (Message.make (Ks_refused "no retained pages"))
         | _ -> reply t d (Message.make (Ks_refused "unknown operation"))));
     loop ()
   in
@@ -1022,6 +1135,8 @@ let create ~engine:eng ~rng:krng ~tracer:trc ~params:prm ~net ~station:self
       groups = Hashtbl.create 8;
       reservations = Hashtbl.create 4;
       forwards = Hashtbl.create 4;
+      page_sources = Hashtbl.create 4;
+      fault_sources = Hashtbl.create 4;
       stats = Hashtbl.create 16;
     }
   in
@@ -1057,6 +1172,10 @@ let shutdown t =
   Hashtbl.reset t.groups;
   Hashtbl.reset t.reservations;
   Hashtbl.reset t.forwards;
+  (* Retained copy-on-reference pages were RAM too: a source crash
+     strands every program still faulting from it. *)
+  Hashtbl.reset t.page_sources;
+  Hashtbl.reset t.fault_sources;
   Hashtbl.reset t.sys_procs;
   Hashtbl.reset (Logical_host.inbound t.the_host_lh);
   trace t "shut down"

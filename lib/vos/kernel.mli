@@ -59,6 +59,17 @@ type Tracer.event +=
   | Binding_invalidated of { host : string; lh : Ids.lh_id }
   | Host_crashed of { host : string }
   | Host_rebooted of { host : string }
+  | Page_fault_service of {
+      host : string;
+      lh : Ids.lh_id;
+      pages : int;
+      bytes : int;
+    }
+      (** Copy-on-reference residual traffic: the {e old} host [host]
+          served [pages] pages it retained for departed logical host
+          [lh]. Emitted with category ["migrate"], type ["page-fault"];
+          the no-residual-dependency monitor attributes these to the
+          banned (logical host, old host) pair. *)
 
 type send_error =
   | No_response
@@ -240,12 +251,18 @@ val kernel_state_copy_span : t -> Logical_host.t -> Time.span
 (** Time to copy the logical host's kernel-server and program-manager
     state: 14 ms plus 9 ms per process and address space (Section 4.1). *)
 
-val extract_lh : t -> Logical_host.t -> lh_state
+val extract_lh : ?page_source:Ids.pid -> t -> Logical_host.t -> lh_state
 (** Remove a frozen logical host from this kernel: scrub queued requests
     (remote senders will retransmit; local senders' sends restart through
     the remote path), collect its outstanding sends, and drop the binding.
     The inverse of {!install_lh}; re-installing locally is the migration
-    failure path. *)
+    failure path.
+
+    [page_source] (copy-on-reference only) names this kernel's own
+    kernel server: the memory image stays behind, this kernel keeps
+    serving the departed host's page faults ({!serves_pages_for}), and
+    the installing kernel evicts every page and faults them back from
+    that pid on first touch. *)
 
 val install_lh : t -> lh_state -> Logical_host.t
 (** Adopt an extracted logical host (still frozen) and bind it here.
@@ -273,6 +290,37 @@ val reservation_count : t -> int
 val forward_count : t -> int
 (** Forwarding addresses currently installed (Demos/MP ablation). *)
 
+(** {1 Copy-on-reference page faulting}
+
+    The Accent/Demos-style strategy the paper argues against: only
+    kernel state moves at migration time; the source keeps the memory
+    image and the destination pulls pages on first touch. The source
+    dependency persists until every page has been referenced — and a
+    source crash strands the program ({!shutdown} drops retained
+    pages). *)
+
+val serves_pages_for : t -> Ids.lh_id -> bool
+(** Does this kernel retain (and serve) the pages of a departed logical
+    host? *)
+
+val page_source_count : t -> int
+(** How many departed logical hosts this kernel still serves pages
+    for — each one a live residual dependency. *)
+
+val fault_source : t -> Ids.lh_id -> Ids.pid option
+(** Destination side: the old host's kernel server a resident
+    copy-on-reference logical host still faults its pages from, if any
+    pages may remain there. *)
+
+val service_page_faults : t -> self:Ids.pid -> lh:Ids.lh_id -> unit
+(** Drain the first-touch fault queues of [lh]'s spaces and pull the
+    faulted pages from the registered source in one batched
+    [Ks_fault_pages] request, blocking the caller until the page data
+    has crossed the wire. Must run in the faulting process' context at a
+    scheduling boundary (it performs blocking IPC). No-op when [lh] has
+    no fault source or nothing is queued; if the source no longer
+    answers, the dependency is dropped so the program can continue. *)
+
 (** {1 Kernel-server request vocabulary}
 
     Sent to [Ids.kernel_server_of lh] for any logical host resident on
@@ -290,6 +338,10 @@ type Message.body +=
       (** Success reply to {!Ks_install}; [resumed_at] is the instant the
           new copy was unfrozen, closing the freeze-time measurement. *)
   | Ks_destroy_lh of Ids.lh_id
+  | Ks_fault_pages of { lh : Ids.lh_id; pages : int; bytes : int }
+      (** Copy-on-reference page pull: sent to the old host's kernel
+          server, which transfers [bytes] back and replies [Ks_ok] —
+          or [Ks_refused] if it retains no pages for [lh]. *)
   | Ks_ok
   | Ks_refused of string
 
@@ -299,4 +351,7 @@ val stat : t -> string -> int
 (** Named counters: ["sends"], ["sends_failed"], ["retransmissions"],
     ["where_is"], ["reply_pending"], ["duplicates"], ["packets_rx"],
     ["replies_discarded_frozen"], ["ks_pings"],
-    ["reservations_expired"], ["reboots"]. Unknown names are 0. *)
+    ["reservations_expired"], ["reboots"], ["page_faults"] (batched
+    fault requests issued by a copy-on-reference destination),
+    ["page_fault_serves"] (batches served by an old host). Unknown
+    names are 0. *)

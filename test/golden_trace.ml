@@ -1,14 +1,25 @@
-(* Golden-trace generator: run the pinned migration scenario and print
-   its migration-phase events as JSONL. `dune runtest` diffs the output
-   against golden_trace.expected — any change to event content, order or
-   timing under this seed must be intentional (re-bless with
-   `dune promote`). *)
+(* Golden-trace generator: run the pinned migration scenario under the
+   copy discipline named on the command line and print its
+   migration-phase events as JSONL. `dune runtest` diffs the output of
+   each strategy against its committed fixture
+   (golden_trace_{precopy,freeze,cor}.expected) — any change to event
+   content, order or timing under this seed must be intentional
+   (re-bless with `dune promote`). *)
 
 let () =
+  let strategy =
+    match if Array.length Sys.argv > 1 then Sys.argv.(1) else "precopy" with
+    | "precopy" -> Protocol.Precopy
+    | "freeze" -> Protocol.Freeze_and_copy
+    | "cor" -> Protocol.Copy_on_reference
+    | s ->
+        prerr_endline ("golden_trace: unknown strategy " ^ s);
+        exit 2
+  in
   let cl = Cluster.create ~seed:1985 ~workstations:4 ~trace:true () in
   match
-    Experiment.migrate_program cl ~strategy:Protocol.Precopy
-      ~run_for:(Time.of_sec 3.) ~prog:"cc68" ()
+    Experiment.migrate_program cl ~strategy ~run_for:(Time.of_sec 3.)
+      ~prog:"cc68" ()
   with
   | Error e ->
       prerr_endline ("golden_trace: migration failed: " ^ e);

@@ -156,6 +156,38 @@ let test_forwarding_ablation_caught () =
   in
   probe 1
 
+(* Mutation test for the copy-on-reference discipline: forcing every
+   job onto it plants a page-source residual dependency by design, so
+   the residual monitor must object on EVERY seed — a single silent seed
+   means the monitor (or the fault path it watches) has rotted. The same
+   seeds forced onto pre-copy must stay clean, pinning that the monitor
+   fires because of the strategy and not scenario noise. *)
+let test_cor_mutation_caught_on_every_seed () =
+  for seed = 1 to 10 do
+    let force s = Scenario.force_strategy s (Scenario.of_seed seed) in
+    let cor = Scenario.run (force Protocol.Copy_on_reference) in
+    (match
+       List.find_opt
+         (fun v -> v.Monitors.vi_monitor = "residual")
+         cor.Scenario.o_violations
+     with
+    | Some v ->
+        Alcotest.(check bool)
+          "violation window captured" true (v.Monitors.vi_window <> [])
+    | None ->
+        Alcotest.failf
+          "seed %d: no residual violation under copy-on-reference (replay: %s \
+           --strategy cor)"
+          seed
+          (Scenario.replay_hint cor.Scenario.o_scenario));
+    let pre = Scenario.run (force Protocol.Precopy) in
+    match pre.Scenario.o_violations with
+    | [] -> ()
+    | v :: _ ->
+        Alcotest.failf "seed %d: pre-copy control tripped [%s] %s" seed
+          v.Monitors.vi_monitor v.Monitors.vi_detail
+  done
+
 let () =
   Alcotest.run "check"
     [
@@ -184,5 +216,7 @@ let () =
             test_invariants_hold;
           Alcotest.test_case "forwarding ablation caught by residual monitor"
             `Slow test_forwarding_ablation_caught;
+          Alcotest.test_case "copy-on-reference mutation caught on every seed"
+            `Slow test_cor_mutation_caught_on_every_seed;
         ] );
     ]

@@ -249,6 +249,77 @@ let test_bulk_copy_with_loss_takes_longer () =
   if Time.(!finished <= lossless) then
     Alcotest.fail "retransmissions must stretch the copy"
 
+(* {2 Page-sequenced copies under an injected loss window}
+
+   Migration moves an address space as a sequence of page transfers; a
+   [Faults.Loss_window] must stretch them but never reorder, drop, or
+   wedge them. Each 1 KB page is a blocking [bulk_copy], so completion
+   order is page order by construction — what these tests pin is that
+   retransmission under heavy loss terminates, preserves that order, and
+   stays a deterministic function of the seed. *)
+
+let paged_copy_completions ?(pages = 32) ~seed plan =
+  let e, net = make_net ~seed () in
+  let tracer = Tracer.create e in
+  let hooks =
+    {
+      Faults.h_crash = ignore;
+      h_reboot = ignore;
+      h_loss = Ethernet.set_loss net;
+      h_base_loss =
+        (fun () -> (Ethernet.config net).Ethernet.loss_probability);
+      h_partition = (fun ~up:_ -> ());
+      h_slow = (fun _ _ -> ());
+    }
+  in
+  let _installed = Faults.install e tracer hooks plan in
+  let _sink = Ethernet.attach net (addr 1) (fun _ -> ()) in
+  let completions = ref [] in
+  ignore
+    (Proc.spawn e ~name:"copier" (fun () ->
+         for page = 1 to pages do
+           Transfer.bulk_copy net ~bytes:1024;
+           completions := (page, Engine.now e) :: !completions
+         done));
+  Engine.run e;
+  List.rev !completions
+
+let heavy_loss =
+  [ Faults.Loss_window { p = 0.3; start = Time.zero; stop = Time.of_sec 600. } ]
+
+let test_paged_copy_terminates_under_loss () =
+  let cs = paged_copy_completions ~seed:11 heavy_loss in
+  (* Engine.run returning at all means no page wedged; every page must
+     also have completed. *)
+  Alcotest.(check int) "all pages transferred" 32 (List.length cs)
+
+let test_paged_copy_preserves_order () =
+  let cs = paged_copy_completions ~seed:11 heavy_loss in
+  ignore
+    (List.fold_left
+       (fun (prev_page, prev_at) (page, at) ->
+         Alcotest.(check int) "pages complete in sequence" (prev_page + 1) page;
+         if Time.(at <= prev_at) then
+           Alcotest.failf "page %d completed at %s, not after page %d at %s"
+             page (Time.to_string at) prev_page (Time.to_string prev_at);
+         (page, at))
+       (0, Time.of_us (-1)) cs)
+
+let test_paged_copy_loss_window_stretches () =
+  let finish cs = snd (List.nth cs (List.length cs - 1)) in
+  let lossless = finish (paged_copy_completions ~seed:11 []) in
+  let lossy = finish (paged_copy_completions ~seed:11 heavy_loss) in
+  if Time.(lossy <= lossless) then
+    Alcotest.fail "a 30% loss window must stretch the transfer"
+
+let test_paged_copy_deterministic_per_seed () =
+  let a = paged_copy_completions ~seed:17 heavy_loss in
+  let b = paged_copy_completions ~seed:17 heavy_loss in
+  Alcotest.(check bool) "same seed, same completion schedule" true (a = b);
+  let c = paged_copy_completions ~seed:18 heavy_loss in
+  Alcotest.(check bool) "different seed, different retransmissions" true
+    (a <> c)
+
 let test_concurrent_copies_contend () =
   (* Two simultaneous bulk copies on one wire must each take longer than
      one alone would, but far less than 2x (the wire is only ~28% of the
@@ -444,5 +515,13 @@ let () =
             test_bulk_copy_with_loss_takes_longer;
           Alcotest.test_case "concurrent copies contend" `Quick
             test_concurrent_copies_contend;
+          Alcotest.test_case "loss window: copies terminate" `Quick
+            test_paged_copy_terminates_under_loss;
+          Alcotest.test_case "loss window: page order preserved" `Quick
+            test_paged_copy_preserves_order;
+          Alcotest.test_case "loss window stretches the transfer" `Quick
+            test_paged_copy_loss_window_stretches;
+          Alcotest.test_case "loss window: deterministic per seed" `Quick
+            test_paged_copy_deterministic_per_seed;
         ] );
     ]

@@ -445,6 +445,30 @@ let test_summary () =
   Alcotest.(check (float 1e-9)) "p100" 5. (Stats.Summary.percentile s 100.);
   Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.) (Stats.Summary.stddev s)
 
+let test_percentile_edge_cases () =
+  let empty = Stats.Summary.create () in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.Summary.percentile empty 50.));
+  let one = Stats.Summary.create () in
+  Stats.Summary.record one 7.;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample at p=%g" p)
+        7.
+        (Stats.Summary.percentile one p))
+    [ 0.; 50.; 100. ];
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.record s) [ 9.; 1.; 5. ];
+  Alcotest.(check (float 1e-9)) "p0 is min" 1. (Stats.Summary.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 9.
+    (Stats.Summary.percentile s 100.);
+  (* Out-of-range p clamps rather than raising. *)
+  Alcotest.(check (float 1e-9)) "p<0 clamps to min" 1.
+    (Stats.Summary.percentile s (-3.));
+  Alcotest.(check (float 1e-9)) "p>100 clamps to max" 9.
+    (Stats.Summary.percentile s 150.)
+
 let test_gauge_time_average () =
   let e = Engine.create () in
   let g = Stats.Gauge.create e ~initial:0. in
@@ -669,6 +693,8 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_percentile_edge_cases;
           Alcotest.test_case "gauge time average" `Quick
             test_gauge_time_average;
           Alcotest.test_case "counter" `Quick test_counter;

@@ -107,6 +107,60 @@ let test_dirty_model_never_touches_code () =
       Alcotest.failf "page %d (code/data) dirtied" p
   done
 
+(* Random model configurations for the two properties below: the
+   stochastic dirtying must be a deterministic function of the seed, and
+   must never dirty more than the space holds (nor stray outside the
+   active segment), whatever the parameters. *)
+let drive_random_config (seed, hot_kb, rate_kb, cold_kb, active_kb, centi_s) =
+  let params =
+    {
+      Dirty_model.hot_kb = float_of_int (1 + hot_kb);
+      hot_write_kb_per_sec = float_of_int (1 + rate_kb);
+      cold_kb_per_sec = float_of_int cold_kb;
+    }
+  in
+  let space =
+    Address_space.create ~code_bytes:(2 * 1024) ~data_bytes:1024
+      ~active_bytes:((1 + active_kb) * 1024) ()
+  in
+  let m = Dirty_model.create params space in
+  let rng = Rng.create seed in
+  let eng = Engine.create () in
+  ignore
+    (Proc.spawn eng ~name:"driver" (fun () ->
+         for _ = 1 to 1 + centi_s do
+           Dirty_model.on_cpu m rng (Time.of_ms 10.)
+         done));
+  Engine.run eng;
+  space
+
+let config_gen =
+  QCheck.(
+    make
+      ~print:(fun (s, h, r, c, a, t) ->
+        Printf.sprintf "seed=%d hot=%d rate=%d cold=%d active_kb=%d slices=%d" s
+          h r c a t)
+      Gen.(
+        tup6 (int_bound 10_000) (int_bound 200) (int_bound 500) (int_bound 50)
+          (int_bound 300) (int_bound 300)))
+
+let prop_model_deterministic_per_seed =
+  QCheck.Test.make ~name:"stochastic model is deterministic per seed"
+    ~count:100 config_gen (fun cfg ->
+      let a = drive_random_config cfg and b = drive_random_config cfg in
+      Address_space.snapshot_dirty a = Address_space.snapshot_dirty b)
+
+let prop_model_dirty_bounded =
+  QCheck.Test.make ~name:"dirty pages bounded by the address space"
+    ~count:100 config_gen (fun cfg ->
+      let space = drive_random_config cfg in
+      let inert =
+        Address_space.segment_pages space Address_space.Code
+        + Address_space.segment_pages space Address_space.Initialized_data
+      in
+      Address_space.dirty_bytes space <= Address_space.bytes space
+      && Address_space.dirty_count space <= Address_space.pages space - inert)
+
 (* {1 Calibration} *)
 
 let test_fit_table_rows_tightly () =
@@ -263,7 +317,11 @@ let () =
              test_dirty_model_requires_active_segment
         :: Alcotest.test_case "never touches code" `Quick
              test_dirty_model_never_touches_code
-        :: qcheck [ prop_expected_monotone; prop_expected_bounded_by_traffic ] );
+        :: qcheck
+             [
+               prop_expected_monotone; prop_expected_bounded_by_traffic;
+               prop_model_deterministic_per_seed; prop_model_dirty_bounded;
+             ] );
       ( "calibration",
         Alcotest.test_case "fits Table 4-1 tightly" `Quick
           test_fit_table_rows_tightly
