@@ -55,8 +55,10 @@ let drain_events () =
     (fun acc cl -> acc + Engine.events_fired (Cluster.engine cl))
     0 cls
 
-let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?faults () =
-  let cl = Cluster.create ?seed ?workstations ?bridged ?cfg ?net_config ?faults () in
+let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?faults ?trace () =
+  let cl =
+    Cluster.create ?seed ?workstations ?bridged ?cfg ?net_config ?faults ?trace ()
+  in
   register cl;
   cl
 
@@ -1021,6 +1023,115 @@ let serve () =
   metric "serve_migrations" (float_of_int m.Serve.Session.m_migrations);
   detail "serve" (Serve.Session.metrics_to_json s)
 
+(* {1 E-chaos: correlated failure + overload, absorbed gracefully} *)
+
+(* Robustness headline: a rack crash, a partition that heals, and
+   flaky-host churn land on a session already pushed into brownout-level
+   load — with the failure detector steering placement, per-strategy
+   freeze/transfer budgets bounding every migration, a cluster-wide
+   re-exec budget capping the post-crash storm, and the invariant
+   monitors (including the freeze-budget monitor) watching the whole
+   trace. The bar: zero requests leak, zero invariants break, and the
+   detector's transition/false-suspicion counts are reported. Every
+   printed number is virtual-time or event-count based, so stdout is
+   byte-identical for any [-j]. *)
+let chaos () =
+  let duration = if !quick then 30. else 60. in
+  banner
+    (Printf.sprintf
+       "E-chaos: rack crash + partition-then-heal + flaky churn under \
+        brownout-level load, 10 workstations (4 bridged), %g simulated \
+        seconds" duration);
+  let plan =
+    ok "fault plan"
+      (Result.map_error
+         (fun m -> m)
+         (Faults.parse
+            "crashrack:ws2+ws3+ws4@8;reboot:ws2@16;reboot:ws3@17.5;\
+             reboot:ws4@19;partition@25-33;flaky:ws7@38-48"))
+  in
+  let cfg = Config.with_default_budgets Config.default in
+  let cl =
+    mk_cluster ~seed:7070 ~workstations:10 ~bridged:4 ~cfg ~faults:plan
+      ~trace:true ()
+  in
+  ignore (Cluster.enable_health cl);
+  let mon = Monitors.attach (Cluster.tracer cl) in
+  let params =
+    {
+      Serve.Session.default_params with
+      Serve.Session.arrivals = Serve.Session.Poisson 2.;
+      duration = sec duration;
+      max_in_flight = 8;
+      queue_limit = 12;
+      balancer_interval = Some (sec 2.);
+      snapshot_every = Some (sec 5.);
+      reexec_attempts = 2;
+      reexec_budget = Some 32;
+      slo_shed_multiple = Some 3.;
+      drain_grace = sec 60.;
+    }
+  in
+  let s = Serve.Session.create ~params cl in
+  Serve.Session.drain s;
+  let m = Serve.Session.metrics s in
+  let h =
+    match Cluster.health cl with Some h -> h | None -> assert false
+  in
+  row
+    "  submitted %d  completed %d  rejected %d  shed %d  refused %d  failed \
+     %d  stuck %d  (still in flight at drain: %d)"
+    m.Serve.Session.m_submitted m.Serve.Session.m_completed
+    m.Serve.Session.m_rejected m.Serve.Session.m_shed
+    m.Serve.Session.m_refused m.Serve.Session.m_failed
+    m.Serve.Session.m_stuck m.Serve.Session.m_outstanding;
+  row "  brownout: %d span%s, %.0f virtual ms; re-execs %d (budget 32)"
+    m.Serve.Session.m_brownout_spans
+    (if m.Serve.Session.m_brownout_spans = 1 then "" else "s")
+    m.Serve.Session.m_brownout_ms m.Serve.Session.m_reexecs;
+  row
+    "  detector: %d probes, %d transitions, %d false suspicion%s; dead at \
+     end [%s], suspect [%s]"
+    (Health.probes h) (Health.transitions h)
+    (Health.false_suspicions h)
+    (if Health.false_suspicions h = 1 then "" else "s")
+    (String.concat " " (Health.dead_hosts h))
+    (String.concat " " (Health.suspect_hosts h));
+  (match Cluster.faults cl with
+  | None -> ()
+  | Some f ->
+      row "  fault kinds fired: %s"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+              (Faults.fired_counts f))));
+  row "  invariant monitors over %d events: %s" (Monitors.events_seen mon)
+    (if Monitors.ok mon then "all clean (freeze budget included)"
+     else
+       Printf.sprintf "%d VIOLATION(S)"
+         (List.length (Monitors.violations mon) + Monitors.dropped mon));
+  if not (Monitors.ok mon) then
+    List.iter
+      (fun v -> Format.printf "%a@." Monitors.pp_violation v)
+      (Monitors.violations mon);
+  row
+    "shape: the rack crash orphans a burst of requests that the re-exec \
+     budget re-places without a storm; brownout sheds at the door instead \
+     of queueing past the SLO; the detector steers the balancer and every \
+     migration commits inside its declared freeze budget";
+  metric "chaos_completed" (float_of_int m.Serve.Session.m_completed);
+  metric "chaos_shed" (float_of_int m.Serve.Session.m_shed);
+  metric "chaos_stuck" (float_of_int m.Serve.Session.m_stuck);
+  metric "chaos_reexecs" (float_of_int m.Serve.Session.m_reexecs);
+  metric "chaos_brownout_spans"
+    (float_of_int m.Serve.Session.m_brownout_spans);
+  metric "detector_transitions" (float_of_int (Health.transitions h));
+  metric "detector_false_suspicions"
+    (float_of_int (Health.false_suspicions h));
+  metric "monitor_violations"
+    (float_of_int (List.length (Monitors.violations mon) + Monitors.dropped mon));
+  detail "chaos" (Serve.Session.metrics_to_json s)
+
 (* {1 E-strategies: copy-discipline comparison (Section 3's argument)} *)
 
 (* The paper's case for pre-copying, run head to head: freeze-and-copy
@@ -1115,6 +1226,7 @@ let experiments =
     ("space-cost", space_cost);
     ("usage", usage);
     ("serve", serve);
+    ("chaos", chaos);
     ("strategies", strategies);
     ("precopy-ablation", precopy_ablation);
     ("loss-ablation", loss_ablation);

@@ -43,10 +43,11 @@ let faults_conv =
 let faults_arg =
   let doc =
     "Fault plan injected into the run: ';'-separated clauses, times in \
-     virtual seconds — $(b,crash:HOST\\@T), $(b,reboot:HOST\\@T), \
-     $(b,loss:P\\@T1-T2), $(b,partition\\@T1-T2) (needs $(b,--bridged)), \
-     $(b,slow:HOSTxF\\@T1-T2). Example: \
-     'loss:0.02\\@0-30;crash:ws2\\@4.5;reboot:ws2\\@9'."
+     virtual seconds — $(b,crash:HOST@T), $(b,reboot:HOST@T), \
+     $(b,loss:P@T1-T2), $(b,partition@T1-T2) (needs $(b,--bridged)), \
+     $(b,slow:HOSTxF@T1-T2), $(b,flaky:HOST@T1-T2) (seeded crash/reboot \
+     churn), $(b,crashrack:H1+H2+...@T) (correlated multi-host crash). \
+     Example: 'loss:0.02@0-30;crashrack:ws2+ws3@4.5;reboot:ws2@9'."
   in
   Cmdliner.Arg.(
     value & opt (some faults_conv) None & info [ "faults" ] ~docv:"PLAN" ~doc)
@@ -318,16 +319,87 @@ let programs_cmd () =
    Monitors bundle. A failure prints the violated invariant plus the
    exact command line that replays it. *)
 
-let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
+(* Coverage bookkeeping for aggregate fuzz runs: which fault kinds any
+   scenario declared, how often each actually fired, and how many events
+   each monitor inspected — so a green run also proves the fault matrix
+   and the monitor bundle were genuinely exercised. *)
+
+type coverage_acc = {
+  cov_declared : (string, unit) Hashtbl.t;
+  cov_fired : (string, int ref) Hashtbl.t;
+  cov_monitors : (string, int ref) Hashtbl.t;
+}
+
+let coverage_acc () =
+  {
+    cov_declared = Hashtbl.create 8;
+    cov_fired = Hashtbl.create 8;
+    cov_monitors = Hashtbl.create 8;
+  }
+
+let coverage_note acc ~declared ~fired ~monitors =
+  let bump tbl (k, n) =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace tbl k (ref n)
+  in
+  List.iter (fun k -> Hashtbl.replace acc.cov_declared k ()) declared;
+  List.iter (bump acc.cov_fired) fired;
+  List.iter (bump acc.cov_monitors) monitors
+
+(* Prints the coverage report; returns [true] if [require] is set and a
+   declared fault kind never fired or a monitor never inspected anything. *)
+let coverage_report ~require acc =
+  let count tbl k =
+    match Hashtbl.find_opt tbl k with Some r -> !r | None -> 0
+  in
+  let declared =
+    List.filter (Hashtbl.mem acc.cov_declared) Faults.all_kinds
+  in
+  Printf.printf "fault coverage: %s\n"
+    (if declared = [] then "(no fault kinds declared)"
+     else
+       String.concat ", "
+         (List.map
+            (fun k -> Printf.sprintf "%s=%d" k (count acc.cov_fired k))
+            declared));
+  Printf.printf "monitor coverage: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun m -> Printf.sprintf "%s=%d" m (count acc.cov_monitors m))
+          Monitors.monitor_names));
+  if not require then false
+  else begin
+    let missing = List.filter (fun k -> count acc.cov_fired k = 0) declared in
+    let idle =
+      List.filter
+        (fun m -> count acc.cov_monitors m = 0)
+        Monitors.monitor_names
+    in
+    List.iter
+      (Printf.printf
+         "COVERAGE FAIL: fault kind %S was declared but never fired\n")
+      missing;
+    List.iter
+      (Printf.printf "COVERAGE FAIL: monitor %S never inspected an event\n")
+      idle;
+    missing <> [] || idle <> []
+  end
+
+let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
+    ~require_coverage =
   let replay o = Scenario.replay_serve_hint o.Scenario.so_scenario ^ suffix in
   match single with
   | Some seed ->
       let sv = Scenario.serve_of_seed seed in
       print_endline (Scenario.describe_serve sv);
       let o = Scenario.run_serve ~rebind ?strategy sv in
-      Printf.printf "%d events checked; %d request(s) submitted, %d completed\n"
-        o.Scenario.so_events o.Scenario.so_submitted o.Scenario.so_completed;
-      if o.Scenario.so_violations = [] then begin
+      Printf.printf
+        "%d events checked; %d request(s) submitted, %d completed, %d shed, \
+         %d stuck\n"
+        o.Scenario.so_events o.Scenario.so_submitted o.Scenario.so_completed
+        o.Scenario.so_shed o.Scenario.so_stuck;
+      if o.Scenario.so_violations = [] && o.Scenario.so_stuck = 0 then begin
         print_endline "all invariants held";
         0
       end
@@ -338,6 +410,9 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
         if o.Scenario.so_violations_dropped > 0 then
           Printf.printf "(%d further violations not retained)\n"
             o.Scenario.so_violations_dropped;
+        if o.Scenario.so_stuck <> 0 then
+          Printf.printf "%d request(s) stuck in no terminal state\n"
+            o.Scenario.so_stuck;
         1
       end
   | None ->
@@ -348,11 +423,15 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
-      let failed = ref 0 and events = ref 0 in
+      let failed = ref 0 and events = ref 0 and shed = ref 0 in
+      let acc = coverage_acc () in
       List.iter
         (fun o ->
           events := !events + o.Scenario.so_events;
-          if o.Scenario.so_violations <> [] then begin
+          shed := !shed + o.Scenario.so_shed;
+          coverage_note acc ~declared:o.Scenario.so_fault_declared
+            ~fired:o.Scenario.so_fault_fired ~monitors:o.Scenario.so_monitors;
+          if o.Scenario.so_violations <> [] || o.Scenario.so_stuck <> 0 then begin
             incr failed;
             Printf.printf "FAIL %s\n"
               (Scenario.describe_serve o.Scenario.so_scenario);
@@ -363,6 +442,9 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
                   (Time.to_string v.Monitors.vi_at)
                   v.Monitors.vi_seq v.Monitors.vi_detail)
               o.Scenario.so_violations;
+            if o.Scenario.so_stuck <> 0 then
+              Printf.printf "  %d request(s) stuck in no terminal state\n"
+                o.Scenario.so_stuck;
             Printf.printf "  REPLAY: %s\n" (replay o)
           end)
         results;
@@ -371,17 +453,21 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy =
         base_seed jobs
         (if jobs = 1 then "" else "s")
         (Unix.gettimeofday () -. t0);
-      if !failed = 0 then begin
-        Printf.printf "fuzz --serve: %d seeds passed, %d events checked\n" count
-          !events;
+      let cov_failed = coverage_report ~require:require_coverage acc in
+      if !failed = 0 && not cov_failed then begin
+        Printf.printf
+          "fuzz --serve: %d seeds passed, %d events checked, %d shed, 0 stuck\n"
+          count !events !shed;
         0
       end
       else begin
-        Printf.printf "fuzz --serve: %d of %d seeds FAILED\n" !failed count;
+        if !failed > 0 then
+          Printf.printf "fuzz --serve: %d of %d seeds FAILED\n" !failed count;
         1
       end
 
-let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
+let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg
+    require_coverage =
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
   in
@@ -407,7 +493,9 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
     | Some s -> " --strategy " ^ strategy_token s
     | None -> ""
   in
-  if serve_mode then fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
+  if serve_mode then
+    fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
+      ~require_coverage
   else
   let prep sc =
     match strategy with None -> sc | Some s -> Scenario.force_strategy s sc
@@ -441,9 +529,12 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
       let failed = ref 0 and events = ref 0 in
+      let acc = coverage_acc () in
       List.iter
         (fun o ->
           events := !events + o.Scenario.o_events;
+          coverage_note acc ~declared:o.Scenario.o_fault_declared
+            ~fired:o.Scenario.o_fault_fired ~monitors:o.Scenario.o_monitors;
           if o.Scenario.o_violations <> [] then begin
             incr failed;
             Printf.printf "FAIL %s\n" (Scenario.describe o.Scenario.o_scenario);
@@ -461,12 +552,14 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
         count base_seed jobs
         (if jobs = 1 then "" else "s")
         (Unix.gettimeofday () -. t0);
-      if !failed = 0 then begin
+      let cov_failed = coverage_report ~require:require_coverage acc in
+      if !failed = 0 && not cov_failed then begin
         Printf.printf "fuzz: %d seeds passed, %d events checked\n" count !events;
         0
       end
       else begin
-        Printf.printf "fuzz: %d of %d seeds FAILED\n" !failed count;
+        if !failed > 0 then
+          Printf.printf "fuzz: %d of %d seeds FAILED\n" !failed count;
         1
       end
 
@@ -479,7 +572,7 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg =
    merged in replica order, so stdout is byte-identical for any -j. *)
 
 let serve_cmd seed workstations bridged faults duration rate replicas jobs
-    json_out quick =
+    json_out quick slo_shed health =
   let duration = if quick then Float.min duration 30. else duration in
   let replica i () =
     match
@@ -491,11 +584,13 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
         Printf.eprintf "vsim serve: fault plan: %s\n" m;
         exit 124
     | Ok cl ->
+        if health then ignore (Cluster.enable_health cl);
         let params =
           {
             Serve.Session.default_params with
             Serve.Session.arrivals = Serve.Session.Poisson rate;
             duration = sec duration;
+            slo_shed_multiple = slo_shed;
           }
         in
         let s = Serve.Session.create ~params cl in
@@ -508,15 +603,16 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
         let summary =
           Printf.sprintf
             "seed=%-5d ws=%-3d | submitted %d, completed %d (%.2f/s), \
-             rejected %d, refused %d, failed %d\n\
+             rejected %d, shed %d, refused %d, failed %d, stuck %d\n\
             \  submit->running p50/p95/p99: %.0f/%.0f/%.0f ms; \
              submit->complete p95: %.0f ms; queue-wait p95: %.0f ms\n\
             \  migrations %d (%.3f/s), freeze p95 %.0f ms; balancer surveys \
-             %d, skips %d"
+             %d, skips %d; brownout %d span%s (%.0f ms)"
             (seed + i) workstations m.Serve.Session.m_submitted
             m.Serve.Session.m_completed m.Serve.Session.m_throughput_per_sec
-            m.Serve.Session.m_rejected m.Serve.Session.m_refused
-            m.Serve.Session.m_failed
+            m.Serve.Session.m_rejected m.Serve.Session.m_shed
+            m.Serve.Session.m_refused m.Serve.Session.m_failed
+            m.Serve.Session.m_stuck
             (pct m.Serve.Session.m_submit_to_running_ms 50.)
             (pct m.Serve.Session.m_submit_to_running_ms 95.)
             (pct m.Serve.Session.m_submit_to_running_ms 99.)
@@ -526,6 +622,9 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
             (float_of_int m.Serve.Session.m_migrations /. duration)
             (pct m.Serve.Session.m_freeze_ms 95.)
             m.Serve.Session.m_balancer_surveys m.Serve.Session.m_balancer_skips
+            m.Serve.Session.m_brownout_spans
+            (if m.Serve.Session.m_brownout_spans = 1 then "" else "s")
+            m.Serve.Session.m_brownout_ms
         in
         (summary, Serve.Session.metrics_to_json s)
   in
@@ -726,6 +825,28 @@ let serve_t =
       value & flag
       & info [ "quick" ] ~doc:"Cap the horizon at 30 simulated seconds.")
   in
+  let slo_shed =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-shed" ] ~docv:"MULT"
+          ~doc:
+            "Brownout load-shedding: turn new submissions away at the door \
+             while the estimated queue wait exceeds $(docv) times the 1 s \
+             queue-wait SLO target, instead of queueing without bound. \
+             Unset (the default) disables shedding.")
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Start the suspicion-based failure detector: the file server \
+             probes every workstation over kernel IPC with adaptive \
+             timeouts; the balancer, scheduler, and migrations then avoid \
+             Dead hosts and deprioritize Suspect ones. The JSON report \
+             gains a health section.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -733,7 +854,7 @@ let serve_t =
           admission control, continuous rebalancing, SLO accounting.")
     Term.(
       const serve_cmd $ seed $ workstations $ bridged $ faults_arg $ duration
-      $ rate $ replicas $ jobs $ json_out $ quick)
+      $ rate $ replicas $ jobs $ json_out $ quick $ slo_shed $ health)
 
 let programs_t =
   Cmd.v
@@ -799,6 +920,16 @@ let fuzz_t =
              $(b,residual) monitor is expected to flag the retained page \
              source on every seed.")
   in
+  let require_coverage =
+    Arg.(
+      value & flag
+      & info [ "require-fault-coverage" ]
+          ~doc:
+            "After an aggregate run, fail unless every fault kind declared by \
+             some scenario actually fired and every invariant monitor \
+             inspected at least one event — a green run must prove the fault \
+             matrix was exercised, not merely scheduled.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -806,7 +937,7 @@ let fuzz_t =
           online invariant monitors; failures print a replayable seed.")
     Term.(
       const fuzz_cmd $ count $ base $ single $ jobs $ forwarding $ serve_mode
-      $ strategy)
+      $ strategy $ require_coverage)
 
 let () =
   let info =

@@ -29,14 +29,35 @@ type t = {
   rounds : (int, int) Hashtbl.t; (* lh -> previous round's bytes *)
   (* no residual dependencies *)
   banned : (int * string, unit) Hashtbl.t; (* (lh, old host) *)
+  (* freeze-budget conformance *)
+  budgets : (int, Time.span) Hashtbl.t; (* lh -> declared freeze budget *)
+  (* events each monitor actually inspected, for coverage reports *)
+  coverage : (string, int ref) Hashtbl.t;
   mutable vios : violation list; (* newest first *)
   mutable vio_count : int;
 }
+
+let monitor_names =
+  [ "clock"; "conservation"; "convergence"; "freeze"; "residual"; "budget" ]
 
 let violations t = List.rev t.vios
 let dropped t = Stdlib.max 0 (t.vio_count - max_violations)
 let events_seen t = t.seen
 let ok t = t.vio_count = 0
+
+let touch t name =
+  match Hashtbl.find_opt t.coverage name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.coverage name (ref 1)
+
+let coverage t =
+  List.map
+    (fun name ->
+      ( name,
+        match Hashtbl.find_opt t.coverage name with
+        | Some r -> !r
+        | None -> 0 ))
+    monitor_names
 
 let capture_window t =
   (* Oldest first; the ring may not be full yet. *)
@@ -65,6 +86,7 @@ let fail t monitor (r : Tracer.record) fmt =
     fmt
 
 let check_clock t (r : Tracer.record) =
+  touch t "clock";
   if Time.(r.Tracer.at < t.last_at) then
     fail t "clock" r "time ran backwards: %s after %s"
       (Time.to_string r.Tracer.at)
@@ -77,8 +99,10 @@ let check_clock t (r : Tracer.record) =
 let check_net t (r : Tracer.record) =
   match r.Tracer.ev with
   | Ethernet.Frame_sent { seg; frame; _ } ->
+      touch t "conservation";
       Hashtbl.replace t.sent (seg, frame) ()
   | Ethernet.Frame_delivered { seg; frame; dst } ->
+      touch t "conservation";
       let a = Addr.to_int dst in
       if not (Hashtbl.mem t.sent (seg, frame)) then
         fail t "conservation" r "frame %d delivered on seg %d but never sent"
@@ -92,16 +116,23 @@ let check_net t (r : Tracer.record) =
         fail t "conservation" r "frame %d delivered to detached station %s"
           frame (Addr.to_string dst)
   | Ethernet.Station_attached { seg; addr } ->
+      touch t "conservation";
       Hashtbl.replace t.attached (seg, Addr.to_int addr) ()
   | Ethernet.Station_detached { seg; addr } ->
+      touch t "conservation";
       Hashtbl.remove t.attached (seg, Addr.to_int addr)
   | _ -> ()
 
 let check_freeze t (r : Tracer.record) =
   match r.Tracer.ev with
-  | Logical_host.Lh_frozen { host; lh } -> Hashtbl.replace t.frozen lh host
-  | Logical_host.Lh_unfrozen { lh; _ } -> Hashtbl.remove t.frozen lh
+  | Logical_host.Lh_frozen { host; lh } ->
+      touch t "freeze";
+      Hashtbl.replace t.frozen lh host
+  | Logical_host.Lh_unfrozen { lh; _ } ->
+      touch t "freeze";
+      Hashtbl.remove t.frozen lh
   | Cpu.Slice { owner; _ } -> (
+      touch t "freeze";
       match Hashtbl.find_opt t.frozen owner with
       | Some host ->
           fail t "freeze" r "lh %d got a CPU slice while frozen on %s" owner
@@ -111,8 +142,11 @@ let check_freeze t (r : Tracer.record) =
 
 let check_convergence t (r : Tracer.record) =
   match r.Tracer.ev with
-  | Migration.Mig_start { lh; _ } -> Hashtbl.remove t.rounds lh
+  | Migration.Mig_start { lh; _ } ->
+      touch t "convergence";
+      Hashtbl.remove t.rounds lh
   | Migration.Mig_round { lh; round; bytes; _ } ->
+      touch t "convergence";
       (match Hashtbl.find_opt t.rounds lh with
       | Some prev when bytes > prev ->
           fail t "convergence" r
@@ -123,6 +157,7 @@ let check_convergence t (r : Tracer.record) =
   | _ -> ()
 
 let residual t (r : Tracer.record) lh host what =
+  touch t "residual";
   if Hashtbl.mem t.banned (lh, host) then
     fail t "residual" r
       "%s references lh %d on %s after it migrated away: %s" what lh host
@@ -151,6 +186,31 @@ let check_residual t (r : Tracer.record) =
       residual t r lh host "lifecycle event"
   | _ -> ()
 
+(* Freeze-budget conformance: [Mig_budget] declares the ceiling for one
+   attempt; the [Mig_committed] that ends that attempt must report a
+   freeze window within it. The declaration dies with its attempt
+   ([Mig_start] of a retry re-declares, [Mig_aborted] withdraws), so a
+   budgeted attempt that aborts and retries unbudgeted is not held to
+   the stale ceiling. *)
+let check_budget t (r : Tracer.record) =
+  match r.Tracer.ev with
+  | Migration.Mig_start { lh; _ } -> Hashtbl.remove t.budgets lh
+  | Migration.Mig_budget { lh; freeze; _ } ->
+      touch t "budget";
+      Hashtbl.replace t.budgets lh freeze
+  | Migration.Mig_aborted { lh; _ } -> Hashtbl.remove t.budgets lh
+  | Migration.Mig_committed { lh; freeze; _ } -> (
+      match Hashtbl.find_opt t.budgets lh with
+      | Some declared ->
+          touch t "budget";
+          if Time.(freeze > declared) then
+            fail t "budget" r
+              "lh %d froze for %s, over its declared budget of %s" lh
+              (Time.to_string freeze) (Time.to_string declared);
+          Hashtbl.remove t.budgets lh
+      | None -> ())
+  | _ -> ()
+
 let handle t (r : Tracer.record) =
   t.window.(t.w_next) <- Some r;
   t.w_next <- (t.w_next + 1) mod window_capacity;
@@ -159,7 +219,8 @@ let handle t (r : Tracer.record) =
   check_net t r;
   check_freeze t r;
   check_convergence t r;
-  check_residual t r
+  check_residual t r;
+  check_budget t r
 
 let attach trc =
   let t =
@@ -175,6 +236,8 @@ let attach trc =
       frozen = Hashtbl.create 8;
       rounds = Hashtbl.create 8;
       banned = Hashtbl.create 8;
+      budgets = Hashtbl.create 8;
+      coverage = Hashtbl.create 8;
       vios = [];
       vio_count = 0;
     }

@@ -24,7 +24,11 @@
       forwarding, no page-fault service, no lifecycle event names
       (old host, lh) (Section 5's no-residual-dependencies claim; the
       Demos/MP forwarding ablation and the copy-on-reference strategy
-      deliberately violate it). *)
+      deliberately violate it).
+    - {b budget}: a migration attempt that declares a freeze budget
+      ([Mig_budget]) must commit with [Mig_committed.freeze] within it —
+      the budgeted-abort machinery really does bound the freeze window,
+      it does not merely report overruns. *)
 
 type violation = {
   vi_monitor : string;  (** Catalog name, e.g. ["residual"]. *)
@@ -53,6 +57,14 @@ val dropped : t -> int
 val events_seen : t -> int
 
 val ok : t -> bool
+
+val monitor_names : string list
+(** The catalog, in a fixed order. *)
+
+val coverage : t -> (string * int) list
+(** How many events each monitor actually inspected (not merely saw go
+    by), in {!monitor_names} order. A fuzz run uses this to prove every
+    monitor was exercised, not just attached. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** Multi-line: header plus the captured event window. *)

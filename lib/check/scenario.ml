@@ -40,7 +40,7 @@ let gen_fault_event rng ~ws ~bridged =
     in
     (start, stop)
   in
-  match Rng.int rng 4 with
+  match Rng.int rng 6 with
   | 0 ->
       let h = host () in
       let at = Time.of_us (2_000_000 + Rng.int rng 8_000_000) in
@@ -69,6 +69,32 @@ let gen_fault_event rng ~ws ~bridged =
             stop;
           };
       ]
+  | 3 ->
+      let start, stop = window 1 6 in
+      [ Faults.Flaky_host { host = host (); start; stop } ]
+  | 4 ->
+      (* Correlated rack crash of 2–3 distinct hosts, each rebooted
+         later so the cluster ends the scenario whole. *)
+      let n = if ws > 3 && Rng.bool rng 0.5 then 3 else 2 in
+      let rec pick acc =
+        if List.length acc >= n then List.rev acc
+        else
+          let h = Rng.int rng ws in
+          pick (if List.mem h acc then acc else h :: acc)
+      in
+      let hosts = List.map (Printf.sprintf "ws%d") (pick []) in
+      let at = Time.of_us (2_000_000 + Rng.int rng 8_000_000) in
+      Faults.Crash_rack { hosts; at }
+      :: List.map
+           (fun h ->
+             Faults.Reboot_host
+               {
+                 host = h;
+                 at =
+                   Time.add at
+                     (Time.of_us (2_000_000 + Rng.int rng 4_000_000));
+               })
+           hosts
   | _ ->
       if bridged > 0 then begin
         let start, stop = window 2 4 in
@@ -170,6 +196,9 @@ type outcome = {
   o_events : int;
   o_completed : int;
   o_failed : int;
+  o_fault_declared : string list;
+  o_fault_fired : (string * int) list;
+  o_monitors : (string * int) list;
 }
 
 let launch cl (j : job) ~completed ~failed =
@@ -211,9 +240,12 @@ let launch cl (j : job) ~completed ~failed =
              | Ok _ -> incr completed
              | Error _ -> incr failed)))
 
+let fired_of cl =
+  match Cluster.faults cl with Some f -> Faults.fired_counts f | None -> []
+
 let run ?(rebind = Os_params.Broadcast_query) sc =
   let cfg =
-    let base = Config.default in
+    let base = Config.with_default_budgets Config.default in
     if base.Config.os.Os_params.rebind = rebind then base
     else { base with Config.os = { base.Config.os with Os_params.rebind } }
   in
@@ -223,6 +255,7 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
       ?faults:(match sc.sc_faults with [] -> None | plan -> Some plan)
       ()
   in
+  ignore (Cluster.enable_health cl);
   let mon = Monitors.attach (Cluster.tracer cl) in
   let eng = Cluster.engine cl in
   let completed = ref 0 and failed = ref 0 in
@@ -240,6 +273,9 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
     o_events = Tracer.seq (Cluster.tracer cl);
     o_completed = !completed;
     o_failed = !failed;
+    o_fault_declared = Faults.declared_kinds sc.sc_faults;
+    o_fault_fired = fired_of cl;
+    o_monitors = Monitors.coverage mon;
   }
 
 (* {1 Serve mode: sustained-load scenarios} *)
@@ -253,6 +289,7 @@ type serve = {
   sv_max_in_flight : int;
   sv_queue_limit : int;
   sv_balancer_interval : Time.span;
+  sv_slo_shed : float option;
   sv_faults : Faults.plan;
 }
 
@@ -274,6 +311,10 @@ let arbitrary_serve ?(seed = 0) rng =
     sv_max_in_flight = 2 + Rng.int rng 7;
     sv_queue_limit = 2 + Rng.int rng 7;
     sv_balancer_interval = Time.of_us (2_000_000 + Rng.int rng 3_000_000);
+    (* Half the scenarios run with brownout shedding armed, so the
+       overload-graceful path is fuzzed as hard as the happy path. *)
+    sv_slo_shed =
+      (if Rng.bool rng 0.5 then Some (1.5 +. Rng.float rng 3.) else None);
     sv_faults = faults;
   }
 
@@ -282,10 +323,13 @@ let serve_of_seed seed = arbitrary_serve ~seed (Rng.create seed)
 let describe_serve sv =
   Printf.sprintf
     "serve seed %d: %d ws (%d bridged), %.2f req/s for %s, cap %d + queue %d, \
-     faults [%s]"
+     shed %s, faults [%s]"
     sv.sv_seed sv.sv_workstations sv.sv_bridged sv.sv_rate
     (Time.to_string sv.sv_duration)
     sv.sv_max_in_flight sv.sv_queue_limit
+    (match sv.sv_slo_shed with
+    | Some m -> Printf.sprintf "%.2fxSLO" m
+    | None -> "off")
     (Format.asprintf "%a" Faults.pp_plan sv.sv_faults)
 
 let replay_serve_hint sv = Printf.sprintf "vsim fuzz --serve --seed %d" sv.sv_seed
@@ -297,11 +341,16 @@ type serve_outcome = {
   so_events : int;
   so_submitted : int;
   so_completed : int;
+  so_shed : int;
+  so_stuck : int;
+  so_fault_declared : string list;
+  so_fault_fired : (string * int) list;
+  so_monitors : (string * int) list;
 }
 
 let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
   let cfg =
-    let base = Config.default in
+    let base = Config.with_default_budgets Config.default in
     if base.Config.os.Os_params.rebind = rebind then base
     else { base with Config.os = { base.Config.os with Os_params.rebind } }
   in
@@ -311,6 +360,7 @@ let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
       ?faults:(match sv.sv_faults with [] -> None | plan -> Some plan)
       ()
   in
+  ignore (Cluster.enable_health cl);
   let mon = Monitors.attach (Cluster.tracer cl) in
   let params =
     {
@@ -325,6 +375,8 @@ let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
       balancer_interval = Some sv.sv_balancer_interval;
       strategy;
       snapshot_every = None;
+      reexec_budget = Some 64;
+      slo_shed_multiple = sv.sv_slo_shed;
       drain_grace = Time.of_sec 30.;
     }
   in
@@ -338,4 +390,9 @@ let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
     so_events = Tracer.seq (Cluster.tracer cl);
     so_submitted = m.Serve.Session.m_submitted;
     so_completed = m.Serve.Session.m_completed;
+    so_shed = m.Serve.Session.m_shed;
+    so_stuck = m.Serve.Session.m_stuck;
+    so_fault_declared = Faults.declared_kinds sv.sv_faults;
+    so_fault_fired = fired_of cl;
+    so_monitors = Monitors.coverage mon;
   }

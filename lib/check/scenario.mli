@@ -36,8 +36,9 @@ val arbitrary : ?seed:int -> Rng.t -> t
 (** Draw a scenario: 3–8 workstations (possibly split over a bridge),
     1–4 jobs over a mix of program sizes, arrivals in the first five
     virtual seconds, roughly half the jobs migrated mid-run, and 0–2
-    fault events (crash/reboot pairs, loss windows, host slowdowns, and
-    — on bridged clusters — partitions). [seed] is recorded in
+    fault events (crash/reboot pairs, loss windows, host slowdowns,
+    flaky-host churn, correlated rack crashes with staggered reboots,
+    and — on bridged clusters — partitions). [seed] is recorded in
     [sc_seed] for replay (default 0). *)
 
 val of_seed : int -> t
@@ -60,14 +61,21 @@ type outcome = {
   o_events : int;  (** Typed events emitted over the run. *)
   o_completed : int;  (** Jobs that ran to completion in the horizon. *)
   o_failed : int;  (** Jobs refused, killed by faults, or timed out. *)
+  o_fault_declared : string list;
+      (** Fault kinds the scenario's plan declares ({!Faults.declared_kinds}). *)
+  o_fault_fired : (string * int) list;
+      (** Fault kinds that actually fired, with counts. *)
+  o_monitors : (string * int) list;
+      (** Per-monitor inspection counts ({!Monitors.coverage}). *)
 }
 
 val run : ?rebind:Os_params.rebind_mode -> t -> outcome
-(** Execute in a fresh cluster (tracing on, monitors attached) until the
-    horizon. [rebind] defaults to the paper's [Broadcast_query];
-    [Forwarding] selects the Demos/MP ablation, whose forwarding
-    addresses are exactly the residual dependency the [residual]
-    monitor rejects — the built-in mutation test. *)
+(** Execute in a fresh cluster (tracing on, monitors attached, the
+    failure detector enabled, and default migration budgets installed)
+    until the horizon. [rebind] defaults to the paper's
+    [Broadcast_query]; [Forwarding] selects the Demos/MP ablation, whose
+    forwarding addresses are exactly the residual dependency the
+    [residual] monitor rejects — the built-in mutation test. *)
 
 val replay_hint : t -> string
 (** The command line that reproduces this scenario. *)
@@ -89,13 +97,17 @@ type serve = {
   sv_max_in_flight : int;
   sv_queue_limit : int;
   sv_balancer_interval : Time.span;
+  sv_slo_shed : float option;
+      (** Brownout multiple ([params.slo_shed_multiple]); [None] = no
+          shedding. *)
   sv_faults : Faults.plan;
 }
 
 val arbitrary_serve : ?seed:int -> Rng.t -> serve
 (** Draw a serve scenario: 4–12 workstations (possibly bridged),
     0.5–3 req/s for 15–30 virtual seconds, in-flight cap and queue
-    limit both 2–8, balancer every 2–5 s, and 0–2 fault events. *)
+    limit both 2–8, balancer every 2–5 s, brownout shedding armed on
+    half the draws, and 0–2 fault events. *)
 
 val serve_of_seed : int -> serve
 (** [arbitrary_serve ~seed (Rng.create seed)]. *)
@@ -112,6 +124,11 @@ type serve_outcome = {
   so_events : int;
   so_submitted : int;
   so_completed : int;
+  so_shed : int;  (** Submissions shed by brownout. *)
+  so_stuck : int;  (** Requests in no terminal state — must be 0. *)
+  so_fault_declared : string list;
+  so_fault_fired : (string * int) list;
+  so_monitors : (string * int) list;
 }
 
 val run_serve :
@@ -119,7 +136,9 @@ val run_serve :
   ?strategy:Protocol.strategy ->
   serve ->
   serve_outcome
-(** Execute in a fresh cluster (tracing on, monitors attached): create
-    the session, drain it, and report the violations with the session's
-    request counts. [strategy] forces the copy discipline the balancer
-    uses for its migrations ([vsim fuzz --serve --strategy]). *)
+(** Execute in a fresh cluster (tracing on, monitors attached, the
+    failure detector enabled, and default migration budgets installed):
+    create the session, drain it, and report the violations with the
+    session's request counts, fault-kind coverage, and monitor coverage.
+    [strategy] forces the copy discipline the balancer uses for its
+    migrations ([vsim fuzz --serve --strategy]). *)

@@ -16,8 +16,10 @@ type t = {
   c_rng : Rng.t;
   c_fs : File_server.t;
   c_ns : Name_server.t;
+  c_fs_kernel : Kernel.t;
   stations : workstation array;
   mutable c_faults : Faults.t option;
+  mutable c_health : Health.t option;
 }
 
 let engine t = t.eng
@@ -29,6 +31,7 @@ let rng t = Rng.split t.c_rng
 let file_server t = t.c_fs
 let name_server t = t.c_ns
 let faults t = t.c_faults
+let health t = t.c_health
 let size t = Array.length t.stations
 let workstation t i = t.stations.(i)
 let workstations t = Array.to_list t.stations
@@ -51,8 +54,11 @@ let install_faults t plan =
     (function
       | Faults.Crash_host { host; _ }
       | Faults.Reboot_host { host; _ }
-      | Faults.Slow_host { host; _ } ->
+      | Faults.Slow_host { host; _ }
+      | Faults.Flaky_host { host; _ } ->
           ignore (ws_of host)
+      | Faults.Crash_rack { hosts; _ } ->
+          List.iter (fun h -> ignore (ws_of h)) hosts
       | Faults.Loss_window _ -> ()
       | Faults.Partition_bridge _ ->
           if t.c_far == t.c_net then
@@ -61,21 +67,31 @@ let install_faults t plan =
   let base_loss = Ethernet.loss t.c_net in
   let hooks =
     {
-      Faults.h_crash = (fun host -> Kernel.shutdown (ws_of host).ws_kernel);
+      (* Flaky-host churn and overlapping plans can ask to crash an
+         already-down (or reboot an already-up) machine; the hooks are
+         idempotent so the plan need not track kernel state. *)
+      Faults.h_crash =
+        (fun host ->
+          let k = (ws_of host).ws_kernel in
+          if Kernel.running k then Kernel.shutdown k);
       h_reboot =
         (fun host ->
           let ws = ws_of host in
           let k = ws.ws_kernel in
-          Kernel.reboot k;
-          (* The machine services died with the crash; a cold boot brings
-             fresh ones up under the preserved well-known pids. *)
-          ws.ws_pm <-
-            Program_manager.create k ~cfg:t.c_cfg ~directory:t.c_dir
-              ~rng:(Rng.split t.c_rng);
-          ws.ws_display <- Display_server.create k;
-          Name_server.register_direct t.c_ns
-            ~name:(host ^ ":display")
-            (Display_server.pid ws.ws_display));
+          if not (Kernel.running k) then begin
+            Kernel.reboot k;
+            (* The machine services died with the crash; a cold boot
+               brings fresh ones up under the preserved well-known
+               pids. *)
+            ws.ws_pm <-
+              Program_manager.create k ~cfg:t.c_cfg ~directory:t.c_dir
+                ~rng:(Rng.split t.c_rng);
+            Program_manager.set_health ws.ws_pm t.c_health;
+            ws.ws_display <- Display_server.create k;
+            Name_server.register_direct t.c_ns
+              ~name:(host ^ ":display")
+              (Display_server.pid ws.ws_display)
+          end);
       h_loss = (fun p -> Ethernet.set_loss t.c_net p);
       h_base_loss = (fun () -> base_loss);
       h_partition =
@@ -176,8 +192,10 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
       c_rng;
       c_fs;
       c_ns;
+      c_fs_kernel = fs_kernel;
       stations;
       c_faults = None;
+      c_health = None;
     }
   in
   (match faults with
@@ -204,9 +222,31 @@ let user t ~ws ~name body =
   Kernel.spawn_process w.ws_kernel lh ~name (fun vp ->
       body w.ws_kernel (Vproc.pid vp))
 
+(* The failure detector observes from the file server: fault plans only
+   name workstations, so the observer itself never crashes and its view
+   survives any churn the plan throws at the cluster. *)
+let enable_health ?config t =
+  match t.c_health with
+  | Some h -> h
+  | None ->
+      let peers =
+        List.map
+          (fun ws ->
+            ( Kernel.host_name ws.ws_kernel,
+              Logical_host.id (Kernel.host_lh ws.ws_kernel) ))
+          (workstations t)
+      in
+      let h = Health.start ?config t.c_fs_kernel ~peers in
+      t.c_health <- Some h;
+      Array.iter
+        (fun ws -> Program_manager.set_health ws.ws_pm (Some h))
+        t.stations;
+      h
+
 let context t ~ws ~self =
   let w = t.stations.(ws) in
-  Context.make ~kernel:w.ws_kernel ~cfg:t.c_cfg ~self ~env:(env_for t w)
+  Context.make ?health:t.c_health ~kernel:w.ws_kernel ~cfg:t.c_cfg ~self
+    ~env:(env_for t w) ()
 
 let shell t ~ws ~name body =
   user t ~ws ~name (fun _k self -> body (context t ~ws ~self))

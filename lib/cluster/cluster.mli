@@ -65,6 +65,16 @@ val name_server : t -> Name_server.t
 val faults : t -> Faults.t option
 (** The installed fault plan, if the cluster was created with one. *)
 
+val enable_health : ?config:Health.config -> t -> Health.t
+(** Start the cluster failure detector (idempotent): probers run on the
+    file-server machine — fault plans only target workstations, so the
+    observer never crashes — watching every workstation. The view is
+    attached to every program manager (including ones recreated by
+    fault-plan reboots) and to every {!context} created afterwards. *)
+
+val health : t -> Health.t option
+(** The running failure detector, if {!enable_health} was called. *)
+
 val size : t -> int
 val workstation : t -> int -> workstation
 val workstations : t -> workstation list
@@ -85,8 +95,9 @@ val user :
 
 val context : t -> ws:int -> self:Ids.pid -> Context.t
 (** The execution context of a client process [self] running on
-    workstation [ws]: that workstation's kernel, the cluster config, and
-    the standard environment from {!env_for}. *)
+    workstation [ws]: that workstation's kernel, the cluster config, the
+    standard environment from {!env_for}, and the failure-detector view
+    when {!enable_health} has been called. *)
 
 val shell :
   t -> ws:int -> name:string -> (Context.t -> unit) -> Vproc.t

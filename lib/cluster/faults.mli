@@ -20,6 +20,13 @@
       between [start] and [stop] (no-op on unbridged clusters).
     - [Slow_host]: the workstation's CPU runs [factor] times slower
       between [start] and [stop] — a straggler, not a failure.
+    - [Flaky_host]: seeded intermittent churn — the workstation crashes
+      and reboots repeatedly between [start] and [stop] (down 0.3–1.5 s,
+      up 0.5–2.5 s, derived deterministically from the host name), and
+      always ends the window up.
+    - [Crash_rack]: a correlated failure — every listed host crashes at
+      the same instant, the way a rack power or switch loss takes out a
+      group at once.
 
     Every fired event is traced under category ["fault"]. *)
 
@@ -29,23 +36,46 @@ type event =
   | Loss_window of { p : float; start : Time.t; stop : Time.t }
   | Partition_bridge of { start : Time.t; stop : Time.t }
   | Slow_host of { host : string; factor : float; start : Time.t; stop : Time.t }
+  | Flaky_host of { host : string; start : Time.t; stop : Time.t }
+  | Crash_rack of { hosts : string list; at : Time.t }
 
 type plan = event list
 
+val kind_of_event : event -> string
+(** The clause keyword: ["crash"], ["reboot"], ["loss"], ["partition"],
+    ["slow"], ["flaky"] or ["crashrack"]. *)
+
+val all_kinds : string list
+(** Every clause keyword the parser knows, in a fixed order. *)
+
+val declared_kinds : plan -> string list
+(** The distinct kinds a plan uses, sorted — coverage reports compare
+    these against {!fired_counts}. *)
+
 val pp_event : Format.formatter -> event -> unit
 val pp_plan : Format.formatter -> plan -> unit
+(** Canonical rendering: exactly the [--faults] clause syntax, so
+    [parse (Format.asprintf "%a" pp_plan plan) = Ok plan] for any valid
+    plan (times print at full microsecond precision). *)
 
 val parse : string -> (plan, string) result
 (** Parse the [--faults] command-line syntax: ';'-separated clauses,
     times in virtual seconds.
 
     {v
-crash:ws2@4.5      crash host ws2 at t=4.5s
-reboot:ws2@9       reboot it at t=9s
-loss:0.02@2-10     2% frame loss from t=2s to t=10s
-partition@3-6      sever the bridge from t=3s to t=6s
-slow:ws1x4@0-20    ws1 runs 4x slower from t=0s to t=20s
-    v} *)
+crash:ws2@4.5            crash host ws2 at t=4.5s
+reboot:ws2@9             reboot it at t=9s
+loss:0.02@2-10           2% frame loss from t=2s to t=10s
+partition@3-6            sever the bridge from t=3s to t=6s
+slow:ws1x4@0-20          ws1 runs 4x slower from t=0s to t=20s
+flaky:ws1@2-10           ws1 churns (crash/reboot) from t=2s to t=10s
+crashrack:ws1+ws2+ws3@4  ws1, ws2 and ws3 all crash at t=4s
+    v}
+
+    Validation is strict and the messages say how to fix the clause:
+    negative times, backwards or empty windows ([stop <= start]),
+    slowdown factors below 1, loss probabilities outside [0,1], and
+    single-host rack crashes are all rejected. *)
 
 (** How plan events act on the world. {!install} cannot know the cluster
     (the cluster is built around its fault plan), so each action is a
@@ -80,3 +110,8 @@ val injected : t -> int
 (** Fault actions fired so far — window events count twice (open and
     close). A determinism check across two same-seeded runs compares
     this alongside the kernels' statistics. *)
+
+val fired_counts : t -> (string * int) list
+(** Actions fired so far, per clause kind, in {!all_kinds} order;
+    kinds that never fired are absent. The fuzz coverage report fails a
+    run whose plan declares a kind that never fired. *)

@@ -25,8 +25,27 @@ let survey k ~self =
     (Kernel.collect_within k c ~window:(Time.of_ms 200.))
   |> List.sort (fun (_, a, _) (_, b, _) -> String.compare a b)
 
-let rebalance_once t k ~self ~imbalance ~strategy ~on_outcome =
-  match survey k ~self with
+(* With a health view the survey is consulted through it: replies from
+   hosts the detector does not trust are dropped, so a Suspect host is
+   neither chosen as the migration source (its manager may be about to
+   die and the request would eat a full send timeout) nor counted as the
+   idle floor. *)
+let trusted health (_, host, _) =
+  match health with None -> true | Some h -> Health.is_alive h host
+
+(* Before surveying at all: if the detector can already see that fewer
+   than two watched peers are alive, a survey cannot yield a rebalance —
+   skip the multicast and its collection window entirely. *)
+let worth_surveying health =
+  match health with
+  | None -> true
+  | Some h ->
+      let watched = Health.summary h in
+      watched = []
+      || List.length (List.filter (fun (_, s) -> s = Health.Alive) watched) >= 2
+
+let rebalance_once ?health t k ~self ~imbalance ~strategy ~on_outcome =
+  match List.filter (trusted health) (survey k ~self) with
   | [] | [ _ ] -> ()
   | loads ->
       let by_load =
@@ -75,7 +94,7 @@ let rebalance_once t k ~self ~imbalance ~strategy ~on_outcome =
       in
       try_candidates (List.rev by_load)
 
-let start ?(interval = Time.of_sec 5.) ?(imbalance = 2)
+let start ?health ?(interval = Time.of_sec 5.) ?(imbalance = 2)
     ?(strategy = Protocol.Precopy)
     ?(on_outcome = fun (_ : Protocol.migration_outcome) -> ()) k =
   let eng = Kernel.engine k in
@@ -87,12 +106,16 @@ let start ?(interval = Time.of_sec 5.) ?(imbalance = 2)
         let rec loop () =
           Proc.sleep eng interval;
           (match !t_cell with
+          | Some t when not (worth_surveying health) ->
+              t.skip_count <- t.skip_count + 1;
+              Tracer.recordf (Kernel.tracer k) ~category:"balance"
+                "fewer than two peers alive; skipping survey"
           | Some t -> (
               t.survey_count <- t.survey_count + 1;
               (* A cycle must never take the daemon down: whatever a
                  mid-cycle crash does to the survey or the migrate
                  conversation, absorb it and try again next interval. *)
-              try rebalance_once t k ~self ~imbalance ~strategy ~on_outcome
+              try rebalance_once ?health t k ~self ~imbalance ~strategy ~on_outcome
               with exn ->
                 t.skip_count <- t.skip_count + 1;
                 Tracer.recordf (Kernel.tracer k) ~category:"balance"

@@ -21,6 +21,7 @@
 type t
 
 val start :
+  ?health:Health.t ->
   ?interval:Time.span ->
   ?imbalance:int ->
   ?strategy:Protocol.strategy ->
@@ -32,7 +33,13 @@ val start :
     triggered migration uses) to [Protocol.Precopy]. [on_outcome] is
     invoked once per completed rebalancing migration with the full
     migration outcome — service layers use it for freeze-time
-    accounting. *)
+    accounting.
+
+    With a [health] view the daemon consults it before surveying: if
+    fewer than two watched peers are alive the whole cycle is skipped
+    (no multicast, no collection window), and survey replies from hosts
+    the detector distrusts are dropped so a [Suspect] host is never
+    chosen as a migration source. *)
 
 val stop : t -> unit
 

@@ -11,6 +11,12 @@ let migration_strategy_of_string = function
   | "cor" | "copy-on-reference" -> Some Copy_on_reference
   | _ -> None
 
+(* A per-strategy migration deadline budget (Quest-V-style predictable
+   migration): [bg_transfer] bounds the running copy phase, [bg_freeze]
+   bounds the freeze window. [None] (the default everywhere) means
+   unbounded — the paper's behavior. *)
+type budget = { bg_freeze : Time.span; bg_transfer : Time.span }
+
 type t = {
   os : Os_params.t;
   env_setup : Time.span;
@@ -28,6 +34,11 @@ type t = {
   kernel_state_base : Time.span;
   kernel_state_per_object : Time.span;
   strategy : migration_strategy;
+  budget_precopy : budget option;
+  budget_freeze_copy : budget option;
+  budget_cor : budget option;
+  budget_flush : budget option;
+  budget_reselects : int;
 }
 
 let default =
@@ -48,6 +59,30 @@ let default =
     kernel_state_base = Time.of_ms 14.;
     kernel_state_per_object = Time.of_ms 9.;
     strategy = Pre_copy;
+    budget_precopy = None;
+    budget_freeze_copy = None;
+    budget_cor = None;
+    budget_flush = None;
+    budget_reselects = 0;
+  }
+
+(* A budget profile sized for the paper's calibration: the freeze bound
+   comfortably covers kernel-state copy plus a small residue at the 3 s/MB
+   bulk rate, and the transfer bound caps the whole running copy phase.
+   Freeze-and-copy moves the entire image frozen, so its freeze budget is
+   the transfer-scale one. *)
+let with_default_budgets t =
+  {
+    t with
+    budget_precopy =
+      Some { bg_freeze = Time.of_ms 600.; bg_transfer = Time.of_sec 30. };
+    budget_freeze_copy =
+      Some { bg_freeze = Time.of_sec 30.; bg_transfer = Time.of_sec 30. };
+    budget_cor =
+      Some { bg_freeze = Time.of_ms 600.; bg_transfer = Time.of_sec 30. };
+    budget_flush =
+      Some { bg_freeze = Time.of_ms 600.; bg_transfer = Time.of_sec 30. };
+    budget_reselects = max 1 t.budget_reselects;
   }
 
 let sum_env_spans t = Time.add t.env_setup t.env_destroy

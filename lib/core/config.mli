@@ -17,6 +17,14 @@ val migration_strategy_of_string : string -> migration_strategy option
 (** Accepts the canonical names plus the short CLI spellings
     ["precopy"], ["freeze"] and ["cor"]. *)
 
+type budget = { bg_freeze : Time.span; bg_transfer : Time.span }
+(** A migration deadline budget, à la Quest-V's predictable migration:
+    [bg_transfer] bounds the running copy phase (step 3), [bg_freeze]
+    bounds the freeze window (steps 4–5, freeze to resume). A migration
+    that would blow its budget aborts — and, when
+    {!field-budget_reselects} allows, reselects a destination — instead
+    of stretching the window. *)
+
 type t = {
   os : Os_params.t;  (** Kernel timing (Section 4.1 overheads). *)
   env_setup : Time.span;
@@ -59,9 +67,25 @@ type t = {
   strategy : migration_strategy;
       (** Default strategy for migrations that do not name one
           explicitly (balancer-initiated moves, [Serve] sessions). *)
+  budget_precopy : budget option;  (** Budget for pre-copy migrations. *)
+  budget_freeze_copy : budget option;
+  budget_cor : budget option;  (** ... copy-on-reference. *)
+  budget_flush : budget option;  (** ... VM-flush. *)
+  budget_reselects : int;
+      (** How many times a budget-aborted migration may reselect a fresh
+          destination (excluding the one that blew the budget) before
+          giving up. Only applies when the caller did not pin the
+          destination. Default 0, like {!field-migration_retries}. *)
 }
 
 val default : t
+(** Every budget is [None] (unbounded) and [budget_reselects] is 0:
+    byte-identical behavior to the paper's unbudgeted protocol. *)
+
+val with_default_budgets : t -> t
+(** Enable a budget profile sized for the paper's calibration constants
+    (600 ms freeze bound for the small-residue strategies, transfer-scale
+    bounds elsewhere) and at least one budget reselect. *)
 
 val sum_env_spans : t -> Time.span
 (** [env_setup + env_destroy] — the paper's 40 ms check. *)

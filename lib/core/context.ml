@@ -1,9 +1,18 @@
-type t = { kernel : Kernel.t; cfg : Config.t; self : Ids.pid; env : Env.t }
+type t = {
+  kernel : Kernel.t;
+  cfg : Config.t;
+  self : Ids.pid;
+  env : Env.t;
+  health : Health.t option;
+}
 
-let make ~kernel ~cfg ~self ~env = { kernel; cfg; self; env }
+let make ?health ~kernel ~cfg ~self ~env () =
+  { kernel; cfg; self; env; health }
+
 let with_env t env = { t with env }
 let kernel t = t.kernel
 let cfg t = t.cfg
 let self t = t.self
 let env t = t.env
+let health t = t.health
 let engine t = Kernel.engine t.kernel

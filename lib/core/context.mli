@@ -20,9 +20,18 @@ type t = {
   cfg : Config.t;
   self : Ids.pid;  (** The client process — reply address for sends. *)
   env : Env.t;  (** Environment handed to programs it creates. *)
+  health : Health.t option;
+      (** Cluster failure-detector view, when one is running. *)
 }
 
-val make : kernel:Kernel.t -> cfg:Config.t -> self:Ids.pid -> env:Env.t -> t
+val make :
+  ?health:Health.t ->
+  kernel:Kernel.t ->
+  cfg:Config.t ->
+  self:Ids.pid ->
+  env:Env.t ->
+  unit ->
+  t
 
 val with_env : t -> Env.t -> t
 (** Same client, different program environment. *)
@@ -34,6 +43,11 @@ val cfg : t -> Config.t
 val self : t -> Ids.pid
 
 val env : t -> Env.t
+
+val health : t -> Health.t option
+(** The failure-detector view, if the cluster runs one. Selection and
+    migration paths thread it through so known-dead hosts are skipped
+    instead of timed out against. *)
 
 val engine : t -> Engine.t
 (** [Kernel.engine (kernel t)] — the simulation clock this client is

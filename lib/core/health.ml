@@ -1,0 +1,245 @@
+(* Suspicion-based failure detection over kernel IPC.
+
+   One observer kernel (typically the file server, which fault plans
+   never crash) runs a prober process per watched workstation. Each
+   prober pings the peer's kernel server on a fixed cadence with an
+   adaptive timeout — a simplified phi-accrual detector for virtual
+   time: instead of integrating a latency distribution, the timeout is a
+   multiple of the EWMA round-trip time, and the "suspicion level" is
+   the count of consecutive missed probes measured against that adaptive
+   bound. Crossing [suspect_after] misses makes the peer Suspect,
+   [dead_after] makes it Dead, and [recover_after] consecutive hits are
+   required to return to Alive — the hysteresis that keeps a
+   partition-then-heal from flapping the view. *)
+
+type state = Alive | Suspect | Dead
+
+let state_name = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+let pp_state ppf s = Format.pp_print_string ppf (state_name s)
+
+type config = {
+  probe_interval : Time.span;
+  rtt_alpha : float;
+  timeout_multiplier : float;
+  timeout_margin : Time.span;
+  min_timeout : Time.span;
+  max_timeout : Time.span;
+  suspect_after : int;
+  dead_after : int;
+  recover_after : int;
+}
+
+let default_config =
+  {
+    probe_interval = Time.of_ms 500.;
+    rtt_alpha = 0.25;
+    timeout_multiplier = 4.0;
+    timeout_margin = Time.of_ms 5.;
+    min_timeout = Time.of_ms 10.;
+    max_timeout = Time.of_sec 1.;
+    suspect_after = 2;
+    dead_after = 4;
+    recover_after = 2;
+  }
+
+type peer = {
+  p_host : string;
+  p_lh : Ids.lh_id;
+  mutable p_state : state;
+  mutable p_rtt_ewma_us : float;  (* 0. until the first sample *)
+  mutable p_misses : int;
+  mutable p_hits : int;
+  mutable p_probes : int;
+}
+
+type t = {
+  h_kernel : Kernel.t;
+  h_cfg : config;
+  h_peers : (string, peer) Hashtbl.t;
+  h_order : peer array;
+  mutable h_procs : Vproc.t list;
+  mutable h_transitions : int;
+  mutable h_false_suspicions : int;
+  mutable h_stopped : bool;
+}
+
+type Tracer.event +=
+  | Health_transition of {
+      observer : string;
+      peer : string;
+      from_ : state;
+      to_ : state;
+    }
+
+let () =
+  Tracer.register_view (function
+    | Health_transition { observer; peer; from_; to_ } ->
+        Some
+          {
+            Tracer.v_cat = "health";
+            v_type = "transition";
+            v_fields =
+              [
+                ("observer", Tracer.Str observer);
+                ("peer", Str peer);
+                ("from", Str (state_name from_));
+                ("to", Str (state_name to_));
+              ];
+          }
+    | _ -> None)
+
+let ev t mk =
+  let trc = Kernel.tracer t.h_kernel in
+  if Tracer.enabled trc then Tracer.emit trc (mk ())
+
+let observer t = Kernel.host_name t.h_kernel
+
+let timeout_for cfg p =
+  if p.p_rtt_ewma_us <= 0. then cfg.max_timeout
+  else
+    let adaptive =
+      Time.add
+        (Time.scale (Time.of_us (int_of_float p.p_rtt_ewma_us))
+           cfg.timeout_multiplier)
+        cfg.timeout_margin
+    in
+    Time.min cfg.max_timeout (Time.max cfg.min_timeout adaptive)
+
+let set_state t p to_ =
+  if p.p_state <> to_ then begin
+    let from_ = p.p_state in
+    p.p_state <- to_;
+    t.h_transitions <- t.h_transitions + 1;
+    if from_ = Suspect && to_ = Alive then
+      (* The peer was never dead: the suspicion was a false positive. *)
+      t.h_false_suspicions <- t.h_false_suspicions + 1;
+    ev t (fun () ->
+        Health_transition { observer = observer t; peer = p.p_host; from_; to_ })
+  end
+
+let note_hit t p rtt_us =
+  p.p_misses <- 0;
+  p.p_hits <- p.p_hits + 1;
+  let a = t.h_cfg.rtt_alpha in
+  p.p_rtt_ewma_us <-
+    (if p.p_rtt_ewma_us <= 0. then float_of_int rtt_us
+     else (a *. float_of_int rtt_us) +. ((1. -. a) *. p.p_rtt_ewma_us));
+  match p.p_state with
+  | Alive -> ()
+  | Suspect | Dead ->
+      if p.p_hits >= t.h_cfg.recover_after then set_state t p Alive
+
+let note_miss t p =
+  p.p_hits <- 0;
+  p.p_misses <- p.p_misses + 1;
+  if p.p_misses >= t.h_cfg.dead_after then set_state t p Dead
+  else if p.p_misses >= t.h_cfg.suspect_after && p.p_state = Alive then
+    set_state t p Suspect
+
+let prober t i vp =
+  let k = t.h_kernel in
+  let eng = Kernel.engine k in
+  let p = t.h_order.(i) in
+  let self = Vproc.pid vp in
+  (* Deterministic stagger spreads the probes over one interval so they
+     never synchronize (no randomness: replica determinism). *)
+  let n = max 1 (Array.length t.h_order) in
+  Proc.sleep eng
+    (Time.scale t.h_cfg.probe_interval (float_of_int i /. float_of_int n));
+  let rec loop () =
+    if not t.h_stopped then begin
+      let t0 = Engine.now eng in
+      let deadline = Time.add t0 (timeout_for t.h_cfg p) in
+      p.p_probes <- p.p_probes + 1;
+      (match
+         Kernel.send ~deadline k ~src:self
+           ~dst:(Ids.kernel_server_of p.p_lh)
+           (Message.make Kernel.Ks_ping)
+       with
+      | Ok { Message.body = Kernel.Ks_pong; _ } ->
+          note_hit t p (Time.to_us (Time.sub (Engine.now eng) t0))
+      | Ok _ | Error _ -> note_miss t p);
+      (* Cadence is anchored to the probe's start so a slow or timed-out
+         probe does not stretch the interval. *)
+      let wait = Time.sub (Time.add t0 t.h_cfg.probe_interval) (Engine.now eng) in
+      if Time.(wait > Time.zero) then Proc.sleep eng wait;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config) kernel ~peers =
+  let mk (host, lh) =
+    {
+      p_host = host;
+      p_lh = lh;
+      p_state = Alive;
+      p_rtt_ewma_us = 0.;
+      p_misses = 0;
+      p_hits = 0;
+      p_probes = 0;
+    }
+  in
+  let order = Array.of_list (List.map mk peers) in
+  let t =
+    {
+      h_kernel = kernel;
+      h_cfg = config;
+      h_peers = Hashtbl.create (Array.length order);
+      h_order = order;
+      h_procs = [];
+      h_transitions = 0;
+      h_false_suspicions = 0;
+      h_stopped = false;
+    }
+  in
+  Array.iter (fun p -> Hashtbl.replace t.h_peers p.p_host p) order;
+  let lh = Kernel.host_lh kernel in
+  Array.iteri
+    (fun i p ->
+      let vp =
+        Kernel.spawn_process kernel lh
+          ~name:(Printf.sprintf "health:%s" p.p_host)
+          (fun vp -> prober t i vp)
+      in
+      t.h_procs <- vp :: t.h_procs)
+    order;
+  t
+
+let stop t =
+  if not t.h_stopped then begin
+    t.h_stopped <- true;
+    List.iter Vproc.kill t.h_procs;
+    t.h_procs <- []
+  end
+
+let state t host =
+  match Hashtbl.find_opt t.h_peers host with
+  | Some p -> p.p_state
+  | None -> Alive (* unknown hosts (e.g. the file server) are not watched *)
+
+let is_alive t host = state t host = Alive
+let is_dead t host = state t host = Dead
+
+let hosts_in t s =
+  Array.to_list t.h_order
+  |> List.filter_map (fun p -> if p.p_state = s then Some p.p_host else None)
+
+let dead_hosts t = hosts_in t Dead
+let suspect_hosts t = hosts_in t Suspect
+
+let summary t =
+  Array.to_list t.h_order |> List.map (fun p -> (p.p_host, p.p_state))
+
+let transitions t = t.h_transitions
+let false_suspicions t = t.h_false_suspicions
+let probes t = Array.fold_left (fun acc p -> acc + p.p_probes) 0 t.h_order
+
+let rtt_ms t host =
+  match Hashtbl.find_opt t.h_peers host with
+  | Some p when p.p_rtt_ewma_us > 0. -> Some (p.p_rtt_ewma_us /. 1000.)
+  | Some _ | None -> None

@@ -1,0 +1,83 @@
+(** Suspicion-based failure detection over kernel IPC.
+
+    A cluster-wide view of which workstations are reachable, maintained
+    by one observer kernel probing every watched peer's kernel server on
+    a fixed cadence. The probe timeout adapts to the observed round-trip
+    time (EWMA — a phi-accrual detector simplified for deterministic
+    virtual time), and the three-state view carries hysteresis:
+    consecutive misses escalate [Alive -> Suspect -> Dead], and several
+    consecutive hits are required to de-escalate, so a
+    partition-then-heal does not flap the view.
+
+    The view is advisory and strictly opt-in: nothing consults it unless
+    a [?health] argument is threaded in ({!Scheduler}, {!Balancer},
+    {!Migration}), so a cluster without a detector behaves byte-for-byte
+    as before. *)
+
+type state = Alive | Suspect | Dead
+
+val state_name : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+type config = {
+  probe_interval : Time.span;  (** Cadence per peer (default 500 ms). *)
+  rtt_alpha : float;  (** EWMA weight of the newest RTT sample. *)
+  timeout_multiplier : float;  (** Probe timeout = multiplier × EWMA... *)
+  timeout_margin : Time.span;  (** ... + margin, clamped to... *)
+  min_timeout : Time.span;
+  max_timeout : Time.span;  (** ... (also the cold-start timeout). *)
+  suspect_after : int;  (** Consecutive misses before [Suspect]. *)
+  dead_after : int;  (** Consecutive misses before [Dead]. *)
+  recover_after : int;
+      (** Consecutive hits before a [Suspect]/[Dead] peer returns to
+          [Alive] — the anti-flap hysteresis. *)
+}
+
+val default_config : config
+
+type t
+
+type Tracer.event +=
+  | Health_transition of {
+      observer : string;
+      peer : string;
+      from_ : state;
+      to_ : state;
+    }  (** Emitted (category ["health"]) on every state change. *)
+
+val start :
+  ?config:config -> Kernel.t -> peers:(string * Ids.lh_id) list -> t
+(** [start kernel ~peers] spawns one prober process per peer on
+    [kernel] (conventionally the file server: fault plans only target
+    workstations, so the observer itself never crashes). Each peer is
+    [(host_name, host_lh_id)]; probes go to [Ids.kernel_server_of] that
+    id. Probe start times are staggered deterministically across one
+    interval. *)
+
+val stop : t -> unit
+(** Kill the probers. The last computed view remains readable. *)
+
+val observer : t -> string
+
+val state : t -> string -> state
+(** Current view of a host. Unwatched hosts are [Alive]. *)
+
+val is_alive : t -> string -> bool
+val is_dead : t -> string -> bool
+val dead_hosts : t -> string list
+val suspect_hosts : t -> string list
+
+val summary : t -> (string * state) list
+(** Every watched peer with its current state, in watch order. *)
+
+val transitions : t -> int
+(** State changes observed so far. *)
+
+val false_suspicions : t -> int
+(** [Suspect -> Alive] recoveries: peers suspected but never dead. *)
+
+val probes : t -> int
+(** Total probes issued. *)
+
+val rtt_ms : t -> string -> float option
+(** EWMA round-trip time to a peer, if at least one probe succeeded. *)

@@ -2,11 +2,13 @@ type error =
   | No_host of string
   | Refused of string
   | Transfer_failed of string
+  | Budget_exceeded of string
 
 let pp_error ppf = function
   | No_host m -> Format.fprintf ppf "no host: %s" m
   | Refused m -> Format.fprintf ppf "refused: %s" m
   | Transfer_failed m -> Format.fprintf ppf "transfer failed: %s" m
+  | Budget_exceeded m -> Format.fprintf ppf "budget exceeded: %s" m
 
 (* Typed phase-transition events. Rounds are numbered from 1 (the
    initial full copy); per-round events are emitted as each round's
@@ -20,6 +22,7 @@ type Tracer.event +=
       from_host : string;
       strategy : string;
     }
+  | Mig_budget of { lh : Ids.lh_id; freeze : Time.span; transfer : Time.span }
   | Mig_dest of { lh : Ids.lh_id; dest : string }
   | Mig_round of { lh : Ids.lh_id; round : int; bytes : int; span : Time.span }
   | Mig_frozen_residue of { lh : Ids.lh_id; bytes : int }
@@ -44,6 +47,18 @@ let () =
                 ("prog", Str prog);
                 ("from", Str from_host);
                 ("strategy", Str strategy);
+              ];
+          }
+    | Mig_budget { lh; freeze; transfer } ->
+        Some
+          {
+            Tracer.v_cat = "migrate";
+            v_type = "budget";
+            v_fields =
+              [
+                ("lh", Tracer.Int lh);
+                ("freeze", Span freeze);
+                ("transfer", Span transfer);
               ];
           }
     | Mig_dest { lh; dest } ->
@@ -106,29 +121,70 @@ let kernel_state_span (cfg : Config.t) lh =
   Time.add cfg.Config.kernel_state_base
     (Time.mul cfg.Config.kernel_state_per_object objects)
 
+(* Budgeted copies are cut into chunks so the deadline is checked while
+   the bytes move, not only after; unbudgeted copies keep the original
+   single-transfer path (and its exact timing). *)
+let chunk_bytes = 256 * 1024
+
+let bounded_transfer kernel ~deadline ~temp_lh ~bytes =
+  let to_station () = Kernel.lookup_binding kernel temp_lh in
+  match deadline with
+  | None ->
+      Kernel.bulk_transfer ?to_station:(to_station ()) kernel ~bytes;
+      Ok ()
+  | Some dl ->
+      let eng = Kernel.engine kernel in
+      let rec chunks remaining =
+        if remaining <= 0 then Ok ()
+        else if Time.(Engine.now eng > dl) then
+          Error (Budget_exceeded "budget exhausted mid-copy")
+        else begin
+          Kernel.bulk_transfer ?to_station:(to_station ()) kernel
+            ~bytes:(min chunk_bytes remaining);
+          chunks (remaining - chunk_bytes)
+        end
+      in
+      chunks bytes
+
 (* One acknowledged copy step: move the bytes on the wire, then confirm
    the destination is still alive with a kernel-server ping through the
    temporary logical-host id. The ping's failure is how we detect a dead
    destination (Section 3.1.3's "copy operation fails due to lack of
    acknowledgement"). *)
-let acked_copy kernel ~self ~temp_lh ~bytes =
-  Kernel.bulk_transfer
-    ?to_station:(Kernel.lookup_binding kernel temp_lh)
-    kernel ~bytes;
-  match
-    Kernel.send kernel ~src:self
-      ~dst:(Ids.kernel_server_of temp_lh)
-      (Message.make Kernel.Ks_ping)
-  with
-  | Ok { Message.body = Kernel.Ks_pong; _ } -> Ok ()
-  | Ok _ -> Error (Transfer_failed "unexpected ping reply")
-  | Error e ->
-      Error (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e))
+let acked_copy kernel ~deadline ~self ~temp_lh ~bytes =
+  match bounded_transfer kernel ~deadline ~temp_lh ~bytes with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        Kernel.send kernel ~src:self
+          ~dst:(Ids.kernel_server_of temp_lh)
+          (Message.make Kernel.Ks_ping)
+      with
+      | Ok { Message.body = Kernel.Ks_pong; _ } -> Ok ()
+      | Ok _ -> Error (Transfer_failed "unexpected ping reply")
+      | Error e ->
+          Error (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e)))
+
+(* Observed copy rate, µs per byte, from the most recent round — the
+   basis for the predictive budget checks. *)
+let rate_of_rounds rounds =
+  match List.rev rounds with
+  | { Protocol.r_bytes; r_span } :: _ when r_bytes > 0 ->
+      Some (float_of_int (Time.to_us r_span) /. float_of_int r_bytes)
+  | _ -> None
+
+let estimated_span ~rate bytes =
+  match rate with
+  | Some us_per_byte ->
+      Time.of_us (int_of_float (ceil (us_per_byte *. float_of_int bytes)))
+  | None -> Time.zero
 
 (* Pre-copy rounds after the initial full copy. [last_residue] is what
    the previous round had to copy; stop when the residue is small, stops
-   shrinking, or the round budget is exhausted (Section 3.1.2). *)
-let rec precopy_rounds kernel (cfg : Config.t) ~self ~temp_lh ~lh ~k
+   shrinking, or the round budget is exhausted (Section 3.1.2). Under a
+   transfer deadline, a round predicted (from the previous round's
+   observed rate) to blow it aborts the copy phase up front. *)
+let rec precopy_rounds kernel (cfg : Config.t) ~deadline ~self ~temp_lh ~lh ~k
     ~last_residue acc =
   let eng = Kernel.engine kernel in
   let residue = Logical_host.dirty_bytes lh in
@@ -139,26 +195,36 @@ let rec precopy_rounds kernel (cfg : Config.t) ~self ~temp_lh ~lh ~k
        >= cfg.Config.precopy_improvement *. float_of_int last_residue
   in
   if stop then Ok (List.rev acc)
-  else begin
-    let t0 = Engine.now eng in
-    ignore (Logical_host.clear_dirty lh);
-    match acked_copy kernel ~self ~temp_lh ~bytes:residue with
-    | Error e -> Error e
-    | Ok () ->
-        let round =
-          { Protocol.r_bytes = residue; r_span = Time.sub (Engine.now eng) t0 }
-        in
-        ev kernel (fun () ->
-            Mig_round
-              {
-                lh = Logical_host.id lh;
-                round = k + 1;
-                bytes = residue;
-                span = round.Protocol.r_span;
-              });
-        precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:(k + 1)
-          ~last_residue:residue (round :: acc)
-  end
+  else
+    let doomed =
+      match deadline with
+      | None -> false
+      | Some dl ->
+          let est = estimated_span ~rate:(rate_of_rounds acc) residue in
+          Time.(Time.add (Engine.now eng) est > dl)
+    in
+    if doomed then
+      Error (Budget_exceeded "next pre-copy round would blow the transfer budget")
+    else begin
+      let t0 = Engine.now eng in
+      ignore (Logical_host.clear_dirty lh);
+      match acked_copy kernel ~deadline ~self ~temp_lh ~bytes:residue with
+      | Error e -> Error e
+      | Ok () ->
+          let round =
+            { Protocol.r_bytes = residue; r_span = Time.sub (Engine.now eng) t0 }
+          in
+          ev kernel (fun () ->
+              Mig_round
+                {
+                  lh = Logical_host.id lh;
+                  round = k + 1;
+                  bytes = residue;
+                  span = round.Protocol.r_span;
+                });
+          precopy_rounds kernel cfg ~deadline ~self ~temp_lh ~lh ~k:(k + 1)
+            ~last_residue:residue (round :: acc)
+    end
 
 (* The pluggable part of the five-step protocol. Every strategy shares
    host selection, reservation, freeze, kernel-state copy, extract /
@@ -173,13 +239,19 @@ module Strategy = struct
     s_copy_phase :
       Kernel.t ->
       Config.t ->
+      deadline:Time.t option ->
       self:Ids.pid ->
       temp_lh:Ids.lh_id ->
       lh:Logical_host.t ->
       (Protocol.round list, error) result;
-        (* Step 3, program still running. *)
+        (* Step 3, program still running; [deadline] is the absolute
+           transfer-budget bound. *)
     s_frozen_residue : Logical_host.t -> int;
-        (* Step 4: bytes that must cross the wire while frozen. *)
+        (* Step 4: bytes that must cross the wire while frozen.
+           Destructive (clears dirty state) — call only once, frozen. *)
+    s_residue_estimate : Logical_host.t -> int;
+        (* Non-destructive preview of [s_frozen_residue], for the
+           pre-freeze budget gate. *)
     s_page_source : Kernel.t -> Ids.pid option;
         (* Step 5: pid the destination faults pages from, if the memory
            image stays behind (copy-on-reference). *)
@@ -193,12 +265,12 @@ module Strategy = struct
   (* Initial copy of the complete address spaces — code and initialized
      data move while the program keeps running — then dirty-residue
      rounds until they stop paying off (Section 3.1.2). *)
-  let full_copy_then_rounds kernel cfg ~self ~temp_lh ~lh =
+  let full_copy_then_rounds kernel cfg ~deadline ~self ~temp_lh ~lh =
     let eng = Kernel.engine kernel in
     let total = Logical_host.total_bytes lh in
     let t0 = Engine.now eng in
     ignore (Logical_host.clear_dirty lh);
-    match acked_copy kernel ~self ~temp_lh ~bytes:total with
+    match acked_copy kernel ~deadline ~self ~temp_lh ~bytes:total with
     | Error e -> Error e
     | Ok () ->
         let first =
@@ -212,10 +284,10 @@ module Strategy = struct
                 bytes = total;
                 span = first.Protocol.r_span;
               });
-        precopy_rounds kernel cfg ~self ~temp_lh ~lh ~k:1 ~last_residue:total
-          [ first ]
+        precopy_rounds kernel cfg ~deadline ~self ~temp_lh ~lh ~k:1
+          ~last_residue:total [ first ]
 
-  let no_copy_phase _kernel _cfg ~self:_ ~temp_lh:_ ~lh:_ = Ok []
+  let no_copy_phase _kernel _cfg ~deadline:_ ~self:_ ~temp_lh:_ ~lh:_ = Ok []
   let no_page_source _kernel = None
   let no_faultin _program ~lh:_ ~final_bytes:_ = 0
 
@@ -224,6 +296,7 @@ module Strategy = struct
       s_protocol = Protocol.Precopy;
       s_copy_phase = full_copy_then_rounds;
       s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_residue_estimate = Logical_host.dirty_bytes;
       s_page_source = no_page_source;
       s_faultin = no_faultin;
     }
@@ -235,6 +308,7 @@ module Strategy = struct
       s_protocol = Protocol.Freeze_and_copy;
       s_copy_phase = no_copy_phase;
       s_frozen_residue = Logical_host.total_bytes;
+      s_residue_estimate = Logical_host.total_bytes;
       s_page_source = no_page_source;
       s_faultin = no_faultin;
     }
@@ -248,6 +322,7 @@ module Strategy = struct
       s_protocol = Protocol.Copy_on_reference;
       s_copy_phase = no_copy_phase;
       s_frozen_residue = (fun _ -> 0);
+      s_residue_estimate = (fun _ -> 0);
       s_page_source =
         (fun kernel ->
           Some (Ids.kernel_server_of (Logical_host.id (Kernel.host_lh kernel))));
@@ -263,6 +338,7 @@ module Strategy = struct
       s_protocol = Protocol.Vm_flush { page_server };
       s_copy_phase = full_copy_then_rounds;
       s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_residue_estimate = Logical_host.dirty_bytes;
       s_page_source = no_page_source;
       s_faultin =
         (fun program ~lh:_ ~final_bytes ->
@@ -287,10 +363,28 @@ let cancel_reservation_best_effort kernel ~self ~pm ~temp_lh =
     (Kernel.send kernel ~src:self ~dst:pm
        (Message.make (Protocol.Pm_cancel_reserve { temp_lh })))
 
+(* The per-strategy deadline budget, if the configuration declares one. *)
+let budget_for (cfg : Config.t) = function
+  | Protocol.Precopy -> cfg.Config.budget_precopy
+  | Protocol.Freeze_and_copy -> cfg.Config.budget_freeze_copy
+  | Protocol.Copy_on_reference -> cfg.Config.budget_cor
+  | Protocol.Vm_flush _ -> cfg.Config.budget_flush
+
+(* Covers the install request's IPC cost (and a successful ack's return
+   trip) in the pre-freeze estimate. *)
+let install_margin = Time.of_ms 20.
+
+(* How long past the freeze deadline the source waits for the install
+   acknowledgement. The destination refuses installs arriving after the
+   deadline itself, so this slack only gives an in-time ack the wire
+   time to come home before the source assumes failure. *)
+let ack_slack = Time.of_ms 50.
+
 (* One pass of the five-step protocol. Besides the outcome, report which
    destination was tried (None if failure struck before selection), so a
    retry can exclude it when re-running host selection. *)
-let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
+let attempt ?health ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy
+    () =
   let strat = Strategy.of_protocol strategy in
   let eng = Kernel.engine kernel in
   let trace fmt =
@@ -300,6 +394,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
   let lh_id = Logical_host.id lh in
   let my_host = Kernel.host_name kernel in
   let t_start = Engine.now eng in
+  let budget = budget_for cfg strategy in
   program.Progtable.p_status <- Progtable.Migrating;
   ev kernel (fun () ->
       Mig_start
@@ -309,6 +404,16 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
           from_host = my_host;
           strategy = Protocol.strategy_name strategy;
         });
+  (match budget with
+  | Some b ->
+      ev kernel (fun () ->
+          Mig_budget
+            {
+              lh = lh_id;
+              freeze = b.Config.bg_freeze;
+              transfer = b.Config.bg_transfer;
+            })
+  | None -> ());
   let finish_with result =
     (match result with
     | Ok o ->
@@ -335,8 +440,8 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
     | None ->
         Result.map_error
           (fun m -> No_host m)
-          (Scheduler.select_any ~exclude:(my_host :: exclude) kernel cfg ~self
-             ~bytes:(Logical_host.total_bytes lh))
+          (Scheduler.select_any ?health ~exclude:(my_host :: exclude) kernel cfg
+             ~self ~bytes:(Logical_host.total_bytes lh))
   in
   match dest with
   | Error e -> finish_with (Error (e, None))
@@ -361,8 +466,17 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
           (match Kernel.lookup_binding kernel dest.Scheduler.s_pm.Ids.lh with
           | Some st -> Kernel.set_binding kernel temp_lh st
           | None -> ());
-          (* Step 3: the strategy's copy phase, program still running. *)
-          match strat.Strategy.s_copy_phase kernel cfg ~self ~temp_lh ~lh with
+          (* Step 3: the strategy's copy phase, program still running,
+             bounded by the transfer budget when one is declared. *)
+          let transfer_deadline =
+            Option.map
+              (fun b -> Time.add (Engine.now eng) b.Config.bg_transfer)
+              budget
+          in
+          match
+            strat.Strategy.s_copy_phase kernel cfg ~deadline:transfer_deadline
+              ~self ~temp_lh ~lh
+          with
           | Error e ->
               (* Nothing was frozen yet; just drop the reservation. *)
               cancel_reservation_best_effort kernel ~self
@@ -375,30 +489,82 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
                     (r.Protocol.r_bytes / 1024)
                     (Time.to_string r.Protocol.r_span))
                 rounds;
+              let ks_span = kernel_state_span cfg lh in
+              (* Pre-freeze gate: if the residue the freeze window must
+                 move is already predicted (at the observed copy rate) to
+                 blow the freeze budget, abort before freezing at all. *)
+              let frozen_doomed =
+                match budget with
+                | None -> false
+                | Some b ->
+                    let wire_est =
+                      estimated_span ~rate:(rate_of_rounds rounds)
+                        (strat.Strategy.s_residue_estimate lh)
+                    in
+                    Time.(
+                      Time.add (Time.add wire_est ks_span) install_margin
+                      > b.Config.bg_freeze)
+              in
+              if frozen_doomed then begin
+                cancel_reservation_best_effort kernel ~self
+                  ~pm:dest.Scheduler.s_pm ~temp_lh;
+                finish_with
+                  (Error
+                     ( Budget_exceeded
+                         "estimated freeze window exceeds the budget",
+                       Some dest.Scheduler.s_host ))
+              end
+              else begin
               (* Step 4: freeze and complete the copy. *)
               let freeze_start = Engine.now eng in
               Kernel.freeze_lh kernel lh;
+              let freeze_deadline =
+                Option.map
+                  (fun b -> Time.add freeze_start b.Config.bg_freeze)
+                  budget
+              in
               let final_bytes = strat.Strategy.s_frozen_residue lh in
               ev kernel (fun () ->
                   Mig_frozen_residue { lh = lh_id; bytes = final_bytes });
               trace "step 4: frozen; copying %d KB residue + kernel state"
                 (final_bytes / 1024);
-              Kernel.bulk_transfer
-                ?to_station:(Kernel.lookup_binding kernel temp_lh)
-                kernel ~bytes:final_bytes;
-              let ks_span = kernel_state_span cfg lh in
+              let abort_frozen reason =
+                (* Still resident, just frozen: thaw and give the memory
+                   back to the destination's reservation machinery. *)
+                Kernel.unfreeze_lh kernel lh;
+                cancel_reservation_best_effort kernel ~self
+                  ~pm:dest.Scheduler.s_pm ~temp_lh;
+                finish_with
+                  (Error (Budget_exceeded reason, Some dest.Scheduler.s_host))
+              in
+              match
+                bounded_transfer kernel ~deadline:freeze_deadline ~temp_lh
+                  ~bytes:final_bytes
+              with
+              | Error _ -> abort_frozen "freeze budget exhausted mid-residue"
+              | Ok () -> (
               Proc.sleep eng ks_span;
+              match freeze_deadline with
+              | Some dl when Time.(Engine.now eng > dl) ->
+                  abort_frozen "freeze budget exhausted copying kernel state"
+              | Some _ | None -> (
               (* Step 5: transfer control — extract here, install there —
-                 and rebind. *)
+                 and rebind. The destination refuses installs arriving
+                 after the freeze deadline, so a committed migration is
+                 guaranteed to have resumed within budget. *)
               let state =
                 Kernel.extract_lh
                   ?page_source:(strat.Strategy.s_page_source kernel)
                   kernel lh
               in
               let install =
-                Kernel.send kernel ~src:self
+                Kernel.send
+                  ?deadline:
+                    (Option.map (fun dl -> Time.add dl ack_slack) freeze_deadline)
+                  kernel ~src:self
                   ~dst:(Ids.kernel_server_of temp_lh)
-                  (Message.make (Kernel.Ks_install state))
+                  (Message.make
+                     (Kernel.Ks_install { state; deadline = freeze_deadline }))
               in
               match install with
               | Ok { Message.body = Kernel.Ks_installed { resumed_at }; _ } ->
@@ -458,6 +624,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
                     (Error
                        ( Transfer_failed "no acknowledgement of install",
                          Some dest.Scheduler.s_host ))))
+              end))
       | Ok { Message.body = Protocol.Pm_refused m; _ } ->
           finish_with (Error (Refused m, Some dest.Scheduler.s_host))
       | Ok _ ->
@@ -470,7 +637,7 @@ let attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy () =
                ( Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e),
                  Some dest.Scheduler.s_host )))
 
-let migrate ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
+let migrate ?health ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
   ignore rng;
   if program.Progtable.p_status <> Progtable.Running then
     (* A suspended program stays where its owner parked it: migration
@@ -481,25 +648,37 @@ let migrate ~kernel ~cfg ~rng ~table ~self ~program ?dest ~strategy () =
   (* Retries re-run selection — excluding every destination that already
      failed, so a crashed (but still advertised) host is never picked
      twice — and only apply when the destination is ours to choose; the
-     paper's implementation uses zero retries. *)
-  let rec loop n failed =
-    match attempt ~kernel ~cfg ~table ~self ~program ?dest ~exclude:failed
-            ~strategy ()
+     paper's implementation uses zero retries. Budget aborts reselect on
+     their own counter ([budget_reselects]): the copy was too slow for
+     this destination, so try a fresh one rather than stretch the
+     window. *)
+  let rec loop n m failed =
+    let exclude_tried tried = match tried with Some h -> h :: failed | None -> failed in
+    match
+      attempt ?health ~kernel ~cfg ~table ~self ~program ?dest ~exclude:failed
+        ~strategy ()
     with
     | Error ((Transfer_failed _ as e), tried) ->
         if dest = None && n < cfg.Config.migration_retries then begin
-          let failed =
-            match tried with Some h -> h :: failed | None -> failed
-          in
           Tracer.recordf (Kernel.tracer kernel) ~category:"migrate"
             "retry %d/%d%s" (n + 1) cfg.Config.migration_retries
             (match tried with
             | Some h -> Printf.sprintf " (excluding %s)" h
             | None -> "");
-          loop (n + 1) failed
+          loop (n + 1) m (exclude_tried tried)
+        end
+        else Error e
+    | Error ((Budget_exceeded _ as e), tried) ->
+        if dest = None && m < cfg.Config.budget_reselects then begin
+          Tracer.recordf (Kernel.tracer kernel) ~category:"migrate"
+            "budget reselect %d/%d%s" (m + 1) cfg.Config.budget_reselects
+            (match tried with
+            | Some h -> Printf.sprintf " (excluding %s)" h
+            | None -> "");
+          loop n (m + 1) (exclude_tried tried)
         end
         else Error e
     | Error (e, _) -> Error e
     | Ok r -> Ok r
   in
-  loop 0 []
+  loop 0 0 []

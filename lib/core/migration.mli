@@ -40,6 +40,9 @@ type error =
   | No_host of string  (** Nobody volunteered. *)
   | Refused of string  (** Destination declined the reservation/install. *)
   | Transfer_failed of string  (** Destination died mid-migration. *)
+  | Budget_exceeded of string
+      (** The configured {!Config.budget} would be (or was) blown:
+          aborted rather than stretch the copy phase or freeze window. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -56,6 +59,9 @@ type Tracer.event +=
       from_host : string;
       strategy : string;
     }
+  | Mig_budget of { lh : Ids.lh_id; freeze : Time.span; transfer : Time.span }
+      (** Declared right after [Mig_start] when a budget applies; the
+          freeze-budget monitor holds [Mig_committed.freeze] to it. *)
   | Mig_dest of { lh : Ids.lh_id; dest : string }
   | Mig_round of { lh : Ids.lh_id; round : int; bytes : int; span : Time.span }
   | Mig_frozen_residue of { lh : Ids.lh_id; bytes : int }
@@ -98,6 +104,7 @@ module Strategy : sig
 end
 
 val migrate :
+  ?health:Health.t ->
   kernel:Kernel.t ->
   cfg:Config.t ->
   rng:Rng.t ->
@@ -113,7 +120,19 @@ val migrate :
     spawns a migration manager per request). On success the program runs
     at the destination, its program-manager record has moved, and the
     source retains nothing — no forwarding state. On failure the program
-    is running on the source exactly as before. *)
+    is running on the source exactly as before.
+
+    [health] feeds destination selection ({!Scheduler.select_any}).
+
+    When {!Config} declares a budget for the strategy, the copy phase
+    checks the transfer bound at every chunk (budgeted transfers move in
+    256 KB chunks) and predicts each pre-copy round's cost from the
+    observed rate; the freeze window is gated before freezing (estimated
+    residue + kernel-state time must fit), checked mid-residue, and
+    enforced at the destination — an install arriving after the freeze
+    deadline is refused, so [Mig_committed.freeze <= bg_freeze] is a
+    hard invariant. Budget aborts reselect a destination up to
+    [budget_reselects] times. *)
 
 val kernel_state_span : Config.t -> Logical_host.t -> Time.span
 (** The Section 4.1 formula: base + per-object x (processes + spaces). *)

@@ -8,6 +8,7 @@ type t = {
   mutable is_accepting : bool;
   mutable created : int;
   mutable refused : int;
+  mutable pm_health : Health.t option;
 }
 
 let pid t = t.pm_pid
@@ -22,6 +23,8 @@ let guest_programs t =
 
 let accepting t = t.is_accepting
 let set_accepting t b = t.is_accepting <- b
+let health t = t.pm_health
+let set_health t h = t.pm_health <- h
 let creations t = t.created
 let refusals t = t.refused
 
@@ -227,7 +230,8 @@ let handle_migrate t d ~lh ~dest ~force_destroy ~strategy =
              | None -> None
              | Some host -> (
                  match
-                   Scheduler.select_host k t.cfg ~self:t.pm_pid ~host
+                   Scheduler.select_host ?health:t.pm_health k t.cfg
+                     ~self:t.pm_pid ~host
                  with
                  | Ok s -> Some s
                  | Error _ -> None)
@@ -236,9 +240,9 @@ let handle_migrate t d ~lh ~dest ~force_destroy ~strategy =
              List.fold_left
                (fun (oks, errs) p ->
                  match
-                   Migration.migrate ~kernel:k ~cfg:t.cfg ~rng:t.rng
-                     ~table:t.tbl ~self:t.pm_pid ~program:p ?dest:dest_sel
-                     ~strategy ()
+                   Migration.migrate ?health:t.pm_health ~kernel:k ~cfg:t.cfg
+                     ~rng:t.rng ~table:t.tbl ~self:t.pm_pid ~program:p
+                     ?dest:dest_sel ~strategy ()
                  with
                  | Ok o -> (o :: oks, errs)
                  | Error e ->
@@ -331,6 +335,7 @@ let create ?(accepting = true) k ~cfg ~directory ~rng =
       is_accepting = accepting;
       created = 0;
       refused = 0;
+      pm_health = None;
     }
   in
   let vp =

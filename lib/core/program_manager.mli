@@ -38,6 +38,12 @@ val set_accepting : t -> bool -> unit
     cluster layer: an owner at the keyboard stops new guests arriving
     (reclaiming residents is [migrateprog], not this switch). *)
 
+val health : t -> Health.t option
+val set_health : t -> Health.t option -> unit
+(** Attach (or detach) the cluster failure-detector view. When present,
+    the migration manager spawned by [migrateprog] threads it through
+    destination selection and the migration budget/retry loop. *)
+
 val creations : t -> int
 (** Programs this manager has created (usage statistics). *)
 

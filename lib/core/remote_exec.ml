@@ -45,7 +45,7 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
               s.Scheduler.s_host,
               Some s.Scheduler.s_responded_in,
               Cpu.Background ))
-          (Scheduler.select_host k cfg ~self ~host)
+          (Scheduler.select_host ?health:ctx.Context.health k cfg ~self ~host)
     | Any ->
         Result.map
           (fun s ->
@@ -53,7 +53,8 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
               s.Scheduler.s_host,
               Some s.Scheduler.s_responded_in,
               Cpu.Background ))
-          (Scheduler.select_any k cfg ~self ~bytes:(image_bytes prog))
+          (Scheduler.select_any ?health:ctx.Context.health k cfg ~self
+             ~bytes:(image_bytes prog))
   in
   match selection with
   | Error e -> Error e

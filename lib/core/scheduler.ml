@@ -79,15 +79,42 @@ let selection_of_reply ~asked_at k (pm, (m : Message.t)) =
         }
   | _ -> None
 
-let select_any ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
+(* With a health view, known-dead hosts are excluded from the query
+   outright and a merely-Suspect bidder is deprioritized: its bid is kept
+   as a fallback while we wait (briefly) for an Alive one, instead of
+   either trusting it blindly or eating the full select timeout. *)
+let bid_host (_, (m : Message.t)) =
+  match m.Message.body with
+  | Protocol.Pm_candidate { host; _ } -> Some host
+  | _ -> None
+
+let grace_of (cfg : Config.t) = Time.scale cfg.Config.select_timeout 0.1
+
+let collect_best ?health k (cfg : Config.t) c =
+  match health with
+  | None -> Kernel.collect_first k c ~timeout:cfg.Config.select_timeout
+  | Some h ->
+      Kernel.collect_first_where k c
+        ~accept:(fun reply ->
+          match bid_host reply with
+          | Some host -> Health.is_alive h host
+          | None -> false)
+        ~timeout:cfg.Config.select_timeout ~grace:(grace_of cfg)
+
+let select_any ?health ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in
+  let exclude =
+    match health with
+    | None -> exclude
+    | Some h -> Health.dead_hosts h @ exclude
+  in
   ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
   let c =
     Kernel.send_group k ~src:self ~group:Ids.program_manager_group
       (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
   in
-  match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
+  match collect_best ?health k cfg c with
   | None -> Error "no idle workstation volunteered"
   | Some reply -> (
       match selection_of_reply ~asked_at k reply with
@@ -97,23 +124,29 @@ let select_any ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
           Ok s
       | None -> Error "malformed candidate reply")
 
-let select_host k (cfg : Config.t) ~self ~host =
+let select_host ?health k (cfg : Config.t) ~self ~host =
   let eng = Kernel.engine k in
   let asked_at = Engine.now eng in
-  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes = 0 });
-  let c =
-    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
-      (Message.make (Protocol.Pm_query_host { host }))
-  in
-  match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
-  | None -> Error (Printf.sprintf "host %s did not respond" host)
-  | Some reply -> (
-      match selection_of_reply ~asked_at k reply with
-      | Some s ->
-          ev k (fun () ->
-              Sched_select { host = Kernel.host_name k; dest = s.s_host });
-          Ok s
-      | None -> Error "malformed candidate reply")
+  match health with
+  | Some h when Health.is_dead h host ->
+      (* Fast-fail instead of multicasting at a corpse and eating the
+         full select timeout. *)
+      Error (Printf.sprintf "host %s is dead (health)" host)
+  | _ -> (
+      ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes = 0 });
+      let c =
+        Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+          (Message.make (Protocol.Pm_query_host { host }))
+      in
+      match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
+      | None -> Error (Printf.sprintf "host %s did not respond" host)
+      | Some reply -> (
+          match selection_of_reply ~asked_at k reply with
+          | Some s ->
+              ev k (fun () ->
+                  Sched_select { host = Kernel.host_name k; dest = s.s_host });
+              Ok s
+          | None -> Error "malformed candidate reply"))
 
 let candidates ?(exclude = []) k (cfg : Config.t) ~self ~bytes ~window =
   ignore cfg;

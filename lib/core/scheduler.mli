@@ -34,6 +34,7 @@ type selection = {
 }
 
 val select_any :
+  ?health:Health.t ->
   ?exclude:string list ->
   Kernel.t ->
   Config.t ->
@@ -44,12 +45,21 @@ val select_any :
     responder. [exclude] omits hosts (a migrating program must not pick
     its own workstation, and a retry must not re-pick a destination
     that just failed). Blocking; errors if nobody volunteers within the
-    configured timeout. *)
+    configured timeout.
+
+    With a [health] view, hosts it marks [Dead] are excluded from the
+    query, and a bid from a [Suspect] host is deprioritized: it is held
+    as a fallback while selection briefly waits for an [Alive] bidder,
+    instead of being trusted immediately or ignored for the full
+    timeout. *)
 
 val select_host :
+  ?health:Health.t ->
   Kernel.t -> Config.t -> self:Ids.pid -> host:string ->
   (selection, string) result
-(** "[@ machine]": only the named host may answer. *)
+(** "[@ machine]": only the named host may answer. With a [health] view
+    that marks the host [Dead], fails immediately instead of waiting out
+    the select timeout. *)
 
 val candidates :
   ?exclude:string list ->

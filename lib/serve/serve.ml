@@ -11,6 +11,9 @@ module Session = struct
     strategy : Protocol.strategy option;
     snapshot_every : Time.span option;
     reexec_attempts : int;
+    reexec_budget : int option;
+    slo_target_ms : float;
+    slo_shed_multiple : float option;
     drain_grace : Time.span;
   }
 
@@ -25,12 +28,24 @@ module Session = struct
       strategy = None;
       snapshot_every = Some (Time.of_sec 10.);
       reexec_attempts = 1;
+      reexec_budget = None;
+      slo_target_ms = 1000.;
+      slo_shed_multiple = None;
       drain_grace = Time.of_sec 60.;
     }
+
+  (* Where one submission stands in its lifecycle. A crash can kill the
+     submitting shell at any instant; the exit hook reads this cell to
+     settle the books for whatever stage the request died in, and the
+     normal path marks [Done] before any counter so the hook then does
+     nothing. [Slot] means the request owns an admission slot the hook
+     must hand back. *)
+  type cell = Fresh | Counted | Queued | Slot | Done
 
   type request = {
     rq_prog : string;
     rq_submitted : Time.t;
+    rq_cell : cell ref;
     mutable rq_handle : Remote_exec.handle;
   }
 
@@ -39,22 +54,35 @@ module Session = struct
     s_params : params;
     (* Admission: a fixed number of slots; the waiting room is a FIFO of
        gates, each blocking one submitting process. [release] hands the
-       freed slot to the queue head, so [s_in_flight] stays at the cap
-       while anyone waits. *)
+       freed slot to the first waiter that is still alive, so
+       [s_in_flight] stays at the cap while anyone waits. *)
     mutable s_in_flight : int;
-    s_waiting : unit Ivar.t Queue.t;
+    s_waiting : (unit Ivar.t * Time.t * cell ref) Queue.t;
     in_flight_gauge : Stats.Gauge.t;
     queued_gauge : Stats.Gauge.t;
-    (* Request accounting. *)
+    (* Request accounting. [outstanding] is the number of requests
+       counted as submitted but not yet settled into a terminal state;
+       every such cell is owned by a live process (dead owners are
+       settled by their exit hook), so at any instant it equals the
+       requests legitimately still in flight. *)
+    mutable outstanding : int;
     mutable submitted : int;
     mutable rejected : int;
+    mutable shed : int;
     mutable refused : int;
     mutable completed : int;
     mutable failed : int;
     mutable reexecs : int;
+    mutable reexec_pool : int;  (** Cluster-wide re-executions left. *)
     queue_wait_ms : Stats.Summary.t;
     submit_to_running_ms : Stats.Summary.t;
     submit_to_complete_ms : Stats.Summary.t;
+    (* Brownout: overload-graceful shedding at submit. *)
+    mutable qw_ewma_ms : float;
+    mutable in_brownout : bool;
+    mutable brownout_entered : Time.t;
+    mutable brownout_spans : int;
+    mutable brownout_ms : float;
     (* Rebalancing. *)
     mutable migrations : int;
     freeze_ms : Stats.Summary.t;
@@ -67,10 +95,29 @@ module Session = struct
 
   (* {1 Admission} *)
 
-  let acquire t =
+  let set_queued_gauge t =
+    Stats.Gauge.set t.queued_gauge (float_of_int (Queue.length t.s_waiting))
+
+  (* Waiters killed in the queue stay enqueued (marked [Done] by the
+     exit hook); drop any dead prefix so the fast-path emptiness check
+     and the slot hand-over only ever see live waiters. *)
+  let purge_dead t =
+    let rec go () =
+      match Queue.peek_opt t.s_waiting with
+      | Some (_, _, cell) when !cell = Done ->
+          ignore (Queue.pop t.s_waiting);
+          go ()
+      | _ -> ()
+    in
+    go ();
+    set_queued_gauge t
+
+  let acquire t cell =
+    purge_dead t;
     if t.s_in_flight < t.s_params.max_in_flight && Queue.is_empty t.s_waiting
     then begin
       t.s_in_flight <- t.s_in_flight + 1;
+      cell := Slot;
       Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight);
       Ok ()
     end
@@ -78,51 +125,168 @@ module Session = struct
       Error "admission queue full"
     else begin
       let gate = Ivar.create () in
-      Queue.add gate t.s_waiting;
-      Stats.Gauge.set t.queued_gauge (float_of_int (Queue.length t.s_waiting));
-      (* Blocks this simulated process until a slot is handed over. *)
+      cell := Queued;
+      Queue.add (gate, now t, cell) t.s_waiting;
+      set_queued_gauge t;
+      (* Blocks this simulated process until a slot is handed over;
+         [release] marks the cell [Slot] before filling the gate, so
+         the slot is owned (and recoverable by the exit hook) even if
+         this process is killed before it resumes. *)
       Ivar.read gate;
       Ok ()
     end
 
-  let release t =
+  let rec release t =
     match Queue.take_opt t.s_waiting with
-    | Some gate ->
+    | Some (_, _, cell) when !cell = Done ->
+        (* A waiter killed in the queue never held the slot; step past
+           it and keep looking for a live inheritor. *)
+        release t
+    | Some (gate, _, cell) ->
         (* Slot transfer: the head of the queue inherits it, so the
-           in-flight count is unchanged. *)
-        Stats.Gauge.set t.queued_gauge (float_of_int (Queue.length t.s_waiting));
+           in-flight count is unchanged. Ownership moves before the
+           gate opens — see [acquire]. *)
+        cell := Slot;
+        set_queued_gauge t;
         Ivar.fill gate ()
     | None ->
+        set_queued_gauge t;
         t.s_in_flight <- t.s_in_flight - 1;
         Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight)
 
+  (* Move a request to [Done], retiring it from the outstanding count
+     exactly once. *)
+  let settle t cell =
+    (match !cell with
+    | Counted | Queued | Slot -> t.outstanding <- t.outstanding - 1
+    | Fresh | Done -> ());
+    cell := Done
+
+  (* The exit hook for a submitting shell: settle whatever stage the
+     request died in. [Fresh] died before being counted as submitted,
+     so it owes nothing; [Counted]/[Queued] were submitted but held no
+     slot; [Slot] must also return the slot or admission wedges. *)
+  let orphan t cell =
+    match !cell with
+    | Done | Fresh -> cell := Done
+    | Counted | Queued ->
+        settle t cell;
+        t.failed <- t.failed + 1
+    | Slot ->
+        settle t cell;
+        t.failed <- t.failed + 1;
+        release t
+
+  (* {1 Brownout}
+
+     When the estimated queue wait exceeds [slo_shed_multiple] times the
+     SLO target, new submissions are shed at the door instead of joining
+     a queue they cannot clear in time — partial service beats uniform
+     lateness. The estimate is the max of an EWMA of observed queue
+     waits and the age of the oldest live waiter (the EWMA alone only
+     reflects requests that already got through; the head's age sees a
+     stall the moment it happens). Hysteresis: exit only once the
+     estimate falls below half the shed threshold. *)
+
+  let head_age_ms t =
+    Queue.fold
+      (fun acc (_, at, cell) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if !cell = Done then None
+            else Some (Time.to_ms (Time.sub (now t) at)))
+      None t.s_waiting
+
+  let note_queue_wait t ms =
+    Stats.Summary.record t.queue_wait_ms ms;
+    t.qw_ewma_ms <- (0.2 *. ms) +. (0.8 *. t.qw_ewma_ms)
+
+  let sheds_now t =
+    match t.s_params.slo_shed_multiple with
+    | None -> false
+    | Some mult ->
+        let threshold = mult *. t.s_params.slo_target_ms in
+        let est =
+          match head_age_ms t with
+          | Some age -> Float.max t.qw_ewma_ms age
+          | None ->
+              (* No live waiter. If a slot is free, a request arriving
+                 now would start immediately — fold that zero-wait
+                 observation into the EWMA, otherwise a brownout that
+                 shed every arrival (so no queue waits were recorded)
+                 could never observe the backlog clearing and would
+                 latch on forever. *)
+              if t.s_in_flight < t.s_params.max_in_flight then
+                t.qw_ewma_ms <- 0.8 *. t.qw_ewma_ms;
+              t.qw_ewma_ms
+        in
+        if t.in_brownout then begin
+          if est < 0.5 *. threshold then begin
+            t.in_brownout <- false;
+            t.brownout_ms <-
+              t.brownout_ms
+              +. Time.to_ms (Time.sub (now t) t.brownout_entered)
+          end
+        end
+        else if est > threshold then begin
+          t.in_brownout <- true;
+          t.brownout_entered <- now t;
+          t.brownout_spans <- t.brownout_spans + 1
+        end;
+        t.in_brownout
+
   (* {1 The request path} *)
 
-  let submit t ctx ~prog =
+  let submit_cell cell t ctx ~prog =
     let submitted_at = now t in
     t.submitted <- t.submitted + 1;
-    match acquire t with
-    | Error e ->
-        t.rejected <- t.rejected + 1;
-        Error e
-    | Ok () -> (
-        Stats.Summary.record t.queue_wait_ms
-          (Time.to_ms (Time.sub (now t) submitted_at));
-        match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
-        | Error e ->
-            t.refused <- t.refused + 1;
-            release t;
-            Error e
-        | Ok h ->
-            Stats.Summary.record t.submit_to_running_ms
-              (Time.to_ms (Time.sub (now t) submitted_at));
-            Ok { rq_prog = prog; rq_submitted = submitted_at; rq_handle = h })
+    t.outstanding <- t.outstanding + 1;
+    cell := Counted;
+    if sheds_now t then begin
+      t.shed <- t.shed + 1;
+      settle t cell;
+      Error "brownout: shedding load"
+    end
+    else
+      match acquire t cell with
+      | Error e ->
+          t.rejected <- t.rejected + 1;
+          settle t cell;
+          Error e
+      | Ok () -> (
+          note_queue_wait t (Time.to_ms (Time.sub (now t) submitted_at));
+          match Remote_exec.exec ctx ~prog ~target:Remote_exec.Any with
+          | Error e ->
+              t.refused <- t.refused + 1;
+              settle t cell;
+              release t;
+              Error e
+          | Ok h ->
+              Stats.Summary.record t.submit_to_running_ms
+                (Time.to_ms (Time.sub (now t) submitted_at));
+              Ok
+                {
+                  rq_prog = prog;
+                  rq_submitted = submitted_at;
+                  rq_cell = cell;
+                  rq_handle = h;
+                })
 
+  let submit t ctx ~prog = submit_cell (ref Fresh) t ctx ~prog
+
+  (* A re-execution spends from the cluster-wide pool as well as the
+     request's own allowance: when many hosts die at once (a rack
+     crash), the pool caps the total re-exec storm instead of letting
+     every orphaned request multiply the load on the survivors. *)
   let rec wait_with_reexec t ctx rq attempts =
     match Remote_exec.wait ctx rq.rq_handle with
     | Ok _ -> Ok ()
-    | Error e when Remote_exec.host_failure_error e && attempts > 0 -> (
+    | Error e
+      when Remote_exec.host_failure_error e && attempts > 0
+           && t.reexec_pool > 0 -> (
         t.reexecs <- t.reexecs + 1;
+        t.reexec_pool <- t.reexec_pool - 1;
         match Remote_exec.exec ctx ~prog:rq.rq_prog ~target:Remote_exec.Any with
         | Error e' -> Error e'
         | Ok h ->
@@ -132,16 +296,20 @@ module Session = struct
 
   let await t ctx rq =
     let result = wait_with_reexec t ctx rq t.s_params.reexec_attempts in
-    release t;
+    settle t rq.rq_cell;
     let span = Time.sub (now t) rq.rq_submitted in
-    match result with
-    | Ok () ->
-        t.completed <- t.completed + 1;
-        Stats.Summary.record t.submit_to_complete_ms (Time.to_ms span);
-        Ok span
-    | Error e ->
-        t.failed <- t.failed + 1;
-        Error e
+    let outcome =
+      match result with
+      | Ok () ->
+          t.completed <- t.completed + 1;
+          Stats.Summary.record t.submit_to_complete_ms (Time.to_ms span);
+          Ok span
+      | Error e ->
+          t.failed <- t.failed + 1;
+          Error e
+    in
+    release t;
+    outcome
 
   (* {1 Periodic snapshots} *)
 
@@ -156,8 +324,10 @@ module Session = struct
           ("t_s", Json_min.Num (Time.to_sec (now t)));
           ("submitted", Json_min.Num (float_of_int t.submitted));
           ("completed", Json_min.Num (float_of_int t.completed));
+          ("shed", Json_min.Num (float_of_int t.shed));
           ("in_flight", Json_min.Num (float_of_int t.s_in_flight));
           ("queued", Json_min.Num (float_of_int (Queue.length t.s_waiting)));
+          ("brownout", Json_min.Bool t.in_brownout);
           ("p95_submit_to_running_ms", Json_min.Num (p 95.));
         ]
       :: t.snapshots
@@ -172,11 +342,20 @@ module Session = struct
     let launch i =
       let ws = i mod n_ws in
       let prog = progs.(i mod Array.length progs) in
-      ignore
-        (Cluster.shell cl ~ws ~name:(Printf.sprintf "serve-%d" i) (fun ctx ->
-             match submit t ctx ~prog with
-             | Error _ -> ()
-             | Ok rq -> ignore (await t ctx rq)))
+      let cell = ref Fresh in
+      let vp =
+        Cluster.shell cl ~ws ~name:(Printf.sprintf "serve-%d" i) (fun ctx ->
+            match submit_cell cell t ctx ~prog with
+            | Error _ -> ()
+            | Ok rq -> ignore (await t ctx rq))
+      in
+      (* The submitting host can crash at any point of the request's
+         life; the exit hook settles the accounting for whatever stage
+         it died in, so submitted = rejected + shed + refused +
+         completed + failed holds on every seed. *)
+      match Vproc.thread vp with
+      | Some thread -> Proc.on_exit thread (fun _ -> orphan t cell)
+      | None -> orphan t cell
     in
     match t.s_params.arrivals with
     | Poisson rate_per_sec ->
@@ -213,15 +392,24 @@ module Session = struct
         s_waiting = Queue.create ();
         in_flight_gauge = Stats.Gauge.create eng ~initial:0.;
         queued_gauge = Stats.Gauge.create eng ~initial:0.;
+        outstanding = 0;
         submitted = 0;
         rejected = 0;
+        shed = 0;
         refused = 0;
         completed = 0;
         failed = 0;
         reexecs = 0;
+        reexec_pool =
+          (match params.reexec_budget with Some b -> b | None -> max_int);
         queue_wait_ms = Stats.Summary.create ();
         submit_to_running_ms = Stats.Summary.create ();
         submit_to_complete_ms = Stats.Summary.create ();
+        qw_ewma_ms = 0.;
+        in_brownout = false;
+        brownout_entered = Time.zero;
+        brownout_spans = 0;
+        brownout_ms = 0.;
         migrations = 0;
         freeze_ms = Stats.Summary.create ();
         s_balancer = None;
@@ -239,7 +427,9 @@ module Session = struct
         in
         t.s_balancer <-
           Some
-            (Balancer.start ~interval ~strategy
+            (Balancer.start
+               ?health:(Cluster.health cl)
+               ~interval ~strategy
                ~on_outcome:(fun o ->
                  t.migrations <- t.migrations + 1;
                  Stats.Summary.record t.freeze_ms
@@ -258,14 +448,19 @@ module Session = struct
   type metrics = {
     m_submitted : int;
     m_rejected : int;
+    m_shed : int;
     m_refused : int;
     m_completed : int;
     m_failed : int;
+    m_outstanding : int;
+    m_stuck : int;
     m_reexecs : int;
     m_throughput_per_sec : float;
     m_queue_wait_ms : Stats.Summary.t;
     m_submit_to_running_ms : Stats.Summary.t;
     m_submit_to_complete_ms : Stats.Summary.t;
+    m_brownout_spans : int;
+    m_brownout_ms : float;
     m_migrations : int;
     m_freeze_ms : Stats.Summary.t;
     m_balancer_surveys : int;
@@ -279,15 +474,27 @@ module Session = struct
     {
       m_submitted = t.submitted;
       m_rejected = t.rejected;
+      m_shed = t.shed;
       m_refused = t.refused;
       m_completed = t.completed;
       m_failed = t.failed;
+      m_outstanding = t.outstanding;
+      m_stuck =
+        t.submitted - t.rejected - t.shed - t.refused - t.completed - t.failed
+        - t.outstanding;
       m_reexecs = t.reexecs;
       m_throughput_per_sec =
         (if horizon_s > 0. then float_of_int t.completed /. horizon_s else 0.);
       m_queue_wait_ms = t.queue_wait_ms;
       m_submit_to_running_ms = t.submit_to_running_ms;
       m_submit_to_complete_ms = t.submit_to_complete_ms;
+      m_brownout_spans = t.brownout_spans;
+      m_brownout_ms =
+        (t.brownout_ms
+        +.
+        if t.in_brownout then
+          Time.to_ms (Time.sub (now t) t.brownout_entered)
+        else 0.);
       m_migrations = t.migrations;
       m_freeze_ms = t.freeze_ms;
       m_balancer_surveys =
@@ -340,6 +547,28 @@ module Session = struct
                ("count", Json_min.Num (float_of_int counts.(i)));
              ]))
 
+  let health_json t =
+    match Cluster.health t.s_cluster with
+    | None -> Json_min.Obj [ ("enabled", Json_min.Bool false) ]
+    | Some h ->
+        Json_min.Obj
+          [
+            ("enabled", Json_min.Bool true);
+            ("observer", Json_min.Str (Health.observer h));
+            ("probes", Json_min.Num (float_of_int (Health.probes h)));
+            ( "transitions",
+              Json_min.Num (float_of_int (Health.transitions h)) );
+            ( "false_suspicions",
+              Json_min.Num (float_of_int (Health.false_suspicions h)) );
+            ( "dead",
+              Json_min.Arr
+                (List.map (fun n -> Json_min.Str n) (Health.dead_hosts h)) );
+            ( "suspect",
+              Json_min.Arr
+                (List.map (fun n -> Json_min.Str n) (Health.suspect_hosts h))
+            );
+          ]
+
   let metrics_to_json t =
     let m = metrics t in
     let num i = Json_min.Num (float_of_int i) in
@@ -356,9 +585,12 @@ module Session = struct
             | Trace ts -> Printf.sprintf "trace:%d" (List.length ts)) );
         ("submitted", num m.m_submitted);
         ("rejected", num m.m_rejected);
+        ("shed", num m.m_shed);
         ("refused", num m.m_refused);
         ("completed", num m.m_completed);
         ("failed", num m.m_failed);
+        ("outstanding", num m.m_outstanding);
+        ("stuck", num m.m_stuck);
         ("reexecs", num m.m_reexecs);
         ("throughput_per_sec", Json_min.Num m.m_throughput_per_sec);
         ( "latency_ms",
@@ -367,6 +599,12 @@ module Session = struct
               ("queue_wait", summary_json m.m_queue_wait_ms);
               ("submit_to_running", summary_json m.m_submit_to_running_ms);
               ("submit_to_complete", summary_json m.m_submit_to_complete_ms);
+            ] );
+        ( "brownout",
+          Json_min.Obj
+            [
+              ("spans", num m.m_brownout_spans);
+              ("total_ms", Json_min.Num m.m_brownout_ms);
             ] );
         ( "migration",
           Json_min.Obj
@@ -382,6 +620,7 @@ module Session = struct
               ("balancer_surveys", num m.m_balancer_surveys);
               ("balancer_skips", num m.m_balancer_skips);
             ] );
+        ("health", health_json t);
         ("mean_in_flight", Json_min.Num m.m_mean_in_flight);
         ("mean_queued", Json_min.Num m.m_mean_queued);
         ("snapshots", Json_min.Arr (List.rev t.snapshots));

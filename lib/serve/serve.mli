@@ -10,6 +10,16 @@
     latency percentiles, throughput, migration rate, and freeze-time
     distribution.
 
+    Under overload or failure the session degrades gracefully rather
+    than queueing without bound: a {e brownout} mode sheds new
+    submissions at the door while the estimated queue wait exceeds a
+    configured multiple of the SLO target, and a cluster-wide re-exec
+    budget caps the re-execution storm a correlated crash can trigger.
+    Accounting is crash-safe: a submitting shell killed at any stage of
+    its request (queued, holding a slot, awaiting completion) is settled
+    by an exit hook, so [submitted = rejected + shed + refused +
+    completed + failed] holds on every seed with any fault plan.
+
     All accounting is in virtual time, so a session is deterministic
     per cluster seed: replicas fanned over domains merge byte-identical
     (see [vsim serve -j]). *)
@@ -35,6 +45,19 @@ module Session : sig
         (** Periodic metric snapshots; [None] disables them. *)
     reexec_attempts : int;
         (** Re-executions allowed when a request's host dies under it. *)
+    reexec_budget : int option;
+        (** Cluster-wide cap on total re-executions across the whole
+            session ([None] = unlimited): a correlated crash orphans
+            many requests at once, and without a shared budget each
+            would independently re-execute onto the survivors. *)
+    slo_target_ms : float;
+        (** The queue-wait service-level objective (default 1 s). Only
+            consulted when [slo_shed_multiple] is set. *)
+    slo_shed_multiple : float option;
+        (** Brownout threshold: shed new submissions while the
+            estimated queue wait exceeds this multiple of
+            [slo_target_ms]. [None] (default) disables shedding —
+            behavior is then identical to a session without brownout. *)
     drain_grace : Time.span;
         (** How long past [duration] {!drain} lets stragglers finish. *)
   }
@@ -42,7 +65,8 @@ module Session : sig
   val default_params : params
   (** 2 req/s Poisson for 120 s over the five usage-mix programs,
       [max_in_flight] 24, [queue_limit] 64, balancer every 5 s,
-      snapshots every 10 s, one re-execution, 60 s grace. *)
+      snapshots every 10 s, one re-execution (unlimited pool), no
+      brownout, 60 s grace. *)
 
   type t
   type request
@@ -50,22 +74,26 @@ module Session : sig
   val create : ?params:params -> Cluster.t -> t
   (** Open a session on the cluster: installs the arrival process (each
       arrival submits from a round-robin workstation's shell) and starts
-      the balancer. The simulation does not advance until {!drain}. *)
+      the balancer. If [Cluster.enable_health] was called first, the
+      balancer and every request's selection consult the failure
+      detector. The simulation does not advance until {!drain}. *)
 
   val cluster : t -> Cluster.t
 
   val submit : t -> Context.t -> prog:string -> (request, string) result
-  (** Submit one request from a client process. Blocks (in virtual
-      time) in the admission queue while the in-flight cap is reached,
-      then dispatches via {!Remote_exec.exec}. [Error] means the
-      waiting room was full (rejected) or every volunteer refused.
-      Returns with the program {e running}. *)
+  (** Submit one request from a client process. In brownout, fails
+      immediately (shed). Otherwise blocks (in virtual time) in the
+      admission queue while the in-flight cap is reached, then
+      dispatches via {!Remote_exec.exec}. [Error] means the submission
+      was shed, the waiting room was full (rejected), or every
+      volunteer refused. Returns with the program {e running}. *)
 
   val await : t -> Context.t -> request -> (Time.span, string) result
   (** Wait for a submitted request; returns its submit-to-complete
       span. If the program's host dies under it, re-executes up to
-      [reexec_attempts] times before giving up. Releasing the admission
-      slot happens here (or on {!submit} failure). *)
+      [reexec_attempts] times (spending the shared [reexec_budget])
+      before giving up. Releasing the admission slot happens here (or
+      on {!submit} failure). *)
 
   val drain : t -> unit
   (** Drive the simulation through the arrival horizon plus
@@ -75,14 +103,24 @@ module Session : sig
   type metrics = {
     m_submitted : int;
     m_rejected : int;  (** Turned away at the full waiting room. *)
+    m_shed : int;  (** Turned away by brownout load-shedding. *)
     m_refused : int;  (** Dispatched but no volunteer accepted. *)
     m_completed : int;
     m_failed : int;  (** Started but never finished (faults). *)
+    m_outstanding : int;
+        (** Requests still legitimately in flight (queued or running,
+            owner alive) when the metrics were read — stragglers the
+            drain grace cut off, not leaks. *)
+    m_stuck : int;
+        (** Submissions in no terminal state and owned by nobody —
+            always 0; nonzero means a request leaked. *)
     m_reexecs : int;
     m_throughput_per_sec : float;  (** Completions per virtual second. *)
     m_queue_wait_ms : Stats.Summary.t;
     m_submit_to_running_ms : Stats.Summary.t;
     m_submit_to_complete_ms : Stats.Summary.t;
+    m_brownout_spans : int;  (** Distinct brownout episodes entered. *)
+    m_brownout_ms : float;  (** Total virtual time spent in brownout. *)
     m_migrations : int;
     m_freeze_ms : Stats.Summary.t;
     m_balancer_surveys : int;
@@ -96,6 +134,7 @@ module Session : sig
   val metrics_to_json : t -> Json_min.t
   (** The session's full report (schema ["vsim-serve/1"]): the
       {!metrics} scalars, p50/p95/p99 latency objects, a freeze-time
-      histogram, and the periodic snapshots. Deterministic per seed —
-      contains no wall-clock quantities. *)
+      histogram, brownout and health-detector sections, and the
+      periodic snapshots. Deterministic per seed — contains no
+      wall-clock quantities. *)
 end

@@ -78,7 +78,7 @@ type Message.body +=
   | Ks_pong
   | Ks_query_load
   | Ks_load of { cpu_busy : float; memory_free : int; guests : int }
-  | Ks_install of lh_state
+  | Ks_install of { state : lh_state; deadline : Time.t option }
   | Ks_installed of { resumed_at : Time.t }
   | Ks_destroy_lh of Ids.lh_id
   | Ks_fault_pages of { lh : Ids.lh_id; pages : int; bytes : int }
@@ -477,13 +477,22 @@ let charge t ~local_group =
   in
   Proc.sleep t.eng span
 
-let send t ~src ~dst msg =
+let send ?deadline t ~src ~dst msg =
   charge t ~local_group:(Ids.is_local_group dst);
   bump t "sends";
   let os = make_osend t ~src ~dst msg in
   ev t (fun () -> Ipc_send { host = t.name; txn = os.os_txn; src; dst });
   Hashtbl.replace t.outstanding os.os_txn os;
   osend_attempt t os;
+  (* A caller-imposed deadline races the normal completion paths;
+     [complete] is idempotent, so whichever fires first wins. *)
+  (match deadline with
+  | Some at ->
+      if Time.(at <= Engine.now t.eng) then complete t os (Error No_response)
+      else
+        ignore
+          (Engine.schedule t.eng ~at (fun () -> complete t os (Error No_response)))
+  | None -> ());
   let r = Ivar.read os.os_ivar in
   (match r with Error _ -> bump t "sends_failed" | Ok _ -> ());
   r
@@ -513,6 +522,30 @@ let close_collector t c = Hashtbl.remove t.group_outstanding c.c_txn
 
 let collect_first t c ~timeout =
   let r = Mailbox.recv_timeout t.eng c.c_mailbox timeout in
+  close_collector t c;
+  r
+
+let collect_first_where t c ~accept ~timeout ~grace =
+  let now () = Engine.now t.eng in
+  (* Wait for a reply the predicate accepts, keeping the first rejected
+     one as a fallback. After a rejected reply arrives the remaining wait
+     shrinks to [grace]: a deprioritized bidder should not make the caller
+     eat the full timeout hoping for a better one. *)
+  let rec loop fallback deadline =
+    let left = Time.sub deadline (now ()) in
+    if Time.(left <= Time.zero) then fallback
+    else
+      match Mailbox.recv_timeout t.eng c.c_mailbox left with
+      | None -> fallback
+      | Some r ->
+          if accept r then Some r
+          else
+            let fallback =
+              match fallback with None -> Some r | Some _ -> fallback
+            in
+            loop fallback (Time.min deadline (Time.add (now ()) grace))
+  in
+  let r = loop None (Time.add (now ()) timeout) in
   close_collector t c;
   r
 
@@ -1061,10 +1094,23 @@ let ks_body t vp =
                       memory_free = memory_free t;
                       guests = guest_count t;
                     }))
-        | Ks_install state ->
+        | Ks_install { state; deadline } ->
             let temp = d.Delivery.dst.Ids.lh in
             cancel_reservation t ~temp_lh:temp;
-            if memory_free t >= Logical_host.total_bytes state.st_lh then begin
+            let late =
+              match deadline with
+              | Some dl -> Time.(Engine.now t.eng > dl)
+              | None -> false
+            in
+            if late then
+              (* The source's freeze budget has already expired: refusing
+                 here (rather than installing late) is what makes the
+                 freeze-budget invariant airtight — a committed migration
+                 always resumed within its declared budget. The source
+                 takes the ordinary refusal path and unfreezes locally. *)
+              reply t d (Message.make (Ks_refused "freeze deadline exceeded"))
+            else if memory_free t >= Logical_host.total_bytes state.st_lh
+            then begin
               let lh = install_lh t state in
               (match state.st_page_source with
               | Some source ->
@@ -1179,6 +1225,8 @@ let shutdown t =
   Hashtbl.reset t.sys_procs;
   Hashtbl.reset (Logical_host.inbound t.the_host_lh);
   trace t "shut down"
+
+let running t = t.stn <> None
 
 let reboot t =
   if t.stn <> None then invalid_arg "Kernel.reboot: kernel is running";

@@ -102,6 +102,11 @@ val reset_txn_ids : unit -> unit
     replica runs see identical txn sequences whatever domain executes
     them. *)
 
+val running : t -> bool
+(** [true] between boot/{!reboot} and {!shutdown}. Fault-injection hooks
+    use this to make churn idempotent: never crash a dead kernel or
+    reboot a live one. *)
+
 val shutdown : t -> unit
 (** Crash the workstation: detach from the network, kill every resident
     process, and discard all volatile kernel state — binding cache,
@@ -177,11 +182,20 @@ val leave_group : t -> group:Ids.pid -> Vproc.t -> unit
 (** {1 IPC operations} *)
 
 val send :
-  t -> src:Ids.pid -> dst:Ids.pid -> Message.t -> (Message.t, send_error) result
+  ?deadline:Time.t ->
+  t ->
+  src:Ids.pid ->
+  dst:Ids.pid ->
+  Message.t ->
+  (Message.t, send_error) result
 (** Blocking Send: delivers the request (locally or via the wire protocol)
     and returns the reply. Charges the kernel-operation costs of
     Section 4.1 — including the frozen-state test and, when [dst] is a
-    local group id, the group-lookup indirection. *)
+    local group id, the group-lookup indirection. [deadline] bounds the
+    wait absolutely: if no reply arrived by that instant the send
+    completes [Error No_response] without waiting out the retransmission
+    machinery's own give-up timer — the primitive beneath the failure
+    detector's adaptive probe timeouts. *)
 
 type collector
 (** Gathers replies to a group send. *)
@@ -195,6 +209,19 @@ val collect_first :
   t -> collector -> timeout:Time.span -> (Ids.pid * Message.t) option
 (** First reply, or [None] on timeout; closes the collector. Picking the
     first responder is the paper's whole host-selection policy. *)
+
+val collect_first_where :
+  t ->
+  collector ->
+  accept:(Ids.pid * Message.t -> bool) ->
+  timeout:Time.span ->
+  grace:Time.span ->
+  (Ids.pid * Message.t) option
+(** First reply satisfying [accept], or — if none arrives — the first
+    rejected reply as a fallback, or [None] on timeout; closes the
+    collector. Once a rejected reply is in hand the remaining wait is
+    capped at [grace], so a deprioritized (e.g. merely Suspect) bidder
+    never costs the caller the full timeout. *)
 
 val collect_within :
   t -> collector -> window:Time.span -> (Ids.pid * Message.t) list
@@ -331,9 +358,12 @@ type Message.body +=
   | Ks_pong
   | Ks_query_load
   | Ks_load of { cpu_busy : float; memory_free : int; guests : int }
-  | Ks_install of lh_state
+  | Ks_install of { state : lh_state; deadline : Time.t option }
       (** Final migration step: install the state, unfreeze, announce the
-          new binding, reply {!Ks_installed}. *)
+          new binding, reply {!Ks_installed}. A [deadline] is the source's
+          freeze budget expressed as an absolute instant: an install
+          arriving after it is refused rather than installed late, so a
+          committed migration provably resumed within its budget. *)
   | Ks_installed of { resumed_at : Time.t }
       (** Success reply to {!Ks_install}; [resumed_at] is the instant the
           new copy was unfrozen, closing the freeze-time measurement. *)

@@ -57,6 +57,98 @@ let test_parse_rejects_garbage () =
       "explode:ws1@3";
     ]
 
+let test_parse_flaky_crashrack () =
+  match Faults.parse "flaky:ws3@2-10;crashrack:ws1+ws2+ws3@4.5" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok
+      [
+        Faults.Flaky_host { host; start; stop };
+        Faults.Crash_rack { hosts; at };
+      ] ->
+      Alcotest.(check string) "flaky host" "ws3" host;
+      Alcotest.(check bool) "flaky window" true
+        (start = sec 2. && stop = sec 10.);
+      Alcotest.(check (list string)) "rack hosts" [ "ws1"; "ws2"; "ws3" ] hosts;
+      Alcotest.(check bool) "rack instant" true (at = sec 4.5)
+  | Ok _ -> Alcotest.fail "wrong event shapes"
+
+(* Rejections must say how to fix the clause, not just that it is bad. *)
+let test_rejections_are_actionable () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (bad, expected) ->
+      match Faults.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S -> %S (got %S)" bad expected e)
+            true
+            (contains ~sub:expected e))
+    [
+      ("loss:0.1@9-2", "runs backwards");
+      ("partition@6-3", "runs backwards");
+      ("flaky:ws1@5-5", "is empty");
+      ("crash:ws1@-3", "is negative");
+      ("slow:ws1x0.5@0-3", "must be at least 1");
+      ("slow:ws1x-2@0-3", "must be at least 1");
+      ("crashrack:ws1@4", "name at least two hosts");
+    ]
+
+(* {1 Print/parse round trip}
+
+   [pp_plan] claims to emit exactly the clause syntax [parse] accepts,
+   for any valid plan. Hold it to that with a generator spanning all
+   seven event kinds, microsecond-precision times, and shortest-decimal
+   floats. *)
+
+let gen_plan =
+  let open QCheck.Gen in
+  let host = oneofl [ "ws1"; "ws2"; "ws7"; "fs0"; "bridge-a" ] in
+  let t = map Time.of_us (int_bound 120_000_000) in
+  (* stop - start >= 1 us, so the printed window never collapses. *)
+  let window =
+    map2
+      (fun a d -> (Time.of_us a, Time.of_us (a + 1 + d)))
+      (int_bound 60_000_000) (int_bound 59_999_999)
+  in
+  let event =
+    oneof
+      [
+        map2 (fun host at -> Faults.Crash_host { host; at }) host t;
+        map2 (fun host at -> Faults.Reboot_host { host; at }) host t;
+        map2
+          (fun p (start, stop) -> Faults.Loss_window { p; start; stop })
+          (float_bound_inclusive 1.) window;
+        map (fun (start, stop) -> Faults.Partition_bridge { start; stop }) window;
+        map3
+          (fun host f (start, stop) ->
+            Faults.Slow_host { host; factor = 1. +. f; start; stop })
+          host (float_bound_inclusive 15.) window;
+        map2
+          (fun host (start, stop) -> Faults.Flaky_host { host; start; stop })
+          host window;
+        map2
+          (fun hosts at -> Faults.Crash_rack { hosts; at })
+          (list_size (int_range 2 4) host)
+          t;
+      ]
+  in
+  list_size (int_range 1 6) event
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (pp_plan plan) = Ok plan"
+    (QCheck.make
+       ~print:(fun plan -> Format.asprintf "%a" Faults.pp_plan plan)
+       gen_plan)
+    (fun plan ->
+      match Faults.parse (Format.asprintf "%a" Faults.pp_plan plan) with
+      | Ok plan' -> plan' = plan
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s" e)
+
 let test_plan_validated_against_cluster () =
   (match
      Cluster.create ~seed:1 ~workstations:2
@@ -586,8 +678,13 @@ let () =
           Alcotest.test_case "parse" `Quick test_parse_plan;
           Alcotest.test_case "parse partition/slow" `Quick
             test_parse_partition_slow;
+          Alcotest.test_case "parse flaky/crashrack" `Quick
+            test_parse_flaky_crashrack;
           Alcotest.test_case "parse rejects garbage" `Quick
             test_parse_rejects_garbage;
+          Alcotest.test_case "rejections are actionable" `Quick
+            test_rejections_are_actionable;
+          QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
           Alcotest.test_case "validated against cluster" `Quick
             test_plan_validated_against_cluster;
         ] );

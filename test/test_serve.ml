@@ -9,8 +9,9 @@ let ms = Time.of_ms
 let conserved (m : Serve.Session.metrics) =
   (* Every submit resolves to exactly one of these — except requests
      still parked in the admission queue when the horizon ends. *)
-  m.Serve.Session.m_rejected + m.Serve.Session.m_refused
-  + m.Serve.Session.m_completed + m.Serve.Session.m_failed
+  m.Serve.Session.m_rejected + m.Serve.Session.m_shed
+  + m.Serve.Session.m_refused + m.Serve.Session.m_completed
+  + m.Serve.Session.m_failed
   <= m.Serve.Session.m_submitted
 
 (* {1 Admission control} *)
@@ -148,6 +149,66 @@ let test_balancer_survives_busiest_host_crash () =
     (m.Serve.Session.m_completed > 0);
   Alcotest.(check bool) "conservation" true (conserved m)
 
+(* {1 Accounting identity under a mid-queue crash} *)
+
+(* Crash-safe accounting: with requests parked in the admission queue
+   when their submitting host dies (its shells are killed mid-queue),
+   every submission must still land in exactly one terminal bucket —
+   [submitted = rejected + shed + refused + completed + failed] holds
+   exactly on EVERY seed, with nothing outstanding and nothing leaked
+   once the drain grace is generous enough to settle all stragglers. *)
+let test_accounting_identity_under_crash () =
+  let total_shed = ref 0 and total_failed = ref 0 in
+  List.iter
+    (fun seed ->
+      let faults =
+        match Faults.parse "crash:ws2@8" with
+        | Ok plan -> plan
+        | Error e -> Alcotest.failf "faults: %s" e
+      in
+      let cl = Cluster.create ~seed ~workstations:5 ~faults () in
+      ignore (Cluster.enable_health cl);
+      let params =
+        {
+          Serve.Session.default_params with
+          Serve.Session.arrivals = Serve.Session.Poisson 2.;
+          duration = sec 15.;
+          (* Tight caps keep a queue standing when ws2 dies at t=8. *)
+          max_in_flight = 2;
+          queue_limit = 6;
+          balancer_interval = Some (sec 2.);
+          snapshot_every = None;
+          reexec_attempts = 2;
+          reexec_budget = Some 8;
+          slo_target_ms = 500.;
+          slo_shed_multiple = Some 2.;
+          drain_grace = sec 300.;
+        }
+      in
+      let s = Serve.Session.create ~params cl in
+      Serve.Session.drain s;
+      let m = Serve.Session.metrics s in
+      total_shed := !total_shed + m.Serve.Session.m_shed;
+      total_failed := !total_failed + m.Serve.Session.m_failed;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: all stragglers settled" seed)
+        0 m.Serve.Session.m_outstanding;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: nothing leaked" seed)
+        0 m.Serve.Session.m_stuck;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: submitted = terminal buckets" seed)
+        m.Serve.Session.m_submitted
+        (m.Serve.Session.m_rejected + m.Serve.Session.m_shed
+        + m.Serve.Session.m_refused + m.Serve.Session.m_completed
+        + m.Serve.Session.m_failed))
+    (List.init 10 (fun i -> i + 1));
+  (* The fault plan and brownout must actually bite somewhere in the
+     seed sweep, or the identity was never under pressure. *)
+  Alcotest.(check bool) "brownout shed across the sweep" true (!total_shed > 0);
+  Alcotest.(check bool)
+    "the crash failed requests across the sweep" true (!total_failed > 0)
+
 let () =
   Alcotest.run "serve"
     [
@@ -167,5 +228,10 @@ let () =
         [
           Alcotest.test_case "survives busiest-host crash mid-cycle" `Slow
             test_balancer_survives_busiest_host_crash;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "identity on every seed under mid-queue crash"
+            `Slow test_accounting_identity_under_crash;
         ] );
     ]
