@@ -41,19 +41,31 @@ let jobs = ref (Parrun.default_jobs ())
 let registry_mu = Mutex.create ()
 let registry : Cluster.t list ref = ref []
 
+(* Raw engines (no cluster wrapper) used by the core microbenches count
+   toward the same per-experiment event totals. *)
+let engine_registry : Engine.t list ref = ref []
+
 let register cl =
   Mutex.lock registry_mu;
   registry := cl :: !registry;
   Mutex.unlock registry_mu
 
+let register_engine e =
+  Mutex.lock registry_mu;
+  engine_registry := e :: !engine_registry;
+  Mutex.unlock registry_mu
+
 let drain_events () =
   Mutex.lock registry_mu;
   let cls = !registry in
+  let engines = !engine_registry in
   registry := [];
+  engine_registry := [];
   Mutex.unlock registry_mu;
   List.fold_left
     (fun acc cl -> acc + Engine.events_fired (Cluster.engine cl))
-    0 cls
+    (List.fold_left (fun acc e -> acc + Engine.events_fired e) 0 engines)
+    cls
 
 let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?faults ?trace () =
   let cl =
@@ -685,12 +697,11 @@ let recovery () =
       Program_manager.set_accepting (Cluster.workstation cl i).Cluster.ws_pm b
     in
     List.iter (fun i -> accepting i (i = 1)) [ 0; 1; 2; 3; 4 ];
-    ignore
-      (Engine.schedule eng ~at:(sec 3.5) (fun () ->
-           accepting 1 false;
-           accepting 2 true));
+    Engine.post eng ~at:(sec 3.5) (fun () ->
+        accepting 1 false;
+        accepting 2 true);
     if open_alternate then
-      ignore (Engine.schedule eng ~at:(sec 4.5) (fun () -> accepting 3 true));
+      Engine.post eng ~at:(sec 4.5) (fun () -> accepting 3 true);
     let outcome = ref "did not run" in
     ignore
       (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
@@ -905,7 +916,7 @@ let bechamel () =
       (Staged.stage (fun () ->
            let e = Engine.create () in
            for i = 1 to 1000 do
-             ignore (Engine.schedule e ~at:(Sim_time.of_us i) (fun () -> ()))
+             Engine.post e ~at:(Sim_time.of_us i) (fun () -> ())
            done;
            Engine.run e))
   in
@@ -1212,10 +1223,191 @@ let strategies () =
      answering page faults after commit — the paper's residual dependency; \
      pre-copy gets the short freeze with zero residual messages"
 
+(* {1 E-alloc: minor-heap words per event (allocation regressions)} *)
+
+(* Wall-clock benches miss regressions the GC absorbs; this experiment
+   counts minor-heap words allocated per engine event on the core hot
+   paths, so an accidental box/closure on the schedule/fire/emit path
+   shows up as a number even when throughput noise hides it. The raw
+   engines here are deliberately not registered with the cluster
+   registry: the experiment reports 0 events and is thereby excluded
+   from the events/s regression gate (allocation counts are
+   deterministic; its metrics are the signal). *)
+let alloc () =
+  banner "E-alloc: minor-heap words allocated per event (GC pressure)";
+  let nop () = () in
+  let words_per ~events f =
+    (* One throwaway pass warms internal pools/rings so steady-state
+       cost, not first-growth cost, is measured. *)
+    f ();
+    let w0 = Gc.minor_words () in
+    f ();
+    (Gc.minor_words () -. w0) /. float_of_int events
+  in
+  let n = 100_000 in
+  let report name w =
+    row "  %-40s %8.2f minor words/event" name w;
+    metric ("minor_words_per_event:" ^ name) w
+  in
+  (* Handle-free scheduling: the engine's zero-allocation fast path.
+     Instants are relative to the clock so the warm-up pass and the
+     measured pass schedule identically. *)
+  let e = Engine.create () in
+  register_engine e;
+  report "engine post+fire"
+    (words_per ~events:n (fun () ->
+         for i = 1 to n do
+           Engine.post_after e (Sim_time.of_us i) nop
+         done;
+         Engine.run e));
+  (* Cancellable scheduling: pays only for the 3-field handle. *)
+  let e = Engine.create () in
+  register_engine e;
+  report "engine schedule+fire (handle)"
+    (words_per ~events:n (fun () ->
+         for i = 1 to n do
+           ignore (Engine.schedule_after e (Sim_time.of_us i) nop)
+         done;
+         Engine.run e));
+  (* Tracing on, no subscriber: ring writes only, no record boxing. *)
+  let e = Engine.create () in
+  register_engine e;
+  let trc = Tracer.create ~capacity:1024 e in
+  let ev = Tracer.Text { category = "bench"; message = "x" } in
+  report "tracer emit (on, no subscriber)"
+    (words_per ~events:n (fun () ->
+         for _ = 1 to n do
+           Tracer.emit trc ev
+         done));
+  (* Untraced broadcast delivery: frame fan-out through the engine. *)
+  let e = Engine.create () in
+  register_engine e;
+  let net : unit Ethernet.t = Ethernet.create e (Rng.create 7) in
+  for i = 1 to 32 do
+    ignore (Ethernet.attach net (Addr.of_int i) (fun _ -> ()))
+  done;
+  let frames = 2_000 in
+  report "ethernet broadcast (per delivery)"
+    (words_per
+       ~events:(frames * 31)
+       (fun () ->
+         for _ = 1 to frames do
+           Ethernet.send net (Frame.broadcast ~src:(Addr.of_int 1) ~bytes:64 ())
+         done;
+         Engine.run e))
+
+(* {1 E-layers: per-layer ns/event breakdown (diagnostic)} *)
+
+(* Times each layer of the stack in isolation so a throughput regression
+   can be attributed: raw engine dispatch, the effect/suspension
+   machinery ([Proc.sleep] loops), the CPU scheduler's slice loop, and a
+   kernel IPC ping loop on a long-lived cluster (no per-iteration
+   boot). Run explicitly as [bench layers]; not part of the default
+   profile. *)
+let layers () =
+  banner "E-layers: per-layer cost breakdown (ns per engine event)";
+  let time_events label f =
+    let t0 = Unix.gettimeofday () in
+    let events = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    row "  %-44s %8.1f ns/event (%d events)" label
+      (wall *. 1e9 /. float_of_int events)
+      events;
+    metric ("ns_per_event:" ^ label) (wall *. 1e9 /. float_of_int events)
+  in
+  let nop () = () in
+  time_events "engine post+fire" (fun () ->
+      let e = Engine.create () in
+      let n = 500_000 in
+      for i = 1 to n do
+        Engine.post_after e (Sim_time.of_us i) nop
+      done;
+      Engine.run e;
+      Engine.events_fired e);
+  time_events "proc sleep loop (effects + suspension)" (fun () ->
+      let e = Engine.create () in
+      ignore
+        (Proc.spawn e ~name:"sleeper" (fun () ->
+             for _ = 1 to 200_000 do
+               Proc.sleep e (Sim_time.of_us 1)
+             done));
+      Engine.run e;
+      Engine.events_fired e);
+  time_events "cpu slice loop (1ms quantum)" (fun () ->
+      let e = Engine.create () in
+      let cpu = Cpu.create e ~quantum:(Sim_time.of_ms 1.) in
+      ignore
+        (Proc.spawn e ~name:"worker" (fun () ->
+             Cpu.compute cpu ~priority:Cpu.Foreground (Sim_time.of_sec 100.)));
+      Engine.run e;
+      Engine.events_fired e);
+  time_events "kernel IPC ping loop (resident cluster)" (fun () ->
+      let cl = Cluster.create ~seed:11 ~workstations:2 () in
+      let k0 = (Cluster.workstation cl 0).Cluster.ws_kernel in
+      ignore
+        (Cluster.user cl ~ws:0 ~name:"pinger" (fun k self ->
+             let ks =
+               Ids.kernel_server_of (Logical_host.id (Kernel.host_lh k))
+             in
+             for _ = 1 to 20_000 do
+               ignore (Kernel.send k ~src:self ~dst:ks (Message.make Kernel.Ks_ping))
+             done));
+      Cluster.run cl ~until:(Sim_time.of_sec 1000.);
+      ignore k0;
+      Engine.events_fired (Cluster.engine cl))
+
+(* {1 E-engine-core: raw dispatch throughput}
+
+   The tentpole number: how fast the pooled, flat-representation engine
+   dispatches events with nothing stacked on top. Two shapes bracket
+   real workloads: a burst that grows the heap to N then drains it
+   (worst-case sift depth), and a steady-state population of
+   self-reposting timers (the shape of a running cluster: bounded heap,
+   sustained churn). *)
+
+let engine_core () =
+  banner "E-engine-core: raw dispatch throughput (pooled heap, handle-free)";
+  let nop () = () in
+  let time label events f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall = Unix.gettimeofday () -. t0 in
+    let eps = float_of_int events /. wall in
+    row "  %-46s %7.2fM events/s (%6.1f ns/event)" label (eps /. 1e6)
+      (wall *. 1e9 /. float_of_int events);
+    metric ("events_per_sec:" ^ label) eps
+  in
+  let burst = if !quick then 500_000 else 2_000_000 in
+  let e = Engine.create () in
+  register_engine e;
+  time "burst: post N, drain (heap grows to N)" burst (fun () ->
+      for i = 1 to burst do
+        Engine.post_after e (Sim_time.of_us i) nop
+      done;
+      Engine.run e);
+  let timers = 64 in
+  let rounds = (if !quick then 3_000_000 else 6_000_000) / timers in
+  let e = Engine.create () in
+  register_engine e;
+  time
+    (Printf.sprintf "steady: %d self-reposting timers" timers)
+    (timers * rounds)
+    (fun () ->
+      for t = 1 to timers do
+        let remaining = ref rounds in
+        let rec tick () =
+          decr remaining;
+          if !remaining > 0 then Engine.post_after e (Sim_time.of_us t) tick
+        in
+        Engine.post_after e (Sim_time.of_us t) tick
+      done;
+      Engine.run e)
+
 (* {1 Driver} *)
 
 let experiments =
   [
+    ("engine-core", engine_core);
     ("table-4-1", table_4_1);
     ("exec-cost", exec_cost);
     ("copy-rate", copy_rate);
@@ -1235,8 +1427,13 @@ let experiments =
     ("balance-ablation", balance_ablation);
     ("recovery", recovery);
     ("internet", internet);
+    ("alloc", alloc);
     ("bechamel", bechamel);
   ]
+
+(* Diagnostics runnable by name but excluded from the default (and
+   [--quick]) profiles — and thereby from the committed baseline. *)
+let named_only_experiments = [ ("layers", layers) ]
 
 type report = {
   r_name : string;
@@ -1294,8 +1491,10 @@ let json_report () =
     ]
 
 (* Validate a previously written results file: the runtest smoke uses
-   this to check that [--quick --json] produced well-formed output. *)
-let check_json path : 'a =
+   this to check that [--quick --json] produced well-formed output.
+   Returns the per-experiment (name, events, events_per_sec) triples so
+   the same parse doubles as the regression-gate baseline. *)
+let check_json path =
   let contents =
     let ic = open_in_bin path in
     let s = really_input_string ic (in_channel_length ic) in
@@ -1314,33 +1513,103 @@ let check_json path : 'a =
       | _ -> fail "missing or unexpected schema");
       match Json_min.member "experiments" v with
       | Some (Json_min.Arr (_ :: _ as exps)) ->
-          List.iter
-            (fun e ->
-              let num k =
-                match Json_min.member k e with
-                | Some (Json_min.Num _) -> ()
-                | _ -> fail (Printf.sprintf "experiment missing numeric %S" k)
-              in
-              (match Json_min.member "name" e with
-              | Some (Json_min.Str _) -> ()
-              | _ -> fail "experiment missing name");
-              num "wall_s";
-              num "events";
-              num "events_per_sec";
-              match Json_min.member "metrics" e with
-              | Some (Json_min.Obj _) -> ()
-              | _ -> fail "experiment missing metrics object")
-            exps;
+          let triples =
+            List.map
+              (fun e ->
+                let num k =
+                  match Json_min.member k e with
+                  | Some (Json_min.Num x) -> x
+                  | _ ->
+                      fail (Printf.sprintf "experiment missing numeric %S" k)
+                in
+                let name =
+                  match Json_min.member "name" e with
+                  | Some (Json_min.Str s) -> s
+                  | _ -> fail "experiment missing name"
+                in
+                let _ = num "wall_s" in
+                let events = num "events" in
+                let eps = num "events_per_sec" in
+                (match Json_min.member "metrics" e with
+                | Some (Json_min.Obj _) -> ()
+                | _ -> fail "experiment missing metrics object");
+                (name, events, eps))
+              exps
+          in
           Printf.printf "%s: OK (%d experiments)\n%!" path (List.length exps);
-          exit 0
+          triples
       | _ -> fail "missing experiments array")
+
+(* {2 Regression gate}
+
+   When experiments ran in the same invocation, [--check-json BASELINE]
+   compares each experiment's fresh events/s against the committed
+   baseline and fails on a drop beyond [--tolerance] percent (default
+   25). Experiments too small to time reliably — under
+   [min_gate_events] on either side — are reported but never gated, so
+   wall-clock noise on sub-100ms cells cannot flake the build. *)
+let tolerance = ref 25.0
+let min_gate_events = 100_000.
+
+let gate_against ~baseline_path reports =
+  let baseline = check_json baseline_path in
+  let failures = ref 0 and gated = ref 0 in
+  List.iter
+    (fun r ->
+      let fresh_events = float_of_int r.r_events in
+      let fresh_eps =
+        if r.r_wall > 0. then fresh_events /. r.r_wall else 0.
+      in
+      match
+        List.find_opt (fun (n, _, _) -> String.equal n r.r_name) baseline
+      with
+      | None ->
+          Printf.printf "gate: %-18s no baseline entry, skipped\n%!" r.r_name
+      | Some (_, base_events, base_eps) ->
+          if
+            base_events < min_gate_events
+            || fresh_events < min_gate_events
+            || base_eps <= 0.
+          then
+            Printf.printf "gate: %-18s below %.0fk events, not gated\n%!"
+              r.r_name (min_gate_events /. 1000.)
+          else begin
+            incr gated;
+            let delta = 100. *. ((fresh_eps /. base_eps) -. 1.) in
+            let floor = base_eps *. (1. -. (!tolerance /. 100.)) in
+            if fresh_eps < floor then begin
+              incr failures;
+              Printf.printf
+                "gate: %-18s FAIL  %.2fM ev/s vs baseline %.2fM (%+.0f%%, \
+                 tolerance -%.0f%%)\n\
+                 %!"
+                r.r_name (fresh_eps /. 1e6) (base_eps /. 1e6) delta !tolerance
+            end
+            else
+              Printf.printf
+                "gate: %-18s ok    %.2fM ev/s vs baseline %.2fM (%+.0f%%)\n%!"
+                r.r_name (fresh_eps /. 1e6) (base_eps /. 1e6) delta
+          end)
+    reports;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "check-json: %d of %d gated experiment(s) regressed more than %.0f%% \
+       below %s\n\
+       %!"
+      !failures !gated !tolerance baseline_path;
+    exit 1
+  end
+  else
+    Printf.printf "check-json: %d gated experiment(s) within %.0f%% of %s\n%!"
+      !gated !tolerance baseline_path
 
 let () =
   let json_out = ref None in
+  let check_path = ref None in
   let usage_and_exit code =
     Printf.eprintf
       "usage: main.exe [-j N] [--quick] [--json FILE] [--check-json FILE] \
-       [EXPERIMENT...]\nknown experiments: %s\n"
+       [--tolerance PCT] [EXPERIMENT...]\nknown experiments: %s\n"
       (String.concat ", " (List.map fst experiments));
     exit code
   in
@@ -1353,8 +1622,17 @@ let () =
         json_out := Some file;
         parse_args names rest
     | [ "--json" ] -> usage_and_exit 2
-    | "--check-json" :: file :: _ -> check_json file
+    | "--check-json" :: file :: rest ->
+        check_path := Some file;
+        parse_args names rest
     | [ "--check-json" ] -> usage_and_exit 2
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0. ->
+            tolerance := p;
+            parse_args names rest
+        | _ -> usage_and_exit 2)
+    | [ "--tolerance" ] -> usage_and_exit 2
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -1369,6 +1647,14 @@ let () =
     | name :: rest -> parse_args (name :: names) rest
   in
   let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  (* [--check-json] alone (no run requested) validates the file's schema
+     and exits — the mode the committed-results runtest guards use. With
+     a run in the same invocation it becomes the regression gate below. *)
+  (match (!check_path, names, !json_out) with
+  | Some file, [], None ->
+      ignore (check_json file);
+      exit 0
+  | _ -> ());
   let chosen =
     match names with
     | [] ->
@@ -1382,7 +1668,9 @@ let () =
     | names ->
         List.map
           (fun name ->
-            match List.assoc_opt name experiments with
+            match
+              List.assoc_opt name (experiments @ named_only_experiments)
+            with
             | Some f -> (name, f)
             | None ->
                 Printf.eprintf "unknown experiment %S; known: %s\n" name
@@ -1391,10 +1679,13 @@ let () =
           names
   in
   List.iter run_one chosen;
-  match !json_out with
+  (match !json_out with
   | None -> ()
   | Some file ->
       let oc = open_out file in
       output_string oc (Json_min.to_string (json_report ()));
       close_out oc;
-      Printf.eprintf "wrote %s\n%!" file
+      Printf.eprintf "wrote %s\n%!" file);
+  match !check_path with
+  | None -> ()
+  | Some baseline_path -> gate_against ~baseline_path (List.rev !reports)

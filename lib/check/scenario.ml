@@ -261,9 +261,7 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
   let completed = ref 0 and failed = ref 0 in
   List.iter
     (fun j ->
-      ignore
-        (Engine.schedule eng ~at:j.j_at (fun () ->
-             launch cl j ~completed ~failed)))
+      Engine.post eng ~at:j.j_at (fun () -> launch cl j ~completed ~failed))
     sc.sc_jobs;
   Cluster.run cl ~until:sc.sc_horizon;
   {

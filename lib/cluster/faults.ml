@@ -290,7 +290,7 @@ let install eng trc hooks plan =
           Tracer.emit trc (Fault_injected { kind; detail }))
       fmt
   in
-  let at when_ f = ignore (Engine.schedule eng ~at:when_ f) in
+  let at when_ f = Engine.post eng ~at:when_ f in
   List.iter
     (function
       | Crash_host { host; at = when_ } ->

@@ -320,37 +320,49 @@ let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
   t.bytes <- t.bytes + frame.Frame.bytes;
   let fid = t.next_frame in
   t.next_frame <- t.next_frame + 1;
-  ev t (fun () ->
-      Frame_sent
-        {
-          seg = t.seg;
-          frame = fid;
-          src = frame.Frame.src;
-          dst = frame.Frame.dst;
-          bytes = frame.Frame.bytes;
-        });
-  let clear = reserve t frame.Frame.bytes in
-  if Rng.bool t.rng t.cfg.loss_probability then begin
-    t.dropped <- t.dropped + 1;
+  (* The per-frame trace guards are inlined (not routed through [ev]) so
+     an untraced send allocates no event-constructor thunk. *)
+  let tracing =
+    match t.trc with Some trc -> Tracer.enabled trc | None -> false
+  in
+  if tracing then
     ev t (fun () ->
-        Frame_dropped
+        Frame_sent
           {
             seg = t.seg;
             frame = fid;
             src = frame.Frame.src;
             dst = frame.Frame.dst;
             bytes = frame.Frame.bytes;
-          })
+          });
+  let clear = reserve t frame.Frame.bytes in
+  if Rng.bool t.rng t.cfg.loss_probability then begin
+    t.dropped <- t.dropped + 1;
+    if tracing then
+      ev t (fun () ->
+          Frame_dropped
+            {
+              seg = t.seg;
+              frame = fid;
+              src = frame.Frame.src;
+              dst = frame.Frame.dst;
+              bytes = frame.Frame.bytes;
+            })
   end
   else begin
     let deliver_at = Time.add clear t.cfg.propagation in
-    ignore
-      (Engine.schedule t.eng ~at:deliver_at (fun () ->
-           iter_recipients t frame (fun s ->
-               t.delivered <- t.delivered + 1;
-               ev t (fun () ->
-                   Frame_delivered { seg = t.seg; frame = fid; dst = s.addr });
-               s.rx frame)));
+    (* One engine event per frame, fanning out to every recipient inside
+       the action; deliveries are never cancelled, so [post] skips the
+       handle. *)
+    Engine.post t.eng ~at:deliver_at (fun () ->
+        iter_recipients t frame (fun s ->
+            t.delivered <- t.delivered + 1;
+            (match t.trc with
+            | Some trc when Tracer.enabled trc ->
+                Tracer.emit trc
+                  (Frame_delivered { seg = t.seg; frame = fid; dst = s.addr })
+            | _ -> ());
+            s.rx frame));
     (* Store-and-forward relay onto bridged segments: a single hop, after
        the frame has cleared this wire plus the bridge delay. *)
     if not forwarded then
@@ -360,11 +372,10 @@ let rec send_on ?(forwarded = false) t (frame : 'p Frame.t) =
              a frame in flight when the partition starts is lost, exactly
              like a frame on a real severed wire. *)
           if crosses_to t l.lk_peer frame then
-            ignore
-              (Engine.schedule t.eng
-                 ~at:(Time.add deliver_at l.lk_delay)
-                 (fun () ->
-                   if l.lk_up then send_on ~forwarded:true l.lk_peer frame)))
+            Engine.post t.eng
+              ~at:(Time.add deliver_at l.lk_delay)
+              (fun () ->
+                if l.lk_up then send_on ~forwarded:true l.lk_peer frame))
         t.peers
   end
 

@@ -25,7 +25,65 @@ let collect results =
          | Pending | Raised _ -> assert false)
        results)
 
-let run ?jobs thunks =
+(* {2 Work-stealing deques}
+
+   One deque of job indices per worker. The owner pops from the front of
+   its own deque; an idle worker steals from the {e tail} of a victim's,
+   so owner and thief contend on opposite ends. Jobs are heavyweight
+   (whole cluster simulations, milliseconds to minutes each), so a
+   mutex per deque — rather than a lock-free Chase-Lev — is noise; what
+   matters is that no domain sits idle while another still has a queue.
+
+   Seeding is longest-expected-job-first when the caller supplies a
+   [~cost] estimate: indices are sorted by descending cost and dealt
+   round-robin, so the expensive jobs start first and end-of-sweep
+   stragglers are short. Without [~cost], indices are dealt in submitted
+   order, and stealing alone levels the load.
+
+   None of this affects results: outcomes land in [results.(i)] by job
+   index and [collect] merges in index order, so the merged output is
+   byte-identical for any worker count or steal interleaving. *)
+
+type deque = {
+  mu : Mutex.t;
+  mutable items : int array; (* circular buffer of job indices *)
+  mutable head : int; (* next owner pop *)
+  mutable len : int;
+}
+
+let deque_of_list idxs =
+  let items = Array.of_list idxs in
+  { mu = Mutex.create (); items; head = 0; len = Array.length items }
+
+(* Owner and thief take from opposite ends so a stolen job is the one
+   the owner would have reached last. *)
+let take_front d =
+  Mutex.lock d.mu;
+  let r =
+    if d.len = 0 then -1
+    else begin
+      let i = d.items.(d.head mod Array.length d.items) in
+      d.head <- d.head + 1;
+      d.len <- d.len - 1;
+      i
+    end
+  in
+  Mutex.unlock d.mu;
+  r
+
+let steal_back d =
+  Mutex.lock d.mu;
+  let r =
+    if d.len = 0 then -1
+    else begin
+      d.len <- d.len - 1;
+      d.items.((d.head + d.len) mod Array.length d.items)
+    end
+  in
+  Mutex.unlock d.mu;
+  r
+
+let run ?jobs ?cost thunks =
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   let pool =
@@ -36,29 +94,48 @@ let run ?jobs thunks =
   else if workers <= 1 then collect (Array.map run_thunk thunks)
   else begin
     let results = Array.make n Pending in
-    (* Work queue: a shared next-index cursor. Jobs are heavyweight
-       (whole cluster simulations), so one mutex acquisition per job is
-       noise; claiming indices in order also means [-j 1] runs jobs in
-       exactly the submitted order. *)
-    let mu = Mutex.create () in
-    let next = ref 0 in
-    let take () =
-      Mutex.lock mu;
-      let i = !next in
-      if i < n then incr next;
-      Mutex.unlock mu;
-      if i < n then Some i else None
+    (* Seed order: longest expected job first when a cost estimate is
+       available, else submitted order. The sort is stable, so equal
+       costs keep index order. *)
+    let order = Array.init n (fun i -> i) in
+    (match cost with
+    | None -> ()
+    | Some c ->
+        let weights = Array.map c order in
+        let keyed = Array.map (fun i -> (i, weights.(i))) order in
+        Array.stable_sort (fun (_, a) (_, b) -> Float.compare b a) keyed;
+        Array.iteri (fun k (i, _) -> order.(k) <- i) keyed);
+    let per_worker = Array.make workers [] in
+    Array.iteri
+      (fun k i -> per_worker.(k mod workers) <- i :: per_worker.(k mod workers))
+      order;
+    let deques =
+      Array.map (fun idxs -> deque_of_list (List.rev idxs)) per_worker
     in
-    let rec worker () =
-      match take () with
-      | None -> ()
-      | Some i ->
+    let worker w =
+      let rec next_job () =
+        let own = take_front deques.(w) in
+        if own >= 0 then own else steal (w + 1) workers
+      and steal v tries =
+        if tries = 0 then -1
+        else
+          let got = steal_back deques.(v mod workers) in
+          if got >= 0 then got else steal (v + 1) (tries - 1)
+      in
+      let rec loop () =
+        let i = next_job () in
+        if i >= 0 then begin
           results.(i) <- run_thunk thunks.(i);
-          worker ()
+          loop ()
+        end
+      in
+      loop ()
     in
-    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain is the pool's last worker. *)
-    worker ();
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    (* The calling domain is the pool's worker 0. *)
+    worker 0;
     Array.iter Domain.join spawned;
     (* [Domain.join] establishes happens-before for every [results]
        write made by the spawned domains. *)

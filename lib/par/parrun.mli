@@ -8,17 +8,26 @@
     [Proc.reset_ids]), so [jobs:1] and [jobs:8] produce byte-identical
     merged results.
 
-    No external dependencies: a fixed-size pool of plain [Domain]s
-    pulling indices off a mutex-guarded queue. *)
+    No external dependencies: a fixed-size pool of plain [Domain]s over
+    per-worker work-stealing deques (owner pops the front, idle workers
+    steal the tail), seeded longest-expected-job-first when a [~cost]
+    estimate is supplied so fault-heavy outliers start early instead of
+    stranding a domain at the end of a sweep. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size used when
     [?jobs] is omitted. *)
 
-val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+val run : ?jobs:int -> ?cost:(int -> float) -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks] executes every thunk, at most [jobs] at a time
     (each on its own domain; the calling domain participates), and
     returns the results in the same order as [thunks].
+
+    [?cost] gives the expected relative cost of the job at a given
+    index. It only influences {e scheduling} (expensive jobs are seeded
+    first across the workers' deques); results are merged in index order
+    regardless, so the output is byte-identical with or without it and
+    for any [jobs].
 
     Exception policy: every job runs to completion regardless of other
     jobs' failures; afterwards, if any job raised, the exception of the

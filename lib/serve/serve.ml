@@ -365,7 +365,7 @@ module Session = struct
         List.iteri
           (fun i at ->
             if Time.(at <= t.s_params.duration) then
-              ignore (Engine.schedule eng ~at (fun () -> launch i)))
+              Engine.post eng ~at (fun () -> launch i))
           instants
 
   let install_snapshots t =
@@ -375,10 +375,9 @@ module Session = struct
         let eng = Cluster.engine t.s_cluster in
         let n = Time.to_us t.s_params.duration / Stdlib.max 1 (Time.to_us every) in
         for k = 1 to n do
-          ignore
-            (Engine.schedule eng
-               ~at:(Time.of_us (k * Time.to_us every))
-               (fun () -> take_snapshot t))
+          Engine.post eng
+            ~at:(Time.of_us (k * Time.to_us every))
+            (fun () -> take_snapshot t)
         done
 
   let create ?(params = default_params) cl =

@@ -1,24 +1,51 @@
-type handle = {
-  time : Time.t;
-  seq : int;
-  mutable live : bool;
-  action : unit -> unit;
-  owner : t;
-}
+(* Pooled, flat event queue.
 
-and t = {
+   The hot loop of every simulation is schedule/fire, so both sides are
+   engineered to avoid allocation and polymorphic dispatch:
+
+   - Events live in a slot pool (parallel arrays: generation, action,
+     cancelled flag) recycled through a free-list stack. [post] schedules
+     without materializing a handle at all; [schedule] returns a 3-field
+     handle whose generation counter makes a stale [cancel] — one issued
+     against a slot that has since fired and been recycled — a safe
+     no-op.
+
+   - The priority queue is a flat binary min-heap over parallel [int]
+     arrays keyed by (time in us, sequence number). Comparisons are
+     immediate integer compares in a monomorphic loop — no closure
+     calls, no boxed keys — and sift operations move the hole instead of
+     swapping.
+
+   Cancellation stays O(1): a cancelled slot is only detached from the
+   heap lazily when it reaches the top, exactly like the previous
+   implementation, but its action is dropped eagerly so the closure (and
+   whatever subsystem it closes over) is released at cancel time. *)
+
+type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable fired : int;
   mutable live_count : int;
       (* live (scheduled, neither cancelled nor fired) events — kept
          incrementally so [pending] is O(1) *)
-  queue : handle Heap.t;
+  (* Event pool, indexed by slot. *)
+  mutable p_gen : int array;
+  mutable p_act : (unit -> unit) array;
+  mutable p_dead : bool array; (* cancelled, awaiting lazy heap removal *)
+  mutable free : int array; (* stack of free slot indices *)
+  mutable free_len : int;
+  mutable pool_cap : int;
+  (* Flat binary min-heap on (time_us, seq); h_slot points into the pool. *)
+  mutable h_time : int array;
+  mutable h_seq : int array;
+  mutable h_slot : int array;
+  mutable h_len : int;
 }
 
-let compare_handle a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+type handle = { owner : t; slot : int; gen : int }
+
+let nop () = ()
+let initial_cap = 16
 
 let create () =
   {
@@ -26,76 +53,213 @@ let create () =
     next_seq = 0;
     fired = 0;
     live_count = 0;
-    queue = Heap.create ~cmp:compare_handle;
+    p_gen = Array.make initial_cap 0;
+    p_act = Array.make initial_cap nop;
+    p_dead = Array.make initial_cap false;
+    free = Array.init initial_cap (fun i -> initial_cap - 1 - i);
+    free_len = initial_cap;
+    pool_cap = initial_cap;
+    h_time = Array.make initial_cap 0;
+    h_seq = Array.make initial_cap 0;
+    h_slot = Array.make initial_cap 0;
+    h_len = 0;
   }
 
 let now t = t.clock
 
-let schedule t ~at action =
+(* {2 Pool} *)
+
+let grow_pool t =
+  let cap = t.pool_cap in
+  let ncap = 2 * cap in
+  let g = Array.make ncap 0 in
+  Array.blit t.p_gen 0 g 0 cap;
+  let a = Array.make ncap nop in
+  Array.blit t.p_act 0 a 0 cap;
+  let d = Array.make ncap false in
+  Array.blit t.p_dead 0 d 0 cap;
+  t.p_gen <- g;
+  t.p_act <- a;
+  t.p_dead <- d;
+  (* The free stack is empty when we grow; refill it with the new slots,
+     descending so the lowest index pops first. *)
+  let f = Array.make ncap 0 in
+  for i = 0 to cap - 1 do
+    f.(i) <- ncap - 1 - i
+  done;
+  t.free <- f;
+  t.free_len <- cap;
+  t.pool_cap <- ncap
+
+let alloc_slot t =
+  if t.free_len = 0 then grow_pool t;
+  let i = t.free_len - 1 in
+  t.free_len <- i;
+  t.free.(i)
+
+(* Recycle a slot: bump the generation (stale handles die here), drop
+   the action so the closure is not retained, return to the free list. *)
+let free_slot t slot =
+  t.p_gen.(slot) <- t.p_gen.(slot) + 1;
+  t.p_act.(slot) <- nop;
+  t.p_dead.(slot) <- false;
+  t.free.(t.free_len) <- slot;
+  t.free_len <- t.free_len + 1
+
+(* {2 Heap} *)
+
+let heap_push t ~time ~seq ~slot =
+  let cap = Array.length t.h_time in
+  if t.h_len = cap then begin
+    let ncap = 2 * cap in
+    let ht = Array.make ncap 0 in
+    Array.blit t.h_time 0 ht 0 cap;
+    let hs = Array.make ncap 0 in
+    Array.blit t.h_seq 0 hs 0 cap;
+    let hl = Array.make ncap 0 in
+    Array.blit t.h_slot 0 hl 0 cap;
+    t.h_time <- ht;
+    t.h_seq <- hs;
+    t.h_slot <- hl
+  end;
+  let ht = t.h_time and hs = t.h_seq and hl = t.h_slot in
+  (* Sift the hole up, moving entries down until the new key fits. *)
+  let i = ref t.h_len in
+  t.h_len <- t.h_len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = ht.(p) in
+    if pt > time || (pt = time && hs.(p) > seq) then begin
+      ht.(!i) <- pt;
+      hs.(!i) <- hs.(p);
+      hl.(!i) <- hl.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  ht.(!i) <- time;
+  hs.(!i) <- seq;
+  hl.(!i) <- slot
+
+(* Remove the minimum: move the last entry into the root hole and sift
+   it down. *)
+let heap_discard_min t =
+  let n = t.h_len - 1 in
+  t.h_len <- n;
+  if n > 0 then begin
+    let ht = t.h_time and hs = t.h_seq and hl = t.h_slot in
+    let time = ht.(n) and seq = hs.(n) and slot = hl.(n) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && (ht.(r) < ht.(l) || (ht.(r) = ht.(l) && hs.(r) < hs.(l)))
+          then r
+          else l
+        in
+        if ht.(c) < time || (ht.(c) = time && hs.(c) < seq) then begin
+          ht.(!i) <- ht.(c);
+          hs.(!i) <- hs.(c);
+          hl.(!i) <- hl.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    ht.(!i) <- time;
+    hs.(!i) <- seq;
+    hl.(!i) <- slot
+  end
+
+(* {2 Scheduling} *)
+
+let enqueue t ~at action =
   if Time.(at < t.clock) then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at %s < now %s" (Time.to_string at)
          (Time.to_string t.clock));
-  let h = { time = at; seq = t.next_seq; live = true; action; owner = t } in
-  t.next_seq <- t.next_seq + 1;
+  let slot = alloc_slot t in
+  t.p_act.(slot) <- action;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   t.live_count <- t.live_count + 1;
-  Heap.push t.queue h;
-  h
+  heap_push t ~time:(Time.to_us at) ~seq ~slot;
+  slot
+
+let schedule t ~at action =
+  let slot = enqueue t ~at action in
+  { owner = t; slot; gen = t.p_gen.(slot) }
 
 let schedule_after t d action = schedule t ~at:(Time.add t.clock d) action
+let post t ~at action = ignore (enqueue t ~at action : int)
+let post_after t d action = post t ~at:(Time.add t.clock d) action
 
 let cancel h =
-  if h.live then begin
-    h.live <- false;
-    h.owner.live_count <- h.owner.live_count - 1
+  let t = h.owner in
+  (* The generation check makes a cancel through a recycled handle a
+     no-op: firing or cancelling bumps the slot's generation. *)
+  if t.p_gen.(h.slot) = h.gen && not t.p_dead.(h.slot) then begin
+    t.p_dead.(h.slot) <- true;
+    t.p_act.(h.slot) <- nop;
+    t.live_count <- t.live_count - 1
   end
 
 let pending t = t.live_count
 
-(* Discard cancelled events lazily so cancellation stays O(1). *)
-let rec peek_live t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some h when not h.live ->
-      ignore (Heap.pop t.queue);
-      peek_live t
-  | Some h -> Some h
+(* Discard cancelled events lazily so cancellation stays O(1). Returns
+   [true] iff a live event sits at the top of the heap. *)
+let rec live_top t =
+  if t.h_len = 0 then false
+  else begin
+    let slot = t.h_slot.(0) in
+    if t.p_dead.(slot) then begin
+      heap_discard_min t;
+      free_slot t slot;
+      live_top t
+    end
+    else true
+  end
 
-let fire t h =
-  ignore (Heap.pop t.queue);
-  (* A fired event is no longer pending; marking it dead also makes a
-     late [cancel] a no-op rather than a double decrement. *)
-  h.live <- false;
+let fire_top t =
+  let slot = t.h_slot.(0) in
+  let time = t.h_time.(0) in
+  let act = t.p_act.(slot) in
+  heap_discard_min t;
+  (* Recycle before running: the generation bump makes a late [cancel]
+     from inside (or after) the action a no-op rather than a double
+     decrement. *)
+  free_slot t slot;
   t.live_count <- t.live_count - 1;
-  t.clock <- h.time;
+  t.clock <- Time.of_us time;
   t.fired <- t.fired + 1;
-  h.action ()
+  act ()
 
 let step t =
-  match peek_live t with
-  | None -> false
-  | Some h ->
-      fire t h;
-      true
+  if live_top t then begin
+    fire_top t;
+    true
+  end
+  else false
 
 let run ?until ?max_steps t =
-  let steps = ref 0 in
-  let budget_left () =
-    match max_steps with None -> true | Some m -> !steps < m
-  in
-  let rec loop () =
-    if budget_left () then
-      match peek_live t with
-      | None -> ()
-      | Some h -> (
-          match until with
-          | Some u when Time.(h.time > u) -> ()
-          | _ ->
-              fire t h;
-              incr steps;
-              loop ())
-  in
-  loop ();
+  let horizon = match until with None -> max_int | Some u -> Time.to_us u in
+  (match max_steps with
+  | None ->
+      (* The common case: a tight monomorphic loop, no step budget. *)
+      while live_top t && t.h_time.(0) <= horizon do
+        fire_top t
+      done
+  | Some m ->
+      let steps = ref 0 in
+      while !steps < m && live_top t && t.h_time.(0) <= horizon do
+        fire_top t;
+        incr steps
+      done);
   (* Leave the clock at the horizon so samplers observe a full window. *)
   match until with
   | Some u when Time.(t.clock < u) -> t.clock <- u

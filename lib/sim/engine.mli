@@ -6,10 +6,16 @@
     deterministic. *)
 
 type t
-(** One simulation run's clock and event queue. *)
+(** One simulation run's clock and event queue. Events are stored in a
+    pooled, flat representation: slots recycled through a free list,
+    with generation counters guarding stale handles, and a monomorphic
+    (time, sequence) int heap — see the implementation notes in
+    [engine.ml]. *)
 
 type handle
-(** A scheduled event, usable to cancel it before it fires. *)
+(** A scheduled event, usable to cancel it before it fires. Handles
+    carry a generation counter: cancelling a handle whose pool slot has
+    since been recycled is detected and ignored. *)
 
 val create : unit -> t
 (** A fresh engine with the clock at {!Time.zero} and no events. *)
@@ -23,6 +29,14 @@ val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 
 val schedule_after : t -> Time.span -> (unit -> unit) -> handle
 (** [schedule_after t d f] is [schedule t ~at:(now t + d) f]. *)
+
+val post : t -> at:Time.t -> (unit -> unit) -> unit
+(** [post t ~at f] is [schedule t ~at f] for events that will never be
+    cancelled: no handle is materialized, so the fast path allocates
+    nothing beyond the caller's closure. *)
+
+val post_after : t -> Time.span -> (unit -> unit) -> unit
+(** [post_after t d f] is [post t ~at:(now t + d) f]. *)
 
 val cancel : handle -> unit
 (** Prevent a pending event from firing. Cancelling a fired or already

@@ -12,12 +12,19 @@ let peek iv = iv.value
 let try_fill iv v =
   match iv.value with
   | Some _ -> false
-  | None ->
+  | None -> (
       iv.value <- Some v;
-      let wakes = List.rev iv.waiters in
-      iv.waiters <- [];
-      List.iter (fun wake -> wake ()) wakes;
-      true
+      match iv.waiters with
+      | [] -> true
+      | [ only ] ->
+          (* One waiter — every kernel send — skips the rev allocation. *)
+          iv.waiters <- [];
+          only ();
+          true
+      | waiters ->
+          iv.waiters <- [];
+          List.iter (fun wake -> wake ()) (List.rev waiters);
+          true)
 
 let fill iv v = if not (try_fill iv v) then invalid_arg "Ivar.fill: already filled"
 

@@ -6,10 +6,16 @@ type 'a t = {
 let create () = { queue = Queue.create (); readers = [] }
 
 let wake_one mb =
-  match List.rev mb.readers with
+  match mb.readers with
   | [] -> ()
-  | oldest :: _ ->
-      mb.readers <- List.filter (fun r -> r != oldest) mb.readers;
+  | [ only ] ->
+      (* Single blocked reader — the overwhelmingly common case on IPC
+         inboxes — wakes without the rev/filter list churn below. *)
+      mb.readers <- [];
+      only ()
+  | readers ->
+      let oldest = List.hd (List.rev readers) in
+      mb.readers <- List.filter (fun r -> r != oldest) readers;
       oldest ()
 
 let send mb v =
@@ -29,13 +35,13 @@ let drain mb =
   loop []
 
 let rec recv mb =
-  match Queue.take_opt mb.queue with
-  | Some v -> v
-  | None ->
-      Proc.suspend (fun wake ->
-          mb.readers <- wake :: mb.readers;
-          fun () -> mb.readers <- List.filter (fun r -> r != wake) mb.readers);
-      recv mb
+  if not (Queue.is_empty mb.queue) then Queue.pop mb.queue
+  else begin
+    Proc.suspend (fun wake ->
+        mb.readers <- wake :: mb.readers;
+        fun () -> mb.readers <- List.filter (fun r -> r != wake) mb.readers);
+    recv mb
+  end
 
 let recv_timeout engine mb span =
   let deadline = Time.add (Engine.now engine) span in

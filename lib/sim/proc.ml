@@ -10,7 +10,7 @@ type status_repr =
 
 and suspension = {
   k : (unit, unit) Effect.Deep.continuation;
-  cleanup : unit -> unit;
+  mutable cleanup : unit -> unit;
 }
 
 type t = {
@@ -19,6 +19,11 @@ type t = {
   mutable state : status_repr;
   mutable doomed : bool;
   mutable paused : bool;
+  mutable susp_gen : int;
+      (* bumped when a suspension is consumed (woken or killed): a
+         straggling wake-up from a source that lost the race — or from a
+         timer that outlived the process — compares generations and
+         becomes a no-op, replacing a per-suspend [woken] ref cell *)
   mutable deferred : (unit -> unit) option;
       (* wake-up (or embryo start) that arrived while paused *)
   mutable exit_hooks : (exit -> unit) list;
@@ -49,6 +54,8 @@ let finish p e =
   p.exit_hooks <- [];
   List.iter (fun h -> h e) hooks
 
+let nop () = ()
+
 let spawn engine ~name body =
   let counter = Domain.DLS.get counter in
   incr counter;
@@ -59,6 +66,7 @@ let spawn engine ~name body =
       state = Running;
       doomed = false;
       paused = false;
+      susp_gen = 0;
       deferred = None;
       exit_hooks = [];
     }
@@ -83,13 +91,17 @@ let spawn engine ~name body =
                       (fun (k : (a, unit) continuation) ->
                         if p.doomed then discontinue k Killed_exn
                         else begin
-                          let woken = ref false in
-                          let registered_cleanup = ref (fun () -> ()) in
+                          (* A process has at most one outstanding
+                             suspension, so one generation counter on
+                             [p] replaces the per-suspend [woken] and
+                             [cleanup] ref cells: a wake-up whose
+                             generation no longer matches is stale. *)
+                          let gen = p.susp_gen in
                           let rec wake () =
-                            if not !woken then begin
+                            if p.susp_gen = gen then begin
                               if p.paused then p.deferred <- Some wake
                               else begin
-                                woken := true;
+                                p.susp_gen <- gen + 1;
                                 match p.state with
                                 | Suspended _ ->
                                     p.state <- Running;
@@ -98,12 +110,9 @@ let spawn engine ~name body =
                               end
                             end
                           in
-                          let cleanup () =
-                            woken := true;
-                            !registered_cleanup ()
-                          in
-                          p.state <- Suspended { k; cleanup };
-                          registered_cleanup := register wake
+                          let s = { k; cleanup = nop } in
+                          p.state <- Suspended s;
+                          s.cleanup <- register wake
                         end)
                 | _ -> None);
           }
@@ -121,6 +130,10 @@ let kill p =
       Engine.cancel h;
       finish p Killed
   | Suspended s ->
+      (* Consume the suspension before discontinuing so a wake-up source
+         that still holds a reference (e.g. a sleep timer yet to fire)
+         sees a stale generation and does nothing. *)
+      p.susp_gen <- p.susp_gen + 1;
       s.cleanup ();
       p.state <- Running;
       Effect.Deep.discontinue s.k Killed_exn
@@ -145,10 +158,14 @@ let on_exit p hook =
 
 let suspend register = Effect.perform (Suspend register)
 
+(* The timer is posted handle-free: a sleep that outlives its process
+   (the process was killed) fires as a stale wake-up, which the
+   generation check turns into a no-op — cheaper than materializing a
+   cancellable handle for every sleep just for that rare case. *)
 let sleep engine span =
   suspend (fun wake ->
-      let h = Engine.schedule_after engine span wake in
-      fun () -> Engine.cancel h)
+      Engine.post_after engine span wake;
+      nop)
 
 let yield engine = sleep engine Time.zero
 

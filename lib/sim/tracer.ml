@@ -53,19 +53,28 @@ let message_of ev =
 
 type record = { at : Time.t; seq : int; ev : event }
 
+(* The ring is struct-of-arrays so [emit] writes three slots instead of
+   allocating a [record] per event; records are materialized only when
+   the ring is read back (or handed to a subscriber). *)
 type t = {
   engine : Engine.t;
   mutable on : bool;
   capacity : int;
-  mutable buf : record array; (* ring; empty until first emit *)
+  mutable b_at : Time.t array; (* rings; empty until first emit *)
+  mutable b_seq : int array;
+  mutable b_ev : event array;
   mutable start : int; (* index of oldest retained record *)
   mutable len : int;
   mutable next_seq : int;
   mutable evicted : int;
-  mutable subscribers : (record -> unit) list; (* reversed *)
+  mutable subs : (record -> unit) array; (* registration order *)
 }
 
 let default_capacity = 65536
+
+(* Ring filler for unused/cleared slots, so scrubbing never retains a
+   real event. *)
+let blank_ev : event = Text { category = ""; message = "" }
 
 let create ?(capacity = default_capacity) engine =
   if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
@@ -73,12 +82,14 @@ let create ?(capacity = default_capacity) engine =
     engine;
     on = true;
     capacity;
-    buf = [||];
+    b_at = [||];
+    b_seq = [||];
+    b_ev = [||];
     start = 0;
     len = 0;
     next_seq = 0;
     evicted = 0;
-    subscribers = [];
+    subs = [||];
   }
 
 let enabled t = t.on
@@ -86,40 +97,69 @@ let set_enabled t on = t.on <- on
 let seq t = t.next_seq
 let dropped t = t.evicted
 
-let on_event t f = t.subscribers <- f :: t.subscribers
+let on_event t f = t.subs <- Array.append t.subs [| f |]
 
-let push t r =
-  if Array.length t.buf = 0 then t.buf <- Array.make t.capacity r;
-  if t.len < t.capacity then begin
-    t.buf.((t.start + t.len) mod t.capacity) <- r;
-    t.len <- t.len + 1
-  end
-  else begin
-    (* Full: overwrite the oldest slot. *)
-    t.buf.(t.start) <- r;
-    t.start <- (t.start + 1) mod t.capacity;
-    t.evicted <- t.evicted + 1
-  end
+let push t ~at ~seq ev =
+  if Array.length t.b_ev = 0 then begin
+    t.b_at <- Array.make t.capacity Time.zero;
+    t.b_seq <- Array.make t.capacity 0;
+    t.b_ev <- Array.make t.capacity blank_ev
+  end;
+  let i =
+    if t.len < t.capacity then begin
+      let i = (t.start + t.len) mod t.capacity in
+      t.len <- t.len + 1;
+      i
+    end
+    else begin
+      (* Full: overwrite the oldest slot. *)
+      let i = t.start in
+      t.start <- (t.start + 1) mod t.capacity;
+      t.evicted <- t.evicted + 1;
+      i
+    end
+  in
+  t.b_at.(i) <- at;
+  t.b_seq.(i) <- seq;
+  t.b_ev.(i) <- ev
 
 let emit t ev =
   if t.on then begin
-    let r = { at = Engine.now t.engine; seq = t.next_seq; ev } in
-    t.next_seq <- t.next_seq + 1;
-    push t r;
-    (* Registration order: the list is consed, so fold from the right. *)
-    List.iter (fun f -> f r) (List.rev t.subscribers)
+    let at = Engine.now t.engine in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    push t ~at ~seq ev;
+    (* Subscribers are rare; the record is boxed only when at least one
+       is attached, so the common emit allocates nothing. *)
+    let subs = t.subs in
+    let n = Array.length subs in
+    if n > 0 then begin
+      let r = { at; seq; ev } in
+      for i = 0 to n - 1 do
+        subs.(i) r
+      done
+    end
   end
 
 let record t ~category message =
   if t.on then emit t (Text { category; message })
 
+(* A disabled tracer must not pay for formatting: [ikfprintf] discards
+   the arguments without interpreting the format string. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let recordf t ~category fmt =
-  Format.kasprintf (fun message -> record t ~category message) fmt
+  if t.on then Format.kasprintf (fun message -> record t ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
+
+let nth_record t i =
+  let j = (t.start + i) mod t.capacity in
+  { at = t.b_at.(j); seq = t.b_seq.(j); ev = t.b_ev.(j) }
 
 let fold_records t f acc =
   let acc = ref acc in
   for i = 0 to t.len - 1 do
-    acc := f !acc t.buf.((t.start + i) mod t.capacity)
+    acc := f !acc (nth_record t i)
   done;
   !acc
 
@@ -132,9 +172,12 @@ let records_between t ~lo ~hi =
        [])
 
 let clear t =
+  (* Retain the allocated rings — a cleared tracer is usually about to
+     fill up again — but scrub the event slots so cleared events are not
+     kept reachable. *)
+  if Array.length t.b_ev > 0 then Array.fill t.b_ev 0 t.capacity blank_ev;
   t.start <- 0;
-  t.len <- 0;
-  t.buf <- [||]
+  t.len <- 0
 
 (* {2 Legacy string view} *)
 

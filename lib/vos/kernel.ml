@@ -216,10 +216,12 @@ let allocator t = t.alloc
 let host_lh t = t.the_host_lh
 let memory_bytes t = t.mem_bytes
 
+(* Stat counters fire on every IPC; [Hashtbl.find] avoids the [Some]
+   box that [find_opt] allocates per hit. *)
 let bump t name =
-  match Hashtbl.find_opt t.stats name with
-  | Some r -> incr r
-  | None -> Hashtbl.replace t.stats name (ref 1)
+  match Hashtbl.find t.stats name with
+  | r -> incr r
+  | exception Not_found -> Hashtbl.replace t.stats name (ref 1)
 
 let stat t name =
   match Hashtbl.find_opt t.stats name with Some r -> !r | None -> 0
@@ -359,12 +361,12 @@ let deliver_request t ~src ~dst ~txn ~msg ~origin =
   | None -> No_target
   | Some home -> (
       let inbound = Logical_host.inbound home in
-      match Hashtbl.find_opt inbound (src, txn) with
+      match Hashtbl.find_opt inbound txn with
       | Some Logical_host.Queued | Some Logical_host.In_service -> Pending
       | Some (Logical_host.Replied (m, _)) ->
           (* Refresh retention: duplicates arriving reset the replier's
              timeout for keeping the reply (Section 3.1.3). *)
-          Hashtbl.replace inbound (src, txn)
+          Hashtbl.replace inbound txn
             (Logical_host.Replied
                (m, Time.add (Engine.now t.eng) t.prm.Os_params.reply_cache_ttl));
           Already_replied m
@@ -372,7 +374,7 @@ let deliver_request t ~src ~dst ~txn ~msg ~origin =
           match resolve_vproc t dst with
           | None -> No_target
           | Some vp ->
-              Hashtbl.replace inbound (src, txn) Logical_host.Queued;
+              Hashtbl.replace inbound txn Logical_host.Queued;
               Mailbox.send (Vproc.inbox vp)
                 { Delivery.src; dst; txn; msg; origin };
               ev t (fun () -> Ipc_recv { host = t.name; txn; src; dst });
@@ -490,8 +492,7 @@ let send ?deadline t ~src ~dst msg =
   | Some at ->
       if Time.(at <= Engine.now t.eng) then complete t os (Error No_response)
       else
-        ignore
-          (Engine.schedule t.eng ~at (fun () -> complete t os (Error No_response)))
+        Engine.post t.eng ~at (fun () -> complete t os (Error No_response))
   | None -> ());
   let r = Ivar.read os.os_ivar in
   (match r with Error _ -> bump t "sends_failed" | Ok _ -> ());
@@ -570,8 +571,7 @@ let receive t vp =
   (if not (is_group_pid d.Delivery.dst) then
      match inbound_home t d.Delivery.dst with
      | Some home ->
-         Hashtbl.replace (Logical_host.inbound home)
-           (d.Delivery.src, d.Delivery.txn)
+         Hashtbl.replace (Logical_host.inbound home) d.Delivery.txn
            Logical_host.In_service
      | None -> ());
   d
@@ -612,8 +612,7 @@ let reply ?from t (d : Delivery.t) msg =
   else begin
     (match inbound_home t d.Delivery.dst with
     | Some home ->
-        Hashtbl.replace (Logical_host.inbound home)
-          (d.Delivery.src, d.Delivery.txn)
+        Hashtbl.replace (Logical_host.inbound home) d.Delivery.txn
           (Logical_host.Replied
              (msg, Time.add (Engine.now t.eng) t.prm.Os_params.reply_cache_ttl))
     | None -> ());
@@ -928,7 +927,7 @@ let extract_lh ?page_source t lh =
       List.iter
         (fun (d : Delivery.t) ->
           if not (is_group_pid d.Delivery.dst) then
-            Hashtbl.remove inbound (d.Delivery.src, d.Delivery.txn);
+            Hashtbl.remove inbound d.Delivery.txn;
           match d.Delivery.origin with
           | Delivery.Local -> (
               match Hashtbl.find_opt t.outstanding d.Delivery.txn with
@@ -969,8 +968,7 @@ let rec arm_reservation_timer t id =
   match Hashtbl.find_opt t.reservations id with
   | None -> ()
   | Some r ->
-      ignore
-        (Engine.schedule t.eng ~at:r.r_expires (fun () ->
+      Engine.post t.eng ~at:r.r_expires (fun () ->
              match Hashtbl.find_opt t.reservations id with
              | None -> ()
              | Some r ->
@@ -980,7 +978,7 @@ let rec arm_reservation_timer t id =
                    trace t "reservation %a expired, released %d bytes"
                      Ids.pp_lh id r.r_bytes
                  end
-                 else arm_reservation_timer t id))
+                 else arm_reservation_timer t id)
 
 let reserve_lh t ~temp_lh ~bytes =
   if memory_free t >= bytes then begin

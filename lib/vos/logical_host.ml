@@ -39,7 +39,7 @@ type t = {
   mutable next_index : int;
   mutable is_frozen : bool;
   mutable thaw_waiters : (unit -> unit) list;
-  inbound_tbl : (Ids.pid * Packet.txn, inbound_state) Hashtbl.t;
+  inbound_tbl : (Packet.txn, inbound_state) Hashtbl.t;
   mutable deferred : Delivery.t list; (* newest first *)
 }
 

@@ -88,8 +88,12 @@ val thaw : t -> unit
 
 (** {1 Migratable request state} *)
 
-val inbound : t -> (Ids.pid * Packet.txn, inbound_state) Hashtbl.t
-(** Keyed by (sender, transaction). *)
+val inbound : t -> (Packet.txn, inbound_state) Hashtbl.t
+(** Keyed by transaction id alone: txn values are drawn from one
+    per-domain counter shared by every kernel in a replica, so no two
+    senders ever share a txn and the (sender, txn) pair of Section 3.1.3
+    collapses to the int — an int key hashes without allocating the pair
+    on every duplicate-suppression probe. *)
 
 val defer_op : t -> Delivery.t -> unit
 (** Park a kernel-server/program-manager request targeting this (frozen)

@@ -9,10 +9,9 @@ let poisson_stream eng rng ~rate_per_sec ~until f =
     let gap = exponential_span rng ~mean in
     let at = Time.add (Engine.now eng) gap in
     if Time.(at <= until) then
-      ignore
-        (Engine.schedule eng ~at (fun () ->
-             f k;
-             next (k + 1)))
+      Engine.post eng ~at (fun () ->
+          f k;
+          next (k + 1))
   in
   next 0
 

@@ -614,6 +614,107 @@ let test_tracer_by_category () =
   Tracer.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Tracer.entries tr))
 
+(* {1 Handle-pooling properties}
+
+   The engine recycles event slots through a free list, telling handles
+   apart by generation counter. These properties drive random
+   schedule/cancel/run interleavings through the pool hard enough to
+   force slot reuse and check the observable contract survives it. *)
+
+(* A script is a list of (delay, op) where op schedules, cancels a
+   previously returned live handle, or fires everything due so slots
+   recycle mid-script. *)
+let prop_pool_stale_cancel_noop =
+  QCheck.Test.make ~name:"stale cancel after slot reuse is a no-op" ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 100)))
+    (fun script ->
+      let e = Engine.create () in
+      let fired = ref 0 in
+      let expected = ref 0 in
+      (* Schedule n events, fire them all (their slots return to the free
+         list), then schedule n more (reusing those slots) and cancel the
+         {e stale} handles from the first batch: none of the second batch
+         may be lost. *)
+      List.iter
+        (fun (n, d) ->
+          let n = 1 + (n mod 10) in
+          let stale =
+            List.init n (fun i ->
+                Engine.schedule_after e (us (1 + d + i)) (fun () -> incr fired))
+          in
+          expected := !expected + n;
+          Engine.run e;
+          let live =
+            List.init n (fun i ->
+                Engine.schedule_after e (us (1 + d + i)) (fun () -> incr fired))
+          in
+          expected := !expected + n;
+          (* Stale cancels hit recycled slots; the generation check must
+             protect the new occupants. *)
+          List.iter Engine.cancel stale;
+          Engine.run e;
+          ignore live)
+        script;
+      !fired = !expected)
+
+let prop_pool_pending_exact =
+  QCheck.Test.make ~name:"pending counts live events exactly" ~count:200
+    QCheck.(pair (int_bound 97) (list (int_bound 100)))
+    (fun (cancel_mask, delays) ->
+      let e = Engine.create () in
+      let handles =
+        List.mapi
+          (fun i d -> (i, Engine.schedule_after e (us (d + 1)) (fun () -> ())))
+          delays
+      in
+      let cancelled =
+        List.filter (fun (i, _) -> i mod 7 = cancel_mask mod 7) handles
+      in
+      List.iter (fun (_, h) -> Engine.cancel h) cancelled;
+      (* Double-cancel must not decrement twice. *)
+      List.iter (fun (_, h) -> Engine.cancel h) cancelled;
+      Engine.pending e = List.length handles - List.length cancelled)
+
+let prop_pool_order_under_recycling =
+  QCheck.Test.make ~name:"fire order is (time, seq) under slot recycling"
+    ~count:200
+    QCheck.(list (int_bound 30))
+    (fun delays ->
+      (* Interleave schedule bursts with partial drains so later bursts
+         reuse earlier bursts' slots, then check the full firing log is
+         sorted by time with FIFO tie-break (the log's construction
+         order IS the seq order when sorted stably by time). *)
+      let e = Engine.create () in
+      let log = ref [] in
+      let tag = ref 0 in
+      List.iter
+        (fun d ->
+          for _ = 0 to 2 do
+            incr tag;
+            let t = !tag in
+            ignore
+              (Engine.schedule e
+                 ~at:(Time.add (Engine.now e) (us d))
+                 (fun () -> log := (Time.to_us (Engine.now e), t) :: !log))
+          done;
+          (* Partial drain: step a few events, freeing their slots for
+             the next burst. *)
+          ignore (Engine.step e);
+          ignore (Engine.step e))
+        delays;
+      Engine.run e;
+      let l = List.rev !log in
+      (* Firing order must equal (time, schedule order): tags are
+         assigned in schedule order, so sorting by time with tag as the
+         tie-break must be the identity — anything else means recycling
+         broke either the heap order or the FIFO seq tie-break. *)
+      List.sort
+        (fun (a, ta) (b, tb) ->
+          if a <> b then Int.compare a b else Int.compare ta tb)
+        l
+      = l
+      && List.length l = 3 * List.length delays)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -647,7 +748,13 @@ let () =
           Alcotest.test_case "rejects past" `Quick test_engine_schedule_past;
           Alcotest.test_case "nested scheduling" `Quick
             test_engine_nested_schedule;
-        ] );
+        ]
+        @ qcheck
+            [
+              prop_pool_stale_cancel_noop;
+              prop_pool_pending_exact;
+              prop_pool_order_under_recycling;
+            ] );
       ( "proc",
         [
           Alcotest.test_case "runs" `Quick test_proc_runs;
