@@ -1223,6 +1223,79 @@ let strategies () =
      answering page faults after commit — the paper's residual dependency; \
      pre-copy gets the short freeze with zero residual messages"
 
+(* {1 E-stress: the scenario library under open-loop load} *)
+
+(* One open-loop cell per {!Scenario.Library} family: each runs the
+   family's serve shape at pinned seeds with the full monitor bundle
+   attached and fails the bench on any invariant violation or leaked
+   request. Every printed number is an event count or virtual-time
+   quantity, so stdout is byte-identical for any [-j]; the committed
+   BENCH_stress.json floors feed the same events/s regression gate as
+   the main profile (regenerate with
+     dune exec bench/main.exe -- stress --quick -j 1 --json BENCH_stress.json
+   run a few times and keep conservative per-cell minima, DESIGN.md
+   §4h/§4i). *)
+let stress entry () =
+  let name = Scenario.Library.name entry in
+  banner
+    (Printf.sprintf "E-stress:%s — %s" name (Scenario.Library.stresses entry));
+  let reps = if !quick then 3 else 6 in
+  let seeds = List.init reps (fun rep -> 41 + (17 * rep)) in
+  let results =
+    par
+      (List.map
+         (fun seed () ->
+           let sv = Scenario.Library.serve entry ~seed in
+           let o, cl = Scenario.run_serve_cluster sv in
+           (seed, sv, o, cl))
+         seeds)
+  in
+  let bad = ref 0 in
+  List.iter
+    (fun (seed, sv, o, cl) ->
+      register cl;
+      let viol =
+        List.length o.Scenario.so_violations + o.Scenario.so_violations_dropped
+      in
+      let counts kvs =
+        String.concat " "
+          (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) kvs)
+      in
+      row
+        "  seed %-3d submitted %4d  completed %4d  shed %3d  stuck %d  \
+         violations %d  (%d events)"
+        seed o.Scenario.so_submitted o.Scenario.so_completed
+        o.Scenario.so_shed o.Scenario.so_stuck viol o.Scenario.so_events;
+      row "           faults [%s]  migrations [%s]"
+        (counts o.Scenario.so_fault_fired)
+        (counts o.Scenario.so_strategies);
+      if viol > 0 || o.Scenario.so_stuck > 0 then begin
+        incr bad;
+        List.iter
+          (fun v -> Format.printf "%a@." Monitors.pp_violation v)
+          o.Scenario.so_violations;
+        row "  REPLAY: %s" (Scenario.replay_serve_hint sv)
+      end)
+    results;
+  let tot f =
+    List.fold_left (fun acc (_, _, o, _) -> acc + f o) 0 results
+  in
+  metric
+    (Printf.sprintf "stress_submitted:%s" name)
+    (float_of_int (tot (fun o -> o.Scenario.so_submitted)));
+  metric
+    (Printf.sprintf "stress_completed:%s" name)
+    (float_of_int (tot (fun o -> o.Scenario.so_completed)));
+  metric
+    (Printf.sprintf "stress_shed:%s" name)
+    (float_of_int (tot (fun o -> o.Scenario.so_shed)));
+  if !bad > 0 then begin
+    Printf.eprintf
+      "stress:%s: %d run(s) violated invariants or leaked requests\n%!" name
+      !bad;
+    exit 1
+  end
+
 (* {1 E-alloc: minor-heap words per event (allocation regressions)} *)
 
 (* Wall-clock benches miss regressions the GC absorbs; this experiment
@@ -1434,6 +1507,14 @@ let experiments =
 (* Diagnostics runnable by name but excluded from the default (and
    [--quick]) profiles — and thereby from the committed baseline. *)
 let named_only_experiments = [ ("layers", layers) ]
+
+(* The scenario-library stress family: its own profile with its own
+   committed floors (BENCH_stress.json). The bare name "stress" expands
+   to every family; "stress:NAME" runs one. *)
+let stress_experiments =
+  List.map
+    (fun e -> ("stress:" ^ Scenario.Library.name e, stress e))
+    Scenario.Library.all
 
 type report = {
   r_name : string;
@@ -1666,16 +1747,20 @@ let () =
         if !quick then List.filter (fun (n, _) -> n <> "bechamel") experiments
         else experiments
     | names ->
-        List.map
+        List.concat_map
           (fun name ->
-            match
-              List.assoc_opt name (experiments @ named_only_experiments)
-            with
-            | Some f -> (name, f)
-            | None ->
-                Printf.eprintf "unknown experiment %S; known: %s\n" name
-                  (String.concat ", " (List.map fst experiments));
-                exit 2)
+            if String.equal name "stress" then stress_experiments
+            else
+              match
+                List.assoc_opt name
+                  (experiments @ named_only_experiments @ stress_experiments)
+              with
+              | Some f -> [ (name, f) ]
+              | None ->
+                  Printf.eprintf "unknown experiment %S; known: %s, stress\n"
+                    name
+                    (String.concat ", " (List.map fst experiments));
+                  exit 2)
           names
   in
   List.iter run_one chosen;

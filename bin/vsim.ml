@@ -320,14 +320,22 @@ let programs_cmd () =
    exact command line that replays it. *)
 
 (* Coverage bookkeeping for aggregate fuzz runs: which fault kinds any
-   scenario declared, how often each actually fired, and how many events
-   each monitor inspected — so a green run also proves the fault matrix
-   and the monitor bundle were genuinely exercised. *)
+   scenario declared, how often each actually fired, how many events
+   each monitor inspected, which migration strategies started, which
+   trace-event constructors were observed, and — for library scenarios —
+   how often each entry ran and which of its declared features
+   materialized. A green run must also prove the behavior matrix was
+   genuinely exercised. *)
 
 type coverage_acc = {
   cov_declared : (string, unit) Hashtbl.t;
   cov_fired : (string, int ref) Hashtbl.t;
   cov_monitors : (string, int ref) Hashtbl.t;
+  cov_scenarios : (string, int ref) Hashtbl.t;
+  cov_strategies : (string, int ref) Hashtbl.t;
+  cov_events : (string, int ref) Hashtbl.t;
+  (* feature name -> (runs declaring it, runs where it materialized) *)
+  cov_features : (string, int ref * int ref) Hashtbl.t;
 }
 
 let coverage_acc () =
@@ -335,9 +343,14 @@ let coverage_acc () =
     cov_declared = Hashtbl.create 8;
     cov_fired = Hashtbl.create 8;
     cov_monitors = Hashtbl.create 8;
+    cov_scenarios = Hashtbl.create 8;
+    cov_strategies = Hashtbl.create 8;
+    cov_events = Hashtbl.create 64;
+    cov_features = Hashtbl.create 8;
   }
 
-let coverage_note acc ~declared ~fired ~monitors =
+let coverage_note ?label ?(features = []) acc ~declared ~fired ~monitors
+    ~strategies ~events =
   let bump tbl (k, n) =
     match Hashtbl.find_opt tbl k with
     | Some r -> r := !r + n
@@ -345,29 +358,93 @@ let coverage_note acc ~declared ~fired ~monitors =
   in
   List.iter (fun k -> Hashtbl.replace acc.cov_declared k ()) declared;
   List.iter (bump acc.cov_fired) fired;
-  List.iter (bump acc.cov_monitors) monitors
+  List.iter (bump acc.cov_monitors) monitors;
+  List.iter (bump acc.cov_strategies) strategies;
+  List.iter (bump acc.cov_events) events;
+  (match label with Some l -> bump acc.cov_scenarios (l, 1) | None -> ());
+  List.iter
+    (fun (f, materialized) ->
+      let decl, mat =
+        match Hashtbl.find_opt acc.cov_features f with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.replace acc.cov_features f cell;
+            cell
+      in
+      incr decl;
+      if materialized then incr mat)
+    features
 
-(* Prints the coverage report; returns [true] if [require] is set and a
-   declared fault kind never fired or a monitor never inspected anything. *)
-let coverage_report ~require acc =
+(* What a library-sampled run promises in aggregate: every sampled entry
+   ran, every feature it declares materialized somewhere, every strategy
+   it promises started at least once. *)
+type coverage_expect = {
+  x_scenarios : string list;
+  x_strategies : string list;
+  x_features : string list;
+}
+
+let expect_of_entries entries ~serve =
+  let union l = List.sort_uniq String.compare (List.concat l) in
+  {
+    x_scenarios = List.map Scenario.Library.name entries;
+    x_strategies =
+      union (List.map (fun e -> Scenario.Library.strategies e ~serve) entries);
+    x_features =
+      union (List.map (fun e -> Scenario.Library.features e ~serve) entries);
+  }
+
+let sorted_keys tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* Prints the coverage report; returns [true] if a gate is armed and
+   missed. [require] gates fault kinds and monitors;
+   [require_scenario] additionally gates the library [expect]
+   contract (and implies [require]). *)
+let coverage_report ~require ~require_scenario ?expect acc =
+  let require = require || require_scenario in
   let count tbl k =
     match Hashtbl.find_opt tbl k with Some r -> !r | None -> 0
   in
+  let fmt_counts tbl keys =
+    if keys = [] then "(none)"
+    else
+      String.concat ", "
+        (List.map (fun k -> Printf.sprintf "%s=%d" k (count tbl k)) keys)
+  in
+  (match expect with
+  | Some x ->
+      Printf.printf "scenario coverage: %s\n"
+        (fmt_counts acc.cov_scenarios x.x_scenarios)
+  | None -> ());
   let declared =
     List.filter (Hashtbl.mem acc.cov_declared) Faults.all_kinds
   in
   Printf.printf "fault coverage: %s\n"
     (if declared = [] then "(no fault kinds declared)"
-     else
-       String.concat ", "
-         (List.map
-            (fun k -> Printf.sprintf "%s=%d" k (count acc.cov_fired k))
-            declared));
+     else fmt_counts acc.cov_fired declared);
   Printf.printf "monitor coverage: %s\n"
-    (String.concat ", "
-       (List.map
-          (fun m -> Printf.sprintf "%s=%d" m (count acc.cov_monitors m))
-          Monitors.monitor_names));
+    (fmt_counts acc.cov_monitors Monitors.monitor_names);
+  Printf.printf "strategy coverage: %s\n"
+    (fmt_counts acc.cov_strategies (sorted_keys acc.cov_strategies));
+  (match expect with
+  | Some _ ->
+      let features = sorted_keys acc.cov_features in
+      Printf.printf "feature coverage: %s\n"
+        (if features = [] then "(none declared)"
+         else
+           String.concat ", "
+             (List.map
+                (fun f ->
+                  let decl, mat = Hashtbl.find acc.cov_features f in
+                  Printf.sprintf "%s=%d/%d" f !mat !decl)
+                features))
+  | None -> ());
+  let event_kinds = sorted_keys acc.cov_events in
+  Printf.printf "trace coverage: %d event kinds: %s\n"
+    (List.length event_kinds)
+    (fmt_counts acc.cov_events event_kinds);
   if not require then false
   else begin
     let missing = List.filter (fun k -> count acc.cov_fired k = 0) declared in
@@ -383,17 +460,98 @@ let coverage_report ~require acc =
     List.iter
       (Printf.printf "COVERAGE FAIL: monitor %S never inspected an event\n")
       idle;
-    missing <> [] || idle <> []
+    let scenario_gaps =
+      if not require_scenario then []
+      else
+        match expect with
+        | None -> []
+        | Some x ->
+            let never_ran =
+              List.filter
+                (fun s -> count acc.cov_scenarios s = 0)
+                x.x_scenarios
+            in
+            let no_strategy =
+              List.filter
+                (fun s -> count acc.cov_strategies s = 0)
+                x.x_strategies
+            in
+            let dry_features =
+              List.filter
+                (fun f ->
+                  match Hashtbl.find_opt acc.cov_features f with
+                  | Some (_, mat) -> !mat = 0
+                  | None -> true)
+                x.x_features
+            in
+            List.iter
+              (Printf.printf "COVERAGE FAIL: scenario %S never ran\n")
+              never_ran;
+            List.iter
+              (Printf.printf
+                 "COVERAGE FAIL: strategy %S never started a migration\n")
+              no_strategy;
+            List.iter
+              (Printf.printf
+                 "COVERAGE FAIL: feature %S never materialized\n")
+              dry_features;
+            never_ran @ no_strategy @ dry_features
+    in
+    missing <> [] || idle <> [] || scenario_gaps <> []
   end
 
-let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
-    ~require_coverage =
-  let replay o = Scenario.replay_serve_hint o.Scenario.so_scenario ^ suffix in
+(* Scenario selection: [None] is the free-form generator; a library
+   entry list samples round-robin by seed, so every entry gets its share
+   of any contiguous seed range. *)
+let entry_for entries seed =
+  let n = List.length entries in
+  List.nth entries (((seed mod n) + n) mod n)
+
+let resolve_scenario = function
+  | None -> None
+  | Some "all" -> Some Scenario.Library.all
+  | Some name -> (
+      match Scenario.Library.find name with
+      | Some e -> Some [ e ]
+      | None ->
+          Printf.eprintf "vsim fuzz: unknown scenario %S (known: %s, all)\n"
+            name
+            (String.concat ", " Scenario.Library.names);
+          exit 124)
+
+let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
+    ~strategy_tok ~strategy ~entries ~require_coverage ~require_scenario =
+  let gen seed =
+    match entries with
+    | None -> Scenario.serve_of_seed seed
+    | Some es -> Scenario.Library.serve (entry_for es seed) ~seed
+  in
+  let features_of o =
+    match (entries, o.Scenario.so_scenario.Scenario.sv_label) with
+    | Some es, Some l -> (
+        match List.find_opt (fun e -> Scenario.Library.name e = l) es with
+        | Some e -> Scenario.Library.check_serve e o
+        | None -> [])
+    | _ -> []
+  in
+  let replay o =
+    Scenario.replay_serve_hint ~forwarding ?strategy:strategy_tok
+      o.Scenario.so_scenario
+  in
   match single with
   | Some seed ->
-      let sv = Scenario.serve_of_seed seed in
+      let sv = gen seed in
       print_endline (Scenario.describe_serve sv);
       let o = Scenario.run_serve ~rebind ?strategy sv in
+      (match features_of o with
+      | [] -> ()
+      | fs ->
+          Printf.printf "features: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (f, m) ->
+                    Printf.sprintf "%s=%s" f (if m then "yes" else "no"))
+                  fs)));
       Printf.printf
         "%d events checked; %d request(s) submitted, %d completed, %d shed, \
          %d stuck\n"
@@ -417,9 +575,7 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () =
-        Scenario.run_serve ~rebind ?strategy (Scenario.serve_of_seed seed)
-      in
+      let cell seed () = Scenario.run_serve ~rebind ?strategy (gen seed) in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -429,8 +585,13 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
         (fun o ->
           events := !events + o.Scenario.so_events;
           shed := !shed + o.Scenario.so_shed;
-          coverage_note acc ~declared:o.Scenario.so_fault_declared
-            ~fired:o.Scenario.so_fault_fired ~monitors:o.Scenario.so_monitors;
+          coverage_note acc
+            ?label:o.Scenario.so_scenario.Scenario.sv_label
+            ~features:(features_of o)
+            ~declared:o.Scenario.so_fault_declared
+            ~fired:o.Scenario.so_fault_fired ~monitors:o.Scenario.so_monitors
+            ~strategies:o.Scenario.so_strategies
+            ~events:o.Scenario.so_event_kinds;
           if o.Scenario.so_violations <> [] || o.Scenario.so_stuck <> 0 then begin
             incr failed;
             Printf.printf "FAIL %s\n"
@@ -453,7 +614,13 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
         base_seed jobs
         (if jobs = 1 then "" else "s")
         (Unix.gettimeofday () -. t0);
-      let cov_failed = coverage_report ~require:require_coverage acc in
+      let cov_failed =
+        coverage_report ~require:require_coverage
+          ~require_scenario:require_scenario
+          ?expect:
+            (Option.map (fun es -> expect_of_entries es ~serve:true) entries)
+          acc
+      in
       if !failed = 0 && not cov_failed then begin
         Printf.printf
           "fuzz --serve: %d seeds passed, %d events checked, %d shed, 0 stuck\n"
@@ -466,49 +633,74 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
         1
       end
 
-let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg
-    require_coverage =
+let fuzz_cmd count base_seed jobs replay_flags require_coverage
+    require_scenario =
+  let {
+    Replay.r_scenario = scenario_arg;
+    r_seed = single;
+    r_serve = serve_mode;
+    r_forwarding = forwarding;
+    r_strategy = strategy_arg;
+  } =
+    replay_flags
+  in
+  let entries = resolve_scenario scenario_arg in
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
   in
-  (* vm-flush needs a per-cluster page-server pid, which a generated
-     scenario can't carry; the three self-contained disciplines are the
-     meaningful mutation targets. *)
+  (* vm-flush needs a per-cluster page-server pid a generated scenario
+     can't know; the placeholder is substituted at launch time. *)
   let strategy =
-    match strategy_arg with
-    | None -> None
-    | Some `Precopy -> Some Protocol.Precopy
-    | Some `Freeze -> Some Protocol.Freeze_and_copy
-    | Some `Cor -> Some Protocol.Copy_on_reference
-    | Some `Vmflush ->
-        prerr_endline
-          "vsim fuzz: --strategy vmflush is not supported (it needs a \
-           page-server pid); use precopy, freeze or cor";
-        exit 124
-  in
-  let suffix =
-    (if forwarding then " --forwarding" else "")
-    ^
-    match strategy_arg with
-    | Some s -> " --strategy " ^ strategy_token s
-    | None -> ""
+    Option.map
+      (function
+        | "precopy" -> Protocol.Precopy
+        | "freeze" -> Protocol.Freeze_and_copy
+        | "cor" -> Protocol.Copy_on_reference
+        | _ -> Scenario.vm_flush_placeholder)
+      strategy_arg
   in
   if serve_mode then
-    fuzz_serve_cmd count base_seed single jobs rebind ~suffix ~strategy
-      ~require_coverage
+    fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
+      ~strategy_tok:strategy_arg ~strategy ~entries ~require_coverage
+      ~require_scenario
   else
+  let gen seed =
+    match entries with
+    | None -> Scenario.of_seed seed
+    | Some es -> Scenario.Library.plain (entry_for es seed) ~seed
+  in
   let prep sc =
     match strategy with None -> sc | Some s -> Scenario.force_strategy s sc
   in
-  let replay o = Scenario.replay_hint o.Scenario.o_scenario ^ suffix in
+  let features_of o =
+    match (entries, o.Scenario.o_scenario.Scenario.sc_label) with
+    | Some es, Some l -> (
+        match List.find_opt (fun e -> Scenario.Library.name e = l) es with
+        | Some e -> Scenario.Library.check_plain e o
+        | None -> [])
+    | _ -> []
+  in
+  let replay o =
+    Scenario.replay_hint ~forwarding ?strategy:strategy_arg
+      o.Scenario.o_scenario
+  in
   match single with
   | Some seed ->
       (* Verbose single-seed replay, with full violation windows. *)
-      let sc = prep (Scenario.of_seed seed) in
+      let sc = prep (gen seed) in
       print_endline (Scenario.describe sc);
       let o = Scenario.run ~rebind sc in
       Printf.printf "%d events checked; %d job(s) completed, %d failed\n"
         o.Scenario.o_events o.Scenario.o_completed o.Scenario.o_failed;
+      (match features_of o with
+      | [] -> ()
+      | fs ->
+          Printf.printf "features: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (f, m) ->
+                    Printf.sprintf "%s=%s" f (if m then "yes" else "no"))
+                  fs)));
       if o.Scenario.o_violations = [] then begin
         print_endline "all invariants held";
         0
@@ -524,7 +716,7 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () = Scenario.run ~rebind (prep (Scenario.of_seed seed)) in
+      let cell seed () = Scenario.run ~rebind (prep (gen seed)) in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -533,8 +725,13 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg
       List.iter
         (fun o ->
           events := !events + o.Scenario.o_events;
-          coverage_note acc ~declared:o.Scenario.o_fault_declared
-            ~fired:o.Scenario.o_fault_fired ~monitors:o.Scenario.o_monitors;
+          coverage_note acc
+            ?label:o.Scenario.o_scenario.Scenario.sc_label
+            ~features:(features_of o)
+            ~declared:o.Scenario.o_fault_declared
+            ~fired:o.Scenario.o_fault_fired ~monitors:o.Scenario.o_monitors
+            ~strategies:o.Scenario.o_strategies
+            ~events:o.Scenario.o_event_kinds;
           if o.Scenario.o_violations <> [] then begin
             incr failed;
             Printf.printf "FAIL %s\n" (Scenario.describe o.Scenario.o_scenario);
@@ -552,7 +749,13 @@ let fuzz_cmd count base_seed single jobs forwarding serve_mode strategy_arg
         count base_seed jobs
         (if jobs = 1 then "" else "s")
         (Unix.gettimeofday () -. t0);
-      let cov_failed = coverage_report ~require:require_coverage acc in
+      let cov_failed =
+        coverage_report ~require:require_coverage
+          ~require_scenario:require_scenario
+          ?expect:
+            (Option.map (fun es -> expect_of_entries es ~serve:false) entries)
+          acc
+      in
       if !failed = 0 && not cov_failed then begin
         Printf.printf "fuzz: %d seeds passed, %d events checked\n" count !events;
         0
@@ -873,52 +1076,12 @@ let fuzz_t =
       & info [ "base-seed" ] ~docv:"N"
           ~doc:"First seed; seeds $(docv)..$(docv)+count-1 are run.")
   in
-  let single =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "seed" ] ~docv:"K"
-          ~doc:
-            "Replay the single seed $(docv) verbosely, printing each \
-             violation with its captured event window.")
-  in
   let jobs =
     Arg.(
       value
       & opt int (Parrun.default_jobs ())
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Domains to fan seeds over (each seed is one replica).")
-  in
-  let forwarding =
-    Arg.(
-      value & flag
-      & info [ "forwarding" ]
-          ~doc:
-            "Rebind with Demos/MP-style forwarding addresses instead of the \
-             paper's broadcast re-query — an ablation the $(b,residual) \
-             monitor is expected to reject.")
-  in
-  let serve_mode =
-    Arg.(
-      value & flag
-      & info [ "serve" ]
-          ~doc:
-            "Fuzz sustained-load serve sessions instead of discrete job \
-             scenarios: each seed draws an open-loop arrival stream with \
-             tight admission caps, a fast balancer cycle, and random faults, \
-             all checked by the same monitors.")
-  in
-  let strategy =
-    Arg.(
-      value
-      & opt (some strategy_conv) None
-      & info [ "strategy" ] ~docv:"STRATEGY"
-          ~doc:
-            "Mutation mode: force every job onto one copy discipline \
-             ($(b,precopy), $(b,freeze) or $(b,cor)), make its migration \
-             unconditional, and drop the fault plan. With $(b,cor) the \
-             $(b,residual) monitor is expected to flag the retained page \
-             source on every seed.")
   in
   let require_coverage =
     Arg.(
@@ -930,14 +1093,28 @@ let fuzz_t =
              inspected at least one event — a green run must prove the fault \
              matrix was exercised, not merely scheduled.")
   in
+  let require_scenario =
+    Arg.(
+      value & flag
+      & info [ "require-scenario-coverage" ]
+          ~doc:
+            "With $(b,--scenario): additionally fail unless every sampled \
+             library entry ran, every feature it declares (spike, heal, \
+             storm, brownout, residual) materialized at least once, and \
+             every migration strategy it promises actually started. Implies \
+             $(b,--require-fault-coverage).")
+  in
+  (* The shared replay flags (--scenario/--seed/--serve/--forwarding/
+     --strategy) come from Replay.term: the same parser that REPLAY
+     hint lines round-trip through. *)
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run randomly generated scenarios (seed = test case) under the \
           online invariant monitors; failures print a replayable seed.")
     Term.(
-      const fuzz_cmd $ count $ base $ single $ jobs $ forwarding $ serve_mode
-      $ strategy $ require_coverage)
+      const fuzz_cmd $ count $ base $ jobs $ Replay.term $ require_coverage
+      $ require_scenario)
 
 let () =
   let info =

@@ -1,0 +1,114 @@
+type t = {
+  r_scenario : string option;
+  r_seed : int option;
+  r_serve : bool;
+  r_forwarding : bool;
+  r_strategy : string option;
+}
+
+let strategy_tokens = [ "precopy"; "freeze"; "cor"; "vmflush" ]
+
+let make ?scenario ?seed ?(serve = false) ?(forwarding = false) ?strategy () =
+  {
+    r_scenario = scenario;
+    r_seed = seed;
+    r_serve = serve;
+    r_forwarding = forwarding;
+    r_strategy = strategy;
+  }
+
+let format r =
+  String.concat ""
+    ([ "vsim fuzz" ]
+    @ (match r.r_scenario with
+      | Some n -> [ " --scenario "; n ]
+      | None -> [])
+    @ (match r.r_seed with
+      | Some k -> [ " --seed "; string_of_int k ]
+      | None -> [])
+    @ (if r.r_serve then [ " --serve" ] else [])
+    @ (if r.r_forwarding then [ " --forwarding" ] else [])
+    @
+    match r.r_strategy with
+    | Some s -> [ " --strategy "; s ]
+    | None -> [])
+
+open Cmdliner
+
+let strategy_conv =
+  let parse s =
+    if List.mem s strategy_tokens then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
+             (String.concat ", " strategy_tokens)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let term =
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Fuzz a named scenario from the library (or $(b,all) to sample \
+             across every entry). Omit to use the free-form generator.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"K"
+          ~doc:"Replay a single seed instead of fanning out.")
+  in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:"Fuzz sustained-traffic serve sessions instead of job batches.")
+  in
+  let forwarding =
+    Arg.(
+      value & flag
+      & info [ "forwarding" ]
+          ~doc:
+            "Ablation: leave message-forwarding residuals on the source host \
+             (the Demos/MP design the residual monitor rejects).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Force one migration discipline on every generated migration: \
+             $(b,precopy), $(b,freeze), $(b,cor) or $(b,vmflush).")
+  in
+  Term.(
+    const (fun r_scenario r_seed r_serve r_forwarding r_strategy ->
+        { r_scenario; r_seed; r_serve; r_forwarding; r_strategy })
+    $ scenario $ seed $ serve $ forwarding $ strategy)
+
+let parse line =
+  let words =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let words =
+    match words with
+    | "vsim" :: "fuzz" :: rest | "fuzz" :: rest -> rest
+    | rest -> rest
+  in
+  let argv = Array.of_list ("fuzz" :: words) in
+  let diag = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer diag in
+  let cmd = Cmd.v (Cmd.info "fuzz") Term.(const Fun.id $ term) in
+  match Cmd.eval_value ~help:fmt ~err:fmt ~argv cmd with
+  | Ok (`Ok t) -> Ok t
+  | Ok (`Version | `Help) -> Error "replay line requested help/version"
+  | Error _ ->
+      Format.pp_print_flush fmt ();
+      Error (String.trim (Buffer.contents diag))

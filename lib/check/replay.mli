@@ -1,0 +1,43 @@
+(** One-command reproduction hints for fuzz failures.
+
+    When a fuzzed scenario trips a monitor, the harness prints a
+    [REPLAY: vsim fuzz ...] line. That line is only useful if it
+    round-trips: the exact flags the failing run used must parse back
+    into the same configuration. This module owns both directions — the
+    canonical {!format} used to print hints and the {!term}/{!parse}
+    pair [vsim fuzz] itself uses to read the flags — so the printer and
+    the CLI cannot drift apart. *)
+
+type t = {
+  r_scenario : string option;  (** [--scenario NAME] library entry. *)
+  r_seed : int option;  (** [--seed K] single-seed replay. *)
+  r_serve : bool;  (** [--serve] sustained-traffic mode. *)
+  r_forwarding : bool;  (** [--forwarding] Demos/MP ablation. *)
+  r_strategy : string option;
+      (** [--strategy S]: precopy | freeze | cor | vmflush. *)
+}
+
+val strategy_tokens : string list
+(** CLI spellings accepted by [--strategy], in canonical order. *)
+
+val make :
+  ?scenario:string ->
+  ?seed:int ->
+  ?serve:bool ->
+  ?forwarding:bool ->
+  ?strategy:string ->
+  unit ->
+  t
+(** Build a hint; [serve] and [forwarding] default to [false]. *)
+
+val format : t -> string
+(** The canonical replay line, starting with ["vsim fuzz"]. *)
+
+val term : t Cmdliner.Term.t
+(** The cmdliner term for the shared fuzz flags; [vsim fuzz] composes
+    this with its volume flags ([--seeds], [-j], ...). *)
+
+val parse : string -> (t, string) result
+(** Parse a replay line (with or without the leading ["vsim fuzz"])
+    through the real cmdliner evaluator, so
+    [parse (format t) = Ok t] for every valid [t]. *)

@@ -11,11 +11,13 @@ type job = {
 
 type t = {
   sc_seed : int;
+  sc_label : string option;
   sc_workstations : int;
   sc_bridged : int;
   sc_jobs : job list;
   sc_faults : Faults.plan;
   sc_horizon : Time.t;
+  sc_expect_residual : bool;
 }
 
 (* tex (30 cpu-seconds) is excluded: it rarely finishes inside a fuzz
@@ -136,11 +138,13 @@ let arbitrary ?(seed = 0) rng =
   in
   {
     sc_seed = seed;
+    sc_label = None;
     sc_workstations = ws;
     sc_bridged = bridged;
     sc_jobs = jobs;
     sc_faults;
     sc_horizon = Time.of_sec (18. +. (4. *. float_of_int njobs));
+    sc_expect_residual = false;
   }
 
 let of_seed seed = arbitrary ~seed (Rng.create seed)
@@ -151,7 +155,9 @@ let of_seed seed = arbitrary ~seed (Rng.create seed)
    no strategy is forced. Migrations are made unconditional (jobs
    without one draw a fixed mid-run instant) and fault plans dropped, so
    every seed actually exercises the strategy under test rather than
-   hiding behind a crashed destination. *)
+   hiding behind a crashed destination. [sc_expect_residual] is NOT set:
+   forcing copy-on-reference must keep tripping the residual monitor —
+   that is the built-in mutation test. *)
 let force_strategy strategy sc =
   {
     sc with
@@ -181,25 +187,99 @@ let describe sc =
       | Some d -> Printf.sprintf "+mig@%s" (Time.to_string d)
       | None -> "")
   in
-  Printf.sprintf "seed %d: %d ws (%d bridged), jobs [%s], faults [%s], horizon %s"
+  Printf.sprintf
+    "%sseed %d: %d ws (%d bridged), jobs [%s], faults [%s], horizon %s"
+    (match sc.sc_label with Some l -> l ^ " " | None -> "")
     sc.sc_seed sc.sc_workstations sc.sc_bridged
     (String.concat "; " (List.map job_word sc.sc_jobs))
     (Format.asprintf "%a" Faults.pp_plan sc.sc_faults)
     (Time.to_string sc.sc_horizon)
 
-let replay_hint sc = Printf.sprintf "vsim fuzz --seed %d" sc.sc_seed
+let replay_hint ?(forwarding = false) ?strategy sc =
+  Replay.format
+    (Replay.make ?scenario:sc.sc_label ~seed:sc.sc_seed ~forwarding ?strategy
+       ())
+
+(* {1 Coverage collection}
+
+   A per-run trace subscriber that records which extensible trace-event
+   constructors were observed (keyed by constructor name, so no view
+   rendering on the hot path — one [Tracer.view] per distinct
+   constructor at the end) and which migration strategies actually
+   started, by name from [Mig_start]. *)
+
+module Coverage = struct
+  type nonrec t = {
+    kinds : (string, Tracer.event * int ref) Hashtbl.t;
+    strategies : (string, int ref) Hashtbl.t;
+  }
+
+  let attach trc =
+    let c = { kinds = Hashtbl.create 64; strategies = Hashtbl.create 4 } in
+    Tracer.on_event trc (fun r ->
+        let ev = r.Tracer.ev in
+        let key = Obj.Extension_constructor.(name (of_val ev)) in
+        (match Hashtbl.find_opt c.kinds key with
+        | Some (_, n) -> incr n
+        | None -> Hashtbl.add c.kinds key (ev, ref 1));
+        match ev with
+        | Migration.Mig_start { strategy; _ } -> (
+            match Hashtbl.find_opt c.strategies strategy with
+            | Some n -> incr n
+            | None -> Hashtbl.add c.strategies strategy (ref 1))
+        | _ -> ());
+    c
+
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+  (* Rendered as "category/type" via the registered views; distinct
+     constructors mapping to one view key merge their counts, and
+     unregistered constructors fall back to the OCaml constructor
+     name. *)
+  let event_kinds c =
+    let merged = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun ctor (ev, n) ->
+        let v = Tracer.view ev in
+        let key =
+          if v.Tracer.v_cat = "" && v.Tracer.v_type = "" then ctor
+          else v.Tracer.v_cat ^ "/" ^ v.Tracer.v_type
+        in
+        match Hashtbl.find_opt merged key with
+        | Some m -> m := !m + !n
+        | None -> Hashtbl.add merged key (ref !n))
+      c.kinds;
+    sorted (Hashtbl.fold (fun k n acc -> (k, !n) :: acc) merged [])
+
+  let strategies c =
+    sorted (Hashtbl.fold (fun k n acc -> (k, !n) :: acc) c.strategies [])
+end
 
 type outcome = {
   o_scenario : t;
   o_violations : Monitors.violation list;
   o_violations_dropped : int;
+  o_residual_seen : int;
   o_events : int;
   o_completed : int;
   o_failed : int;
   o_fault_declared : string list;
   o_fault_fired : (string * int) list;
   o_monitors : (string * int) list;
+  o_strategies : (string * int) list;
+  o_event_kinds : (string * int) list;
 }
+
+(* Library scenarios can name vm-flush before a cluster exists; the
+   page-server pid is only known at run time. Generators use this
+   placeholder and [resolve_strategy] patches it per cluster. *)
+let vm_flush_placeholder = Protocol.Vm_flush { page_server = Ids.pid (-1) 0 }
+
+let resolve_strategy cl = function
+  | Protocol.Vm_flush { page_server } when page_server.Ids.lh < 0 ->
+      Protocol.Vm_flush
+        { page_server = File_server.pid (Cluster.file_server cl) }
+  | s -> s
 
 let launch cl (j : job) ~completed ~failed =
   let eng = Cluster.engine cl in
@@ -233,7 +313,7 @@ let launch cl (j : job) ~completed ~failed =
                               lh = Some h.Remote_exec.h_lh;
                               dest = None;
                               force_destroy = false;
-                              strategy = j.j_strategy;
+                              strategy = resolve_strategy cl j.j_strategy;
                             })))
              | None -> ());
              match Remote_exec.wait ctx h with
@@ -243,7 +323,22 @@ let launch cl (j : job) ~completed ~failed =
 let fired_of cl =
   match Cluster.faults cl with Some f -> Faults.fired_counts f | None -> []
 
-let run ?(rebind = Os_params.Broadcast_query) sc =
+(* Scenarios that deliberately run copy-on-reference (migrate-storm)
+   expect the residual monitor to object — that is the point of the
+   monitor. Their residual violations are split out into
+   [o_residual_seen] so they gate as a coverage feature instead of a
+   failure; everything else stays a violation. *)
+let split_residual ~expect violations =
+  if not expect then (0, violations)
+  else
+    let res, rest =
+      List.partition
+        (fun v -> v.Monitors.vi_monitor = "residual")
+        violations
+    in
+    (List.length res, rest)
+
+let run_cluster ?(rebind = Os_params.Broadcast_query) sc =
   let cfg =
     let base = Config.with_default_budgets Config.default in
     if base.Config.os.Os_params.rebind = rebind then base
@@ -257,6 +352,7 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
   in
   ignore (Cluster.enable_health cl);
   let mon = Monitors.attach (Cluster.tracer cl) in
+  let cov = Coverage.attach (Cluster.tracer cl) in
   let eng = Cluster.engine cl in
   let completed = ref 0 and failed = ref 0 in
   List.iter
@@ -264,29 +360,45 @@ let run ?(rebind = Os_params.Broadcast_query) sc =
       Engine.post eng ~at:j.j_at (fun () -> launch cl j ~completed ~failed))
     sc.sc_jobs;
   Cluster.run cl ~until:sc.sc_horizon;
-  {
-    o_scenario = sc;
-    o_violations = Monitors.violations mon;
-    o_violations_dropped = Monitors.dropped mon;
-    o_events = Tracer.seq (Cluster.tracer cl);
-    o_completed = !completed;
-    o_failed = !failed;
-    o_fault_declared = Faults.declared_kinds sc.sc_faults;
-    o_fault_fired = fired_of cl;
-    o_monitors = Monitors.coverage mon;
-  }
+  let residual_seen, violations =
+    split_residual ~expect:sc.sc_expect_residual (Monitors.violations mon)
+  in
+  ( {
+      o_scenario = sc;
+      o_violations = violations;
+      o_violations_dropped = Monitors.dropped mon;
+      o_residual_seen = residual_seen;
+      o_events = Tracer.seq (Cluster.tracer cl);
+      o_completed = !completed;
+      o_failed = !failed;
+      o_fault_declared = Faults.declared_kinds sc.sc_faults;
+      o_fault_fired = fired_of cl;
+      o_monitors = Monitors.coverage mon;
+      o_strategies = Coverage.strategies cov;
+      o_event_kinds = Coverage.event_kinds cov;
+    },
+    cl )
+
+let run ?rebind sc = fst (run_cluster ?rebind sc)
 
 (* {1 Serve mode: sustained-load scenarios} *)
 
+let serve_programs =
+  [ "cc68"; "make"; "preprocessor"; "assembler"; "parser"; "optimizer" ]
+
 type serve = {
   sv_seed : int;
+  sv_label : string option;
   sv_workstations : int;
   sv_bridged : int;
   sv_rate : float;
+  sv_modulation : Arrivals.modulation;
   sv_duration : Time.span;
+  sv_progs : string list;
   sv_max_in_flight : int;
   sv_queue_limit : int;
   sv_balancer_interval : Time.span;
+  sv_strategy : Protocol.strategy option;
   sv_slo_shed : float option;
   sv_faults : Faults.plan;
 }
@@ -302,13 +414,18 @@ let arbitrary_serve ?(seed = 0) rng =
   in
   {
     sv_seed = seed;
+    sv_label = None;
     sv_workstations = ws;
     sv_bridged = bridged;
     sv_rate = rate;
+    sv_modulation = Arrivals.Constant;
     sv_duration = duration;
+    (* tex is excluded for the same horizon reasons as in [programs]. *)
+    sv_progs = serve_programs;
     sv_max_in_flight = 2 + Rng.int rng 7;
     sv_queue_limit = 2 + Rng.int rng 7;
     sv_balancer_interval = Time.of_us (2_000_000 + Rng.int rng 3_000_000);
+    sv_strategy = None;
     (* Half the scenarios run with brownout shedding armed, so the
        overload-graceful path is fuzzed as hard as the happy path. *)
     sv_slo_shed =
@@ -320,9 +437,11 @@ let serve_of_seed seed = arbitrary_serve ~seed (Rng.create seed)
 
 let describe_serve sv =
   Printf.sprintf
-    "serve seed %d: %d ws (%d bridged), %.2f req/s for %s, cap %d + queue %d, \
-     shed %s, faults [%s]"
+    "%sserve seed %d: %d ws (%d bridged), %.2f req/s (%s) for %s, cap %d + \
+     queue %d, shed %s, faults [%s]"
+    (match sv.sv_label with Some l -> l ^ " " | None -> "")
     sv.sv_seed sv.sv_workstations sv.sv_bridged sv.sv_rate
+    (Arrivals.modulation_to_string sv.sv_modulation)
     (Time.to_string sv.sv_duration)
     sv.sv_max_in_flight sv.sv_queue_limit
     (match sv.sv_slo_shed with
@@ -330,7 +449,10 @@ let describe_serve sv =
     | None -> "off")
     (Format.asprintf "%a" Faults.pp_plan sv.sv_faults)
 
-let replay_serve_hint sv = Printf.sprintf "vsim fuzz --serve --seed %d" sv.sv_seed
+let replay_serve_hint ?(forwarding = false) ?strategy sv =
+  Replay.format
+    (Replay.make ?scenario:sv.sv_label ~seed:sv.sv_seed ~serve:true
+       ~forwarding ?strategy ())
 
 type serve_outcome = {
   so_scenario : serve;
@@ -344,9 +466,11 @@ type serve_outcome = {
   so_fault_declared : string list;
   so_fault_fired : (string * int) list;
   so_monitors : (string * int) list;
+  so_strategies : (string * int) list;
+  so_event_kinds : (string * int) list;
 }
 
-let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
+let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy sv =
   let cfg =
     let base = Config.with_default_budgets Config.default in
     if base.Config.os.Os_params.rebind = rebind then base
@@ -360,14 +484,20 @@ let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
   in
   ignore (Cluster.enable_health cl);
   let mon = Monitors.attach (Cluster.tracer cl) in
+  let cov = Coverage.attach (Cluster.tracer cl) in
+  let strategy =
+    Option.map (resolve_strategy cl)
+      (match strategy with Some _ -> strategy | None -> sv.sv_strategy)
+  in
   let params =
     {
       Serve.Session.default_params with
-      Serve.Session.arrivals = Serve.Session.Poisson sv.sv_rate;
+      Serve.Session.arrivals =
+        (match sv.sv_modulation with
+        | Arrivals.Constant -> Serve.Session.Poisson sv.sv_rate
+        | m -> Serve.Session.Modulated { rate = sv.sv_rate; modulation = m });
       duration = sv.sv_duration;
-      (* tex is excluded for the same horizon reasons as in [programs]. *)
-      progs =
-        [ "cc68"; "make"; "preprocessor"; "assembler"; "parser"; "optimizer" ];
+      progs = sv.sv_progs;
       max_in_flight = sv.sv_max_in_flight;
       queue_limit = sv.sv_queue_limit;
       balancer_interval = Some sv.sv_balancer_interval;
@@ -381,16 +511,700 @@ let run_serve ?(rebind = Os_params.Broadcast_query) ?strategy sv =
   let session = Serve.Session.create ~params cl in
   Serve.Session.drain session;
   let m = Serve.Session.metrics session in
-  {
-    so_scenario = sv;
-    so_violations = Monitors.violations mon;
-    so_violations_dropped = Monitors.dropped mon;
-    so_events = Tracer.seq (Cluster.tracer cl);
-    so_submitted = m.Serve.Session.m_submitted;
-    so_completed = m.Serve.Session.m_completed;
-    so_shed = m.Serve.Session.m_shed;
-    so_stuck = m.Serve.Session.m_stuck;
-    so_fault_declared = Faults.declared_kinds sv.sv_faults;
-    so_fault_fired = fired_of cl;
-    so_monitors = Monitors.coverage mon;
+  ( {
+      so_scenario = sv;
+      so_violations = Monitors.violations mon;
+      so_violations_dropped = Monitors.dropped mon;
+      so_events = Tracer.seq (Cluster.tracer cl);
+      so_submitted = m.Serve.Session.m_submitted;
+      so_completed = m.Serve.Session.m_completed;
+      so_shed = m.Serve.Session.m_shed;
+      so_stuck = m.Serve.Session.m_stuck;
+      so_fault_declared = Faults.declared_kinds sv.sv_faults;
+      so_fault_fired = fired_of cl;
+      so_monitors = Monitors.coverage mon;
+      so_strategies = Coverage.strategies cov;
+      so_event_kinds = Coverage.event_kinds cov;
+    },
+    cl )
+
+let run_serve ?rebind ?strategy sv = fst (run_serve_cluster ?rebind ?strategy sv)
+
+(* {1 The scenario library}
+
+   Named, seeded, production-shaped scenario families. Each entry is a
+   pair of generators — a plain (job-batch) shape and a serve
+   (sustained-load) shape — drawn from a salted RNG so [--scenario
+   NAME --seed K] replays exactly, plus the coverage contract the
+   harness gates on: which features must materialize in the runs and
+   which strategies the family promises to start. *)
+
+module Library = struct
+  type entry = {
+    e_name : string;
+    e_salt : int;
+    e_knobs : string;
+    e_stresses : string;
+    e_monitors : string list;
+    e_features_plain : string list;
+    e_features_serve : string list;
+    e_strategies_plain : string list;
+    e_strategies_serve : string list;
+    e_gen_plain : Rng.t -> t;
+    e_gen_serve : Rng.t -> serve;
+    e_check_plain : outcome -> (string * bool) list;
+    e_check_serve : serve_outcome -> (string * bool) list;
   }
+
+  let name e = e.e_name
+  let knobs e = e.e_knobs
+  let stresses e = e.e_stresses
+  let monitors e = e.e_monitors
+
+  let features e ~serve:sv =
+    if sv then e.e_features_serve else e.e_features_plain
+
+  let strategies e ~serve:sv =
+    if sv then e.e_strategies_serve else e.e_strategies_plain
+
+  let rng_for e seed = Rng.create ((e.e_salt * 1_000_003) + seed)
+
+  let plain e ~seed =
+    { (e.e_gen_plain (rng_for e seed)) with sc_seed = seed;
+                                            sc_label = Some e.e_name }
+
+  let serve e ~seed =
+    { (e.e_gen_serve (rng_for e seed)) with sv_seed = seed;
+                                            sv_label = Some e.e_name }
+
+  let check_plain e o = e.e_check_plain o
+  let check_serve e o = e.e_check_serve o
+
+  (* Generator helpers. *)
+
+  let sec = Time.of_sec
+  let usec = Time.of_us
+  let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+  let mk_job ?(target = Target_any) ?migrate_after
+      ?(strategy = Protocol.Precopy) ~at ~ws ~prog () =
+    {
+      j_at = at;
+      j_ws = ws;
+      j_prog = prog;
+      j_target = target;
+      j_migrate_after = migrate_after;
+      j_strategy = strategy;
+    }
+
+  let mk_plain ?(expect_residual = false) ?(bridged = 0) ~ws ~jobs ~faults
+      ~horizon () =
+    {
+      sc_seed = 0;
+      sc_label = None;
+      sc_workstations = ws;
+      sc_bridged = bridged;
+      sc_jobs = jobs;
+      sc_faults = faults;
+      sc_horizon = horizon;
+      sc_expect_residual = expect_residual;
+    }
+
+  let mk_serve ?(bridged = 0) ?(modulation = Arrivals.Constant)
+      ?(progs = serve_programs) ?strategy ?slo_shed ~ws ~rate ~duration
+      ~max_in_flight ~queue_limit ~balancer ~faults () =
+    {
+      sv_seed = 0;
+      sv_label = None;
+      sv_workstations = ws;
+      sv_bridged = bridged;
+      sv_rate = rate;
+      sv_modulation = modulation;
+      sv_duration = duration;
+      sv_progs = progs;
+      sv_max_in_flight = max_in_flight;
+      sv_queue_limit = queue_limit;
+      sv_balancer_interval = balancer;
+      sv_strategy = strategy;
+      sv_slo_shed = slo_shed;
+      sv_faults = faults;
+    }
+
+  let count l k = match List.assoc_opt k l with Some n -> n | None -> 0
+  let mig_starts_plain o = count o.o_event_kinds "migrate/start"
+  let mig_starts_serve o = count o.so_event_kinds "migrate/start"
+
+  (* A correlated rack: [n] hosts ws1..wsn (ws0 stays up so submitting
+     shells and the file-server observer survive), crashed together and
+     rebooted on a stagger so the cluster ends the scenario whole —
+     plus one straggler host ws(n+1) dying alone a little later, so the
+     family exercises the lone-crash kind alongside the rack kind. *)
+  let rack_faults ~n ~crash_at =
+    let hosts = List.init n (fun i -> Printf.sprintf "ws%d" (i + 1)) in
+    let straggler = Printf.sprintf "ws%d" (n + 1) in
+    (Faults.Crash_rack { hosts; at = crash_at }
+    :: List.mapi
+         (fun i h ->
+           Faults.Reboot_host
+             {
+               host = h;
+               at = Time.add crash_at (sec (2. +. (1.5 *. float_of_int i)));
+             })
+         hosts)
+    @ [
+        Faults.Crash_host { host = straggler; at = Time.add crash_at (sec 1.) };
+        Faults.Reboot_host
+          { host = straggler; at = Time.add crash_at (sec 5.) };
+      ]
+
+  (* compile-farm: the paper's own workload shape — make/cc68/TeX
+     pipelines with fitted dirty models, spread over the pool, with the
+     three commit-clean disciplines rotating across the migrations. *)
+
+  let compile_pipeline =
+    [| "make"; "preprocessor"; "cc68"; "assembler"; "linking loader" |]
+
+  let compile_farm_plain rng =
+    let ws = 6 + Rng.int rng 3 in
+    let rotation =
+      [| Protocol.Precopy; Protocol.Freeze_and_copy; vm_flush_placeholder |]
+    in
+    let npipe = 2 + Rng.int rng 2 in
+    let jobs =
+      List.concat
+        (List.init npipe (fun p ->
+             let start = usec (Rng.int rng 4_000_000) in
+             let src = Rng.int rng ws in
+             List.mapi
+               (fun k prog ->
+                 let at =
+                   Time.add start
+                     (usec (k * (800_000 + Rng.int rng 600_000)))
+                 in
+                 let strategy = rotation.((p + k) mod 3) in
+                 let migrate =
+                   (p + k) mod 2 = 0
+                   ||
+                   match strategy with
+                   | Protocol.Vm_flush _ -> true
+                   | _ -> false
+                 in
+                 let migrate_after =
+                   if migrate then
+                     Some (usec (1_000_000 + Rng.int rng 2_000_000))
+                   else None
+                 in
+                 mk_job ~at ~ws:src ~prog ~strategy ?migrate_after ())
+               (Array.to_list compile_pipeline)))
+    in
+    let jobs =
+      if Rng.bool rng 0.4 then
+        (* One TeX run: a big image with a heavy fitted dirty model, so
+           pre-copy has real pages to chase. It will not finish inside
+           the horizon; its migration is the point. *)
+        mk_job ~at:(usec 500_000) ~ws:0 ~prog:"tex" ~migrate_after:(sec 2.)
+          ()
+        :: jobs
+      else jobs
+    in
+    let faults =
+      if Rng.bool rng 0.5 then
+        let start = sec (3. +. Rng.float rng 3.) in
+        [
+          Faults.Slow_host
+            {
+              host = Printf.sprintf "ws%d" (Rng.int rng ws);
+              factor = 2. +. Rng.float rng 2.;
+              start;
+              stop = Time.add start (sec 4.);
+            };
+        ]
+      else []
+    in
+    mk_plain ~ws ~jobs ~faults ~horizon:(sec 30.) ()
+
+  let compile_farm_serve rng =
+    mk_serve
+      ~ws:(6 + Rng.int rng 4)
+      ~rate:(1. +. Rng.float rng 1.)
+      ~duration:(sec (20. +. Rng.float rng 8.))
+      ~max_in_flight:(4 + Rng.int rng 4)
+      ~queue_limit:(4 + Rng.int rng 4)
+      ~balancer:(usec (2_000_000 + Rng.int rng 2_000_000))
+      ~faults:[] ()
+
+  (* diurnal: arrival rate follows a compressed working day. *)
+
+  let diurnal_modulation rng =
+    Arrivals.Sinusoid
+      {
+        period = sec (10. +. Rng.float rng 8.);
+        depth = 0.7 +. Rng.float rng 0.25;
+      }
+
+  let diurnal_plain rng =
+    let ws = 5 + Rng.int rng 3 in
+    let modulation = diurnal_modulation rng in
+    let rate = 0.5 +. Rng.float rng 0.4 in
+    let times =
+      Arrivals.modulated_times rng ~rate_per_sec:rate ~modulation
+        ~until:(sec 18.)
+    in
+    let times = List.filteri (fun i _ -> i < 12) times in
+    let jobs =
+      List.mapi
+        (fun i at ->
+          let strategy =
+            if i mod 2 = 0 then Protocol.Precopy
+            else Protocol.Freeze_and_copy
+          in
+          let migrate_after =
+            if i mod 3 = 0 then
+              Some (usec (1_000_000 + Rng.int rng 2_000_000))
+            else None
+          in
+          mk_job ~at ~ws:(i mod ws) ~prog:(pick rng programs) ~strategy
+            ?migrate_after ())
+        times
+    in
+    let faults =
+      if Rng.bool rng 0.4 then
+        let start = sec (4. +. Rng.float rng 4.) in
+        [
+          Faults.Slow_host
+            {
+              host = Printf.sprintf "ws%d" (Rng.int rng ws);
+              factor = 2. +. Rng.float rng 3.;
+              start;
+              stop = Time.add start (sec 3.);
+            };
+        ]
+      else []
+    in
+    mk_plain ~ws ~jobs ~faults ~horizon:(sec 28.) ()
+
+  let diurnal_serve rng =
+    mk_serve
+      ~modulation:(diurnal_modulation rng)
+      ~ws:(6 + Rng.int rng 4)
+      ~rate:(0.8 +. Rng.float rng 0.8)
+      ~duration:(sec (25. +. Rng.float rng 10.))
+      ~max_in_flight:(3 + Rng.int rng 3)
+      ~queue_limit:(3 + Rng.int rng 3)
+      ~balancer:(usec (2_000_000 + Rng.int rng 2_000_000))
+      ?slo_shed:(if Rng.bool rng 0.5 then Some (1.5 +. Rng.float rng 2.) else None)
+      ~faults:[] ()
+
+  (* flash-crowd: a ×10 arrival spike with ramp and decay. *)
+
+  let flash_crowd_plain rng =
+    let ws = 5 + Rng.int rng 3 in
+    let spike_at = 6. +. Rng.float rng 3. in
+    let trickle =
+      List.init 3 (fun i ->
+          mk_job
+            ~at:(sec ((float_of_int i *. 1.8) +. 0.3))
+            ~ws:(Rng.int rng ws) ~prog:(pick rng programs) ())
+    in
+    let nburst = 6 + Rng.int rng 4 in
+    let burst =
+      List.init nburst (fun i ->
+          let strategy =
+            if i mod 2 = 0 then Protocol.Precopy
+            else Protocol.Freeze_and_copy
+          in
+          let migrate_after =
+            if i mod 3 = 0 then Some (usec (800_000 + Rng.int rng 1_500_000))
+            else None
+          in
+          mk_job
+            ~at:(sec (spike_at +. Rng.float rng 2.))
+            ~ws:(i mod ws) ~prog:(pick rng programs) ~strategy ?migrate_after
+            ())
+    in
+    mk_plain ~ws ~jobs:(trickle @ burst) ~faults:[] ~horizon:(sec 26.) ()
+
+  let flash_crowd_serve rng =
+    let at = 10. +. Rng.float rng 3. in
+    mk_serve
+      ~modulation:
+        (Arrivals.Spike
+           {
+             at = sec at;
+             ramp = sec 2.;
+             hold = sec (2. +. Rng.float rng 1.);
+             decay = sec 3.;
+             mult = 10.;
+           })
+      ~ws:(6 + Rng.int rng 4)
+      ~rate:(0.8 +. Rng.float rng 0.6)
+      ~duration:(sec (26. +. Rng.float rng 6.))
+      ~max_in_flight:(4 + Rng.int rng 4)
+      ~queue_limit:(4 + Rng.int rng 4)
+      ~balancer:(usec (2_000_000 + Rng.int rng 1_500_000))
+      ?slo_shed:(if Rng.bool rng 0.5 then Some (1.5 +. Rng.float rng 1.) else None)
+      ~faults:[] ()
+
+  (* A burst: some 3 s window holds at least 5 jobs and at least half of
+     them. Data-driven — a generator change that flattens the spike
+     fails the feature gate. *)
+  let plain_spike_materialized o =
+    let ats =
+      List.map (fun j -> Time.to_sec j.j_at) o.o_scenario.sc_jobs
+    in
+    let n = List.length ats in
+    List.exists
+      (fun t0 ->
+        let c =
+          List.length
+            (List.filter (fun u -> Float.abs (u -. t0) <= 1.5) ats)
+        in
+        c >= 5 && 2 * c >= n)
+      ats
+
+  (* Submissions well above the flat-rate expectation betray the spike:
+     base rate*duration, gate at 1.5x. *)
+  let serve_spike_materialized o =
+    let sv = o.so_scenario in
+    float_of_int o.so_submitted
+    >= 1.5 *. sv.sv_rate *. Time.to_sec sv.sv_duration
+
+  (* rack-failure: correlated crashrack + staggered reboots. *)
+
+  let rack_failure_plain rng =
+    let ws = 6 + Rng.int rng 3 in
+    let n = 2 + Rng.int rng 2 in
+    let faults = rack_faults ~n ~crash_at:(sec (5. +. Rng.float rng 2.)) in
+    let njobs = 5 + Rng.int rng 3 in
+    let jobs =
+      List.init njobs (fun i ->
+          let target =
+            (* Half the jobs are pinned onto rack hosts, so the crash
+               lands on live guests and their reexec/migration paths. *)
+            if i mod 2 = 0 then Target_host (1 + (i / 2 mod n))
+            else Target_any
+          in
+          let migrate_after =
+            if i mod 3 = 1 then
+              Some (usec (1_500_000 + Rng.int rng 2_500_000))
+            else None
+          in
+          mk_job
+            ~at:(usec (Rng.int rng 4_000_000))
+            ~ws:(if i mod 2 = 0 then 0 else ws - 1)
+            ~prog:(pick rng programs) ~target ?migrate_after ())
+    in
+    mk_plain ~ws ~jobs ~faults ~horizon:(sec 24.) ()
+
+  let rack_failure_serve rng =
+    let ws = 8 + Rng.int rng 3 in
+    mk_serve ~ws
+      ~rate:(1.2 +. Rng.float rng 1.)
+      ~duration:(sec (22. +. Rng.float rng 6.))
+      ~max_in_flight:(5 + Rng.int rng 4)
+      ~queue_limit:(5 + Rng.int rng 4)
+      ~balancer:(usec (2_000_000 + Rng.int rng 1_000_000))
+      ~faults:(rack_faults ~n:3 ~crash_at:(sec (8. +. Rng.float rng 2.)))
+      ()
+
+  let rack_heal_materialized fired =
+    count fired "crashrack" >= 1 && count fired "reboot" >= 1
+
+  (* partition-heal: a bridged cluster splits mid-run and heals. *)
+
+  let partition_window rng =
+    let start = sec (4. +. Rng.float rng 2.) in
+    let stop = Time.add start (sec (4. +. Rng.float rng 3.)) in
+    [ Faults.Partition_bridge { start; stop } ]
+
+  let partition_heal_plain rng =
+    let ws = 6 + Rng.int rng 3 in
+    let bridged = 2 + Rng.int rng 2 in
+    let faults = partition_window rng in
+    let njobs = 5 + Rng.int rng 3 in
+    let main = ws - bridged in
+    let jobs =
+      List.init njobs (fun i ->
+          (* Alternate submission sides, targeting across the bridge, so
+             the partition cuts live exec/migration conversations. *)
+          let src, target =
+            if i mod 2 = 0 then (i / 2 mod main, Target_host (main + (i mod bridged)))
+            else (main + (i mod bridged), Target_host (i / 2 mod main))
+          in
+          let migrate_after =
+            if i mod 3 = 0 then
+              Some (usec (3_000_000 + Rng.int rng 3_000_000))
+            else None
+          in
+          mk_job
+            ~at:(usec (500_000 + Rng.int rng 3_000_000))
+            ~ws:src ~prog:(pick rng programs) ~target ?migrate_after ())
+    in
+    mk_plain ~ws ~bridged ~jobs ~faults ~horizon:(sec 26.) ()
+
+  let partition_heal_serve rng =
+    let ws = 7 + Rng.int rng 4 in
+    mk_serve ~ws
+      ~bridged:(2 + Rng.int rng 2)
+      ~rate:(1. +. Rng.float rng 1.)
+      ~duration:(sec (22. +. Rng.float rng 8.))
+      ~max_in_flight:(4 + Rng.int rng 4)
+      ~queue_limit:(4 + Rng.int rng 4)
+      ~balancer:(usec (2_000_000 + Rng.int rng 1_500_000))
+      ~faults:(partition_window rng) ()
+
+  (* Both edges of the window fired: the split happened AND healed. *)
+  let partition_heal_materialized fired = count fired "partition" >= 2
+
+  (* brownout: slow-network windows under sustained serve load, tight
+     admission caps, shedding armed. *)
+
+  let brownout_faults rng ~ws =
+    let slow_start = sec (4. +. Rng.float rng 2.) in
+    let loss_start = sec (6. +. Rng.float rng 2.) in
+    let flaky_start = sec (5. +. Rng.float rng 2.) in
+    [
+      (* Flaky churn on one host alongside the slow/lossy windows: the
+         brownout is a degraded network, not a clean partition. *)
+      Faults.Flaky_host
+        {
+          host = Printf.sprintf "ws%d" (1 + Rng.int rng (ws - 1));
+          start = flaky_start;
+          stop = Time.add flaky_start (sec (4. +. Rng.float rng 2.));
+        };
+      Faults.Slow_host
+        {
+          host = Printf.sprintf "ws%d" (1 + Rng.int rng (ws - 1));
+          factor = 3. +. Rng.float rng 3.;
+          start = slow_start;
+          stop = Time.add slow_start (sec (8. +. Rng.float rng 4.));
+        };
+      Faults.Loss_window
+        {
+          p = 0.02 +. Rng.float rng 0.06;
+          start = loss_start;
+          stop = Time.add loss_start (sec (4. +. Rng.float rng 2.));
+        };
+    ]
+
+  let brownout_plain rng =
+    let ws = 4 + Rng.int rng 3 in
+    let njobs = 4 + Rng.int rng 3 in
+    let jobs =
+      List.init njobs (fun i ->
+          let migrate_after =
+            if i mod 2 = 0 then
+              Some (usec (1_000_000 + Rng.int rng 3_000_000))
+            else None
+          in
+          mk_job
+            ~at:(usec (Rng.int rng 5_000_000))
+            ~ws:(i mod ws) ~prog:(pick rng programs) ?migrate_after
+            ~strategy:
+              (if i mod 2 = 0 then Protocol.Precopy
+               else Protocol.Freeze_and_copy)
+            ())
+    in
+    mk_plain ~ws ~jobs ~faults:(brownout_faults rng ~ws)
+      ~horizon:(sec 24.) ()
+
+  let brownout_serve rng =
+    let ws = 4 + Rng.int rng 3 in
+    mk_serve ~ws
+      ~rate:(2.5 +. Rng.float rng 1.5)
+      ~duration:(sec (20. +. Rng.float rng 8.))
+      ~max_in_flight:(2 + Rng.int rng 2)
+      ~queue_limit:(2 + Rng.int rng 2)
+      ~balancer:(usec (2_000_000 + Rng.int rng 1_000_000))
+      ~slo_shed:(1.2 +. Rng.float rng 0.8)
+      ~faults:(brownout_faults rng ~ws) ()
+
+  let brownout_materialized o = o.so_shed >= 1
+
+  (* migrate-storm: adversarial churn — every job migrates, all four
+     disciplines rotate (so copy-on-reference's planted residual
+     dependency is exercised and gated as a feature, not a failure), and
+     in serve mode the balancer runs on a hair trigger. *)
+
+  let migrate_storm_plain rng =
+    let ws = 4 + Rng.int rng 3 in
+    let njobs = 5 + Rng.int rng 3 in
+    let rotation =
+      [|
+        Protocol.Precopy;
+        Protocol.Freeze_and_copy;
+        vm_flush_placeholder;
+        Protocol.Copy_on_reference;
+      |]
+    in
+    let jobs =
+      List.init njobs (fun i ->
+          mk_job
+            ~at:(usec ((200_000 * i) + Rng.int rng 300_000))
+            ~ws:(i mod ws) ~prog:(pick rng programs)
+            ~strategy:rotation.(i mod 4)
+            ~migrate_after:(usec (500_000 + Rng.int rng 1_500_000))
+            ())
+    in
+    mk_plain ~expect_residual:true ~ws ~jobs ~faults:[] ~horizon:(sec 22.)
+      ()
+
+  let migrate_storm_serve rng =
+    mk_serve
+      ~ws:(5 + Rng.int rng 3)
+      ~rate:(1.2 +. Rng.float rng 0.8)
+      ~duration:(sec (18. +. Rng.float rng 6.))
+      ~max_in_flight:(5 + Rng.int rng 4)
+      ~queue_limit:(5 + Rng.int rng 4)
+      ~balancer:(usec (400_000 + Rng.int rng 400_000))
+      ~strategy:
+        (if Rng.bool rng 0.5 then Protocol.Freeze_and_copy
+         else Protocol.Precopy)
+      ~faults:[] ()
+
+  let all =
+    [
+      {
+        e_name = "compile-farm";
+        e_salt = 1;
+        e_knobs = "2-3 pipelines x 5 stages, optional TeX, 6-8 ws";
+        e_stresses =
+          "the paper's workload: staged compile pipelines, fitted dirty \
+           models, all three commit-clean disciplines";
+        e_monitors = [ "clock"; "conservation"; "convergence"; "freeze"; "budget" ];
+        e_features_plain = [];
+        e_features_serve = [];
+        e_strategies_plain = [ "precopy"; "freeze-and-copy"; "vm-flush" ];
+        e_strategies_serve = [];
+        e_gen_plain = compile_farm_plain;
+        e_gen_serve = compile_farm_serve;
+        e_check_plain = (fun _ -> []);
+        e_check_serve = (fun _ -> []);
+      };
+      {
+        e_name = "diurnal";
+        e_salt = 2;
+        e_knobs = "sinusoid period 10-18s, depth 0.7-0.95, base 0.5-1.6/s";
+        e_stresses =
+          "arrival-rate modulation over a compressed working day: idle \
+           troughs then saturated crests";
+        e_monitors = [ "clock"; "conservation"; "convergence"; "freeze" ];
+        e_features_plain = [];
+        e_features_serve = [];
+        e_strategies_plain = [ "precopy"; "freeze-and-copy" ];
+        e_strategies_serve = [];
+        e_gen_plain = diurnal_plain;
+        e_gen_serve = diurnal_serve;
+        e_check_plain = (fun _ -> []);
+        e_check_serve = (fun _ -> []);
+      };
+      {
+        e_name = "flash-crowd";
+        e_salt = 3;
+        e_knobs = "x10 spike, 2s ramp / 2-3s hold / 3s decay";
+        e_stresses =
+          "admission control and balancer under a sudden arrival spike \
+           with ramp and decay";
+        e_monitors = [ "clock"; "conservation"; "convergence"; "freeze" ];
+        e_features_plain = [ "spike" ];
+        e_features_serve = [ "spike" ];
+        e_strategies_plain = [ "precopy"; "freeze-and-copy" ];
+        e_strategies_serve = [];
+        e_gen_plain = flash_crowd_plain;
+        e_gen_serve = flash_crowd_serve;
+        e_check_plain =
+          (fun o -> [ ("spike", plain_spike_materialized o) ]);
+        e_check_serve =
+          (fun o -> [ ("spike", serve_spike_materialized o) ]);
+      };
+      {
+        e_name = "rack-failure";
+        e_salt = 4;
+        e_knobs = "crashrack of 2-3 hosts, reboots staggered 1.5s apart";
+        e_stresses =
+          "correlated failure: suspicion, re-execution and migration \
+           reselection while a rack is dark, recovery as it reboots";
+        e_monitors = [ "clock"; "conservation"; "freeze" ];
+        e_features_plain = [ "heal" ];
+        e_features_serve = [ "heal" ];
+        e_strategies_plain = [ "precopy" ];
+        e_strategies_serve = [];
+        e_gen_plain = rack_failure_plain;
+        e_gen_serve = rack_failure_serve;
+        e_check_plain =
+          (fun o -> [ ("heal", rack_heal_materialized o.o_fault_fired) ]);
+        e_check_serve =
+          (fun o -> [ ("heal", rack_heal_materialized o.so_fault_fired) ]);
+      };
+      {
+        e_name = "partition-heal";
+        e_salt = 5;
+        e_knobs = "2-3 ws behind the bridge, 4-7s partition mid-run";
+        e_stresses =
+          "cross-segment exec and migration conversations cut by a \
+           partition, then the heal: rebinding, retransmission backoff";
+        e_monitors = [ "clock"; "conservation"; "freeze" ];
+        e_features_plain = [ "heal" ];
+        e_features_serve = [ "heal" ];
+        e_strategies_plain = [ "precopy" ];
+        e_strategies_serve = [];
+        e_gen_plain = partition_heal_plain;
+        e_gen_serve = partition_heal_serve;
+        e_check_plain =
+          (fun o ->
+            [ ("heal", partition_heal_materialized o.o_fault_fired) ]);
+        e_check_serve =
+          (fun o ->
+            [ ("heal", partition_heal_materialized o.so_fault_fired) ]);
+      };
+      {
+        e_name = "brownout";
+        e_salt = 6;
+        e_knobs =
+          "slow-host x3-6 + loss window under 2.5-4/s load, caps 2-3, \
+           shed at 1.2-2x SLO";
+        e_stresses =
+          "sustained overload on a degraded network: queue growth, \
+           brownout shedding, un-latching on recovery";
+        e_monitors = [ "clock"; "conservation"; "freeze" ];
+        e_features_plain = [];
+        e_features_serve = [ "brownout" ];
+        e_strategies_plain = [ "precopy"; "freeze-and-copy" ];
+        e_strategies_serve = [];
+        e_gen_plain = brownout_plain;
+        e_gen_serve = brownout_serve;
+        e_check_plain = (fun _ -> []);
+        e_check_serve =
+          (fun o -> [ ("brownout", brownout_materialized o) ]);
+      };
+      {
+        e_name = "migrate-storm";
+        e_salt = 7;
+        e_knobs =
+          "every job migrates at 0.5-2s, all 4 disciplines; serve \
+           balancer every 0.4-0.8s";
+        e_stresses =
+          "adversarial churn: overlapping migrations, copy-on-reference \
+           residual dependencies, balancer thrash";
+        e_monitors =
+          [ "clock"; "conservation"; "convergence"; "freeze"; "residual"; "budget" ];
+        e_features_plain = [ "storm"; "residual" ];
+        e_features_serve = [ "storm" ];
+        e_strategies_plain =
+          [ "precopy"; "freeze-and-copy"; "vm-flush"; "copy-on-reference" ];
+        e_strategies_serve = [ "precopy"; "freeze-and-copy" ];
+        e_gen_plain = migrate_storm_plain;
+        e_gen_serve = migrate_storm_serve;
+        e_check_plain =
+          (fun o ->
+            [
+              ("storm", mig_starts_plain o >= 3);
+              ("residual", o.o_residual_seen >= 1);
+            ]);
+        e_check_serve = (fun o -> [ ("storm", mig_starts_serve o >= 3) ]);
+      };
+    ]
+
+  let find name = List.find_opt (fun e -> e.e_name = name) all
+  let names = List.map (fun e -> e.e_name) all
+end

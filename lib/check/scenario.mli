@@ -8,7 +8,12 @@
 
     {!run} executes the scenario in a fresh cluster with the
     {!Monitors} bundle attached and reports every invariant violation
-    together with its captured event window. *)
+    together with its captured event window.
+
+    Beyond the free-form generator, {!Library} holds named
+    production-shaped scenario families (compile-farm, diurnal,
+    flash-crowd, rack-failure, partition-heal, brownout, migrate-storm)
+    selected with [vsim fuzz --scenario NAME]. *)
 
 type target = Target_any | Target_host of int | Target_local
 
@@ -25,11 +30,19 @@ type job = {
 
 type t = {
   sc_seed : int;  (** Also seeds the cluster RNG. *)
+  sc_label : string option;
+      (** The {!Library} entry that generated this scenario, if any;
+          carried into replay hints as [--scenario NAME]. *)
   sc_workstations : int;
   sc_bridged : int;
   sc_jobs : job list;
   sc_faults : Faults.plan;
   sc_horizon : Time.t;
+  sc_expect_residual : bool;
+      (** The scenario runs copy-on-reference on purpose: residual
+          violations are expected, counted into [o_residual_seen], and
+          removed from [o_violations]. Never set by {!force_strategy} —
+          the mutation test relies on cor failing loudly. *)
 }
 
 val arbitrary : ?seed:int -> Rng.t -> t
@@ -54,10 +67,18 @@ val force_strategy : Protocol.strategy -> t -> t
 val describe : t -> string
 (** One-line summary for failure reports. *)
 
+val vm_flush_placeholder : Protocol.strategy
+(** A [Vm_flush] naming no concrete page server (negative host id);
+    generators can request the discipline before a cluster exists and
+    {!run} substitutes the cluster's file server at launch time. *)
+
 type outcome = {
   o_scenario : t;
   o_violations : Monitors.violation list;
   o_violations_dropped : int;
+  o_residual_seen : int;
+      (** Residual violations filtered out because the scenario declared
+          [sc_expect_residual]; 0 otherwise. *)
   o_events : int;  (** Typed events emitted over the run. *)
   o_completed : int;  (** Jobs that ran to completion in the horizon. *)
   o_failed : int;  (** Jobs refused, killed by faults, or timed out. *)
@@ -67,6 +88,12 @@ type outcome = {
       (** Fault kinds that actually fired, with counts. *)
   o_monitors : (string * int) list;
       (** Per-monitor inspection counts ({!Monitors.coverage}). *)
+  o_strategies : (string * int) list;
+      (** Migration strategies that actually started ([Mig_start]
+          events), by {!Protocol.strategy_name}, with counts. *)
+  o_event_kinds : (string * int) list;
+      (** Distinct trace-event constructors observed, rendered as
+          "category/type" through the registered views, with counts. *)
 }
 
 val run : ?rebind:Os_params.rebind_mode -> t -> outcome
@@ -77,26 +104,40 @@ val run : ?rebind:Os_params.rebind_mode -> t -> outcome
     forwarding addresses are exactly the residual dependency the
     [residual] monitor rejects — the built-in mutation test. *)
 
-val replay_hint : t -> string
-(** The command line that reproduces this scenario. *)
+val run_cluster : ?rebind:Os_params.rebind_mode -> t -> outcome * Cluster.t
+(** Like {!run} but also returns the (stopped) cluster, so callers can
+    export its trace — the golden-trace harness and [bench stress]. *)
+
+val replay_hint : ?forwarding:bool -> ?strategy:string -> t -> string
+(** The command line that reproduces this scenario, including
+    [--scenario] when the scenario came from the {!Library} and the
+    run-mode flags the caller applied on top ({!Replay.format}). *)
 
 (** {1 Serve mode}
 
     Sustained-load scenarios: instead of a handful of discrete jobs, a
-    {!Serve.Session} drives an open-loop Poisson stream with tight
-    admission caps (so queueing and rejection paths are exercised), a
-    fast balancer cycle, and the same random fault plans — all under the
-    same monitor bundle. *)
+    {!Serve.Session} drives an open-loop (possibly rate-modulated)
+    Poisson stream with tight admission caps (so queueing and rejection
+    paths are exercised), a fast balancer cycle, and the same random
+    fault plans — all under the same monitor bundle. *)
 
 type serve = {
   sv_seed : int;
+  sv_label : string option;  (** As [sc_label]. *)
   sv_workstations : int;
   sv_bridged : int;
-  sv_rate : float;  (** Arrivals per second. *)
+  sv_rate : float;  (** Base arrivals per second. *)
+  sv_modulation : Arrivals.modulation;
+      (** Rate shape over the horizon (diurnal sinusoid, flash-crowd
+          spike); [Constant] is the classic homogeneous stream. *)
   sv_duration : Time.span;  (** Arrival horizon. *)
+  sv_progs : string list;  (** Round-robin program mix. *)
   sv_max_in_flight : int;
   sv_queue_limit : int;
   sv_balancer_interval : Time.span;
+  sv_strategy : Protocol.strategy option;
+      (** Copy discipline for balancer migrations; [None] = config
+          default. Overridden by {!run_serve}'s [?strategy]. *)
   sv_slo_shed : float option;
       (** Brownout multiple ([params.slo_shed_multiple]); [None] = no
           shedding. *)
@@ -114,8 +155,10 @@ val serve_of_seed : int -> serve
 
 val describe_serve : serve -> string
 
-val replay_serve_hint : serve -> string
-(** The [vsim fuzz --serve --seed N] command line that reproduces it. *)
+val replay_serve_hint :
+  ?forwarding:bool -> ?strategy:string -> serve -> string
+(** The [vsim fuzz --serve ...] command line that reproduces it,
+    including [--scenario] for {!Library} scenarios. *)
 
 type serve_outcome = {
   so_scenario : serve;
@@ -129,6 +172,8 @@ type serve_outcome = {
   so_fault_declared : string list;
   so_fault_fired : (string * int) list;
   so_monitors : (string * int) list;
+  so_strategies : (string * int) list;  (** As [o_strategies]. *)
+  so_event_kinds : (string * int) list;  (** As [o_event_kinds]. *)
 }
 
 val run_serve :
@@ -141,4 +186,63 @@ val run_serve :
     create the session, drain it, and report the violations with the
     session's request counts, fault-kind coverage, and monitor coverage.
     [strategy] forces the copy discipline the balancer uses for its
-    migrations ([vsim fuzz --serve --strategy]). *)
+    migrations ([vsim fuzz --serve --strategy]), overriding the
+    scenario's own [sv_strategy]. *)
+
+val run_serve_cluster :
+  ?rebind:Os_params.rebind_mode ->
+  ?strategy:Protocol.strategy ->
+  serve ->
+  serve_outcome * Cluster.t
+(** {!run_serve} returning the cluster as well, as {!run_cluster}. *)
+
+(** {1 The scenario library}
+
+    Production-shaped scenario families, each a pair of seeded
+    generators (a plain job-batch shape and a serve sustained-load
+    shape) plus the coverage contract the fuzz harness gates on with
+    [--require-scenario-coverage]: which features must materialize
+    across the sampled runs and which migration strategies the family
+    promises to start. DESIGN.md §4i holds the catalog table. *)
+
+module Library : sig
+  type entry
+
+  val all : entry list
+  (** compile-farm, diurnal, flash-crowd, rack-failure, partition-heal,
+      brownout, migrate-storm. *)
+
+  val find : string -> entry option
+  val names : string list
+
+  val name : entry -> string
+
+  val knobs : entry -> string
+  (** Catalog column: the tunables. *)
+
+  val stresses : entry -> string
+  (** Catalog column: what it stresses. *)
+
+  val monitors : entry -> string list
+  (** Monitors this family is expected to exercise (documentation). *)
+
+  val features : entry -> serve:bool -> string list
+  (** Feature names that must materialize at least once across the
+      sampled runs of this entry in the given mode. *)
+
+  val strategies : entry -> serve:bool -> string list
+  (** Strategy names ({!Protocol.strategy_name}) the entry promises to
+      start at least once across its sampled runs. *)
+
+  val plain : entry -> seed:int -> t
+  (** Generate the plain shape from a salted per-entry RNG; [sc_seed]
+      and [sc_label] are set for replay. *)
+
+  val serve : entry -> seed:int -> serve
+  (** Likewise for the sustained-load shape. *)
+
+  val check_plain : entry -> outcome -> (string * bool) list
+  (** Which declared features materialized in this outcome. *)
+
+  val check_serve : entry -> serve_outcome -> (string * bool) list
+end

@@ -1,5 +1,8 @@
 module Session = struct
-  type arrivals = Poisson of float | Trace of Time.t list
+  type arrivals =
+    | Poisson of float
+    | Modulated of { rate : float; modulation : Arrivals.modulation }
+    | Trace of Time.t list
 
   type params = {
     arrivals : arrivals;
@@ -361,6 +364,9 @@ module Session = struct
     | Poisson rate_per_sec ->
         Arrivals.poisson_stream eng (Cluster.rng cl) ~rate_per_sec
           ~until:t.s_params.duration launch
+    | Modulated { rate; modulation } ->
+        Arrivals.modulated_stream eng (Cluster.rng cl) ~rate_per_sec:rate
+          ~modulation ~until:t.s_params.duration launch
     | Trace instants ->
         List.iteri
           (fun i at ->
@@ -581,6 +587,9 @@ module Session = struct
           Json_min.Str
             (match t.s_params.arrivals with
             | Poisson r -> Printf.sprintf "poisson:%g/s" r
+            | Modulated { rate; modulation } ->
+                Printf.sprintf "modulated:%g/s:%s" rate
+                  (Arrivals.modulation_to_string modulation)
             | Trace ts -> Printf.sprintf "trace:%d" (List.length ts)) );
         ("submitted", num m.m_submitted);
         ("rejected", num m.m_rejected);

@@ -28,6 +28,9 @@ module Session : sig
   (** How requests arrive. *)
   type arrivals =
     | Poisson of float  (** Open-loop Poisson stream, arrivals/second. *)
+    | Modulated of { rate : float; modulation : Arrivals.modulation }
+        (** Open-loop non-homogeneous Poisson: base [rate] reshaped over
+            virtual time (diurnal sinusoid, flash-crowd spike, ...). *)
     | Trace of Time.t list  (** Explicit submission instants. *)
 
   type params = {

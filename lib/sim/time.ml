@@ -12,7 +12,17 @@ let to_sec t = float_of_int t /. 1_000_000.
 let add = ( + )
 let sub = ( - )
 let mul = ( * )
-let scale d x = int_of_float (Float.round (float_of_int d *. x))
+(* Saturating: [int_of_float] on an out-of-range float is undefined (it
+   wraps to min_int in practice), which turned an exponential-backoff
+   overflow into a negative interval — caught by the partition-heal
+   fuzz scenario. Callers clamp with [min cap] afterwards, so
+   saturation at the integer range is the faithful total answer. *)
+let scale d x =
+  let f = Float.round (float_of_int d *. x) in
+  if Float.is_nan f then 0
+  else if f >= float_of_int max_int then max_int
+  else if f <= float_of_int min_int then min_int
+  else int_of_float f
 let compare = Int.compare
 let equal = Int.equal
 let ( < ) (a : t) b = Stdlib.( < ) a b

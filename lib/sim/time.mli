@@ -43,7 +43,10 @@ val mul : span -> int -> span
 (** [mul d k] is [d] repeated [k] times. *)
 
 val scale : span -> float -> span
-(** [scale d x] is [d] scaled by [x], rounded to the nearest microsecond. *)
+(** [scale d x] is [d] scaled by [x], rounded to the nearest microsecond
+    and saturating at the representable range (NaN maps to 0) — so an
+    exploding multiplier, e.g. an uncapped exponential backoff, yields
+    a huge span rather than an undefined negative one. *)
 
 val compare : t -> t -> int
 (** Total order on instants. *)

@@ -15,6 +15,103 @@ let poisson_stream eng rng ~rate_per_sec ~until f =
   in
   next 0
 
+(* {1 Rate modulation}
+
+   Non-homogeneous Poisson processes via Lewis–Shedler thinning:
+   candidates are drawn at the peak rate and accepted with probability
+   rate(t)/peak. Candidate instants advance by at least 1 us whether
+   accepted or not, so accepted arrival times are strictly monotone, and
+   the whole stream is a pure function of the generator — the property
+   the deterministic -j fan-out relies on. *)
+
+type modulation =
+  | Constant
+  | Sinusoid of { period : Time.span; depth : float }
+  | Spike of {
+      at : Time.t;
+      ramp : Time.span;
+      hold : Time.span;
+      decay : Time.span;
+      mult : float;
+    }
+
+let two_pi = 8. *. atan 1.
+
+let rate_multiplier m t =
+  match m with
+  | Constant -> 1.
+  | Sinusoid { period; depth } ->
+      let p = Time.to_sec period in
+      if p <= 0. then 1.
+      else Float.max 0. (1. +. (depth *. sin (two_pi *. Time.to_sec t /. p)))
+  | Spike { at; ramp; hold; decay; mult } ->
+      let t = Time.to_sec t
+      and at = Time.to_sec at
+      and ramp = Time.to_sec ramp
+      and hold = Time.to_sec hold
+      and decay = Time.to_sec decay in
+      if t < at -. ramp || t > at +. hold +. decay then 1.
+      else if t < at then
+        1. +. ((mult -. 1.) *. ((t -. (at -. ramp)) /. Float.max ramp 1e-9))
+      else if t <= at +. hold then mult
+      else
+        mult -. ((mult -. 1.) *. ((t -. (at +. hold)) /. Float.max decay 1e-9))
+
+let peak_multiplier = function
+  | Constant -> 1.
+  | Sinusoid { depth; _ } -> 1. +. Float.max 0. depth
+  | Spike { mult; _ } -> Float.max 1. mult
+
+let modulation_to_string = function
+  | Constant -> "constant"
+  | Sinusoid { period; depth } ->
+      Printf.sprintf "sin:%s:%.2f" (Time.to_string period) depth
+  | Spike { at; ramp; hold; decay; mult } ->
+      Printf.sprintf "spike:x%g@%s(+%s~%s-%s)" mult (Time.to_string at)
+        (Time.to_string ramp) (Time.to_string hold) (Time.to_string decay)
+
+(* One thinning step: the next candidate gap at peak rate, plus the
+   accept draw. Factored out so the engine-driven stream and the offline
+   sampler consume the generator identically. *)
+let thinning_step rng ~rate_per_sec ~modulation ~peak_mean ~peak ~from =
+  let at = Time.add from (exponential_span rng ~mean:peak_mean) in
+  let keep =
+    Rng.float rng 1. < rate_per_sec *. rate_multiplier modulation at /. peak
+  in
+  (at, keep)
+
+let modulated_stream eng rng ~rate_per_sec ~modulation ~until f =
+  assert (rate_per_sec > 0.);
+  let peak = rate_per_sec *. peak_multiplier modulation in
+  let peak_mean = Time.of_sec (1. /. peak) in
+  let rec next k =
+    let at, keep =
+      thinning_step rng ~rate_per_sec ~modulation ~peak_mean ~peak
+        ~from:(Engine.now eng)
+    in
+    if Time.(at <= until) then
+      Engine.post eng ~at (fun () ->
+          if keep then begin
+            f k;
+            next (k + 1)
+          end
+          else next k)
+  in
+  next 0
+
+let modulated_times rng ~rate_per_sec ~modulation ~until =
+  assert (rate_per_sec > 0.);
+  let peak = rate_per_sec *. peak_multiplier modulation in
+  let peak_mean = Time.of_sec (1. /. peak) in
+  let rec go acc t =
+    let at, keep =
+      thinning_step rng ~rate_per_sec ~modulation ~peak_mean ~peak ~from:t
+    in
+    if Time.(at <= until) then go (if keep then at :: acc else acc) at
+    else List.rev acc
+  in
+  go [] Time.zero
+
 module Owner = struct
   type params = {
     active_mean : Time.span;

@@ -16,6 +16,53 @@ val poisson_stream :
     [k]-th arrival (k from 0) of a Poisson process, stopping at the
     horizon. Events are scheduled lazily, one ahead. *)
 
+(** {1 Rate modulation}
+
+    Production arrival curves are rarely flat: load follows the working
+    day (diurnal sinusoid) or jumps when a class deadline hits (flash
+    crowd). A [modulation] reshapes a base Poisson rate over virtual
+    time; streams are sampled by Lewis–Shedler thinning at the peak
+    rate, so event times stay strictly monotone per stream and the whole
+    process is a deterministic function of the generator. *)
+
+type modulation =
+  | Constant  (** Plain homogeneous Poisson. *)
+  | Sinusoid of { period : Time.span; depth : float }
+      (** rate(t) = base * (1 + depth*sin(2πt/period)), clamped at 0.
+          [depth] in [0,1] keeps the rate non-negative. *)
+  | Spike of {
+      at : Time.t;  (** Start of the full-multiplier plateau. *)
+      ramp : Time.span;  (** Linear climb 1→mult ending at [at]. *)
+      hold : Time.span;  (** Plateau length at [mult]. *)
+      decay : Time.span;  (** Linear fall mult→1 after the plateau. *)
+      mult : float;  (** Peak rate multiplier (e.g. 10.0). *)
+    }
+
+val rate_multiplier : modulation -> Time.t -> float
+(** Instantaneous rate multiplier at virtual time [t] (≥ 0). *)
+
+val peak_multiplier : modulation -> float
+(** Supremum of {!rate_multiplier} over all times (≥ 1); the thinning
+    envelope. *)
+
+val modulation_to_string : modulation -> string
+(** Compact form for scenario descriptions and serve JSON. *)
+
+val modulated_stream :
+  Engine.t -> Rng.t -> rate_per_sec:float -> modulation:modulation ->
+  until:Time.t -> (int -> unit) -> unit
+(** Like {!poisson_stream} with a time-varying rate
+    [rate_per_sec * rate_multiplier modulation t]. [f k] fires at the
+    [k]-th accepted arrival; candidates are scheduled lazily, one
+    ahead, at the peak rate. *)
+
+val modulated_times :
+  Rng.t -> rate_per_sec:float -> modulation:modulation -> until:Time.t ->
+  Time.t list
+(** Offline sampler: the strictly increasing arrival times the same
+    thinning process produces, with no engine required. Used by plain
+    scenario generators and property tests. *)
+
 (** Owner keyboard sessions: an on/off renewal process. *)
 module Owner : sig
   type params = {

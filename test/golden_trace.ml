@@ -1,21 +1,14 @@
-(* Golden-trace generator: run the pinned migration scenario under the
-   copy discipline named on the command line and print its
-   migration-phase events as JSONL. `dune runtest` diffs the output of
-   each strategy against its committed fixture
-   (golden_trace_{precopy,freeze,cor}.expected) — any change to event
-   content, order or timing under this seed must be intentional
-   (re-bless with `dune promote`). *)
+(* Golden-trace generator: run a pinned scenario named on the command
+   line and print its migration-phase events as JSONL. `dune runtest`
+   diffs the output of each case against its committed fixture
+   (golden_trace_{precopy,freeze,cor,flashcrowd}.expected) — any change
+   to event content, order or timing under this seed must be
+   intentional (re-bless with `dune promote`). The strategy cases run
+   one cc68 migration; the flashcrowd case replays the scenario
+   library's flash-crowd family at a pinned seed, pinning the whole
+   burst's migration and fault stream. *)
 
-let () =
-  let strategy =
-    match if Array.length Sys.argv > 1 then Sys.argv.(1) else "precopy" with
-    | "precopy" -> Protocol.Precopy
-    | "freeze" -> Protocol.Freeze_and_copy
-    | "cor" -> Protocol.Copy_on_reference
-    | s ->
-        prerr_endline ("golden_trace: unknown strategy " ^ s);
-        exit 2
-  in
+let strategy_case strategy =
   let cl = Cluster.create ~seed:1985 ~workstations:4 ~trace:true () in
   match
     Experiment.migrate_program cl ~strategy ~run_for:(Time.of_sec 3.)
@@ -27,3 +20,32 @@ let () =
   | Ok _ ->
       print_string
         (Tracer.to_jsonl ~categories:[ "migrate"; "lh" ] (Cluster.tracer cl))
+
+let flashcrowd_case () =
+  let entry =
+    match Scenario.Library.find "flash-crowd" with
+    | Some e -> e
+    | None ->
+        prerr_endline "golden_trace: flash-crowd missing from the library";
+        exit 1
+  in
+  let sc = Scenario.Library.plain entry ~seed:77 in
+  let o, cl = Scenario.run_cluster sc in
+  if o.Scenario.o_violations <> [] then begin
+    prerr_endline "golden_trace: flash-crowd seed 77 tripped a monitor";
+    exit 1
+  end;
+  print_string
+    (Tracer.to_jsonl
+       ~categories:[ "migrate"; "lh"; "fault" ]
+       (Cluster.tracer cl))
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "precopy" with
+  | "precopy" -> strategy_case Protocol.Precopy
+  | "freeze" -> strategy_case Protocol.Freeze_and_copy
+  | "cor" -> strategy_case Protocol.Copy_on_reference
+  | "flashcrowd" -> flashcrowd_case ()
+  | s ->
+      prerr_endline ("golden_trace: unknown case " ^ s);
+      exit 2

@@ -188,6 +188,90 @@ let test_cor_mutation_caught_on_every_seed () =
           v.Monitors.vi_monitor v.Monitors.vi_detail
   done
 
+(* {1 Replay hints}
+
+   A [REPLAY:] line is only worth printing if it round-trips: the
+   canonical printer and the real cmdliner parser live in {!Replay}
+   precisely so they cannot drift, and these tests pin that contract —
+   including on a hint harvested from an actual monitor violation. *)
+
+let replay_eq a b =
+  a.Replay.r_scenario = b.Replay.r_scenario
+  && a.Replay.r_seed = b.Replay.r_seed
+  && a.Replay.r_serve = b.Replay.r_serve
+  && a.Replay.r_forwarding = b.Replay.r_forwarding
+  && a.Replay.r_strategy = b.Replay.r_strategy
+
+let replay_gen =
+  QCheck.(
+    make ~print:Replay.format
+      Gen.(
+        let opt g = oneof [ return None; map Option.some g ] in
+        map
+          (fun (scenario, seed, serve, forwarding, strategy) ->
+            Replay.make ?scenario ?seed ~serve ~forwarding ?strategy ())
+          (tup5
+             (opt (oneofl Scenario.Library.names))
+             (opt (int_bound 10_000))
+             bool bool
+             (opt (oneofl Replay.strategy_tokens)))))
+
+let prop_replay_roundtrip =
+  QCheck.Test.make ~name:"parse (format r) = Ok r" ~count:200 replay_gen
+    (fun r ->
+      match Replay.parse (Replay.format r) with
+      | Ok r' -> replay_eq r r'
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+(* Force a real violation (the forwarding ablation trips the residual
+   monitor), print its replay hint, and make sure the hint parses back
+   to the failing run's exact flags — and that re-running those flags
+   reproduces a violation. *)
+let test_replay_line_roundtrips_from_violation () =
+  let rec probe seed =
+    if seed > 40 then Alcotest.fail "no violation in 40 seeds under Forwarding"
+    else
+      let o = Scenario.run ~rebind:Os_params.Forwarding (Scenario.of_seed seed) in
+      if o.Scenario.o_violations = [] then probe (seed + 1)
+      else (seed, Scenario.replay_hint ~forwarding:true o.Scenario.o_scenario)
+  in
+  let seed, line = probe 1 in
+  match Replay.parse line with
+  | Error e -> Alcotest.failf "replay line %S did not parse: %s" line e
+  | Ok r ->
+      Alcotest.(check (option int)) "seed" (Some seed) r.Replay.r_seed;
+      Alcotest.(check bool) "forwarding" true r.Replay.r_forwarding;
+      Alcotest.(check bool) "serve" false r.Replay.r_serve;
+      let o' =
+        Scenario.run ~rebind:Os_params.Forwarding
+          (Scenario.of_seed (Option.get r.Replay.r_seed))
+      in
+      Alcotest.(check bool) "parsed flags reproduce the violation" true
+        (o'.Scenario.o_violations <> [])
+
+(* Every library family: the plain shape at a pinned seed holds the
+   invariants, and its replay hint carries --scenario and --seed and
+   parses back through the CLI. *)
+let test_library_plain_clean_and_hinted () =
+  List.iter
+    (fun e ->
+      let name = Scenario.Library.name e in
+      let sc = Scenario.Library.plain e ~seed:5 in
+      let o = Scenario.run sc in
+      (match o.Scenario.o_violations with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: [%s] %s (replay: %s)" name v.Monitors.vi_monitor
+            v.Monitors.vi_detail (Scenario.replay_hint sc));
+      let hint = Scenario.replay_hint sc in
+      match Replay.parse hint with
+      | Error err -> Alcotest.failf "%s: hint %S: %s" name hint err
+      | Ok r ->
+          Alcotest.(check (option string))
+            "scenario" (Some name) r.Replay.r_scenario;
+          Alcotest.(check (option int)) "seed" (Some 5) r.Replay.r_seed)
+    Scenario.Library.all
+
 let () =
   Alcotest.run "check"
     [
@@ -219,4 +303,12 @@ let () =
           Alcotest.test_case "copy-on-reference mutation caught on every seed"
             `Slow test_cor_mutation_caught_on_every_seed;
         ] );
+      ( "replay",
+        QCheck_alcotest.to_alcotest prop_replay_roundtrip
+        :: [
+             Alcotest.test_case "violation hint round-trips through the CLI"
+               `Slow test_replay_line_roundtrips_from_violation;
+             Alcotest.test_case "library shapes clean and hinted at seed 5"
+               `Slow test_library_plain_clean_and_hinted;
+           ] );
     ]

@@ -302,6 +302,142 @@ let prop_exponential_span_positive =
       let rng = Rng.create seed in
       Time.(Arrivals.exponential_span rng ~mean:(Time.of_ms 5.) >= Time.of_us 1))
 
+(* {1 Rate modulation}
+
+   The Lewis–Shedler thinning behind {!Arrivals.modulated_stream} must
+   keep per-stream event times strictly monotone, keep expected counts
+   proportional to the base rate, and stay a pure function of the seed
+   whatever [-j] carves the work into — the properties the scenario
+   library's diurnal and flash-crowd families lean on. *)
+
+let feq ?(tol = 1e-9) name expected got =
+  if Float.abs (expected -. got) > tol then
+    Alcotest.failf "%s: expected %g, got %g" name expected got
+
+let test_rate_multiplier_shapes () =
+  feq "constant" 1. (Arrivals.rate_multiplier Arrivals.Constant (sec 123.));
+  let sine = Arrivals.Sinusoid { period = sec 8.; depth = 0.5 } in
+  feq "sine at 0" 1. (Arrivals.rate_multiplier sine Time.zero);
+  feq ~tol:1e-6 "sine crest" 1.5 (Arrivals.rate_multiplier sine (sec 2.));
+  feq ~tol:1e-6 "sine trough" 0.5 (Arrivals.rate_multiplier sine (sec 6.));
+  feq "sine peak" 1.5 (Arrivals.peak_multiplier sine);
+  let deep = Arrivals.Sinusoid { period = sec 8.; depth = 1.4 } in
+  feq ~tol:1e-6 "deep sine clamps at 0" 0.
+    (Arrivals.rate_multiplier deep (sec 6.));
+  let spike =
+    Arrivals.Spike
+      { at = sec 10.; ramp = sec 2.; hold = sec 3.; decay = sec 5.; mult = 10. }
+  in
+  feq "spike before ramp" 1. (Arrivals.rate_multiplier spike (sec 7.));
+  feq ~tol:1e-6 "spike mid-ramp" 5.5 (Arrivals.rate_multiplier spike (sec 9.));
+  feq "spike plateau" 10. (Arrivals.rate_multiplier spike (sec 11.));
+  feq ~tol:1e-6 "spike mid-decay" 5.5
+    (Arrivals.rate_multiplier spike (sec 15.5));
+  feq "spike after decay" 1. (Arrivals.rate_multiplier spike (sec 30.));
+  feq "spike peak" 10. (Arrivals.peak_multiplier spike)
+
+let modulation_gen =
+  QCheck.(
+    make
+      ~print:(fun (seed, m) ->
+        Printf.sprintf "seed=%d %s" seed (Arrivals.modulation_to_string m))
+      Gen.(
+        pair (int_bound 100_000)
+          (oneof
+             [
+               return Arrivals.Constant;
+               map2
+                 (fun p d ->
+                   Arrivals.Sinusoid
+                     {
+                       period = sec (float_of_int p);
+                       depth = float_of_int d /. 10.;
+                     })
+                 (2 -- 20) (0 -- 10);
+               map2
+                 (fun at mult ->
+                   Arrivals.Spike
+                     {
+                       at = sec (float_of_int at);
+                       ramp = sec 2.;
+                       hold = sec 2.;
+                       decay = sec 3.;
+                       mult = float_of_int mult;
+                     })
+                 (5 -- 20) (2 -- 12);
+             ])))
+
+let prop_modulated_times_strictly_monotone =
+  QCheck.Test.make ~name:"modulated times strictly increase" ~count:100
+    modulation_gen (fun (seed, m) ->
+      let until = sec 30. in
+      let times =
+        Arrivals.modulated_times (Rng.create seed) ~rate_per_sec:3.0
+          ~modulation:m ~until
+      in
+      let rec strictly_up = function
+        | a :: (b :: _ as rest) -> Time.(a < b) && strictly_up rest
+        | _ -> true
+      in
+      strictly_up times
+      && List.for_all (fun t -> Time.(t > Time.zero) && Time.(t <= until)) times)
+
+let prop_stream_matches_offline_sampler =
+  QCheck.Test.make ~name:"engine stream = offline sampler" ~count:50
+    modulation_gen (fun (seed, m) ->
+      let until = sec 25. in
+      let offline =
+        Arrivals.modulated_times (Rng.create seed) ~rate_per_sec:2.0
+          ~modulation:m ~until
+      in
+      let eng = Engine.create () in
+      let got = ref [] in
+      Arrivals.modulated_stream eng (Rng.create seed) ~rate_per_sec:2.0
+        ~modulation:m ~until (fun _ -> got := Engine.now eng :: !got);
+      Engine.run eng;
+      List.equal Time.equal offline (List.rev !got))
+
+let test_modulated_count_scales_with_rate () =
+  let count rate seed =
+    List.length
+      (Arrivals.modulated_times (Rng.create seed) ~rate_per_sec:rate
+         ~modulation:Arrivals.Constant ~until:(sec 400.))
+  in
+  (* 400 vs 1200 expected arrivals; the ratio concentrates tightly. *)
+  let lo = count 1.0 5 and hi = count 3.0 7 in
+  let ratio = float_of_int hi /. float_of_int lo in
+  if ratio < 2. || ratio > 4. then
+    Alcotest.failf "rate tripled but count ratio %.2f (lo=%d hi=%d)" ratio lo hi
+
+let test_sinusoid_preserves_mean_rate () =
+  (* sin integrates to zero over whole periods, so a depth<=1 sinusoid
+     keeps the expected count of the flat stream: both expect 800. *)
+  let until = sec 400. in
+  let n m seed =
+    List.length
+      (Arrivals.modulated_times (Rng.create seed) ~rate_per_sec:2.0
+         ~modulation:m ~until)
+  in
+  let flat = n Arrivals.Constant 11 in
+  let sine = n (Arrivals.Sinusoid { period = sec 10.; depth = 0.9 }) 13 in
+  if abs (flat - sine) > 250 then
+    Alcotest.failf "constant %d vs sinusoid %d arrivals" flat sine
+
+let test_modulated_deterministic_across_jobs () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let spike =
+    Arrivals.Spike
+      { at = sec 10.; ramp = sec 2.; hold = sec 2.; decay = sec 3.; mult = 8. }
+  in
+  let run seed () =
+    List.map Time.to_us
+      (Arrivals.modulated_times (Rng.create seed) ~rate_per_sec:2.0
+         ~modulation:spike ~until:(sec 20.))
+  in
+  let j1 = Parrun.run ~jobs:1 (List.map run seeds) in
+  let j2 = Parrun.run ~jobs:2 (List.map run seeds) in
+  Alcotest.(check (list (list int))) "jobs 1 = jobs 2" j1 j2
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -343,4 +479,18 @@ let () =
         :: Alcotest.test_case "owner alternates" `Quick test_owner_alternates
         :: Alcotest.test_case "owner stop" `Quick test_owner_stop
         :: qcheck [ prop_exponential_span_positive ] );
+      ( "modulation",
+        Alcotest.test_case "rate multiplier shapes" `Quick
+          test_rate_multiplier_shapes
+        :: Alcotest.test_case "count scales with rate" `Quick
+             test_modulated_count_scales_with_rate
+        :: Alcotest.test_case "sinusoid preserves mean rate" `Quick
+             test_sinusoid_preserves_mean_rate
+        :: Alcotest.test_case "deterministic across jobs" `Quick
+             test_modulated_deterministic_across_jobs
+        :: qcheck
+             [
+               prop_modulated_times_strictly_monotone;
+               prop_stream_matches_offline_sampler;
+             ] );
     ]
