@@ -67,9 +67,11 @@ let drain_events () =
     (List.fold_left (fun acc e -> acc + Engine.events_fired e) 0 engines)
     cls
 
-let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?faults ?trace () =
+let mk_cluster ?seed ?workstations ?bridged ?cfg ?net_config ?disk_us_per_kb
+    ?faults ?trace () =
   let cl =
-    Cluster.create ?seed ?workstations ?bridged ?cfg ?net_config ?faults ?trace ()
+    Cluster.create ?seed ?workstations ?bridged ?cfg ?net_config
+      ?disk_us_per_kb ?faults ?trace ()
   in
   register cl;
   cl
@@ -174,7 +176,7 @@ let exec_cost () =
     (Cluster.user cl ~ws:0 ~name:"selector" (fun k self ->
          for _ = 1 to samples do
            (match
-              Scheduler.select_any k (Cluster.cfg cl) ~self ~bytes:(64 * 1024)
+              Scheduler.Spine.select_in_group ~group:Ids.program_manager_group k (Cluster.cfg cl) ~self ~bytes:(64 * 1024)
             with
            | Ok s ->
                Stats.Summary.record sel (Time.to_ms s.Scheduler.s_responded_in)
@@ -586,7 +588,7 @@ let scale () =
            ignore
              (Cluster.user cl ~ws:0 ~name:"prober" (fun k self ->
                   (match
-                     Scheduler.select_any k (Cluster.cfg cl) ~self
+                     Scheduler.Spine.select_in_group ~group:Ids.program_manager_group k (Cluster.cfg cl) ~self
                        ~bytes:(64 * 1024)
                    with
                   | Ok s -> first := Time.to_ms s.Scheduler.s_responded_in
@@ -594,7 +596,7 @@ let scale () =
                   Proc.sleep (Cluster.engine cl) (sec 1.);
                   all :=
                     List.length
-                      (Scheduler.candidates k (Cluster.cfg cl) ~self
+                      (Scheduler.Spine.candidates k (Cluster.cfg cl) ~self
                          ~bytes:(64 * 1024) ~window:(Time.of_ms 100.))));
            Cluster.run cl ~until:(sec 5.);
            (n, !first, !all))
@@ -1033,6 +1035,110 @@ let serve () =
     (Stats.Summary.percentile m.Serve.Session.m_submit_to_running_ms 95.);
   metric "serve_migrations" (float_of_int m.Serve.Session.m_migrations);
   detail "serve" (Serve.Session.metrics_to_json s)
+
+(* {1 E-serve-pods: scale-out serve through pod-sharded placement} *)
+
+(* The scale-out claim behind the Placement redesign: a four-figure
+   workstation pool absorbing a three-figure arrival rate. Flat
+   first-responder multicast would put every manager on every query's
+   bid path (~1024 replies per selection); pod sharding caps the
+   fan-out at one 32-host pod, the predictive tier steers queries away
+   from pods about to saturate using the gossiped load summaries, and
+   the autoscaler retargets the admission cap from smoothed rate and
+   service time. Committed to BENCH_serve.json: the events/s number
+   feeds the regression gate and the queue-wait percentiles document
+   that the rate was absorbed, not queued without bound. *)
+let serve_pods () =
+  let duration = if !quick then 10. else 30. in
+  let ws = 1024 and rate = 110. and pod_size = 32 in
+  banner
+    (Printf.sprintf
+       "E-serve-pods: scale-out serve, %d workstations in %d-host pods, %g \
+        req/s for %g simulated seconds (predictive placement + autoscaler)"
+       ws pod_size rate duration);
+  (* The paper's peripherals cap a cluster at a couple dozen jobs/s no
+     matter how many workstations join: the V bulk protocol's 2.1 ms
+     per-frame CPU means ~0.47 MB/s per transfer and the file server's
+     300 us/KB media is similar. A service tier three decades on gets a
+     1 Gbit fabric, microsecond per-frame protocol cost, and solid-state
+     storage — so the bench measures the placement and autoscaling
+     machinery rather than 1985's peripherals. *)
+  let cfg =
+    {
+      Config.default with
+      Config.placement = Config.Load_predictive { pod_size; alpha = 0.3 };
+      os =
+        {
+          Os_params.default with
+          (* ~20 us kernel IPC instead of the 68010's ~500 us: the file
+             server answers ~45 requests per job, so 1985's per-message
+             cost alone caps the whole cluster near 35 jobs/s. *)
+          Os_params.local_op = Time.of_us 20;
+          bulk_pacing =
+            { Transfer.data_frame_bytes = 1024; per_frame_cpu = Time.of_us 10 };
+        };
+      (* The paper's 23 ms host-selection latency is candidacy
+         processing on a 10 MHz pm — at 100 queries/s it would also be
+         the bottleneck (a manager answers bids serially). *)
+      candidacy_delay = Time.of_ms 2.;
+      candidacy_jitter = Time.of_ms 1.;
+    }
+  in
+  let net_config =
+    {
+      Ethernet.default_config with
+      Ethernet.bandwidth_bytes_per_sec = 125_000_000;
+    }
+  in
+  let cl =
+    mk_cluster ~seed:1985 ~workstations:ws ~cfg ~net_config ~disk_us_per_kb:3
+      ()
+  in
+  let params =
+    {
+      Serve.Session.default_params with
+      Serve.Session.arrivals = Serve.Session.Poisson rate;
+      duration = sec duration;
+      max_in_flight = 512;
+      queue_limit = 2048;
+      autoscale =
+        Some
+          {
+            Serve.Session.default_autoscale with
+            Serve.Session.au_min = 64;
+            au_max = 2048;
+          };
+    }
+  in
+  let s = Serve.Session.create ~params cl in
+  Serve.Session.drain s;
+  let m = Serve.Session.metrics s in
+  let pct su p =
+    if Stats.Summary.count su = 0 then 0. else Stats.Summary.percentile su p
+  in
+  row "  submitted %d  completed %d  rejected %d  shed %d  failed %d  stuck %d"
+    m.Serve.Session.m_submitted m.Serve.Session.m_completed
+    m.Serve.Session.m_rejected m.Serve.Session.m_shed
+    m.Serve.Session.m_failed m.Serve.Session.m_stuck;
+  row "  throughput %.1f req/s  queue-wait p50/p95 %.0f/%.0f ms  \
+       submit->running p95 %.0f ms"
+    m.Serve.Session.m_throughput_per_sec
+    (pct m.Serve.Session.m_queue_wait_ms 50.)
+    (pct m.Serve.Session.m_queue_wait_ms 95.)
+    (pct m.Serve.Session.m_submit_to_running_ms 95.);
+  row "  placement %s: %d selection(s), %d timeout(s), %d credit shed(s)"
+    m.Serve.Session.m_placement_policy m.Serve.Session.m_placement_selections
+    m.Serve.Session.m_placement_timeouts m.Serve.Session.m_credit_sheds;
+  row "  autoscaler cap %d (min %d, max %d) over %d scale event(s)"
+    m.Serve.Session.m_cap_final m.Serve.Session.m_cap_min
+    m.Serve.Session.m_cap_max m.Serve.Session.m_scale_events;
+  metric "serve_pods_throughput_per_sec" m.Serve.Session.m_throughput_per_sec;
+  metric "serve_pods_p95_queue_wait_ms"
+    (pct m.Serve.Session.m_queue_wait_ms 95.);
+  metric "serve_pods_selections"
+    (float_of_int m.Serve.Session.m_placement_selections);
+  metric "serve_pods_cap_final" (float_of_int m.Serve.Session.m_cap_final);
+  detail "serve-pods" (Serve.Session.metrics_to_json s)
 
 (* {1 E-chaos: correlated failure + overload, absorbed gracefully} *)
 
@@ -1491,6 +1597,7 @@ let experiments =
     ("space-cost", space_cost);
     ("usage", usage);
     ("serve", serve);
+    ("serve-pods", serve_pods);
     ("chaos", chaos);
     ("strategies", strategies);
     ("precopy-ablation", precopy_ablation);

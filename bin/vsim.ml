@@ -334,6 +334,9 @@ type coverage_acc = {
   cov_scenarios : (string, int ref) Hashtbl.t;
   cov_strategies : (string, int ref) Hashtbl.t;
   cov_events : (string, int ref) Hashtbl.t;
+  (* The sixth dimension: placement policy -> serve runs dispatched
+     through it. *)
+  cov_placements : (string, int ref) Hashtbl.t;
   (* feature name -> (runs declaring it, runs where it materialized) *)
   cov_features : (string, int ref * int ref) Hashtbl.t;
 }
@@ -346,11 +349,12 @@ let coverage_acc () =
     cov_scenarios = Hashtbl.create 8;
     cov_strategies = Hashtbl.create 8;
     cov_events = Hashtbl.create 64;
+    cov_placements = Hashtbl.create 8;
     cov_features = Hashtbl.create 8;
   }
 
-let coverage_note ?label ?(features = []) acc ~declared ~fired ~monitors
-    ~strategies ~events =
+let coverage_note ?label ?(features = []) ?(placements = []) acc ~declared
+    ~fired ~monitors ~strategies ~events =
   let bump tbl (k, n) =
     match Hashtbl.find_opt tbl k with
     | Some r -> r := !r + n
@@ -361,6 +365,7 @@ let coverage_note ?label ?(features = []) acc ~declared ~fired ~monitors
   List.iter (bump acc.cov_monitors) monitors;
   List.iter (bump acc.cov_strategies) strategies;
   List.iter (bump acc.cov_events) events;
+  List.iter (fun (p, _) -> bump acc.cov_placements (p, 1)) placements;
   (match label with Some l -> bump acc.cov_scenarios (l, 1) | None -> ());
   List.iter
     (fun (f, materialized) ->
@@ -383,6 +388,10 @@ type coverage_expect = {
   x_scenarios : string list;
   x_strategies : string list;
   x_features : string list;
+  x_placements : string list;
+      (* Serve mode promises all three placement policies were
+         dispatched through (the round-robin sampler guarantees it over
+         any >= 4-seed range); empty in plain mode. *)
 }
 
 let expect_of_entries entries ~serve =
@@ -393,6 +402,7 @@ let expect_of_entries entries ~serve =
       union (List.map (fun e -> Scenario.Library.strategies e ~serve) entries);
     x_features =
       union (List.map (fun e -> Scenario.Library.features e ~serve) entries);
+    x_placements = (if serve then Replay.placement_tokens else []);
   }
 
 let sorted_keys tbl =
@@ -428,6 +438,9 @@ let coverage_report ~require ~require_scenario ?expect acc =
     (fmt_counts acc.cov_monitors Monitors.monitor_names);
   Printf.printf "strategy coverage: %s\n"
     (fmt_counts acc.cov_strategies (sorted_keys acc.cov_strategies));
+  if Hashtbl.length acc.cov_placements > 0 then
+    Printf.printf "placement coverage: %s\n"
+      (fmt_counts acc.cov_placements (sorted_keys acc.cov_placements));
   (match expect with
   | Some _ ->
       let features = sorted_keys acc.cov_features in
@@ -484,6 +497,11 @@ let coverage_report ~require ~require_scenario ?expect acc =
                   | None -> true)
                 x.x_features
             in
+            let no_placement =
+              List.filter
+                (fun p -> count acc.cov_placements p = 0)
+                x.x_placements
+            in
             List.iter
               (Printf.printf "COVERAGE FAIL: scenario %S never ran\n")
               never_ran;
@@ -495,7 +513,11 @@ let coverage_report ~require ~require_scenario ?expect acc =
               (Printf.printf
                  "COVERAGE FAIL: feature %S never materialized\n")
               dry_features;
-            never_ran @ no_strategy @ dry_features
+            List.iter
+              (Printf.printf
+                 "COVERAGE FAIL: placement %S never dispatched a selection\n")
+              no_placement;
+            never_ran @ no_strategy @ dry_features @ no_placement
     in
     missing <> [] || idle <> [] || scenario_gaps <> []
   end
@@ -520,11 +542,42 @@ let resolve_scenario = function
           exit 124)
 
 let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
-    ~strategy_tok ~strategy ~entries ~require_coverage ~require_scenario =
+    ~strategy_tok ~strategy ~placement_tok ~entries ~require_coverage
+    ~require_scenario =
   let gen seed =
     match entries with
     | None -> Scenario.serve_of_seed seed
     | Some es -> Scenario.Library.serve (entry_for es seed) ~seed
+  in
+  (* Placement sampling: an explicit [--placement] forces that policy on
+     every run; otherwise seeds cycle through the scenario's own draw
+     and the three named policies, so any contiguous >= 4-seed range
+     dispatches through every policy. The per-seed choice is a pure
+     function of the seed, so a REPLAY line (which records the token
+     when one was forced) reproduces the fan-out exactly. *)
+  let placement_cycle =
+    Array.of_list (None :: List.map Option.some Replay.placement_tokens)
+  in
+  let placement_tok_for seed =
+    match placement_tok with
+    | Some _ -> placement_tok
+    | None ->
+        let n = Array.length placement_cycle in
+        placement_cycle.(((seed mod n) + n) mod n)
+  in
+  (* The named tokens parse to a pod size of 32 (right for scale-out
+     benches); fuzz clusters run 4-12 workstations, so rescale to ~3
+     pods — still a pure function of (token, scenario). *)
+  let placement_for seed sv =
+    Option.map
+      (fun p ->
+        let pod_size = max 2 (sv.Scenario.sv_workstations / 3) in
+        match p with
+        | Config.Flat_multicast -> p
+        | Config.Pod_sharded _ -> Config.Pod_sharded { pod_size }
+        | Config.Load_predictive { alpha; _ } ->
+            Config.Load_predictive { pod_size; alpha })
+      (Option.bind (placement_tok_for seed) Config.placement_of_string)
   in
   let features_of o =
     match (entries, o.Scenario.so_scenario.Scenario.sv_label) with
@@ -536,13 +589,23 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
   in
   let replay o =
     Scenario.replay_serve_hint ~forwarding ?strategy:strategy_tok
+      ?placement:(placement_tok_for o.Scenario.so_scenario.Scenario.sv_seed)
       o.Scenario.so_scenario
   in
   match single with
   | Some seed ->
       let sv = gen seed in
       print_endline (Scenario.describe_serve sv);
-      let o = Scenario.run_serve ~rebind ?strategy sv in
+      (match placement_tok_for seed with
+      | Some tok when tok <> Scenario.placement_token sv.Scenario.sv_placement
+        ->
+          Printf.printf "placement override: %s\n" tok
+      | _ -> ());
+      let o =
+        Scenario.run_serve ~rebind ?strategy
+          ?placement:(placement_for seed sv)
+          sv
+      in
       (match features_of o with
       | [] -> ()
       | fs ->
@@ -575,7 +638,12 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () = Scenario.run_serve ~rebind ?strategy (gen seed) in
+      let cell seed () =
+        let sv = gen seed in
+        Scenario.run_serve ~rebind ?strategy
+          ?placement:(placement_for seed sv)
+          sv
+      in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -588,6 +656,7 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
           coverage_note acc
             ?label:o.Scenario.so_scenario.Scenario.sv_label
             ~features:(features_of o)
+            ~placements:o.Scenario.so_placements
             ~declared:o.Scenario.so_fault_declared
             ~fired:o.Scenario.so_fault_fired ~monitors:o.Scenario.so_monitors
             ~strategies:o.Scenario.so_strategies
@@ -641,9 +710,12 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
     r_serve = serve_mode;
     r_forwarding = forwarding;
     r_strategy = strategy_arg;
+    r_placement = placement_arg;
   } =
     replay_flags
   in
+  if (not serve_mode) && placement_arg <> None then
+    Printf.eprintf "vsim fuzz: --placement only applies with --serve; ignored\n";
   let entries = resolve_scenario scenario_arg in
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
@@ -661,8 +733,8 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
   in
   if serve_mode then
     fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
-      ~strategy_tok:strategy_arg ~strategy ~entries ~require_coverage
-      ~require_scenario
+      ~strategy_tok:strategy_arg ~strategy ~placement_tok:placement_arg
+      ~entries ~require_coverage ~require_scenario
   else
   let gen seed =
     match entries with
@@ -775,12 +847,34 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
    merged in replica order, so stdout is byte-identical for any -j. *)
 
 let serve_cmd seed workstations bridged faults duration rate replicas jobs
-    json_out quick slo_shed health =
+    json_out quick slo_shed health placement_tok pod_size autoscale =
   let duration = if quick then Float.min duration 30. else duration in
+  let placement =
+    Option.map
+      (fun tok ->
+        let p =
+          match Config.placement_of_string tok with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "vsim serve: unknown placement %S\n" tok;
+              exit 124
+        in
+        match (p, pod_size) with
+        | Config.Pod_sharded _, Some n -> Config.Pod_sharded { pod_size = n }
+        | Config.Load_predictive { alpha; _ }, Some n ->
+            Config.Load_predictive { pod_size = n; alpha }
+        | _ -> p)
+      placement_tok
+  in
+  let cfg =
+    Option.map (fun p -> { Config.default with Config.placement = p }) placement
+  in
   let replica i () =
     match
       try
-        Ok (Cluster.create ~seed:(seed + i) ~workstations ~bridged ?faults ())
+        Ok
+          (Cluster.create ~seed:(seed + i) ~workstations ~bridged ?cfg ?faults
+             ())
       with Invalid_argument m -> Error m
     with
     | Error m ->
@@ -794,6 +888,9 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
             Serve.Session.arrivals = Serve.Session.Poisson rate;
             duration = sec duration;
             slo_shed_multiple = slo_shed;
+            autoscale =
+              (if autoscale then Some Serve.Session.default_autoscale
+               else None);
           }
         in
         let s = Serve.Session.create ~params cl in
@@ -828,6 +925,21 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
             m.Serve.Session.m_brownout_spans
             (if m.Serve.Session.m_brownout_spans = 1 then "" else "s")
             m.Serve.Session.m_brownout_ms
+        in
+        let summary =
+          if placement = None && not autoscale then summary
+          else
+            summary
+            ^ Printf.sprintf
+                "\n\
+                \  placement %s: %d selection(s), %d timeout(s), %d credit \
+                 shed(s); cap %d (min %d, max %d), %d scale event(s)"
+                m.Serve.Session.m_placement_policy
+                m.Serve.Session.m_placement_selections
+                m.Serve.Session.m_placement_timeouts
+                m.Serve.Session.m_credit_sheds m.Serve.Session.m_cap_final
+                m.Serve.Session.m_cap_min m.Serve.Session.m_cap_max
+                m.Serve.Session.m_scale_events
         in
         (summary, Serve.Session.metrics_to_json s)
   in
@@ -1050,6 +1162,39 @@ let serve_t =
              Dead hosts and deprioritize Suspect ones. The JSON report \
              gains a health section.")
   in
+  let placement =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "placement" ] ~docv:"P"
+          ~doc:
+            "Placement policy host selection dispatches through: $(b,flat) \
+             (the paper's single first-responder multicast, the default), \
+             $(b,pods) (pod-sharded scheduler groups with gossiped load \
+             summaries routing across pods), or $(b,predictive) (pods plus \
+             exponential-smoothing arrival prediction steering away from \
+             pods about to saturate).")
+  in
+  let pod_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pod-size" ] ~docv:"N"
+          ~doc:
+            "Workstations per pod for $(b,--placement) $(b,pods) and \
+             $(b,predictive) (default 32).")
+  in
+  let autoscale =
+    Arg.(
+      value & flag
+      & info [ "autoscale" ]
+          ~doc:
+            "Arm the worker-pool autoscaler: a queuing-theory controller \
+             retargets the admission cap each period from smoothed arrival \
+             rate and service time (Little's law over the headroom), with a \
+             hysteresis band against flapping. The summary and JSON report \
+             gain cap/scale-event fields.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1057,7 +1202,8 @@ let serve_t =
           admission control, continuous rebalancing, SLO accounting.")
     Term.(
       const serve_cmd $ seed $ workstations $ bridged $ faults_arg $ duration
-      $ rate $ replicas $ jobs $ json_out $ quick $ slo_shed $ health)
+      $ rate $ replicas $ jobs $ json_out $ quick $ slo_shed $ health
+      $ placement $ pod_size $ autoscale)
 
 let programs_t =
   Cmd.v

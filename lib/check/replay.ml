@@ -4,17 +4,21 @@ type t = {
   r_serve : bool;
   r_forwarding : bool;
   r_strategy : string option;
+  r_placement : string option;
 }
 
 let strategy_tokens = [ "precopy"; "freeze"; "cor"; "vmflush" ]
+let placement_tokens = [ "flat"; "pods"; "predictive" ]
 
-let make ?scenario ?seed ?(serve = false) ?(forwarding = false) ?strategy () =
+let make ?scenario ?seed ?(serve = false) ?(forwarding = false) ?strategy
+    ?placement () =
   {
     r_scenario = scenario;
     r_seed = seed;
     r_serve = serve;
     r_forwarding = forwarding;
     r_strategy = strategy;
+    r_placement = placement;
   }
 
 let format r =
@@ -28,9 +32,12 @@ let format r =
       | None -> [])
     @ (if r.r_serve then [ " --serve" ] else [])
     @ (if r.r_forwarding then [ " --forwarding" ] else [])
+    @ (match r.r_strategy with
+      | Some s -> [ " --strategy "; s ]
+      | None -> [])
     @
-    match r.r_strategy with
-    | Some s -> [ " --strategy "; s ]
+    match r.r_placement with
+    | Some p -> [ " --placement "; p ]
     | None -> [])
 
 open Cmdliner
@@ -43,6 +50,17 @@ let strategy_conv =
         (`Msg
           (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
              (String.concat ", " strategy_tokens)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let placement_conv =
+  let parse s =
+    if List.mem s placement_tokens then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown placement %S (expected one of: %s)" s
+             (String.concat ", " placement_tokens)))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -86,10 +104,19 @@ let term =
             "Force one migration discipline on every generated migration: \
              $(b,precopy), $(b,freeze), $(b,cor) or $(b,vmflush).")
   in
+  let placement =
+    Arg.(
+      value
+      & opt (some placement_conv) None
+      & info [ "placement" ] ~docv:"P"
+          ~doc:
+            "Force one placement policy on every serve run: $(b,flat), \
+             $(b,pods) or $(b,predictive).")
+  in
   Term.(
-    const (fun r_scenario r_seed r_serve r_forwarding r_strategy ->
-        { r_scenario; r_seed; r_serve; r_forwarding; r_strategy })
-    $ scenario $ seed $ serve $ forwarding $ strategy)
+    const (fun r_scenario r_seed r_serve r_forwarding r_strategy r_placement ->
+        { r_scenario; r_seed; r_serve; r_forwarding; r_strategy; r_placement })
+    $ scenario $ seed $ serve $ forwarding $ strategy $ placement)
 
 let parse line =
   let words =

@@ -15,10 +15,15 @@ type t = {
   r_forwarding : bool;  (** [--forwarding] Demos/MP ablation. *)
   r_strategy : string option;
       (** [--strategy S]: precopy | freeze | cor | vmflush. *)
+  r_placement : string option;
+      (** [--placement P]: flat | pods | predictive (serve mode). *)
 }
 
 val strategy_tokens : string list
 (** CLI spellings accepted by [--strategy], in canonical order. *)
+
+val placement_tokens : string list
+(** CLI spellings accepted by [--placement], in canonical order. *)
 
 val make :
   ?scenario:string ->
@@ -26,6 +31,7 @@ val make :
   ?serve:bool ->
   ?forwarding:bool ->
   ?strategy:string ->
+  ?placement:string ->
   unit ->
   t
 (** Build a hint; [serve] and [forwarding] default to [false]. *)

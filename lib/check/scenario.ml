@@ -400,8 +400,15 @@ type serve = {
   sv_balancer_interval : Time.span;
   sv_strategy : Protocol.strategy option;
   sv_slo_shed : float option;
+  sv_placement : Config.placement;
   sv_faults : Faults.plan;
 }
+
+let placement_token = function
+  | Config.Flat_multicast -> "flat"
+  | Config.Pod_sharded { pod_size } -> Printf.sprintf "pods/%d" pod_size
+  | Config.Load_predictive { pod_size; _ } ->
+      Printf.sprintf "predictive/%d" pod_size
 
 let arbitrary_serve ?(seed = 0) rng =
   let ws = 4 + Rng.int rng 9 in
@@ -411,6 +418,16 @@ let arbitrary_serve ?(seed = 0) rng =
   let faults =
     List.concat
       (List.init (Rng.int rng 3) (fun _ -> gen_fault_event rng ~ws ~bridged))
+  in
+  (* Half flat, a quarter each pod-sharded and predictive, with pod
+     sizes small enough that a 4-12 ws pool splits into several pods. *)
+  let placement =
+    match Rng.int rng 4 with
+    | 0 -> Config.Pod_sharded { pod_size = 2 + Rng.int rng 3 }
+    | 1 ->
+        Config.Load_predictive
+          { pod_size = 2 + Rng.int rng 3; alpha = 0.2 +. Rng.float rng 0.4 }
+    | _ -> Config.Flat_multicast
   in
   {
     sv_seed = seed;
@@ -430,6 +447,7 @@ let arbitrary_serve ?(seed = 0) rng =
        overload-graceful path is fuzzed as hard as the happy path. *)
     sv_slo_shed =
       (if Rng.bool rng 0.5 then Some (1.5 +. Rng.float rng 3.) else None);
+    sv_placement = placement;
     sv_faults = faults;
   }
 
@@ -438,7 +456,7 @@ let serve_of_seed seed = arbitrary_serve ~seed (Rng.create seed)
 let describe_serve sv =
   Printf.sprintf
     "%sserve seed %d: %d ws (%d bridged), %.2f req/s (%s) for %s, cap %d + \
-     queue %d, shed %s, faults [%s]"
+     queue %d, shed %s, placement %s, faults [%s]"
     (match sv.sv_label with Some l -> l ^ " " | None -> "")
     sv.sv_seed sv.sv_workstations sv.sv_bridged sv.sv_rate
     (Arrivals.modulation_to_string sv.sv_modulation)
@@ -447,12 +465,13 @@ let describe_serve sv =
     (match sv.sv_slo_shed with
     | Some m -> Printf.sprintf "%.2fxSLO" m
     | None -> "off")
+    (placement_token sv.sv_placement)
     (Format.asprintf "%a" Faults.pp_plan sv.sv_faults)
 
-let replay_serve_hint ?(forwarding = false) ?strategy sv =
+let replay_serve_hint ?(forwarding = false) ?strategy ?placement sv =
   Replay.format
     (Replay.make ?scenario:sv.sv_label ~seed:sv.sv_seed ~serve:true
-       ~forwarding ?strategy ())
+       ~forwarding ?strategy ?placement ())
 
 type serve_outcome = {
   so_scenario : serve;
@@ -468,13 +487,25 @@ type serve_outcome = {
   so_monitors : (string * int) list;
   so_strategies : (string * int) list;
   so_event_kinds : (string * int) list;
+  so_placements : (string * int) list;
+      (** Placement policy the run dispatched through, with its
+          selection count — the coverage dimension the serve fuzzer
+          gates on. *)
 }
 
-let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy sv =
+let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy
+    ?placement sv =
+  let placement =
+    match placement with Some p -> p | None -> sv.sv_placement
+  in
   let cfg =
     let base = Config.with_default_budgets Config.default in
-    if base.Config.os.Os_params.rebind = rebind then base
-    else { base with Config.os = { base.Config.os with Os_params.rebind } }
+    let base =
+      if base.Config.os.Os_params.rebind = rebind then base
+      else { base with Config.os = { base.Config.os with Os_params.rebind } }
+    in
+    if base.Config.placement = placement then base
+    else { base with Config.placement }
   in
   let cl =
     Cluster.create ~seed:sv.sv_seed ~workstations:sv.sv_workstations
@@ -506,6 +537,18 @@ let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy sv =
       reexec_budget = Some 64;
       slo_shed_multiple = sv.sv_slo_shed;
       drain_grace = Time.of_sec 30.;
+      (* Pod-based runs arm the autoscaler so the fuzzer exercises the
+         grow/shrink machinery alongside the sharded selection path. *)
+      autoscale =
+        (match placement with
+        | Config.Flat_multicast -> None
+        | Config.Pod_sharded _ | Config.Load_predictive _ ->
+            Some
+              {
+                Serve.Session.default_autoscale with
+                Serve.Session.au_min = max 2 (sv.sv_max_in_flight / 2);
+                au_max = sv.sv_max_in_flight * 4;
+              });
     }
   in
   let session = Serve.Session.create ~params cl in
@@ -525,10 +568,14 @@ let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy sv =
       so_monitors = Monitors.coverage mon;
       so_strategies = Coverage.strategies cov;
       so_event_kinds = Coverage.event_kinds cov;
+      so_placements =
+        (let p = Cluster.placement cl in
+         [ (Placement.name p, Placement.selections p) ]);
     },
     cl )
 
-let run_serve ?rebind ?strategy sv = fst (run_serve_cluster ?rebind ?strategy sv)
+let run_serve ?rebind ?strategy ?placement sv =
+  fst (run_serve_cluster ?rebind ?strategy ?placement sv)
 
 (* {1 The scenario library}
 
@@ -611,8 +658,9 @@ module Library = struct
     }
 
   let mk_serve ?(bridged = 0) ?(modulation = Arrivals.Constant)
-      ?(progs = serve_programs) ?strategy ?slo_shed ~ws ~rate ~duration
-      ~max_in_flight ~queue_limit ~balancer ~faults () =
+      ?(progs = serve_programs) ?strategy ?slo_shed
+      ?(placement = Config.Flat_multicast) ~ws ~rate ~duration ~max_in_flight
+      ~queue_limit ~balancer ~faults () =
     {
       sv_seed = 0;
       sv_label = None;
@@ -627,8 +675,17 @@ module Library = struct
       sv_balancer_interval = balancer;
       sv_strategy = strategy;
       sv_slo_shed = slo_shed;
+      sv_placement = placement;
       sv_faults = faults;
     }
+
+  (* The satellite [pods] knob: split [ws] workstations into [npods]
+     scheduling domains (pods of at least two hosts each), half the
+     time with the predictive tier selector on top. *)
+  let pods_placement rng ~ws ~npods =
+    let pod_size = max 2 (ws / max 1 npods) in
+    if Rng.bool rng 0.5 then Config.Pod_sharded { pod_size }
+    else Config.Load_predictive { pod_size; alpha = 0.2 +. Rng.float rng 0.3 }
 
   let count l k = match List.assoc_opt k l with Some n -> n | None -> 0
   let mig_starts_plain o = count o.o_event_kinds "migrate/start"
@@ -784,9 +841,11 @@ module Library = struct
     mk_plain ~ws ~jobs ~faults ~horizon:(sec 28.) ()
 
   let diurnal_serve rng =
+    let ws = 6 + Rng.int rng 4 in
     mk_serve
       ~modulation:(diurnal_modulation rng)
-      ~ws:(6 + Rng.int rng 4)
+      ~placement:(pods_placement rng ~ws ~npods:(2 + Rng.int rng 2))
+      ~ws
       ~rate:(0.8 +. Rng.float rng 0.8)
       ~duration:(sec (25. +. Rng.float rng 10.))
       ~max_in_flight:(3 + Rng.int rng 3)
@@ -826,6 +885,7 @@ module Library = struct
 
   let flash_crowd_serve rng =
     let at = 10. +. Rng.float rng 3. in
+    let ws = 6 + Rng.int rng 4 in
     mk_serve
       ~modulation:
         (Arrivals.Spike
@@ -836,7 +896,8 @@ module Library = struct
              decay = sec 3.;
              mult = 10.;
            })
-      ~ws:(6 + Rng.int rng 4)
+      ~placement:(pods_placement rng ~ws ~npods:(2 + Rng.int rng 3))
+      ~ws
       ~rate:(0.8 +. Rng.float rng 0.6)
       ~duration:(sec (26. +. Rng.float rng 6.))
       ~max_in_flight:(4 + Rng.int rng 4)

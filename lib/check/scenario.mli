@@ -141,14 +141,22 @@ type serve = {
   sv_slo_shed : float option;
       (** Brownout multiple ([params.slo_shed_multiple]); [None] = no
           shedding. *)
+  sv_placement : Config.placement;
+      (** Placement policy the run resolves ([cfg.placement]).
+          Overridden by {!run_serve}'s [?placement]. *)
   sv_faults : Faults.plan;
 }
+
+val placement_token : Config.placement -> string
+(** Compact render for describe lines: ["flat"], ["pods/4"],
+    ["predictive/4"]. *)
 
 val arbitrary_serve : ?seed:int -> Rng.t -> serve
 (** Draw a serve scenario: 4–12 workstations (possibly bridged),
     0.5–3 req/s for 15–30 virtual seconds, in-flight cap and queue
     limit both 2–8, balancer every 2–5 s, brownout shedding armed on
-    half the draws, and 0–2 fault events. *)
+    half the draws, a placement policy (half flat, half pod-based with
+    pods of 2–4 hosts), and 0–2 fault events. *)
 
 val serve_of_seed : int -> serve
 (** [arbitrary_serve ~seed (Rng.create seed)]. *)
@@ -156,9 +164,10 @@ val serve_of_seed : int -> serve
 val describe_serve : serve -> string
 
 val replay_serve_hint :
-  ?forwarding:bool -> ?strategy:string -> serve -> string
+  ?forwarding:bool -> ?strategy:string -> ?placement:string -> serve -> string
 (** The [vsim fuzz --serve ...] command line that reproduces it,
-    including [--scenario] for {!Library} scenarios. *)
+    including [--scenario] for {!Library} scenarios and [--placement]
+    when the harness forced a policy override. *)
 
 type serve_outcome = {
   so_scenario : serve;
@@ -174,11 +183,15 @@ type serve_outcome = {
   so_monitors : (string * int) list;
   so_strategies : (string * int) list;  (** As [o_strategies]. *)
   so_event_kinds : (string * int) list;  (** As [o_event_kinds]. *)
+  so_placements : (string * int) list;
+      (** Placement policy dispatched through, with its selection
+          count — the sixth coverage dimension. *)
 }
 
 val run_serve :
   ?rebind:Os_params.rebind_mode ->
   ?strategy:Protocol.strategy ->
+  ?placement:Config.placement ->
   serve ->
   serve_outcome
 (** Execute in a fresh cluster (tracing on, monitors attached, the
@@ -187,11 +200,14 @@ val run_serve :
     session's request counts, fault-kind coverage, and monitor coverage.
     [strategy] forces the copy discipline the balancer uses for its
     migrations ([vsim fuzz --serve --strategy]), overriding the
-    scenario's own [sv_strategy]. *)
+    scenario's own [sv_strategy]; [placement] likewise forces the
+    placement policy over [sv_placement] ([vsim fuzz --serve
+    --placement]). Pod-based runs arm the session autoscaler. *)
 
 val run_serve_cluster :
   ?rebind:Os_params.rebind_mode ->
   ?strategy:Protocol.strategy ->
+  ?placement:Config.placement ->
   serve ->
   serve_outcome * Cluster.t
 (** {!run_serve} returning the cluster as well, as {!run_cluster}. *)

@@ -18,6 +18,7 @@ type t = {
   c_ns : Name_server.t;
   c_fs_kernel : Kernel.t;
   stations : workstation array;
+  c_placement : Placement.t;
   mutable c_faults : Faults.t option;
   mutable c_health : Health.t option;
 }
@@ -32,6 +33,7 @@ let file_server t = t.c_fs
 let name_server t = t.c_ns
 let faults t = t.c_faults
 let health t = t.c_health
+let placement t = t.c_placement
 let size t = Array.length t.stations
 let workstation t i = t.stations.(i)
 let workstations t = Array.to_list t.stations
@@ -87,6 +89,11 @@ let install_faults t plan =
               Program_manager.create k ~cfg:t.c_cfg ~directory:t.c_dir
                 ~rng:(Rng.split t.c_rng);
             Program_manager.set_health ws.ws_pm t.c_health;
+            (* A rebooted manager must rejoin its pod's scheduling
+               group — group membership died with the old process. *)
+            (match Placement.pod_of t.c_placement ~host with
+            | Some pod -> Program_manager.join_pod ws.ws_pm ~pod
+            | None -> ());
             ws.ws_display <- Display_server.create k;
             Name_server.register_direct t.c_ns
               ~name:(host ^ ":display")
@@ -104,10 +111,58 @@ let install_faults t plan =
   in
   Faults.install t.eng t.c_tracer hooks plan
 
+(* Pod load gossip: one daemon per pod, observing from the file-server
+   machine like the failure detector (fault plans only crash
+   workstations, so the observers survive any churn). Each cycle —
+   seeded interval plus jitter, like Health probes — multicasts the
+   ordinary Pm_list_programs survey to the pod's scheduling group and
+   folds the replies (total guest programs, idle-host count) into the
+   placement policy's EWMA summaries. No new protocol messages. *)
+let gossip_interval = Time.of_sec 1.
+let gossip_jitter = Time.of_ms 150.
+let gossip_window = Time.of_ms 200.
+
+let start_gossip t =
+  let p = t.c_placement in
+  let eng = t.eng in
+  let fsk = t.c_fs_kernel in
+  for pod = 0 to Placement.pod_count p - 1 do
+    let rng = Rng.split t.c_rng in
+    let lh = Kernel.create_logical_host fsk ~priority:Cpu.Foreground in
+    let self = Vproc.pid (Kernel.create_process fsk lh) in
+    ignore
+      (Proc.spawn eng
+         ~name:(Printf.sprintf "gossip-pod%d" pod)
+         (fun () ->
+           let rec loop () =
+             Proc.sleep eng
+               (Time.add gossip_interval
+                  (Rng.uniform_span rng Time.zero gossip_jitter));
+             let c =
+               Kernel.send_group fsk ~src:self ~group:(Ids.pod_group pod)
+                 (Message.make Protocol.Pm_list_programs)
+             in
+             let replies = Kernel.collect_within fsk c ~window:gossip_window in
+             let queue, idle =
+               List.fold_left
+                 (fun (q, i) (_, (m : Message.t)) ->
+                   match m.Message.body with
+                   | Protocol.Pm_programs { programs; _ } ->
+                       let n = List.length programs in
+                       (q + n, if n = 0 then i + 1 else i)
+                   | _ -> (q, i))
+                 (0, 0) replies
+             in
+             Placement.note_pod_load p ~pod ~queue ~idle;
+             loop ()
+           in
+           loop ()))
+  done
+
 let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
     ?(bridge_delay = Time.of_ms 2.) ?(memory_bytes = 2 * 1024 * 1024)
     ?(cfg = Config.default) ?(net_config = Ethernet.default_config)
-    ?(trace = false) ?faults ()  =
+    ?disk_us_per_kb ?(trace = false) ?faults ()  =
   assert (bridged >= 0 && bridged <= workstations);
   (* Fresh id/txn sequences per cluster: every replica then produces
      identical internal identifiers (and so identical Hashtbl layouts
@@ -156,7 +211,7 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
     boot_kernel ~station:0 ~host_name:"fileserver" ~memory:(16 * 1024 * 1024)
       ()
   in
-  let c_fs = File_server.create fs_kernel ~name:"fileserver" in
+  let c_fs = File_server.create ?disk_us_per_kb fs_kernel ~name:"fileserver" in
   let c_ns = Name_server.create fs_kernel ~name:"nameserver" in
   Programs.publish_images c_fs;
   List.iter
@@ -181,6 +236,17 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
           (Display_server.pid d);
         { ws_index = i; ws_segment = segment; ws_kernel = k; ws_pm = pm; ws_display = d })
   in
+  let c_placement = Placement.of_config cfg in
+  let pod_size = Placement.pod_size c_placement in
+  if pod_size > 0 then
+    Array.iter
+      (fun ws ->
+        let pod = ws.ws_index / pod_size in
+        Program_manager.join_pod ws.ws_pm ~pod;
+        Placement.register_host c_placement
+          ~host:(Kernel.host_name ws.ws_kernel)
+          ~pod)
+      stations;
   let t =
     {
       eng;
@@ -194,10 +260,12 @@ let create ?(seed = 1985) ?(workstations = 6) ?(bridged = 0)
       c_ns;
       c_fs_kernel = fs_kernel;
       stations;
+      c_placement;
       c_faults = None;
       c_health = None;
     }
   in
+  if pod_size > 0 then start_gossip t;
   (match faults with
   | None -> ()
   | Some plan -> t.c_faults <- Some (install_faults t plan));
@@ -245,8 +313,8 @@ let enable_health ?config t =
 
 let context t ~ws ~self =
   let w = t.stations.(ws) in
-  Context.make ?health:t.c_health ~kernel:w.ws_kernel ~cfg:t.c_cfg ~self
-    ~env:(env_for t w) ()
+  Context.make ?health:t.c_health ~placement:t.c_placement
+    ~kernel:w.ws_kernel ~cfg:t.c_cfg ~self ~env:(env_for t w) ()
 
 let shell t ~ws ~name body =
   user t ~ws ~name (fun _k self -> body (context t ~ws ~self))

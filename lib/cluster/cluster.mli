@@ -26,6 +26,7 @@ val create :
   ?memory_bytes:int ->
   ?cfg:Config.t ->
   ?net_config:Ethernet.config ->
+  ?disk_us_per_kb:int ->
   ?trace:bool ->
   ?faults:Faults.plan ->
   unit ->
@@ -41,6 +42,11 @@ val create :
     bridge with [bridge_delay] (default 2 ms) per frame — the first step
     toward the internet environment Section 6 leaves as future work. The
     file server stays on segment 0.
+
+    [disk_us_per_kb] overrides the file server's media speed (default
+    the paper-calibrated 300 us/KB) — scale-out benches provision
+    modern storage so the single server loop is not the whole
+    experiment.
 
     [faults] compiles a {!Faults.plan} onto the engine: crashes hit
     workstation kernels, reboots recreate machine services, loss windows
@@ -74,6 +80,14 @@ val enable_health : ?config:Health.config -> t -> Health.t
 
 val health : t -> Health.t option
 (** The running failure detector, if {!enable_health} was called. *)
+
+val placement : t -> Placement.t
+(** The cluster's shared placement policy instance, resolved from
+    [cfg.placement] at creation. Under a pod-based policy every
+    program manager has joined its {!Ids.pod_group} and one gossip
+    daemon per pod (observing from the file-server machine, like the
+    failure detector) keeps the policy's pod load summaries fresh.
+    Threaded into every {!context}. *)
 
 val size : t -> int
 val workstation : t -> int -> workstation

@@ -12,9 +12,9 @@ let stop t = Proc.kill t.daemon
 
 (* One survey: every program manager's migratable-guest list, with the
    manager's own (stable) pid from the reply. *)
-let survey k ~self =
+let survey ?(group = Ids.program_manager_group) k ~self =
   let c =
-    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+    Kernel.send_group k ~src:self ~group
       (Message.make Protocol.Pm_list_programs)
   in
   List.filter_map
@@ -44,8 +44,8 @@ let worth_surveying health =
       watched = []
       || List.length (List.filter (fun (_, s) -> s = Health.Alive) watched) >= 2
 
-let rebalance_once ?health t k ~self ~imbalance ~strategy ~on_outcome =
-  match List.filter (trusted health) (survey k ~self) with
+let rebalance_once ?health ?group t k ~self ~imbalance ~strategy ~on_outcome =
+  match List.filter (trusted health) (survey ?group k ~self) with
   | [] | [ _ ] -> ()
   | loads ->
       let by_load =
@@ -94,12 +94,28 @@ let rebalance_once ?health t k ~self ~imbalance ~strategy ~on_outcome =
       in
       try_candidates (List.rev by_load)
 
-let start ?health ?(interval = Time.of_sec 5.) ?(imbalance = 2)
+let start ?health ?placement ?(interval = Time.of_sec 5.) ?(imbalance = 2)
     ?(strategy = Protocol.Precopy)
     ?(on_outcome = fun (_ : Protocol.migration_outcome) -> ()) k =
   let eng = Kernel.engine k in
   let lh = Kernel.create_logical_host k ~priority:Cpu.Foreground in
   let self = Vproc.pid (Kernel.create_process k lh) in
+  (* Under a pod-sharded placement each cycle sweeps one pod's group,
+     round-robin, so a sweep never multicasts beyond one scheduling
+     domain; guests therefore also stay within their pod. The flat
+     policy (and no policy) sweeps the single global group. *)
+  let cycle = ref 0 in
+  let group_for_cycle () =
+    match placement with
+    | None -> None
+    | Some p -> (
+        match Placement.survey_groups p with
+        | [] -> None
+        | gs ->
+            let g = List.nth gs (!cycle mod List.length gs) in
+            incr cycle;
+            Some g)
+  in
   let t_cell = ref None in
   let daemon =
     Proc.spawn eng ~name:"balancer" (fun () ->
@@ -112,10 +128,13 @@ let start ?health ?(interval = Time.of_sec 5.) ?(imbalance = 2)
                 "fewer than two peers alive; skipping survey"
           | Some t -> (
               t.survey_count <- t.survey_count + 1;
+              let group = group_for_cycle () in
               (* A cycle must never take the daemon down: whatever a
                  mid-cycle crash does to the survey or the migrate
                  conversation, absorb it and try again next interval. *)
-              try rebalance_once ?health t k ~self ~imbalance ~strategy ~on_outcome
+              try
+                rebalance_once ?health ?group t k ~self ~imbalance ~strategy
+                  ~on_outcome
               with exn ->
                 t.skip_count <- t.skip_count + 1;
                 Tracer.recordf (Kernel.tracer k) ~category:"balance"

@@ -22,6 +22,7 @@ type t
 
 val start :
   ?health:Health.t ->
+  ?placement:Placement.t ->
   ?interval:Time.span ->
   ?imbalance:int ->
   ?strategy:Protocol.strategy ->
@@ -34,6 +35,12 @@ val start :
     invoked once per completed rebalancing migration with the full
     migration outcome — service layers use it for freeze-time
     accounting.
+
+    With a [placement] policy the survey is scoped to the policy's
+    {!Placement.survey_groups}, one group per cycle round-robin — under
+    pod sharding a sweep never multicasts beyond one pod, and triggered
+    moves stay pod-local. Without one (or under the flat policy) each
+    cycle sweeps the single global program-manager group.
 
     With a [health] view the daemon consults it before surveying: if
     fewer than two watched peers are alive the whole cycle is skipped

@@ -11,6 +11,28 @@ let migration_strategy_of_string = function
   | "cor" | "copy-on-reference" -> Some Copy_on_reference
   | _ -> None
 
+type placement =
+  | Flat_multicast
+  | Pod_sharded of { pod_size : int }
+  | Load_predictive of { pod_size : int; alpha : float }
+
+let placement_name = function
+  | Flat_multicast -> "flat"
+  | Pod_sharded _ -> "pods"
+  | Load_predictive _ -> "predictive"
+
+let placement_of_string = function
+  | "flat" | "flat-multicast" -> Some Flat_multicast
+  | "pods" | "pod-sharded" -> Some (Pod_sharded { pod_size = 32 })
+  | "predictive" | "load-predictive" ->
+      Some (Load_predictive { pod_size = 32; alpha = 0.3 })
+  | _ -> None
+
+let placement_pod_size = function
+  | Flat_multicast -> 0
+  | Pod_sharded { pod_size } | Load_predictive { pod_size; _ } ->
+      max 1 pod_size
+
 (* A per-strategy migration deadline budget (Quest-V-style predictable
    migration): [bg_transfer] bounds the running copy phase, [bg_freeze]
    bounds the freeze window. [None] (the default everywhere) means
@@ -39,6 +61,7 @@ type t = {
   budget_cor : budget option;
   budget_flush : budget option;
   budget_reselects : int;
+  placement : placement;
 }
 
 let default =
@@ -64,6 +87,7 @@ let default =
     budget_cor = None;
     budget_flush = None;
     budget_reselects = 0;
+    placement = Flat_multicast;
   }
 
 (* A budget profile sized for the paper's calibration: the freeze bound

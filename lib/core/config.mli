@@ -17,6 +17,32 @@ val migration_strategy_of_string : string -> migration_strategy option
 (** Accepts the canonical names plus the short CLI spellings
     ["precopy"], ["freeze"] and ["cor"]. *)
 
+(** Which placement policy host selection uses ({!Placement}). The
+    symbolic constructor names a policy family; {!Placement.of_config}
+    resolves it into a runtime policy instance per cluster.
+    [Flat_multicast] is the paper's single-group first-responder bidding.
+    [Pod_sharded] partitions the cluster into pods of at most [pod_size]
+    workstations, each a multicast scheduling domain of its own, with a
+    cross-pod tier routed by gossiped load summaries. [Load_predictive]
+    adds exponential-smoothing arrival prediction (smoothing factor
+    [alpha]) so the cross-pod tier picks a pod before it saturates. *)
+type placement =
+  | Flat_multicast
+  | Pod_sharded of { pod_size : int }
+  | Load_predictive of { pod_size : int; alpha : float }
+
+val placement_name : placement -> string
+(** ["flat"], ["pods"] or ["predictive"] — the CLI spellings. *)
+
+val placement_of_string : string -> placement option
+(** Accepts the CLI spellings plus the long names ["flat-multicast"],
+    ["pod-sharded"] and ["load-predictive"]. Pod-based policies default
+    to 32-workstation pods (the paper's "reasonably small systems"
+    ceiling for one multicast domain). *)
+
+val placement_pod_size : placement -> int
+(** Pod capacity, or [0] for the flat policy (one global domain). *)
+
 type budget = { bg_freeze : Time.span; bg_transfer : Time.span }
 (** A migration deadline budget, à la Quest-V's predictable migration:
     [bg_transfer] bounds the running copy phase (step 3), [bg_freeze]
@@ -76,6 +102,9 @@ type t = {
           destination (excluding the one that blew the budget) before
           giving up. Only applies when the caller did not pin the
           destination. Default 0, like {!field-migration_retries}. *)
+  placement : placement;
+      (** Placement policy family for host selection. Default
+          [Flat_multicast] — byte-identical to the paper's scheduler. *)
 }
 
 val default : t

@@ -22,16 +22,24 @@ type t = {
   env : Env.t;  (** Environment handed to programs it creates. *)
   health : Health.t option;
       (** Cluster failure-detector view, when one is running. *)
+  placement : Placement.t;
+      (** The placement policy instance host selection dispatches
+          through. Shared cluster-wide (it holds the pod summaries and
+          credit windows), like [health]. *)
 }
 
 val make :
   ?health:Health.t ->
+  ?placement:Placement.t ->
   kernel:Kernel.t ->
   cfg:Config.t ->
   self:Ids.pid ->
   env:Env.t ->
   unit ->
   t
+(** [placement] defaults to a fresh instance resolved from
+    [cfg.placement] — correct for one-off contexts; clusters pass their
+    shared instance so every client sees the same summaries. *)
 
 val with_env : t -> Env.t -> t
 (** Same client, different program environment. *)
@@ -48,6 +56,9 @@ val health : t -> Health.t option
 (** The failure-detector view, if the cluster runs one. Selection and
     migration paths thread it through so known-dead hosts are skipped
     instead of timed out against. *)
+
+val placement : t -> Placement.t
+(** The placement policy host selection dispatches through. *)
 
 val engine : t -> Engine.t
 (** [Kernel.engine (kernel t)] — the simulation clock this client is

@@ -440,8 +440,10 @@ let attempt ?health ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy
     | None ->
         Result.map_error
           (fun m -> No_host m)
-          (Scheduler.select_any ?health ~exclude:(my_host :: exclude) kernel cfg
-             ~self ~bytes:(Logical_host.total_bytes lh))
+          (Scheduler.Spine.select_in_group ?health
+             ~exclude:(my_host :: exclude) kernel cfg
+             ~group:Ids.program_manager_group ~self
+             ~bytes:(Logical_host.total_bytes lh))
   in
   match dest with
   | Error e -> finish_with (Error (e, None))

@@ -9,6 +9,8 @@ type t = {
   mutable created : int;
   mutable refused : int;
   mutable pm_health : Health.t option;
+  mutable pm_vp : Vproc.t option;
+  mutable pm_pod : int option;
 }
 
 let pid t = t.pm_pid
@@ -230,7 +232,7 @@ let handle_migrate t d ~lh ~dest ~force_destroy ~strategy =
              | None -> None
              | Some host -> (
                  match
-                   Scheduler.select_host ?health:t.pm_health k t.cfg
+                   Scheduler.Spine.select_host ?health:t.pm_health k t.cfg
                      ~self:t.pm_pid ~host
                  with
                  | Ok s -> Some s
@@ -336,6 +338,8 @@ let create ?(accepting = true) k ~cfg ~directory ~rng =
       created = 0;
       refused = 0;
       pm_health = None;
+      pm_vp = None;
+      pm_pod = None;
     }
   in
   let vp =
@@ -349,5 +353,15 @@ let create ?(accepting = true) k ~cfg ~directory ~rng =
         loop ())
   in
   t.pm_pid <- Vproc.pid vp;
+  t.pm_vp <- Some vp;
   Kernel.join_group k ~group:Ids.program_manager_group vp;
   t
+
+let join_pod t ~pod =
+  match t.pm_vp with
+  | None -> ()
+  | Some vp ->
+      t.pm_pod <- Some pod;
+      Kernel.join_group t.pm_kernel ~group:(Ids.pod_group pod) vp
+
+let pod t = t.pm_pod

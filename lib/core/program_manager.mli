@@ -27,6 +27,15 @@ val pid : t -> Ids.pid
 (** The manager's process id — also reachable location-independently as
     [Ids.program_manager_of lh] for any logical host resident here. *)
 
+val join_pod : t -> pod:int -> unit
+(** Join this manager to {!Ids.pod_group}[ pod] — its scheduling domain
+    under a pod-sharded {!Config.placement}. Called by the cluster at
+    creation (and again after a reboot recreates the manager); a manager
+    answers candidate queries identically on both its groups. *)
+
+val pod : t -> int option
+(** The pod joined via {!join_pod}, if any. *)
+
 val kernel : t -> Kernel.t
 val table : t -> Progtable.t
 val programs : t -> Progtable.program list

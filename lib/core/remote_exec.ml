@@ -45,7 +45,8 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
               s.Scheduler.s_host,
               Some s.Scheduler.s_responded_in,
               Cpu.Background ))
-          (Scheduler.select_host ?health:ctx.Context.health k cfg ~self ~host)
+          (Placement.select_host ?health:ctx.Context.health
+             ctx.Context.placement k cfg ~self ~host)
     | Any ->
         Result.map
           (fun s ->
@@ -53,13 +54,19 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
               s.Scheduler.s_host,
               Some s.Scheduler.s_responded_in,
               Cpu.Background ))
-          (Scheduler.select_any ?health:ctx.Context.health k cfg ~self
-             ~bytes:(image_bytes prog))
+          (Placement.select_any ?health:ctx.Context.health
+             ctx.Context.placement k cfg ~self ~bytes:(image_bytes prog))
   in
   match selection with
   | Error e -> Error e
   | Ok (pm, host, t_select, priority) -> (
       let explicit_host = target <> Any in
+      (* A selection that does not stick must give its pod in-flight
+         credit back; the policy's on_result hook owns that. *)
+      let placement_failed () =
+        if target <> Local then
+          Placement.note_result ctx.Context.placement ~host ~ok:false
+      in
       match
         Kernel.send k ~src:self ~dst:pm
           (Message.make
@@ -89,6 +96,7 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
                 };
             }
       | Ok { Message.body = Protocol.Pm_create_failed m; _ } ->
+          placement_failed ();
           (* A volunteer may have filled up since it answered the query
              (selection races under bursts of "@ *"); pick again. *)
           if String.equal m "not willing" && target = Any && attempts > 1 then begin
@@ -96,8 +104,12 @@ let rec exec ?(attempts = 5) (ctx : Context.t) ~prog ~target =
             exec ~attempts:(attempts - 1) ctx ~prog ~target
           end
           else Error m
-      | Ok _ -> Error "malformed creation reply"
-      | Error e -> Error (Format.asprintf "%a" Kernel.pp_send_error e))
+      | Ok _ ->
+          placement_failed ();
+          Error "malformed creation reply"
+      | Error e ->
+          placement_failed ();
+          Error (Format.asprintf "%a" Kernel.pp_send_error e))
 
 let wait (ctx : Context.t) handle =
   let k = ctx.Context.kernel in
@@ -152,8 +164,11 @@ let rec exec_and_wait ?(on_host_failure = `Fail) (ctx : Context.t) ~prog
   | Error e -> Error e
   | Ok handle -> (
       match wait ctx handle with
-      | Ok (wall, cpu) -> Ok (handle, wall, cpu)
+      | Ok (wall, cpu) ->
+          Placement.release ctx.Context.placement ~host:handle.h_host;
+          Ok (handle, wall, cpu)
       | Error e -> (
+          Placement.release ctx.Context.placement ~host:handle.h_host;
           match on_host_failure with
           | `Reexec attempts when host_failure_error e && attempts > 0 ->
               (* At-least-once semantics: the program is re-run from

@@ -8,7 +8,9 @@ type selection = {
 
 (* Typed trace events: one [Sched_query] per multicast offer, one
    [Sched_bid] per volunteer heard, one [Sched_select] when a
-   destination is committed to. [host] is always the querying host. *)
+   destination is committed to, one [Sched_timeout] when a query's
+   window closes with no usable bid. [host] is always the querying
+   host. *)
 type Tracer.event +=
   | Sched_query of { host : string; bytes : int }
   | Sched_bid of {
@@ -19,6 +21,7 @@ type Tracer.event +=
       responded_in : Time.span;
     }
   | Sched_select of { host : string; dest : string }
+  | Sched_timeout of { host : string; target : string }
 
 let () =
   Tracer.register_view (function
@@ -49,6 +52,13 @@ let () =
             Tracer.v_cat = "sched";
             v_type = "select";
             v_fields = [ ("host", Tracer.Str host); ("dest", Str dest) ];
+          }
+    | Sched_timeout { host; target } ->
+        Some
+          {
+            Tracer.v_cat = "sched";
+            v_type = "timeout";
+            v_fields = [ ("host", Tracer.Str host); ("target", Str target) ];
           }
     | _ -> None)
 
@@ -90,72 +100,96 @@ let bid_host (_, (m : Message.t)) =
 
 let grace_of (cfg : Config.t) = Time.scale cfg.Config.select_timeout 0.1
 
-let collect_best ?health k (cfg : Config.t) c =
-  match health with
-  | None -> Kernel.collect_first k c ~timeout:cfg.Config.select_timeout
-  | Some h ->
-      Kernel.collect_first_where k c
-        ~accept:(fun reply ->
-          match bid_host reply with
-          | Some host -> Health.is_alive h host
-          | None -> false)
-        ~timeout:cfg.Config.select_timeout ~grace:(grace_of cfg)
+module Spine = struct
+  let collect_best ?health ?accept k (cfg : Config.t) c =
+    match (health, accept) with
+    | None, None -> Kernel.collect_first k c ~timeout:cfg.Config.select_timeout
+    | _ ->
+        Kernel.collect_first_where k c
+          ~accept:(fun reply ->
+            match bid_host reply with
+            | None -> false
+            | Some host ->
+                (match health with
+                | None -> true
+                | Some h -> Health.is_alive h host)
+                &&
+                (match accept with None -> true | Some f -> f ~host))
+          ~timeout:cfg.Config.select_timeout ~grace:(grace_of cfg)
 
-let select_any ?health ?(exclude = []) k (cfg : Config.t) ~self ~bytes =
-  let eng = Kernel.engine k in
-  let asked_at = Engine.now eng in
-  let exclude =
+  let select_in_group ?health ?accept ?(exclude = []) ?(label = "*") k
+      (cfg : Config.t) ~group ~self ~bytes =
+    let eng = Kernel.engine k in
+    let asked_at = Engine.now eng in
+    let exclude =
+      match health with
+      | None -> exclude
+      | Some h -> Health.dead_hosts h @ exclude
+    in
+    ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
+    let c =
+      Kernel.send_group k ~src:self ~group
+        (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
+    in
+    match collect_best ?health ?accept k cfg c with
+    | None ->
+        ev k (fun () ->
+            Sched_timeout { host = Kernel.host_name k; target = label });
+        Error "no idle workstation volunteered"
+    | Some reply -> (
+        match selection_of_reply ~asked_at k reply with
+        | Some s ->
+            ev k (fun () ->
+                Sched_select { host = Kernel.host_name k; dest = s.s_host });
+            Ok s
+        | None -> Error "malformed candidate reply")
+
+  let select_host ?health k (cfg : Config.t) ~self ~host =
+    let eng = Kernel.engine k in
+    let asked_at = Engine.now eng in
     match health with
-    | None -> exclude
-    | Some h -> Health.dead_hosts h @ exclude
-  in
-  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
-  let c =
-    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
-      (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
-  in
-  match collect_best ?health k cfg c with
-  | None -> Error "no idle workstation volunteered"
-  | Some reply -> (
-      match selection_of_reply ~asked_at k reply with
-      | Some s ->
-          ev k (fun () ->
-              Sched_select { host = Kernel.host_name k; dest = s.s_host });
-          Ok s
-      | None -> Error "malformed candidate reply")
+    | Some h when Health.is_dead h host ->
+        (* Fast-fail instead of multicasting at a corpse and eating the
+           full select timeout. *)
+        Error (Printf.sprintf "host %s is dead (health)" host)
+    | _ -> (
+        ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes = 0 });
+        let c =
+          Kernel.send_group k ~src:self ~group:Ids.program_manager_group
+            (Message.make (Protocol.Pm_query_host { host }))
+        in
+        match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
+        | None ->
+            ev k (fun () ->
+                Sched_timeout { host = Kernel.host_name k; target = host });
+            Error (Printf.sprintf "host %s did not respond" host)
+        | Some reply -> (
+            match selection_of_reply ~asked_at k reply with
+            | Some s ->
+                ev k (fun () ->
+                    Sched_select { host = Kernel.host_name k; dest = s.s_host });
+                Ok s
+            | None -> Error "malformed candidate reply"))
 
-let select_host ?health k (cfg : Config.t) ~self ~host =
-  let eng = Kernel.engine k in
-  let asked_at = Engine.now eng in
-  match health with
-  | Some h when Health.is_dead h host ->
-      (* Fast-fail instead of multicasting at a corpse and eating the
-         full select timeout. *)
-      Error (Printf.sprintf "host %s is dead (health)" host)
-  | _ -> (
-      ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes = 0 });
-      let c =
-        Kernel.send_group k ~src:self ~group:Ids.program_manager_group
-          (Message.make (Protocol.Pm_query_host { host }))
-      in
-      match Kernel.collect_first k c ~timeout:cfg.Config.select_timeout with
-      | None -> Error (Printf.sprintf "host %s did not respond" host)
-      | Some reply -> (
-          match selection_of_reply ~asked_at k reply with
-          | Some s ->
-              ev k (fun () ->
-                  Sched_select { host = Kernel.host_name k; dest = s.s_host });
-              Ok s
-          | None -> Error "malformed candidate reply"))
+  let candidates ?(exclude = []) ?(group = Ids.program_manager_group) k
+      (cfg : Config.t) ~self ~bytes ~window =
+    ignore cfg;
+    let asked_at = Engine.now (Kernel.engine k) in
+    ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
+    let c =
+      Kernel.send_group k ~src:self ~group
+        (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
+    in
+    List.filter_map
+      (selection_of_reply ~asked_at k)
+      (Kernel.collect_within k c ~window)
+end
 
-let candidates ?(exclude = []) k (cfg : Config.t) ~self ~bytes ~window =
-  ignore cfg;
-  let asked_at = Engine.now (Kernel.engine k) in
-  ev k (fun () -> Sched_query { host = Kernel.host_name k; bytes });
-  let c =
-    Kernel.send_group k ~src:self ~group:Ids.program_manager_group
-      (Message.make (Protocol.Pm_query_candidates { bytes; exclude }))
-  in
-  List.filter_map
-    (selection_of_reply ~asked_at k)
-    (Kernel.collect_within k c ~window)
+let select_any ?health ?exclude k (cfg : Config.t) ~self ~bytes =
+  Spine.select_in_group ?health ?exclude k cfg ~group:Ids.program_manager_group
+    ~self ~bytes
+
+let select_host = Spine.select_host
+
+let candidates ?exclude k cfg ~self ~bytes ~window =
+  Spine.candidates ?exclude k cfg ~self ~bytes ~window

@@ -7,12 +7,24 @@
     simple mechanism provides a decentralized implementation of
     scheduling that performs well at minimal cost for reasonably small
     systems." (Section 2.1.) There is no central queue and no global
-    state: selection is one multicast and the first answer. *)
+    state: selection is one multicast and the first answer.
+
+    The mechanics — multicast an offer to a scheduling group, parse the
+    bids, commit to one — live in {!Spine} and are shared by every
+    {!Placement} policy; the policies differ only in which group(s) they
+    query and in what order. The top-level [select_any]/[select_host]/
+    [candidates] entry points are the pre-{!Placement} flat API, kept as
+    deprecated shims over the spine. *)
 
 (** Typed trace events: one [Sched_query] per multicast offer request,
     one [Sched_bid] per volunteer heard (in response order), one
-    [Sched_select] when a destination is committed to. [host] is the
-    querying host; [Sched_query.bytes] is 0 for named-host queries. *)
+    [Sched_select] when a destination is committed to, and one
+    [Sched_timeout] when a query's window closes without a usable bid —
+    distinguishing "no idle host volunteered" from silence caused by
+    lost frames. [host] is the querying host; [Sched_query.bytes] is 0
+    for named-host queries; [Sched_timeout.target] is ["*"] for
+    group-wide offers, a pod label for pod tiers, or the host name for
+    named-host queries. *)
 type Tracer.event +=
   | Sched_query of { host : string; bytes : int }
   | Sched_bid of {
@@ -23,6 +35,7 @@ type Tracer.event +=
       responded_in : Time.span;
     }
   | Sched_select of { host : string; dest : string }
+  | Sched_timeout of { host : string; target : string }
 
 type selection = {
   s_pm : Ids.pid;  (** Program manager to send the creation request to. *)
@@ -33,6 +46,55 @@ type selection = {
       (** Query-to-answer latency — the paper's measured 23 ms. *)
 }
 
+(** The shared candidate spine: the mechanics every placement policy is
+    built from. One call is one multicast offer to one scheduling group
+    plus the first-responder collection over its bids. *)
+module Spine : sig
+  val select_in_group :
+    ?health:Health.t ->
+    ?accept:(host:string -> bool) ->
+    ?exclude:string list ->
+    ?label:string ->
+    Kernel.t ->
+    Config.t ->
+    group:Ids.pid ->
+    self:Ids.pid ->
+    bytes:int ->
+    (selection, string) result
+  (** Multicast an offer to [group] and take the first acceptable
+      responder. [exclude] omits hosts; [accept] lets a policy veto
+      bidders (a vetoed bid is kept as a timeout-capped fallback, like a
+      [Suspect] bid under [health]); [label] names the tier in the
+      [Sched_timeout] event. With [group = Ids.program_manager_group],
+      no [accept], and default [label], this is byte-identical to the
+      pre-{!Placement} [select_any]. *)
+
+  val select_host :
+    ?health:Health.t ->
+    Kernel.t ->
+    Config.t ->
+    self:Ids.pid ->
+    host:string ->
+    (selection, string) result
+  (** "[@ machine]": only the named host may answer. With a [health]
+      view that marks the host [Dead], fails immediately instead of
+      waiting out the select timeout. *)
+
+  val candidates :
+    ?exclude:string list ->
+    ?group:Ids.pid ->
+    Kernel.t ->
+    Config.t ->
+    self:Ids.pid ->
+    bytes:int ->
+    window:Time.span ->
+    selection list
+  (** Every volunteer heard within the window, in response order — the
+      load-survey building block ("facilities for querying ... all
+      workstations in the system", Section 2). [group] defaults to the
+      global program-manager group. *)
+end
+
 val select_any :
   ?health:Health.t ->
   ?exclude:string list ->
@@ -41,6 +103,8 @@ val select_any :
   self:Ids.pid ->
   bytes:int ->
   (selection, string) result
+[@@deprecated
+  "use Context-carried Placement.select_any (or Scheduler.Spine.select_in_group)"]
 (** "[@ *]": multicast to the program-manager group, take the first
     responder. [exclude] omits hosts (a migrating program must not pick
     its own workstation, and a retry must not re-pick a destination
@@ -51,12 +115,17 @@ val select_any :
     query, and a bid from a [Suspect] host is deprioritized: it is held
     as a fallback while selection briefly waits for an [Alive] bidder,
     instead of being trusted immediately or ignored for the full
-    timeout. *)
+    timeout.
+
+    Deprecated: callers holding a {!Context.t} should dispatch through
+    its placement policy; this shim is the flat policy hard-wired. *)
 
 val select_host :
   ?health:Health.t ->
   Kernel.t -> Config.t -> self:Ids.pid -> host:string ->
   (selection, string) result
+[@@deprecated
+  "use Context-carried Placement.select_host (or Scheduler.Spine.select_host)"]
 (** "[@ machine]": only the named host may answer. With a [health] view
     that marks the host [Dead], fails immediately instead of waiting out
     the select timeout. *)
@@ -69,6 +138,5 @@ val candidates :
   bytes:int ->
   window:Time.span ->
   selection list
-(** Every volunteer heard within the window, in response order — the
-    load-survey building block ("facilities for querying ... all
-    workstations in the system", Section 2). *)
+[@@deprecated "use Scheduler.Spine.candidates"]
+(** Every volunteer heard within the window, in response order. *)

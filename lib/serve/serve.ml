@@ -4,6 +4,25 @@ module Session = struct
     | Modulated of { rate : float; modulation : Arrivals.modulation }
     | Trace of Time.t list
 
+  type autoscale = {
+    au_interval : Time.span;
+    au_min : int;
+    au_max : int;
+    au_headroom : float;
+    au_band : float;
+    au_alpha : float;
+  }
+
+  let default_autoscale =
+    {
+      au_interval = Time.of_sec 2.;
+      au_min = 4;
+      au_max = 4096;
+      au_headroom = 0.8;
+      au_band = 0.2;
+      au_alpha = 0.3;
+    }
+
   type params = {
     arrivals : arrivals;
     duration : Time.span;
@@ -18,6 +37,7 @@ module Session = struct
     slo_target_ms : float;
     slo_shed_multiple : float option;
     drain_grace : Time.span;
+    autoscale : autoscale option;
   }
 
   let default_params =
@@ -35,6 +55,7 @@ module Session = struct
       slo_target_ms = 1000.;
       slo_shed_multiple = None;
       drain_grace = Time.of_sec 60.;
+      autoscale = None;
     }
 
   (* Where one submission stands in its lifecycle. A crash can kill the
@@ -50,6 +71,7 @@ module Session = struct
     rq_submitted : Time.t;
     rq_cell : cell ref;
     mutable rq_handle : Remote_exec.handle;
+    mutable rq_running : Time.t;  (** Last (re-)execution start. *)
   }
 
   type t = {
@@ -91,6 +113,20 @@ module Session = struct
     freeze_ms : Stats.Summary.t;
     mutable s_balancer : Balancer.t option;
     mutable snapshots : Json_min.t list;  (** Reverse order. *)
+    (* Autoscaling: the admission cap is mutable; with [autoscale] set a
+       periodic controller retargets it from the smoothed arrival rate
+       and observed service time (Little's law), inside hysteresis
+       bands. Without it the cap stays at [max_in_flight]. *)
+    mutable s_cap : int;
+    mutable as_rate_ewma : float;  (** Smoothed arrivals/s. *)
+    mutable as_service_ewma_ms : float;  (** Smoothed running-to-done. *)
+    mutable as_last_submitted : int;
+    mutable scale_events : int;
+    mutable cap_min_seen : int;
+    mutable cap_max_seen : int;
+    (* Placement credit backpressure. *)
+    mutable credit_sheds : int;
+    mutable credits_last_adjust : Time.t;
   }
 
   let cluster t = t.s_cluster
@@ -117,8 +153,7 @@ module Session = struct
 
   let acquire t cell =
     purge_dead t;
-    if t.s_in_flight < t.s_params.max_in_flight && Queue.is_empty t.s_waiting
-    then begin
+    if t.s_in_flight < t.s_cap && Queue.is_empty t.s_waiting then begin
       t.s_in_flight <- t.s_in_flight + 1;
       cell := Slot;
       Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight);
@@ -140,7 +175,15 @@ module Session = struct
     end
 
   let rec release t =
-    match Queue.take_opt t.s_waiting with
+    if t.s_in_flight > t.s_cap then begin
+      (* The autoscaler shrank the cap below the live pool: retire the
+         freed slot instead of handing it to a waiter; the pool drains
+         to the new cap one completion at a time. *)
+      t.s_in_flight <- t.s_in_flight - 1;
+      Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight)
+    end
+    else
+      match Queue.take_opt t.s_waiting with
     | Some (_, _, cell) when !cell = Done ->
         (* A waiter killed in the queue never held the slot; step past
            it and keep looking for a live inheritor. *)
@@ -156,6 +199,21 @@ module Session = struct
         set_queued_gauge t;
         t.s_in_flight <- t.s_in_flight - 1;
         Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight)
+
+  (* After a cap grow, hand slots to queued waiters immediately instead
+     of waiting for the next completion. *)
+  let rec promote_waiters t =
+    if t.s_in_flight < t.s_cap then
+      match Queue.take_opt t.s_waiting with
+      | Some (_, _, cell) when !cell = Done -> promote_waiters t
+      | Some (gate, _, cell) ->
+          t.s_in_flight <- t.s_in_flight + 1;
+          Stats.Gauge.set t.in_flight_gauge (float_of_int t.s_in_flight);
+          cell := Slot;
+          set_queued_gauge t;
+          Ivar.fill gate ();
+          promote_waiters t
+      | None -> set_queued_gauge t
 
   (* Move a request to [Done], retiring it from the outstanding count
      exactly once. *)
@@ -203,7 +261,22 @@ module Session = struct
 
   let note_queue_wait t ms =
     Stats.Summary.record t.queue_wait_ms ms;
-    t.qw_ewma_ms <- (0.2 *. ms) +. (0.8 *. t.qw_ewma_ms)
+    t.qw_ewma_ms <- (0.2 *. ms) +. (0.8 *. t.qw_ewma_ms);
+    (* Per-pod credit windows follow the same overload signal as the
+       brownout: when the queue-wait EWMA crosses the shed threshold the
+       windows halve (multiplicative decrease), otherwise they reopen a
+       credit at a time. Rate-limited so one burst of observations is
+       one adjustment, not a collapse. *)
+    match t.s_params.slo_shed_multiple with
+    | None -> ()
+    | Some mult ->
+        let at = now t in
+        if Time.(Time.sub at t.credits_last_adjust >= Time.of_ms 250.) then begin
+          t.credits_last_adjust <- at;
+          Placement.note_queue_pressure
+            (Cluster.placement t.s_cluster)
+            ~over:(t.qw_ewma_ms > mult *. t.s_params.slo_target_ms)
+        end
 
   let sheds_now t =
     match t.s_params.slo_shed_multiple with
@@ -220,7 +293,7 @@ module Session = struct
                  shed every arrival (so no queue waits were recorded)
                  could never observe the backlog clearing and would
                  latch on forever. *)
-              if t.s_in_flight < t.s_params.max_in_flight then
+              if t.s_in_flight < t.s_cap then
                 t.qw_ewma_ms <- 0.8 *. t.qw_ewma_ms;
               t.qw_ewma_ms
         in
@@ -251,6 +324,15 @@ module Session = struct
       settle t cell;
       Error "brownout: shedding load"
     end
+    else if not (Placement.admit (Cluster.placement t.s_cluster)) then begin
+      (* Every pod's credit window is exhausted: real backpressure at
+         the door, before the FIFO — the queue cannot clear in time if
+         no pod will take the work. *)
+      t.shed <- t.shed + 1;
+      t.credit_sheds <- t.credit_sheds + 1;
+      settle t cell;
+      Error "backpressure: no pod credit"
+    end
     else
       match acquire t cell with
       | Error e ->
@@ -274,6 +356,7 @@ module Session = struct
                   rq_submitted = submitted_at;
                   rq_cell = cell;
                   rq_handle = h;
+                  rq_running = now t;
                 })
 
   let submit t ctx ~prog = submit_cell (ref Fresh) t ctx ~prog
@@ -290,22 +373,39 @@ module Session = struct
            && t.reexec_pool > 0 -> (
         t.reexecs <- t.reexecs + 1;
         t.reexec_pool <- t.reexec_pool - 1;
+        (* The lost host's pod credit comes back before re-placing. *)
+        Placement.release
+          (Cluster.placement t.s_cluster)
+          ~host:rq.rq_handle.Remote_exec.h_host;
         match Remote_exec.exec ctx ~prog:rq.rq_prog ~target:Remote_exec.Any with
         | Error e' -> Error e'
         | Ok h ->
             rq.rq_handle <- h;
+            rq.rq_running <- now t;
             wait_with_reexec t ctx rq (attempts - 1))
     | Error e -> Error e
 
   let await t ctx rq =
     let result = wait_with_reexec t ctx rq t.s_params.reexec_attempts in
     settle t rq.rq_cell;
+    Placement.release
+      (Cluster.placement t.s_cluster)
+      ~host:rq.rq_handle.Remote_exec.h_host;
     let span = Time.sub (now t) rq.rq_submitted in
     let outcome =
       match result with
       | Ok () ->
           t.completed <- t.completed + 1;
           Stats.Summary.record t.submit_to_complete_ms (Time.to_ms span);
+          let service_ms = Time.to_ms (Time.sub (now t) rq.rq_running) in
+          let a =
+            match t.s_params.autoscale with
+            | Some au -> au.au_alpha
+            | None -> 0.3
+          in
+          t.as_service_ewma_ms <-
+            (if t.as_service_ewma_ms = 0. then service_ms
+             else (a *. service_ms) +. ((1. -. a) *. t.as_service_ewma_ms));
           Ok span
       | Error e ->
           t.failed <- t.failed + 1;
@@ -329,6 +429,7 @@ module Session = struct
           ("completed", Json_min.Num (float_of_int t.completed));
           ("shed", Json_min.Num (float_of_int t.shed));
           ("in_flight", Json_min.Num (float_of_int t.s_in_flight));
+          ("cap", Json_min.Num (float_of_int t.s_cap));
           ("queued", Json_min.Num (float_of_int (Queue.length t.s_waiting)));
           ("brownout", Json_min.Bool t.in_brownout);
           ("p95_submit_to_running_ms", Json_min.Num (p 95.));
@@ -346,19 +447,33 @@ module Session = struct
       let ws = i mod n_ws in
       let prog = progs.(i mod Array.length progs) in
       let cell = ref Fresh in
+      let rq_ref = ref None in
       let vp =
         Cluster.shell cl ~ws ~name:(Printf.sprintf "serve-%d" i) (fun ctx ->
             match submit_cell cell t ctx ~prog with
             | Error _ -> ()
-            | Ok rq -> ignore (await t ctx rq))
+            | Ok rq ->
+                rq_ref := Some rq;
+                ignore (await t ctx rq))
       in
       (* The submitting host can crash at any point of the request's
          life; the exit hook settles the accounting for whatever stage
          it died in, so submitted = rejected + shed + refused +
-         completed + failed holds on every seed. *)
+         completed + failed holds on every seed. A request that had
+         already been placed also hands its pod credit back. *)
+      let orphan_with_credit () =
+        let had_slot = !cell = Slot in
+        orphan t cell;
+        match !rq_ref with
+        | Some rq when had_slot ->
+            Placement.release
+              (Cluster.placement cl)
+              ~host:rq.rq_handle.Remote_exec.h_host
+        | _ -> ()
+      in
       match Vproc.thread vp with
-      | Some thread -> Proc.on_exit thread (fun _ -> orphan t cell)
-      | None -> orphan t cell
+      | Some thread -> Proc.on_exit thread (fun _ -> orphan_with_credit ())
+      | None -> orphan_with_credit ()
     in
     match t.s_params.arrivals with
     | Poisson rate_per_sec ->
@@ -384,6 +499,51 @@ module Session = struct
           Engine.post eng
             ~at:(Time.of_us (k * Time.to_us every))
             (fun () -> take_snapshot t)
+        done
+
+  (* The autoscaler: every interval, retarget the admission cap at
+     predicted_rate x service_time / headroom (Little's law with
+     headroom), moving only when the target leaves the hysteresis band
+     around the current cap. *)
+  let autoscale_tick t au =
+    let arrived = t.submitted - t.as_last_submitted in
+    t.as_last_submitted <- t.submitted;
+    let dt = Time.to_sec au.au_interval in
+    let inst = if dt > 0. then float_of_int arrived /. dt else 0. in
+    t.as_rate_ewma <-
+      (au.au_alpha *. inst) +. ((1. -. au.au_alpha) *. t.as_rate_ewma);
+    let service_s = t.as_service_ewma_ms /. 1000. in
+    if service_s > 0. then begin
+      let target =
+        int_of_float
+          (Float.ceil (t.as_rate_ewma *. service_s /. au.au_headroom))
+      in
+      let target = Stdlib.max au.au_min (Stdlib.min au.au_max target) in
+      let band =
+        int_of_float (au.au_band *. float_of_int (Stdlib.max 1 t.s_cap))
+      in
+      if Stdlib.abs (target - t.s_cap) > band then begin
+        t.s_cap <- target;
+        t.scale_events <- t.scale_events + 1;
+        t.cap_min_seen <- Stdlib.min t.cap_min_seen t.s_cap;
+        t.cap_max_seen <- Stdlib.max t.cap_max_seen t.s_cap;
+        promote_waiters t
+      end
+    end
+
+  let install_autoscale t =
+    match t.s_params.autoscale with
+    | None -> ()
+    | Some au ->
+        let eng = Cluster.engine t.s_cluster in
+        let n =
+          Time.to_us t.s_params.duration
+          / Stdlib.max 1 (Time.to_us au.au_interval)
+        in
+        for k = 1 to n do
+          Engine.post eng
+            ~at:(Time.of_us (k * Time.to_us au.au_interval))
+            (fun () -> autoscale_tick t au)
         done
 
   let create ?(params = default_params) cl =
@@ -419,6 +579,15 @@ module Session = struct
         freeze_ms = Stats.Summary.create ();
         s_balancer = None;
         snapshots = [];
+        s_cap = params.max_in_flight;
+        as_rate_ewma = 0.;
+        as_service_ewma_ms = 0.;
+        as_last_submitted = 0;
+        scale_events = 0;
+        cap_min_seen = params.max_in_flight;
+        cap_max_seen = params.max_in_flight;
+        credit_sheds = 0;
+        credits_last_adjust = Time.zero;
       }
     in
     (match params.balancer_interval with
@@ -434,7 +603,7 @@ module Session = struct
           Some
             (Balancer.start
                ?health:(Cluster.health cl)
-               ~interval ~strategy
+               ~placement:(Cluster.placement cl) ~interval ~strategy
                ~on_outcome:(fun o ->
                  t.migrations <- t.migrations + 1;
                  Stats.Summary.record t.freeze_ms
@@ -442,6 +611,7 @@ module Session = struct
                (Cluster.workstation cl 0).Cluster.ws_kernel));
     install_arrivals t;
     install_snapshots t;
+    install_autoscale t;
     t
 
   let drain t =
@@ -472,6 +642,16 @@ module Session = struct
     m_balancer_skips : int;
     m_mean_in_flight : float;
     m_mean_queued : float;
+    m_cap_final : int;
+    m_cap_min : int;
+    m_cap_max : int;
+    m_scale_events : int;
+    m_service_ewma_ms : float;
+    m_rate_ewma_per_sec : float;
+    m_credit_sheds : int;
+    m_placement_policy : string;
+    m_placement_selections : int;
+    m_placement_timeouts : int;
   }
 
   let metrics t =
@@ -508,6 +688,17 @@ module Session = struct
         (match t.s_balancer with Some b -> Balancer.skips b | None -> 0);
       m_mean_in_flight = Stats.Gauge.time_average t.in_flight_gauge;
       m_mean_queued = Stats.Gauge.time_average t.queued_gauge;
+      m_cap_final = t.s_cap;
+      m_cap_min = t.cap_min_seen;
+      m_cap_max = t.cap_max_seen;
+      m_scale_events = t.scale_events;
+      m_service_ewma_ms = t.as_service_ewma_ms;
+      m_rate_ewma_per_sec = t.as_rate_ewma;
+      m_credit_sheds = t.credit_sheds;
+      m_placement_policy = Placement.name (Cluster.placement t.s_cluster);
+      m_placement_selections =
+        Placement.selections (Cluster.placement t.s_cluster);
+      m_placement_timeouts = Placement.timeouts (Cluster.placement t.s_cluster);
     }
 
   let summary_json s =
@@ -629,6 +820,28 @@ module Session = struct
               ("balancer_skips", num m.m_balancer_skips);
             ] );
         ("health", health_json t);
+        ( "autoscale",
+          Json_min.Obj
+            [
+              ("enabled", Json_min.Bool (t.s_params.autoscale <> None));
+              ("cap_final", num m.m_cap_final);
+              ("cap_min", num m.m_cap_min);
+              ("cap_max", num m.m_cap_max);
+              ("scale_events", num m.m_scale_events);
+              ("rate_ewma_per_sec", Json_min.Num m.m_rate_ewma_per_sec);
+              ("service_ewma_ms", Json_min.Num m.m_service_ewma_ms);
+            ] );
+        ( "placement",
+          Json_min.Obj
+            [
+              ("policy", Json_min.Str m.m_placement_policy);
+              ("selections", num m.m_placement_selections);
+              ("timeouts", num m.m_placement_timeouts);
+              ("credit_sheds", num m.m_credit_sheds);
+              ( "pods",
+                Json_min.Obj
+                  (Placement.pod_stats (Cluster.placement t.s_cluster)) );
+            ] );
         ("mean_in_flight", Json_min.Num m.m_mean_in_flight);
         ("mean_queued", Json_min.Num m.m_mean_queued);
         ("snapshots", Json_min.Arr (List.rev t.snapshots));

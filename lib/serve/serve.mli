@@ -33,6 +33,29 @@ module Session : sig
             virtual time (diurnal sinusoid, flash-crowd spike, ...). *)
     | Trace of Time.t list  (** Explicit submission instants. *)
 
+  (** Worker-pool autoscaling: a periodic controller retargets the
+      admission cap (initially [max_in_flight]) at
+      [predicted_rate x observed_service_time / headroom] — Little's law
+      with utilization headroom — moving only when the target leaves a
+      hysteresis band around the current cap so the pool does not flap.
+      The predicted rate is an exponential smoothing of observed
+      arrivals; the service time an exponential smoothing of
+      running-to-complete spans. *)
+  type autoscale = {
+    au_interval : Time.span;  (** Controller cadence. *)
+    au_min : int;  (** Cap floor. *)
+    au_max : int;  (** Cap ceiling. *)
+    au_headroom : float;  (** Target utilization, e.g. 0.8. *)
+    au_band : float;
+        (** Hysteresis: retarget only when |target - cap| exceeds this
+            fraction of the current cap. *)
+    au_alpha : float;  (** Smoothing factor for rate and service time. *)
+  }
+
+  val default_autoscale : autoscale
+  (** 2 s cadence, cap in [4, 4096], 0.8 headroom, 0.2 band, 0.3
+      smoothing. *)
+
   type params = {
     arrivals : arrivals;
     duration : Time.span;  (** Arrival horizon (virtual). *)
@@ -63,6 +86,9 @@ module Session : sig
             behavior is then identical to a session without brownout. *)
     drain_grace : Time.span;
         (** How long past [duration] {!drain} lets stragglers finish. *)
+    autoscale : autoscale option;
+        (** [None] (default) pins the admission cap at [max_in_flight];
+            [Some] starts the autoscaling controller. *)
   }
 
   val default_params : params
@@ -130,6 +156,19 @@ module Session : sig
     m_balancer_skips : int;
     m_mean_in_flight : float;
     m_mean_queued : float;
+    m_cap_final : int;  (** Admission cap when metrics were read. *)
+    m_cap_min : int;  (** Lowest cap the autoscaler reached. *)
+    m_cap_max : int;  (** Highest cap the autoscaler reached. *)
+    m_scale_events : int;  (** Cap retargets outside the band. *)
+    m_service_ewma_ms : float;  (** Smoothed running-to-complete span. *)
+    m_rate_ewma_per_sec : float;  (** Smoothed arrival rate. *)
+    m_credit_sheds : int;
+        (** Submissions shed because every pod's credit window was
+            exhausted (placement backpressure, distinct from brownout
+            sheds though counted inside [m_shed] too). *)
+    m_placement_policy : string;
+    m_placement_selections : int;
+    m_placement_timeouts : int;
   }
 
   val metrics : t -> metrics
@@ -137,7 +176,7 @@ module Session : sig
   val metrics_to_json : t -> Json_min.t
   (** The session's full report (schema ["vsim-serve/1"]): the
       {!metrics} scalars, p50/p95/p99 latency objects, a freeze-time
-      histogram, brownout and health-detector sections, and the
-      periodic snapshots. Deterministic per seed — contains no
-      wall-clock quantities. *)
+      histogram, brownout, health-detector, autoscale and placement
+      sections, and the periodic snapshots. Deterministic per seed —
+      contains no wall-clock quantities. *)
 end

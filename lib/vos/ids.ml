@@ -31,6 +31,10 @@ let group_lh_base = 0x7FFF0000
 
 let program_manager_group = { lh = group_lh_base; index = 1 }
 
+(* Pod scheduling groups occupy the reserved range above the global
+   program-manager group, one logical-host id per pod. *)
+let pod_group pod = { lh = group_lh_base + 1 + pod; index = 1 }
+
 module Lh_allocator = struct
   type t = { mutable next : int }
 

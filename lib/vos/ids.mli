@@ -49,6 +49,13 @@ val program_manager_group : pid
 (** The group all program managers join (Section 2.1); host selection
     multicasts to it. *)
 
+val pod_group : int -> pid
+(** The scheduling group for pod [n] under a pod-sharded placement
+    policy ({!Config.placement}). Every program manager in the pod joins
+    it in addition to {!program_manager_group}; pod-scoped host selection
+    multicasts to it instead of the global group. Ids live in the same
+    reserved range as the global groups. *)
+
 val first_user_index : int
 (** Lowest index allocated to ordinary processes. *)
 

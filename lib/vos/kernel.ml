@@ -627,7 +627,9 @@ let reply ?from t (d : Delivery.t) msg =
 (* {2 Bulk transfers} *)
 
 let bulk_transfer ?to_station t ~bytes =
-  if bytes > 0 then Transfer.bulk_copy ?dst:to_station t.net ~bytes
+  if bytes > 0 then
+    Transfer.bulk_copy ~pacing:t.prm.Os_params.bulk_pacing
+      ?dst:to_station t.net ~bytes
 
 (* {2 Packet reception} *)
 

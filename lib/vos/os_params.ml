@@ -13,6 +13,7 @@ type t = {
   reservation_ttl : Time.span;
   cpu_quantum : Time.span;
   rebind : rebind_mode;
+  bulk_pacing : Transfer.pacing;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     reservation_ttl = Time.of_sec 15.;
     cpu_quantum = Time.of_ms 10.;
     rebind = Broadcast_query;
+    bulk_pacing = Transfer.v_pacing;
   }
 
 let pp ppf t =

@@ -64,6 +64,13 @@ type t = {
   cpu_quantum : Time.span;
       (** Scheduler time slice for compute-bound processes. *)
   rebind : rebind_mode;  (** Defaults to {!Broadcast_query}. *)
+  bulk_pacing : Transfer.pacing;
+      (** Frame size and per-frame host CPU charged by
+          {!Kernel.bulk_transfer}. Defaults to {!Transfer.v_pacing} —
+          the paper's 3 s/MByte calibration, where per-frame protocol
+          cost (not the 10 Mbit wire) bounds bulk throughput. Scale-out
+          experiments override it to model modern NICs, exactly as they
+          override the file server's media speed. *)
 }
 
 val default : t

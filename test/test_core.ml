@@ -125,7 +125,7 @@ let test_scheduler_collects_all_idle () =
   ignore
     (Cluster.user cl ~ws:0 ~name:"survey" (fun k self ->
          sels :=
-           Scheduler.candidates k (Cluster.cfg cl) ~self ~bytes:(64 * 1024)
+           Scheduler.Spine.candidates k (Cluster.cfg cl) ~self ~bytes:(64 * 1024)
              ~window:(ms 200.)));
   Cluster.run cl ~until:(sec 2.);
   (* All four workstations are idle and accepting. *)
@@ -137,7 +137,7 @@ let test_scheduler_excludes_host () =
   ignore
     (Cluster.user cl ~ws:0 ~name:"survey" (fun k self ->
          sels :=
-           Scheduler.candidates ~exclude:[ "ws1" ] k (Cluster.cfg cl) ~self
+           Scheduler.Spine.candidates ~exclude:[ "ws1" ] k (Cluster.cfg cl) ~self
              ~bytes:1024 ~window:(ms 200.)));
   Cluster.run cl ~until:(sec 2.);
   Alcotest.(check int) "two volunteers" 2 (List.length !sels);
