@@ -1582,6 +1582,199 @@ let engine_core () =
       done;
       Engine.run e)
 
+(* {1 E-dedup: content-addressed state transfer (DESIGN.md §4k)}
+
+   Two cells, each run with per-host content caches on (4 MiB) and off:
+
+   - pod fan-out: eight workstations launch the same program back to
+     back. With caching, the first load's multicast chunk announcement
+     warms every host, so relaunches pull zero chunks from the file
+     server — the pod pays the paper's 330 ms/100 KB load once.
+   - re-migration: a program migrates ws0 -> ws1 and back. The manifest
+     exchange self-inserts on the source and the image announcement
+     pre-warms the destination, so the return trip ships only pages
+     dirtied since — a delta, not the address space.
+
+   All printed numbers are virtual-time or byte-count based, so stdout
+   merges byte-identically for any -j. The pod cell's wire-byte
+   reduction is a hard floor (>= 5x): the bench fails, not just the
+   gate, if dedup stops paying. *)
+
+let dedup_cache_bytes = 4 * 1024 * 1024
+
+let dedup_cfg ~cache =
+  if not cache then Config.default
+  else
+    {
+      Config.default with
+      Config.os =
+        {
+          Config.default.Config.os with
+          Os_params.content_cache_bytes = dedup_cache_bytes;
+        };
+    }
+
+let dedup_sum_stat cl name =
+  List.fold_left
+    (fun acc w -> acc + Kernel.stat w.Cluster.ws_kernel name)
+    0 (Cluster.workstations cl)
+
+let dedup_pod ~cache () =
+  let launches = 8 in
+  let cl =
+    mk_cluster ~seed:1985 ~workstations:launches ~cfg:(dedup_cfg ~cache) ()
+  in
+  let loads =
+    List.init launches (fun ws ->
+        match
+          Experiment.remote_exec cl ~ws ~target:Remote_exec.Local ~prog:"cc68"
+            ()
+        with
+        | Ok r -> Time.to_ms r.Experiment.er_load
+        | Error e ->
+            Printf.eprintf "dedup pod launch on ws%d failed: %s\n%!" ws e;
+            exit 1)
+  in
+  let image_bytes =
+    File_server.image_file_bytes (Programs.find "cc68").Programs.image
+  in
+  let wire_bytes =
+    if cache then dedup_sum_stat cl "img_chunks_miss" * File_server.chunk_bytes
+    else launches * image_bytes
+  in
+  (loads, wire_bytes, dedup_sum_stat cl "img_chunks_hit")
+
+let dedup_remigrate ~cache () =
+  let cl = mk_cluster ~seed:2042 ~workstations:4 ~cfg:(dedup_cfg ~cache) () in
+  let eng = Cluster.engine cl in
+  let result = ref (Error "re-migration cell did not complete") in
+  ignore
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         let k = Context.kernel ctx and self = Context.self ctx in
+         match Remote_exec.exec ctx ~prog:"tex" ~target:Remote_exec.Local with
+         | Error e -> result := Error ("exec: " ^ e)
+         | Ok h -> (
+             let migrate ~from_host ~dest =
+               let pm =
+                 match Cluster.find_workstation cl from_host with
+                 | Some w -> Program_manager.pid w.Cluster.ws_pm
+                 | None -> Ids.program_manager_of h.Remote_exec.h_lh
+               in
+               match
+                 Kernel.send k ~src:self ~dst:pm
+                   (Message.make
+                      (Protocol.Pm_migrate
+                         {
+                           lh = Some h.Remote_exec.h_lh;
+                           dest = Some dest;
+                           force_destroy = false;
+                           strategy = Protocol.Precopy;
+                         }))
+               with
+               | Ok { Message.body = Protocol.Pm_migrated [ o ]; _ } -> Ok o
+               | Ok { Message.body = Protocol.Pm_migrate_failed m; _ } ->
+                   Error m
+               | Ok _ -> Error "malformed migrate reply"
+               | Error e ->
+                   Error (Format.asprintf "%a" Kernel.pp_send_error e)
+             in
+             Proc.sleep eng (sec 3.);
+             let shipped0 = dedup_sum_stat cl "xfer_bytes_shipped" in
+             match migrate ~from_host:h.Remote_exec.h_host ~dest:"ws1" with
+             | Error e -> result := Error ("first migration: " ^ e)
+             | Ok o1 -> (
+                 Proc.sleep eng (sec 1.);
+                 let shipped1 = dedup_sum_stat cl "xfer_bytes_shipped" in
+                 match
+                   migrate ~from_host:o1.Protocol.m_dest
+                     ~dest:h.Remote_exec.h_host
+                 with
+                 | Error e -> result := Error ("return migration: " ^ e)
+                 | Ok o2 ->
+                     let shipped2 = dedup_sum_stat cl "xfer_bytes_shipped" in
+                     (* With caching off the stats stay zero and the wire
+                        cost of a migration is everything it copied. *)
+                     let wire o lo hi =
+                       if cache then hi - lo
+                       else Protocol.precopied_bytes o + o.Protocol.m_final_bytes
+                     in
+                     result :=
+                       Ok
+                         ( wire o1 shipped0 shipped1,
+                           wire o2 shipped1 shipped2,
+                           Time.to_ms o2.Protocol.m_total )))));
+  Cluster.run cl ~until:(sec 60.);
+  match !result with
+  | Ok r -> r
+  | Error e ->
+      Printf.eprintf "dedup re-migration (cache=%b) failed: %s\n%!" cache e;
+      exit 1
+
+let dedup () =
+  banner
+    "E-dedup: content-addressed transfer — pod image fan-out and \
+     re-migration deltas (DESIGN.md §4k)";
+  match
+    par
+      [
+        (fun () -> `Pod (dedup_pod ~cache:true ()));
+        (fun () -> `Pod (dedup_pod ~cache:false ()));
+        (fun () -> `Remig (dedup_remigrate ~cache:true ()));
+        (fun () -> `Remig (dedup_remigrate ~cache:false ()));
+      ]
+  with
+  | [
+   `Pod (loads_on, wire_on, hits);
+   `Pod (loads_off, wire_off, _);
+   `Remig (r1_on, r2_on, total_on);
+   `Remig (r1_off, r2_off, total_off);
+  ] ->
+      let mean = function
+        | [] -> 0.
+        | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+      in
+      row "  pod fan-out: 8 launches of cc68, caches %s" "on vs off";
+      row "    cold load %.0f ms, relaunch mean %.1f ms (cached: %d chunk \
+           hits); plain relaunch mean %.0f ms"
+        (List.hd loads_on)
+        (mean (List.tl loads_on))
+        hits
+        (mean (List.tl loads_off));
+      let reduction = float_of_int wire_off /. float_of_int (max 1 wire_on) in
+      row "    bytes on wire: %d KB cached vs %d KB plain (%.1fx reduction)"
+        (wire_on / 1024) (wire_off / 1024) reduction;
+      row "  re-migration: tex ws0 -> ws1 -> ws0, caches on vs off";
+      row "    outbound %d KB vs %d KB; return %d KB vs %d KB" (r1_on / 1024)
+        (r1_off / 1024) (r2_on / 1024) (r2_off / 1024);
+      row "    return-trip total %.0f ms cached vs %.0f ms plain" total_on
+        total_off;
+      metric "pod_cold_load_ms" (List.hd loads_on);
+      metric "pod_relaunch_load_ms" (mean (List.tl loads_on));
+      metric "pod_wire_kb_cached" (float_of_int (wire_on / 1024));
+      metric "pod_wire_kb_plain" (float_of_int (wire_off / 1024));
+      metric "pod_wire_reduction_x" reduction;
+      metric "remig_return_wire_kb_cached" (float_of_int (r2_on / 1024));
+      metric "remig_return_wire_kb_plain" (float_of_int (r2_off / 1024));
+      metric "remig_return_total_ms_cached" total_on;
+      metric "remig_return_total_ms_plain" total_off;
+      if reduction < 5. then begin
+        Printf.eprintf
+          "E-dedup FAIL: pod wire-byte reduction %.1fx is below the 5x \
+           floor\n\
+           %!"
+          reduction;
+        exit 1
+      end;
+      if r2_on >= r2_off then begin
+        Printf.eprintf
+          "E-dedup FAIL: cached return migration shipped %d bytes, not \
+           fewer than the plain %d\n\
+           %!"
+          r2_on r2_off;
+        exit 1
+      end
+  | _ -> assert false
+
 (* {1 Driver} *)
 
 let experiments =
@@ -1600,6 +1793,7 @@ let experiments =
     ("serve-pods", serve_pods);
     ("chaos", chaos);
     ("strategies", strategies);
+    ("dedup", dedup);
     ("precopy-ablation", precopy_ablation);
     ("loss-ablation", loss_ablation);
     ("scale", scale);

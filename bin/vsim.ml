@@ -441,6 +441,13 @@ let coverage_report ~require ~require_scenario ?expect acc =
   if Hashtbl.length acc.cov_placements > 0 then
     Printf.printf "placement coverage: %s\n"
       (fmt_counts acc.cov_placements (sorted_keys acc.cov_placements));
+  (* The dedup dimension: content-addressed transfer event kinds, pulled
+     from the per-run event-kind census. Informational in plain runs;
+     [--require-scenario-coverage] gates on manifests actually flowing. *)
+  let dedup_kinds =
+    [ "xfer/manifest"; "xfer/hit"; "xfer/miss"; "img/hit"; "img/miss" ]
+  in
+  Printf.printf "dedup coverage: %s\n" (fmt_counts acc.cov_events dedup_kinds);
   (match expect with
   | Some _ ->
       let features = sorted_keys acc.cov_features in
@@ -462,8 +469,13 @@ let coverage_report ~require ~require_scenario ?expect acc =
   else begin
     let missing = List.filter (fun k -> count acc.cov_fired k = 0) declared in
     let idle =
+      (* The dedup monitor only sees events when caching is on, which
+         the plain fuzz gate does not promise — it is held to the
+         stricter library contract ([--require-scenario-coverage]),
+         where the seed alternation guarantees caching-on runs. *)
       List.filter
-        (fun m -> count acc.cov_monitors m = 0)
+        (fun m ->
+          count acc.cov_monitors m = 0 && (require_scenario || m <> "dedup"))
         Monitors.monitor_names
     in
     List.iter
@@ -517,7 +529,16 @@ let coverage_report ~require ~require_scenario ?expect acc =
               (Printf.printf
                  "COVERAGE FAIL: placement %S never dispatched a selection\n")
               no_placement;
-            never_ran @ no_strategy @ dry_features @ no_placement
+            let no_dedup =
+              if count acc.cov_events "xfer/manifest" = 0 then begin
+                Printf.printf
+                  "COVERAGE FAIL: content-addressed transfer never \
+                   exercised (no xfer/manifest events)\n";
+                [ "dedup" ]
+              end
+              else []
+            in
+            never_ran @ no_strategy @ dry_features @ no_placement @ no_dedup
     in
     missing <> [] || idle <> [] || scenario_gaps <> []
   end
@@ -542,8 +563,8 @@ let resolve_scenario = function
           exit 124)
 
 let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
-    ~strategy_tok ~strategy ~placement_tok ~entries ~require_coverage
-    ~require_scenario =
+    ~strategy_tok ~strategy ~placement_tok ~content_cache_tok
+    ~content_cache_for ~entries ~require_coverage ~require_scenario =
   let gen seed =
     match entries with
     | None -> Scenario.serve_of_seed seed
@@ -590,7 +611,7 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
   let replay o =
     Scenario.replay_serve_hint ~forwarding ?strategy:strategy_tok
       ?placement:(placement_tok_for o.Scenario.so_scenario.Scenario.sv_seed)
-      o.Scenario.so_scenario
+      ?content_cache:content_cache_tok o.Scenario.so_scenario
   in
   match single with
   | Some seed ->
@@ -601,8 +622,13 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
         ->
           Printf.printf "placement override: %s\n" tok
       | _ -> ());
+      if content_cache_for seed > 0 then
+        Printf.printf "content cache: %d KiB/host\n"
+          (content_cache_for seed / 1024);
       let o =
-        Scenario.run_serve ~rebind ?strategy
+        Scenario.run_serve ~rebind
+          ~content_cache:(content_cache_for seed)
+          ?strategy
           ?placement:(placement_for seed sv)
           sv
       in
@@ -640,7 +666,9 @@ let fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
       let t0 = Unix.gettimeofday () in
       let cell seed () =
         let sv = gen seed in
-        Scenario.run_serve ~rebind ?strategy
+        Scenario.run_serve ~rebind
+          ~content_cache:(content_cache_for seed)
+          ?strategy
           ?placement:(placement_for seed sv)
           sv
       in
@@ -711,12 +739,25 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
     r_forwarding = forwarding;
     r_strategy = strategy_arg;
     r_placement = placement_arg;
+    r_content_cache = content_cache_arg;
   } =
     replay_flags
   in
   if (not serve_mode) && placement_arg <> None then
     Printf.eprintf "vsim fuzz: --placement only applies with --serve; ignored\n";
   let entries = resolve_scenario scenario_arg in
+  (* Content-cache sampling: an explicit [--content-cache] pins the
+     per-host budget on every run; otherwise odd seeds get a 4 MiB cache
+     and even seeds run with caching off, so any contiguous >= 2-seed
+     range exercises both the content-addressed and the plain transfer
+     paths. The choice is a pure function of the seed, so a REPLAY line
+     reproduces it without recording the value (the flag is recorded
+     only when the user forced one). *)
+  let content_cache_for seed =
+    match content_cache_arg with
+    | Some b -> b
+    | None -> if seed land 1 = 1 then 4 * 1024 * 1024 else 0
+  in
   let rebind =
     if forwarding then Os_params.Forwarding else Os_params.Broadcast_query
   in
@@ -734,7 +775,8 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
   if serve_mode then
     fuzz_serve_cmd count base_seed single jobs rebind ~forwarding
       ~strategy_tok:strategy_arg ~strategy ~placement_tok:placement_arg
-      ~entries ~require_coverage ~require_scenario
+      ~content_cache_tok:content_cache_arg ~content_cache_for ~entries
+      ~require_coverage ~require_scenario
   else
   let gen seed =
     match entries with
@@ -754,14 +796,19 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
   in
   let replay o =
     Scenario.replay_hint ~forwarding ?strategy:strategy_arg
-      o.Scenario.o_scenario
+      ?content_cache:content_cache_arg o.Scenario.o_scenario
   in
   match single with
   | Some seed ->
       (* Verbose single-seed replay, with full violation windows. *)
       let sc = prep (gen seed) in
       print_endline (Scenario.describe sc);
-      let o = Scenario.run ~rebind sc in
+      if content_cache_for seed > 0 then
+        Printf.printf "content cache: %d KiB/host\n"
+          (content_cache_for seed / 1024);
+      let o =
+        Scenario.run ~rebind ~content_cache:(content_cache_for seed) sc
+      in
       Printf.printf "%d events checked; %d job(s) completed, %d failed\n"
         o.Scenario.o_events o.Scenario.o_completed o.Scenario.o_failed;
       (match features_of o with
@@ -788,7 +835,11 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
       end
   | None ->
       let t0 = Unix.gettimeofday () in
-      let cell seed () = Scenario.run ~rebind (prep (gen seed)) in
+      let cell seed () =
+        Scenario.run ~rebind
+          ~content_cache:(content_cache_for seed)
+          (prep (gen seed))
+      in
       let results =
         Parrun.run ~jobs (List.init count (fun i -> cell (base_seed + i)))
       in
@@ -847,7 +898,8 @@ let fuzz_cmd count base_seed jobs replay_flags require_coverage
    merged in replica order, so stdout is byte-identical for any -j. *)
 
 let serve_cmd seed workstations bridged faults duration rate replicas jobs
-    json_out quick slo_shed health placement_tok pod_size autoscale =
+    json_out quick slo_shed health placement_tok pod_size autoscale
+    content_cache =
   let duration = if quick then Float.min duration 30. else duration in
   let placement =
     Option.map
@@ -867,7 +919,21 @@ let serve_cmd seed workstations bridged faults duration rate replicas jobs
       placement_tok
   in
   let cfg =
-    Option.map (fun p -> { Config.default with Config.placement = p }) placement
+    let base =
+      if content_cache = 0 then Config.default
+      else
+        {
+          Config.default with
+          Config.os =
+            {
+              Config.default.Config.os with
+              Os_params.content_cache_bytes = content_cache;
+            };
+        }
+    in
+    match placement with
+    | Some p -> Some { base with Config.placement = p }
+    | None -> if content_cache = 0 then None else Some base
   in
   let replica i () =
     match
@@ -1195,6 +1261,18 @@ let serve_t =
              hysteresis band against flapping. The summary and JSON report \
              gain cap/scale-event fields.")
   in
+  let content_cache =
+    Arg.(
+      value & opt int 0
+      & info [ "content-cache" ] ~docv:"BYTES"
+          ~doc:
+            "Per-host content-cache budget in bytes: enables \
+             content-addressed state transfer (migration manifests ship \
+             only uncached pages) and deduplicated image loading \
+             (multicast chunk announcements; a pod relaunching a program \
+             pays the 330 ms/100 KB load once). $(b,0) (the default) \
+             disables caching.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1203,7 +1281,7 @@ let serve_t =
     Term.(
       const serve_cmd $ seed $ workstations $ bridged $ faults_arg $ duration
       $ rate $ replicas $ jobs $ json_out $ quick $ slo_shed $ health
-      $ placement $ pod_size $ autoscale)
+      $ placement $ pod_size $ autoscale $ content_cache)
 
 let programs_t =
   Cmd.v

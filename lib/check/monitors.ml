@@ -31,6 +31,11 @@ type t = {
   banned : (int * string, unit) Hashtbl.t; (* (lh, old host) *)
   (* freeze-budget conformance *)
   budgets : (int, Time.span) Hashtbl.t; (* lh -> declared freeze budget *)
+  (* content-transfer manifest accounting *)
+  manifests : (string, int * string * int * int * int * bool) Hashtbl.t;
+      (* host -> (lh, label, chunks, bytes, digest_sum, hit_seen) left to
+         account for; chunks/bytes/digest_sum decrement as the hit/miss
+         pair arrives and must hit exactly zero. *)
   (* events each monitor actually inspected, for coverage reports *)
   coverage : (string, int ref) Hashtbl.t;
   mutable vios : violation list; (* newest first *)
@@ -38,7 +43,10 @@ type t = {
 }
 
 let monitor_names =
-  [ "clock"; "conservation"; "convergence"; "freeze"; "residual"; "budget" ]
+  [
+    "clock"; "conservation"; "convergence"; "freeze"; "residual"; "budget";
+    "dedup";
+  ]
 
 let violations t = List.rev t.vios
 let dropped t = Stdlib.max 0 (t.vio_count - max_violations)
@@ -211,6 +219,56 @@ let check_budget t (r : Tracer.record) =
       | None -> ())
   | _ -> ()
 
+(* Content-transfer conservation: every [Xfer_manifest] is followed by
+   exactly one [Xfer_chunk_hit] and one [Xfer_chunk_miss] for the same
+   host/lh/label, and the pair partitions the manifest — chunk counts,
+   byte counts and digest sums must each split exactly. A cached chunk
+   whose stored bytes differed from the source page, a dropped entry, or
+   a double count all break one of the three sums. *)
+let check_dedup t (r : Tracer.record) =
+  let part t (r : Tracer.record) host lh label chunks bytes digest_sum ~last
+      what =
+    match Hashtbl.find_opt t.manifests host with
+    | None ->
+        fail t "dedup" r "%s on %s (lh %d, %s) without a pending manifest"
+          what host lh label
+    | Some (mlh, mlabel, mc, mb, ms, hit_seen) ->
+        if mlh <> lh || mlabel <> label then
+          fail t "dedup" r
+            "%s on %s names lh %d/%s but the pending manifest is lh %d/%s"
+            what host lh label mlh mlabel;
+        if last <> hit_seen then
+          fail t "dedup" r "%s on %s out of order in the manifest triple" what
+            host;
+        let mc = mc - chunks and mb = mb - bytes and ms = ms - digest_sum in
+        if last then begin
+          Hashtbl.remove t.manifests host;
+          if mc <> 0 || mb <> 0 || ms <> 0 then
+            fail t "dedup" r
+              "manifest on %s (lh %d, %s) not conserved: %d chunks, %d \
+               bytes, digest sum %d left unaccounted"
+              host lh label mc mb ms
+        end
+        else Hashtbl.replace t.manifests host (mlh, mlabel, mc, mb, ms, true)
+  in
+  match r.Tracer.ev with
+  | Kernel.Xfer_manifest { host; lh; label; chunks; bytes; digest_sum; _ } ->
+      touch t "dedup";
+      if Hashtbl.mem t.manifests host then
+        fail t "dedup" r
+          "manifest on %s (lh %d, %s) before the previous one's hit/miss \
+           pair completed"
+          host lh label;
+      Hashtbl.replace t.manifests host
+        (lh, label, chunks, bytes, digest_sum, false)
+  | Kernel.Xfer_chunk_hit { host; lh; label; chunks; bytes; digest_sum } ->
+      touch t "dedup";
+      part t r host lh label chunks bytes digest_sum ~last:false "chunk-hit"
+  | Kernel.Xfer_chunk_miss { host; lh; label; chunks; bytes; digest_sum } ->
+      touch t "dedup";
+      part t r host lh label chunks bytes digest_sum ~last:true "chunk-miss"
+  | _ -> ()
+
 let handle t (r : Tracer.record) =
   t.window.(t.w_next) <- Some r;
   t.w_next <- (t.w_next + 1) mod window_capacity;
@@ -220,7 +278,8 @@ let handle t (r : Tracer.record) =
   check_freeze t r;
   check_convergence t r;
   check_residual t r;
-  check_budget t r
+  check_budget t r;
+  check_dedup t r
 
 let attach trc =
   let t =
@@ -237,6 +296,7 @@ let attach trc =
       rounds = Hashtbl.create 8;
       banned = Hashtbl.create 8;
       budgets = Hashtbl.create 8;
+      manifests = Hashtbl.create 8;
       coverage = Hashtbl.create 8;
       vios = [];
       vio_count = 0;

@@ -5,13 +5,14 @@ type t = {
   r_forwarding : bool;
   r_strategy : string option;
   r_placement : string option;
+  r_content_cache : int option;
 }
 
 let strategy_tokens = [ "precopy"; "freeze"; "cor"; "vmflush" ]
 let placement_tokens = [ "flat"; "pods"; "predictive" ]
 
 let make ?scenario ?seed ?(serve = false) ?(forwarding = false) ?strategy
-    ?placement () =
+    ?placement ?content_cache () =
   {
     r_scenario = scenario;
     r_seed = seed;
@@ -19,6 +20,7 @@ let make ?scenario ?seed ?(serve = false) ?(forwarding = false) ?strategy
     r_forwarding = forwarding;
     r_strategy = strategy;
     r_placement = placement;
+    r_content_cache = content_cache;
   }
 
 let format r =
@@ -35,9 +37,12 @@ let format r =
     @ (match r.r_strategy with
       | Some s -> [ " --strategy "; s ]
       | None -> [])
+    @ (match r.r_placement with
+      | Some p -> [ " --placement "; p ]
+      | None -> [])
     @
-    match r.r_placement with
-    | Some p -> [ " --placement "; p ]
+    match r.r_content_cache with
+    | Some b -> [ " --content-cache "; string_of_int b ]
     | None -> [])
 
 open Cmdliner
@@ -113,10 +118,32 @@ let term =
             "Force one placement policy on every serve run: $(b,flat), \
              $(b,pods) or $(b,predictive).")
   in
+  let content_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "content-cache" ] ~docv:"BYTES"
+          ~doc:
+            "Per-host content cache budget in bytes (enables \
+             content-addressed state transfer and image dedup). Omit to \
+             let the fuzzer alternate cache-on/cache-off by seed; $(b,0) \
+             pins caching off.")
+  in
   Term.(
-    const (fun r_scenario r_seed r_serve r_forwarding r_strategy r_placement ->
-        { r_scenario; r_seed; r_serve; r_forwarding; r_strategy; r_placement })
-    $ scenario $ seed $ serve $ forwarding $ strategy $ placement)
+    const
+      (fun r_scenario r_seed r_serve r_forwarding r_strategy r_placement
+           r_content_cache ->
+        {
+          r_scenario;
+          r_seed;
+          r_serve;
+          r_forwarding;
+          r_strategy;
+          r_placement;
+          r_content_cache;
+        })
+    $ scenario $ seed $ serve $ forwarding $ strategy $ placement
+    $ content_cache)
 
 let parse line =
   let words =

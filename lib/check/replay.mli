@@ -17,6 +17,10 @@ type t = {
       (** [--strategy S]: precopy | freeze | cor | vmflush. *)
   r_placement : string option;
       (** [--placement P]: flat | pods | predictive (serve mode). *)
+  r_content_cache : int option;
+      (** [--content-cache BYTES]: pin the per-host content-cache budget
+          ([None] lets the fuzzer alternate by seed; [Some 0] pins
+          caching off). *)
 }
 
 val strategy_tokens : string list
@@ -32,6 +36,7 @@ val make :
   ?forwarding:bool ->
   ?strategy:string ->
   ?placement:string ->
+  ?content_cache:int ->
   unit ->
   t
 (** Build a hint; [serve] and [forwarding] default to [false]. *)

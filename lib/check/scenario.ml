@@ -195,10 +195,10 @@ let describe sc =
     (Format.asprintf "%a" Faults.pp_plan sc.sc_faults)
     (Time.to_string sc.sc_horizon)
 
-let replay_hint ?(forwarding = false) ?strategy sc =
+let replay_hint ?(forwarding = false) ?strategy ?content_cache sc =
   Replay.format
     (Replay.make ?scenario:sc.sc_label ~seed:sc.sc_seed ~forwarding ?strategy
-       ())
+       ?content_cache ())
 
 (* {1 Coverage collection}
 
@@ -338,11 +338,21 @@ let split_residual ~expect violations =
     in
     (List.length res, rest)
 
-let run_cluster ?(rebind = Os_params.Broadcast_query) sc =
+let run_cluster ?(rebind = Os_params.Broadcast_query) ?(content_cache = 0) sc
+    =
   let cfg =
     let base = Config.with_default_budgets Config.default in
-    if base.Config.os.Os_params.rebind = rebind then base
-    else { base with Config.os = { base.Config.os with Os_params.rebind } }
+    let base =
+      if base.Config.os.Os_params.rebind = rebind then base
+      else { base with Config.os = { base.Config.os with Os_params.rebind } }
+    in
+    if base.Config.os.Os_params.content_cache_bytes = content_cache then base
+    else
+      {
+        base with
+        Config.os =
+          { base.Config.os with Os_params.content_cache_bytes = content_cache };
+      }
   in
   let cl =
     Cluster.create ~seed:sc.sc_seed ~workstations:sc.sc_workstations
@@ -379,7 +389,7 @@ let run_cluster ?(rebind = Os_params.Broadcast_query) sc =
     },
     cl )
 
-let run ?rebind sc = fst (run_cluster ?rebind sc)
+let run ?rebind ?content_cache sc = fst (run_cluster ?rebind ?content_cache sc)
 
 (* {1 Serve mode: sustained-load scenarios} *)
 
@@ -468,10 +478,11 @@ let describe_serve sv =
     (placement_token sv.sv_placement)
     (Format.asprintf "%a" Faults.pp_plan sv.sv_faults)
 
-let replay_serve_hint ?(forwarding = false) ?strategy ?placement sv =
+let replay_serve_hint ?(forwarding = false) ?strategy ?placement
+    ?content_cache sv =
   Replay.format
     (Replay.make ?scenario:sv.sv_label ~seed:sv.sv_seed ~serve:true
-       ~forwarding ?strategy ?placement ())
+       ~forwarding ?strategy ?placement ?content_cache ())
 
 type serve_outcome = {
   so_scenario : serve;
@@ -493,8 +504,8 @@ type serve_outcome = {
           gates on. *)
 }
 
-let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy
-    ?placement sv =
+let run_serve_cluster ?(rebind = Os_params.Broadcast_query)
+    ?(content_cache = 0) ?strategy ?placement sv =
   let placement =
     match placement with Some p -> p | None -> sv.sv_placement
   in
@@ -503,6 +514,19 @@ let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy
     let base =
       if base.Config.os.Os_params.rebind = rebind then base
       else { base with Config.os = { base.Config.os with Os_params.rebind } }
+    in
+    let base =
+      if base.Config.os.Os_params.content_cache_bytes = content_cache then
+        base
+      else
+        {
+          base with
+          Config.os =
+            {
+              base.Config.os with
+              Os_params.content_cache_bytes = content_cache;
+            };
+        }
     in
     if base.Config.placement = placement then base
     else { base with Config.placement }
@@ -574,8 +598,8 @@ let run_serve_cluster ?(rebind = Os_params.Broadcast_query) ?strategy
     },
     cl )
 
-let run_serve ?rebind ?strategy ?placement sv =
-  fst (run_serve_cluster ?rebind ?strategy ?placement sv)
+let run_serve ?rebind ?content_cache ?strategy ?placement sv =
+  fst (run_serve_cluster ?rebind ?content_cache ?strategy ?placement sv)
 
 (* {1 The scenario library}
 

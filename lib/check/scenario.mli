@@ -96,19 +96,24 @@ type outcome = {
           "category/type" through the registered views, with counts. *)
 }
 
-val run : ?rebind:Os_params.rebind_mode -> t -> outcome
+val run : ?rebind:Os_params.rebind_mode -> ?content_cache:int -> t -> outcome
 (** Execute in a fresh cluster (tracing on, monitors attached, the
     failure detector enabled, and default migration budgets installed)
     until the horizon. [rebind] defaults to the paper's
     [Broadcast_query]; [Forwarding] selects the Demos/MP ablation, whose
     forwarding addresses are exactly the residual dependency the
-    [residual] monitor rejects — the built-in mutation test. *)
+    [residual] monitor rejects — the built-in mutation test.
+    [content_cache] sets [Os_params.content_cache_bytes] cluster-wide
+    (0, the default, leaves content-addressed transfer off). *)
 
-val run_cluster : ?rebind:Os_params.rebind_mode -> t -> outcome * Cluster.t
+val run_cluster :
+  ?rebind:Os_params.rebind_mode -> ?content_cache:int -> t ->
+  outcome * Cluster.t
 (** Like {!run} but also returns the (stopped) cluster, so callers can
     export its trace — the golden-trace harness and [bench stress]. *)
 
-val replay_hint : ?forwarding:bool -> ?strategy:string -> t -> string
+val replay_hint :
+  ?forwarding:bool -> ?strategy:string -> ?content_cache:int -> t -> string
 (** The command line that reproduces this scenario, including
     [--scenario] when the scenario came from the {!Library} and the
     run-mode flags the caller applied on top ({!Replay.format}). *)
@@ -164,7 +169,8 @@ val serve_of_seed : int -> serve
 val describe_serve : serve -> string
 
 val replay_serve_hint :
-  ?forwarding:bool -> ?strategy:string -> ?placement:string -> serve -> string
+  ?forwarding:bool -> ?strategy:string -> ?placement:string ->
+  ?content_cache:int -> serve -> string
 (** The [vsim fuzz --serve ...] command line that reproduces it,
     including [--scenario] for {!Library} scenarios and [--placement]
     when the harness forced a policy override. *)
@@ -190,6 +196,7 @@ type serve_outcome = {
 
 val run_serve :
   ?rebind:Os_params.rebind_mode ->
+  ?content_cache:int ->
   ?strategy:Protocol.strategy ->
   ?placement:Config.placement ->
   serve ->
@@ -206,6 +213,7 @@ val run_serve :
 
 val run_serve_cluster :
   ?rebind:Os_params.rebind_mode ->
+  ?content_cache:int ->
   ?strategy:Protocol.strategy ->
   ?placement:Config.placement ->
   serve ->

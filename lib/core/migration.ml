@@ -146,24 +146,117 @@ let bounded_transfer kernel ~deadline ~temp_lh ~bytes =
       in
       chunks bytes
 
+(* {2 Content-addressed manifests}
+
+   With content caching on (Os_params.content_cache_bytes > 0), every
+   copy step names its chunks first — a (digest, bytes) manifest built
+   from the pages it is about to move — and ships only what the
+   destination's cache is missing (DESIGN.md §4k). Manifests are built
+   per transfer: full image, dirty residue of a pre-copy round, or the
+   frozen residue. *)
+
+let dirty_manifest lh =
+  let spaces = Logical_host.spaces lh in
+  let n =
+    List.fold_left (fun a sp -> a + Address_space.dirty_count sp) 0 spaces
+  in
+  let m = Array.make n (0, 0) in
+  let i = ref 0 in
+  List.iter
+    (fun sp ->
+      let pb = Address_space.page_bytes sp in
+      Address_space.iter_dirty sp (fun p ->
+          m.(!i) <- (Address_space.page_digest sp p, pb);
+          incr i))
+    spaces;
+  m
+
+let full_manifest lh =
+  let spaces = Logical_host.spaces lh in
+  let n = List.fold_left (fun a sp -> a + Address_space.pages sp) 0 spaces in
+  let m = Array.make n (0, 0) in
+  let i = ref 0 in
+  List.iter
+    (fun sp ->
+      let pb = Address_space.page_bytes sp in
+      for p = 0 to Address_space.pages sp - 1 do
+        m.(!i) <- (Address_space.page_digest sp p, pb);
+        incr i
+      done)
+    spaces;
+  m
+
+(* 8 wire bytes per manifest entry (a 48-bit digest plus framing). The
+   manifest rides the request message up to the 1 KB segment limit;
+   anything beyond that is charged as bulk data ahead of the send. *)
+let manifest_entry_bytes = 8
+
+(* Exchange a manifest with the destination's kernel server and return
+   how many bytes it still needs. The source also remembers every chunk
+   it offered — it holds that content, so a later migrate-back (or any
+   transfer of shared content toward this host) can skip the bytes. *)
+let manifest_exchange kernel ~deadline ~self ~temp_lh ~lh_id ~label m =
+  let cache = Kernel.content_cache kernel in
+  let total = ref 0 in
+  Array.iter
+    (fun (dg, b) ->
+      total := !total + b;
+      Content_cache.insert cache ~digest:dg ~bytes:b)
+    m;
+  let wire = manifest_entry_bytes * Array.length m in
+  let msg_bytes = min Message.max_bytes (Message.short_bytes + wire) in
+  let overflow = wire - (msg_bytes - Message.short_bytes) in
+  Kernel.bump_by kernel "xfer_manifest_bytes" (Message.short_bytes + wire);
+  match
+    if overflow > 0 then
+      bounded_transfer kernel ~deadline ~temp_lh ~bytes:overflow
+    else Ok ()
+  with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        Kernel.send ?deadline kernel ~src:self
+          ~dst:(Ids.kernel_server_of temp_lh)
+          (Message.make ~bytes:msg_bytes
+             (Kernel.Ks_xfer_manifest { lh = lh_id; label; digests = m }))
+      with
+      | Ok { Message.body = Kernel.Ks_xfer_need { missing = _; bytes }; _ } ->
+          Kernel.bump_by kernel "xfer_bytes_shipped" bytes;
+          Kernel.bump_by kernel "xfer_bytes_saved" (!total - bytes);
+          Ok bytes
+      | Ok _ -> Error (Transfer_failed "unexpected manifest reply")
+      | Error e ->
+          Error (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e)))
+
 (* One acknowledged copy step: move the bytes on the wire, then confirm
    the destination is still alive with a kernel-server ping through the
    temporary logical-host id. The ping's failure is how we detect a dead
    destination (Section 3.1.3's "copy operation fails due to lack of
-   acknowledgement"). *)
-let acked_copy kernel ~deadline ~self ~temp_lh ~bytes =
-  match bounded_transfer kernel ~deadline ~temp_lh ~bytes with
+   acknowledgement"). With a manifest, only the chunks the destination
+   reports missing cross the wire. *)
+let acked_copy ?manifest kernel ~deadline ~self ~temp_lh ~bytes =
+  let need =
+    match manifest with
+    | Some (label, lh_id, m) when Array.length m > 0 ->
+        manifest_exchange kernel ~deadline ~self ~temp_lh ~lh_id ~label m
+    | Some _ | None -> Ok bytes
+  in
+  match need with
   | Error e -> Error e
-  | Ok () -> (
-      match
-        Kernel.send kernel ~src:self
-          ~dst:(Ids.kernel_server_of temp_lh)
-          (Message.make Kernel.Ks_ping)
-      with
-      | Ok { Message.body = Kernel.Ks_pong; _ } -> Ok ()
-      | Ok _ -> Error (Transfer_failed "unexpected ping reply")
-      | Error e ->
-          Error (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e)))
+  | Ok need -> (
+      match bounded_transfer kernel ~deadline ~temp_lh ~bytes:need with
+      | Error e -> Error e
+      | Ok () -> (
+          match
+            Kernel.send kernel ~src:self
+              ~dst:(Ids.kernel_server_of temp_lh)
+              (Message.make Kernel.Ks_ping)
+          with
+          | Ok { Message.body = Kernel.Ks_pong; _ } -> Ok ()
+          | Ok _ -> Error (Transfer_failed "unexpected ping reply")
+          | Error e ->
+              Error
+                (Transfer_failed (Format.asprintf "%a" Kernel.pp_send_error e))))
 
 (* Observed copy rate, µs per byte, from the most recent round — the
    basis for the predictive budget checks. *)
@@ -207,8 +300,15 @@ let rec precopy_rounds kernel (cfg : Config.t) ~deadline ~self ~temp_lh ~lh ~k
       Error (Budget_exceeded "next pre-copy round would blow the transfer budget")
     else begin
       let t0 = Engine.now eng in
+      (* The manifest must snapshot the dirty pages before the round
+         clears their bits. *)
+      let manifest =
+        if Kernel.content_caching kernel then
+          Some ("round", Logical_host.id lh, dirty_manifest lh)
+        else None
+      in
       ignore (Logical_host.clear_dirty lh);
-      match acked_copy kernel ~deadline ~self ~temp_lh ~bytes:residue with
+      match acked_copy ?manifest kernel ~deadline ~self ~temp_lh ~bytes:residue with
       | Error e -> Error e
       | Ok () ->
           let round =
@@ -249,6 +349,11 @@ module Strategy = struct
     s_frozen_residue : Logical_host.t -> int;
         (* Step 4: bytes that must cross the wire while frozen.
            Destructive (clears dirty state) — call only once, frozen. *)
+    s_frozen_manifest : Logical_host.t -> (int * int) array;
+        (* Content manifest of exactly the pages [s_frozen_residue]
+           will move. Non-destructive; must be called first (it reads
+           the dirty bits the residue call clears). Only consulted when
+           content caching is on. *)
     s_residue_estimate : Logical_host.t -> int;
         (* Non-destructive preview of [s_frozen_residue], for the
            pre-freeze budget gate. *)
@@ -269,8 +374,13 @@ module Strategy = struct
     let eng = Kernel.engine kernel in
     let total = Logical_host.total_bytes lh in
     let t0 = Engine.now eng in
+    let manifest =
+      if Kernel.content_caching kernel then
+        Some ("full", Logical_host.id lh, full_manifest lh)
+      else None
+    in
     ignore (Logical_host.clear_dirty lh);
-    match acked_copy kernel ~deadline ~self ~temp_lh ~bytes:total with
+    match acked_copy ?manifest kernel ~deadline ~self ~temp_lh ~bytes:total with
     | Error e -> Error e
     | Ok () ->
         let first =
@@ -296,6 +406,7 @@ module Strategy = struct
       s_protocol = Protocol.Precopy;
       s_copy_phase = full_copy_then_rounds;
       s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_frozen_manifest = dirty_manifest;
       s_residue_estimate = Logical_host.dirty_bytes;
       s_page_source = no_page_source;
       s_faultin = no_faultin;
@@ -308,6 +419,7 @@ module Strategy = struct
       s_protocol = Protocol.Freeze_and_copy;
       s_copy_phase = no_copy_phase;
       s_frozen_residue = Logical_host.total_bytes;
+      s_frozen_manifest = full_manifest;
       s_residue_estimate = Logical_host.total_bytes;
       s_page_source = no_page_source;
       s_faultin = no_faultin;
@@ -322,6 +434,7 @@ module Strategy = struct
       s_protocol = Protocol.Copy_on_reference;
       s_copy_phase = no_copy_phase;
       s_frozen_residue = (fun _ -> 0);
+      s_frozen_manifest = (fun _ -> [||]);
       s_residue_estimate = (fun _ -> 0);
       s_page_source =
         (fun kernel ->
@@ -338,6 +451,7 @@ module Strategy = struct
       s_protocol = Protocol.Vm_flush { page_server };
       s_copy_phase = full_copy_then_rounds;
       s_frozen_residue = (fun lh -> Logical_host.clear_dirty lh);
+      s_frozen_manifest = dirty_manifest;
       s_residue_estimate = Logical_host.dirty_bytes;
       s_page_source = no_page_source;
       s_faultin =
@@ -525,6 +639,13 @@ let attempt ?health ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy
                   (fun b -> Time.add freeze_start b.Config.bg_freeze)
                   budget
               in
+              (* Manifest before residue: the residue call clears the
+                 dirty bits the manifest reads. *)
+              let final_manifest =
+                if Kernel.content_caching kernel then
+                  Some (strat.Strategy.s_frozen_manifest lh)
+                else None
+              in
               let final_bytes = strat.Strategy.s_frozen_residue lh in
               ev kernel (fun () ->
                   Mig_frozen_residue { lh = lh_id; bytes = final_bytes });
@@ -540,8 +661,19 @@ let attempt ?health ~kernel ~cfg ~table ~self ~program ?dest ~exclude ~strategy
                   (Error (Budget_exceeded reason, Some dest.Scheduler.s_host))
               in
               match
-                bounded_transfer kernel ~deadline:freeze_deadline ~temp_lh
-                  ~bytes:final_bytes
+                match final_manifest with
+                | Some m when Array.length m > 0 -> (
+                    match
+                      manifest_exchange kernel ~deadline:freeze_deadline ~self
+                        ~temp_lh ~lh_id ~label:"residue" m
+                    with
+                    | Error e -> Error e
+                    | Ok need ->
+                        bounded_transfer kernel ~deadline:freeze_deadline
+                          ~temp_lh ~bytes:need)
+                | Some _ | None ->
+                    bounded_transfer kernel ~deadline:freeze_deadline ~temp_lh
+                      ~bytes:final_bytes
               with
               | Error _ -> abort_frozen "freeze budget exhausted mid-residue"
               | Ok () -> (

@@ -112,18 +112,65 @@ let handle_create t d ~prog ~env ~priority ~explicit_host =
         let lh = Kernel.create_logical_host k ~priority in
         let setup = Time.sub (Engine.now (eng t)) t0 in
         let t1 = Engine.now (eng t) in
-        (* Load the image from the (network) file server. *)
-        match
-          File_server.Client.load_image k ~self:t.pm_pid
-            ~server:env.Env.file_server ~name:prog
-        with
+        (* Load the image from the (network) file server. With content
+           caching on, probe the local cache for each chunk first (the
+           spec names the image and its sizes, so chunk digests are
+           computable before any bytes move) and request only the
+           missing ones — a pod relaunching a program the file server
+           already announced pays one IPC round trip, not 330 ms/100 KB. *)
+        let loaded =
+          if Kernel.content_caching k then begin
+            let cache = Kernel.content_cache k in
+            let chunks = File_server.image_chunks spec.Programs.image in
+            let cb = File_server.chunk_bytes in
+            let missing = ref 0 in
+            for i = 0 to chunks - 1 do
+              if
+                not
+                  (Content_cache.probe cache
+                     ~digest:(Pagehash.image_chunk ~image:prog ~index:i)
+                     ~bytes:cb)
+              then incr missing
+            done;
+            let miss_bytes = !missing * cb in
+            let hit = chunks - !missing in
+            Kernel.bump_by k "img_chunks_hit" hit;
+            Kernel.bump_by k "img_chunks_miss" !missing;
+            (if Tracer.enabled (Kernel.tracer k) then
+               Tracer.emit (Kernel.tracer k)
+                 (if !missing = 0 then
+                    Kernel.Img_cache_hit
+                      {
+                        host = Kernel.host_name k;
+                        image = prog;
+                        chunks;
+                        bytes = hit * cb;
+                      }
+                  else
+                    Kernel.Img_cache_miss
+                      {
+                        host = Kernel.host_name k;
+                        image = prog;
+                        chunks = !missing;
+                        bytes = miss_bytes;
+                      }));
+            File_server.Client.load_delta k ~self:t.pm_pid
+              ~server:env.Env.file_server ~name:prog ~missing:!missing
+              ~bytes:miss_bytes
+          end
+          else
+            File_server.Client.load_image k ~self:t.pm_pid
+              ~server:env.Env.file_server ~name:prog
+        in
+        match loaded with
         | Error m ->
             Kernel.destroy_logical_host k lh;
             fail ("image load failed: " ^ m)
         | Ok img ->
             let load = Time.sub (Engine.now (eng t)) t1 in
             let space =
-              Address_space.create ~code_bytes:img.File_server.code_bytes
+              Address_space.create ~image:prog
+                ~code_bytes:img.File_server.code_bytes
                 ~data_bytes:img.File_server.data_bytes
                 ~active_bytes:img.File_server.active_bytes ()
             in

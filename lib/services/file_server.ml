@@ -2,6 +2,11 @@ type image = { code_bytes : int; data_bytes : int; active_bytes : int }
 
 let image_file_bytes img = img.code_bytes + img.data_bytes
 
+(* Images are chunked at the V page size, so chunk digests line up with
+   the page digests of address spaces created from the image. *)
+let chunk_bytes = 1024
+let image_chunks img = (image_file_bytes img + chunk_bytes - 1) / chunk_bytes
+
 type Message.body +=
   | Fs_stat of { path : string }
   | Fs_attr of { bytes : int }
@@ -9,6 +14,7 @@ type Message.body +=
   | Fs_data of { bytes : int }
   | Fs_write of { path : string; offset : int; length : int }
   | Fs_load_image of { name : string }
+  | Fs_load_delta of { name : string; missing : int; bytes : int }
   | Fs_image of image
   | Fs_ok
   | Fs_error of string
@@ -45,6 +51,19 @@ let ship t (d : Delivery.t) bytes =
     in
     Kernel.bulk_transfer ?to_station t.kernel ~bytes
 
+(* Multicast the image's chunk digests to every caching host: the
+   chunks just crossed the shared wire, so the whole cluster may count
+   them as held — a pod launching the same program pays the 330 ms/
+   100 KB load once (DESIGN.md §4k). No-op with caching off. *)
+let announce_image t name img =
+  let k = t.kernel in
+  if Kernel.content_caching k then
+    Kernel.close_collector k
+      (Kernel.send_group k ~src:t.server_pid ~group:Ids.content_group
+         (Message.make
+            (Kernel.Ks_content_announce
+               { image = name; first = 0; count = image_chunks img; chunk_bytes })))
+
 let serve t (d : Delivery.t) =
   t.requests <- t.requests + 1;
   let k = t.kernel in
@@ -78,7 +97,23 @@ let serve t (d : Delivery.t) =
             d.Delivery.src;
           disk_delay t bytes;
           ship t d bytes;
-          Kernel.reply k d (Message.make (Fs_image img)))
+          Kernel.reply k d (Message.make (Fs_image img));
+          if bytes > 0 then announce_image t name img)
+  | Fs_load_delta { name; missing; bytes } -> (
+      (* Content-aware load: the requester already holds every chunk it
+         did not ask for, so only [missing] chunks ([bytes] bytes) are
+         read and shipped. A fully cached image costs one IPC round
+         trip — no disk, no bulk transfer. *)
+      match Hashtbl.find_opt t.images name with
+      | None -> Kernel.reply k d (Message.make (Fs_error "no such image"))
+      | Some img ->
+          Tracer.recordf (Kernel.tracer k) ~category:"fs"
+            "loading %d/%d chunks of image %s (%d KB) for %a" missing
+            (image_chunks img) name (bytes / 1024) Ids.pp_pid d.Delivery.src;
+          disk_delay t bytes;
+          ship t d bytes;
+          Kernel.reply k d (Message.make (Fs_image img));
+          if bytes > 0 then announce_image t name img)
   | _ -> Kernel.reply k d (Message.make (Fs_error "unknown request"))
 
 let create ?(disk_us_per_kb = 300) kernel ~name =
@@ -136,5 +171,11 @@ module Client = struct
     match call k ~self ~server (Fs_load_image { name }) with
     | Ok (Fs_image img) -> Ok img
     | Ok other -> unpack_error "load_image" other
+    | Error e -> Error e
+
+  let load_delta k ~self ~server ~name ~missing ~bytes =
+    match call k ~self ~server (Fs_load_delta { name; missing; bytes }) with
+    | Ok (Fs_image img) -> Ok img
+    | Ok other -> unpack_error "load_delta" other
     | Error e -> Error e
 end

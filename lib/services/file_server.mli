@@ -23,6 +23,14 @@ type image = {
 val image_file_bytes : image -> int
 (** Bytes read to load the image (code + initialized data). *)
 
+val chunk_bytes : int
+(** Image chunking granularity for content-addressed loads: 1024, the V
+    page size, so chunk digests ([Pagehash.image_chunk]) line up with
+    the page digests of address spaces created from the image. *)
+
+val image_chunks : image -> int
+(** Number of chunks in the stored image file. *)
+
 type t
 
 val create : ?disk_us_per_kb:int -> Kernel.t -> name:string -> t
@@ -55,6 +63,14 @@ type Message.body +=
           when they exceed a message segment. *)
   | Fs_write of { path : string; offset : int; length : int }
   | Fs_load_image of { name : string }
+  | Fs_load_delta of { name : string; missing : int; bytes : int }
+      (** Content-aware load (content caching on): the requester already
+          holds every chunk it did not ask for, so the server reads and
+          ships only [missing] chunks ([bytes] bytes) before replying
+          {!Fs_image} — one IPC round trip, no disk, no bulk transfer
+          when the image is fully cached. Serving a delta (or full load)
+          that shipped bytes is followed by a [Ks_content_announce]
+          multicast to {!Ids.content_group}. *)
   | Fs_image of image
       (** Reply to a load; the image bytes have been bulk-transferred to
           the requesting host by the time it arrives. *)
@@ -84,4 +100,9 @@ module Client : sig
   val load_image :
     Kernel.t -> self:Ids.pid -> server:Ids.pid -> name:string ->
     (image, string) result
+
+  val load_delta :
+    Kernel.t -> self:Ids.pid -> server:Ids.pid -> name:string ->
+    missing:int -> bytes:int -> (image, string) result
+  (** [Fs_load_delta] as computed by the caller's own cache probe. *)
 end

@@ -2,18 +2,24 @@ type segment = Code | Initialized_data | Active_data
 
 type t = {
   id : int;
+  image : string; (* backing image name; "" when anonymous *)
   page_bytes : int;
   code_pages : int;
   data_pages : int;
   active_pages : int;
   dirty : Bytes.t; (* one byte per page: 0 clean, 1 dirty *)
   mutable dirty_count : int;
+  versions : int array; (* per-page write count — keys content digests *)
   (* Copy-on-reference residency. [None] means every page is local (the
      common case: no bitmap allocated). After [evict_all], a page is
      absent until first touched; the touch queues it on [pending] so the
      owning process can pull it from the source host at its next
      scheduling boundary. *)
   mutable resident : Bytes.t option; (* 0 absent, 1 resident *)
+  mutable baseline : int array option;
+      (* versions as of [evict_all] — the content the source retains; a
+         fault pulls the page at its baseline version, not at whatever
+         version local touches have since pushed it to *)
   mutable absent_count : int;
   mutable pending : int list; (* faulted pages, most recent first *)
   mutable pending_count : int;
@@ -29,7 +35,8 @@ let reset_ids () = Domain.DLS.get next_id := 0
 
 let pages_of ~page_bytes b = (b + page_bytes - 1) / page_bytes
 
-let create ?(page_bytes = 1024) ~code_bytes ~data_bytes ~active_bytes () =
+let create ?(page_bytes = 1024) ?(image = "") ~code_bytes ~data_bytes
+    ~active_bytes () =
   assert (page_bytes > 0);
   let next_id = Domain.DLS.get next_id in
   incr next_id;
@@ -39,13 +46,16 @@ let create ?(page_bytes = 1024) ~code_bytes ~data_bytes ~active_bytes () =
   let total = code_pages + data_pages + active_pages in
   {
     id = !next_id;
+    image;
     page_bytes;
     code_pages;
     data_pages;
     active_pages;
     dirty = Bytes.make total '\000';
     dirty_count = 0;
+    versions = Array.make total 0;
     resident = None;
+    baseline = None;
     absent_count = 0;
     pending = [];
     pending_count = 0;
@@ -77,6 +87,7 @@ let touch t p =
       t.pending_count <- t.pending_count + 1;
       if t.absent_count = 0 then t.resident <- None
   | _ -> ());
+  t.versions.(p) <- t.versions.(p) + 1;
   if Bytes.get t.dirty p = '\000' then begin
     Bytes.set t.dirty p '\001';
     t.dirty_count <- t.dirty_count + 1
@@ -88,6 +99,33 @@ let touch_random_in t rng seg ~first ~count =
     touch t (segment_first t seg + first + Rng.int rng count)
 
 let is_dirty t p = p >= 0 && p < pages t && Bytes.get t.dirty p = '\001'
+
+let image t = t.image
+
+(* Content digest of a page's current bytes. Never-written code and
+   initialized-data pages of an image-backed space share digests with
+   the file server's image chunks (same key, same chunking); untouched
+   active pages are the zero page; anything ever written is keyed by
+   this space's id and the page's write version, so no two distinct
+   contents ever share a digest. *)
+let digest_at t p v =
+  if v > 0 then Pagehash.private_page ~space:t.id ~index:p ~version:v
+  else if p < t.code_pages + t.data_pages then
+    if t.image <> "" then Pagehash.image_chunk ~image:t.image ~index:p
+    else Pagehash.private_page ~space:t.id ~index:p ~version:0
+  else Pagehash.zero_page ~page_bytes:t.page_bytes
+
+let check_page t p who =
+  if p < 0 || p >= pages t then
+    invalid_arg (Printf.sprintf "Address_space.%s: page %d of %d" who p (pages t))
+
+let page_digest t p =
+  check_page t p "page_digest";
+  digest_at t p t.versions.(p)
+
+let source_page_digest t p =
+  check_page t p "source_page_digest";
+  digest_at t p (match t.baseline with Some b -> b.(p) | None -> t.versions.(p))
 
 let dirty_count t = t.dirty_count
 let dirty_bytes t = t.dirty_count * t.page_bytes
@@ -121,12 +159,14 @@ let fill_all_dirty t =
 let evict_all t =
   let n = pages t in
   t.resident <- (if n = 0 then None else Some (Bytes.make n '\000'));
+  t.baseline <- (if n = 0 then None else Some (Array.copy t.versions));
   t.absent_count <- n;
   t.pending <- [];
   t.pending_count <- 0
 
 let make_all_resident t =
   t.resident <- None;
+  t.baseline <- None;
   t.absent_count <- 0;
   t.pending <- [];
   t.pending_count <- 0

@@ -16,13 +16,17 @@ type t
 
 val create :
   ?page_bytes:int ->
+  ?image:string ->
   code_bytes:int ->
   data_bytes:int ->
   active_bytes:int ->
   unit ->
   t
 (** Sizes are rounded up to whole pages. [page_bytes] defaults to 1024,
-    the V SUN page size we simulate throughout. *)
+    the V SUN page size we simulate throughout. [image] names the
+    program image backing the code/data segments (defaults to [""],
+    anonymous) — it keys the content digests of never-written pages so
+    they dedup against the file server's image chunks. *)
 
 val id : t -> int
 (** Unique per-run identifier. *)
@@ -47,6 +51,25 @@ val touch_random_in :
     page offsets within the segment. *)
 
 val is_dirty : t -> int -> bool
+
+val image : t -> string
+(** The backing image name given to {!create} ([""] if none). *)
+
+val page_digest : t -> int -> Pagehash.t
+(** Content digest of a page's current bytes: image-chunk digest for a
+    never-written code/data page of an image-backed space, the zero
+    page for an untouched active page, and a (space, page, version)
+    digest after any write. Deterministic — a pure function of the
+    space's id, image, and write history.
+    @raise Invalid_argument if the page is out of range. *)
+
+val source_page_digest : t -> int -> Pagehash.t
+(** Like {!page_digest}, but at the page's write version as of the last
+    {!evict_all} — the content a copy-on-reference source still
+    retains. A first-touch fault bumps the local version {e before} the
+    page is pulled, so the content crossing the wire is the baseline
+    one; identical to {!page_digest} when residency is not tracked.
+    @raise Invalid_argument if the page is out of range. *)
 
 val dirty_count : t -> int
 (** Number of pages currently dirty. *)

@@ -35,6 +35,12 @@ let program_manager_group = { lh = group_lh_base; index = 1 }
    program-manager group, one logical-host id per pod. *)
 let pod_group pod = { lh = group_lh_base + 1 + pod; index = 1 }
 
+(* Every kernel server with content caching enabled joins this group;
+   the file server multicasts image-chunk announcements to it so a pod
+   launching the same program warms every member's cache at once. Index
+   2 keeps its multicast id clear of the pod groups (index 1). *)
+let content_group = { lh = group_lh_base; index = 2 }
+
 module Lh_allocator = struct
   type t = { mutable next : int }
 

@@ -56,6 +56,12 @@ val pod_group : int -> pid
     multicasts to it instead of the global group. Ids live in the same
     reserved range as the global groups. *)
 
+val content_group : pid
+(** The group every kernel server with a non-zero content-cache budget
+    joins. The file server multicasts image-chunk digest announcements
+    to it after serving a load, so one host's cold image load warms the
+    whole cluster's caches (DESIGN.md §4k). *)
+
 val first_user_index : int
 (** Lowest index allocated to ordinary processes. *)
 

@@ -71,6 +71,10 @@ type t = {
          the old host's kernel server that still holds its unreferenced
          pages. *)
   stats : (string, int ref) Hashtbl.t;
+  cache : Content_cache.t;
+      (* Per-host content cache for content-addressed transfer
+         (DESIGN.md §4k). Budget 0 (the default) disables the whole
+         machinery: no digests, no manifests, paper-exact byte counts. *)
 }
 
 type Message.body +=
@@ -82,6 +86,25 @@ type Message.body +=
   | Ks_installed of { resumed_at : Time.t }
   | Ks_destroy_lh of Ids.lh_id
   | Ks_fault_pages of { lh : Ids.lh_id; pages : int; bytes : int }
+  | Ks_xfer_manifest of {
+      lh : Ids.lh_id;  (* the logical host whose pages are moving *)
+      label : string;  (* which transfer: "full" / "round" / "residue" *)
+      digests : (int * int) array;  (* (content digest, chunk bytes) *)
+    }
+      (* Manifest-first bulk copy: before shipping chunks, the source
+         names them; the destination's kernel server probes its content
+         cache and replies [Ks_xfer_need] so only missing bytes cross
+         the wire. *)
+  | Ks_xfer_need of { missing : int; bytes : int }
+  | Ks_content_announce of {
+      image : string;
+      first : int;
+      count : int;
+      chunk_bytes : int;
+    }
+      (* Multicast to {!Ids.content_group} (no reply): the named image's
+         chunks [first, first+count) just crossed the shared wire, so
+         every listening cache may count them as held. *)
   | Ks_ok
   | Ks_refused of string
 
@@ -108,6 +131,38 @@ type Tracer.event +=
       pages : int;
       bytes : int;
     }
+  (* Content-addressed transfer. A manifest scan always emits the
+     triple [Xfer_manifest; Xfer_chunk_hit; Xfer_chunk_miss] back to
+     back (possibly with zero counts) at the probing host; the dedup
+     monitor pairs them up and checks digest conservation. [digest_sum]
+     fields are sums of 48-bit digests, safely below [max_int]. *)
+  | Xfer_manifest of {
+      host : string;  (* the host probing its cache *)
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;  (* content bytes the manifest covers *)
+      wire_bytes : int;  (* what the manifest itself cost on the wire *)
+      digest_sum : int;
+    }
+  | Xfer_chunk_hit of {
+      host : string;
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;  (* bytes that need not cross the wire *)
+      digest_sum : int;
+    }
+  | Xfer_chunk_miss of {
+      host : string;
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;  (* bytes the source must still ship *)
+      digest_sum : int;
+    }
+  | Img_cache_hit of { host : string; image : string; chunks : int; bytes : int }
+  | Img_cache_miss of { host : string; image : string; chunks : int; bytes : int }
 
 let () =
   let pid p = Tracer.Str (Ids.pid_to_string p) in
@@ -188,6 +243,78 @@ let () =
                 ("bytes", Int bytes);
               ];
           }
+    | Xfer_manifest { host; lh; label; chunks; bytes; wire_bytes; digest_sum } ->
+        Some
+          {
+            Tracer.v_cat = "xfer";
+            v_type = "manifest";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("lh", Int lh);
+                ("label", Str label);
+                ("chunks", Int chunks);
+                ("bytes", Int bytes);
+                ("wire", Int wire_bytes);
+                ("sum", Int digest_sum);
+              ];
+          }
+    | Xfer_chunk_hit { host; lh; label; chunks; bytes; digest_sum } ->
+        Some
+          {
+            Tracer.v_cat = "xfer";
+            v_type = "hit";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("lh", Int lh);
+                ("label", Str label);
+                ("chunks", Int chunks);
+                ("bytes", Int bytes);
+                ("sum", Int digest_sum);
+              ];
+          }
+    | Xfer_chunk_miss { host; lh; label; chunks; bytes; digest_sum } ->
+        Some
+          {
+            Tracer.v_cat = "xfer";
+            v_type = "miss";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("lh", Int lh);
+                ("label", Str label);
+                ("chunks", Int chunks);
+                ("bytes", Int bytes);
+                ("sum", Int digest_sum);
+              ];
+          }
+    | Img_cache_hit { host; image; chunks; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "img";
+            v_type = "hit";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("image", Str image);
+                ("chunks", Int chunks);
+                ("bytes", Int bytes);
+              ];
+          }
+    | Img_cache_miss { host; image; chunks; bytes } ->
+        Some
+          {
+            Tracer.v_cat = "img";
+            v_type = "miss";
+            v_fields =
+              [
+                ("host", Tracer.Str host);
+                ("image", Str image);
+                ("chunks", Int chunks);
+                ("bytes", Int bytes);
+              ];
+          }
     | _ -> None)
 
 (* Domain-local transaction counter — see [Proc.reset_ids]: replica
@@ -222,6 +349,15 @@ let bump t name =
   match Hashtbl.find t.stats name with
   | r -> incr r
   | exception Not_found -> Hashtbl.replace t.stats name (ref 1)
+
+let bump_by t name n =
+  if n <> 0 then
+    match Hashtbl.find t.stats name with
+    | r -> r := !r + n
+    | exception Not_found -> Hashtbl.replace t.stats name (ref n)
+
+let content_cache t = t.cache
+let content_caching t = Content_cache.enabled t.cache
 
 let stat t name =
   match Hashtbl.find_opt t.stats name with Some r -> !r | None -> 0
@@ -1024,6 +1160,69 @@ let announce_lh t lh =
     && t.prm.Os_params.rebind = Os_params.Broadcast_query
   then transmit_broadcast t (Packet.Here_is { lh; station = t.self })
 
+(* {2 Content-addressed transfer} *)
+
+(* Probe the local cache for every chunk a manifest names, in manifest
+   order. A miss is inserted immediately (the bytes are about to arrive
+   or be pulled), so duplicates *within* one manifest — every zero page
+   after the first — already dedup. Emits the manifest/hit/miss event
+   triple consecutively (the dedup monitor pairs on that) and returns
+   the missing (chunks, bytes) the source must still ship. *)
+let scan_manifest t ~lh ~label ~wire_bytes digests =
+  let hit_chunks = ref 0 and hit_bytes = ref 0 and hit_sum = ref 0 in
+  let miss_chunks = ref 0 and miss_bytes = ref 0 and miss_sum = ref 0 in
+  let total_bytes = ref 0 and total_sum = ref 0 in
+  Array.iter
+    (fun (dg, b) ->
+      total_bytes := !total_bytes + b;
+      total_sum := !total_sum + dg;
+      if Content_cache.probe t.cache ~digest:dg ~bytes:b then begin
+        incr hit_chunks;
+        hit_bytes := !hit_bytes + b;
+        hit_sum := !hit_sum + dg
+      end
+      else begin
+        incr miss_chunks;
+        miss_bytes := !miss_bytes + b;
+        miss_sum := !miss_sum + dg
+      end)
+    digests;
+  bump_by t "xfer_chunks_hit" !hit_chunks;
+  bump_by t "xfer_chunks_miss" !miss_chunks;
+  bump_by t "xfer_bytes_deduped" !hit_bytes;
+  ev t (fun () ->
+      Xfer_manifest
+        {
+          host = t.name;
+          lh;
+          label;
+          chunks = Array.length digests;
+          bytes = !total_bytes;
+          wire_bytes;
+          digest_sum = !total_sum;
+        });
+  ev t (fun () ->
+      Xfer_chunk_hit
+        {
+          host = t.name;
+          lh;
+          label;
+          chunks = !hit_chunks;
+          bytes = !hit_bytes;
+          digest_sum = !hit_sum;
+        });
+  ev t (fun () ->
+      Xfer_chunk_miss
+        {
+          host = t.name;
+          lh;
+          label;
+          chunks = !miss_chunks;
+          bytes = !miss_bytes;
+          digest_sum = !miss_sum;
+        });
+  (!miss_chunks, !miss_bytes)
+
 (* {2 Copy-on-reference page faulting} *)
 
 let serves_pages_for t lh = Hashtbl.mem t.page_sources lh
@@ -1044,11 +1243,34 @@ let service_page_faults t ~self ~lh:lh_id =
       | None -> ()
       | Some lh ->
           let pages, bytes =
-            List.fold_left
-              (fun (p, b) sp ->
-                let n = List.length (Address_space.take_pending_faults sp) in
-                (p + n, b + (n * Address_space.page_bytes sp)))
-              (0, 0) (Logical_host.spaces lh)
+            if Content_cache.enabled t.cache then begin
+              (* Content-addressed fault-in: probe the local cache for
+                 each faulted page's source-side digest — image chunks
+                 announced by the file server (and anything shipped here
+                 before) need no round trip to the old host. Only the
+                 misses go in the pull request. The probe runs locally,
+                 so the manifest costs nothing on the wire. *)
+              let faulted =
+                List.concat_map
+                  (fun sp ->
+                    List.map
+                      (fun p ->
+                        ( Address_space.source_page_digest sp p,
+                          Address_space.page_bytes sp ))
+                      (Address_space.take_pending_faults sp))
+                  (Logical_host.spaces lh)
+              in
+              if faulted = [] then (0, 0)
+              else
+                scan_manifest t ~lh:lh_id ~label:"fault" ~wire_bytes:0
+                  (Array.of_list faulted)
+            end
+            else
+              List.fold_left
+                (fun (p, b) sp ->
+                  let n = List.length (Address_space.take_pending_faults sp) in
+                  (p + n, b + (n * Address_space.page_bytes sp)))
+                (0, 0) (Logical_host.spaces lh)
           in
           if pages > 0 then begin
             bump t "page_faults";
@@ -1146,6 +1368,27 @@ let ks_body t vp =
               reply t d (Message.make Ks_ok)
             end
             else reply t d (Message.make (Ks_refused "no retained pages"))
+        | Ks_xfer_manifest { lh = mlh; label; digests } ->
+            (* Manifest-first copy, destination side: answer with what
+               is still missing. The probe inserts misses, so the bytes
+               about to arrive are counted as held from here on. *)
+            let wire_bytes = Message.short_bytes + (8 * Array.length digests) in
+            let missing, bytes =
+              scan_manifest t ~lh:mlh ~label ~wire_bytes digests
+            in
+            reply t d (Message.make (Ks_xfer_need { missing; bytes }))
+        | Ks_content_announce { image; first; count; chunk_bytes } ->
+            (* Multicast fan-out: the named chunks just crossed the
+               shared wire; count them as held. Group sends expect no
+               reply. *)
+            if Content_cache.enabled t.cache then begin
+              for i = first to first + count - 1 do
+                Content_cache.insert t.cache
+                  ~digest:(Pagehash.image_chunk ~image ~index:i)
+                  ~bytes:chunk_bytes
+              done;
+              bump_by t "img_announced_chunks" count
+            end
         | _ -> reply t d (Message.make (Ks_refused "unknown operation"))));
     loop ()
   in
@@ -1184,11 +1427,18 @@ let create ~engine:eng ~rng:krng ~tracer:trc ~params:prm ~net ~station:self
       page_sources = Hashtbl.create 4;
       fault_sources = Hashtbl.create 4;
       stats = Hashtbl.create 16;
+      cache = Content_cache.create ~budget:prm.Os_params.content_cache_bytes;
     }
   in
   Hashtbl.replace t.lh_table host_id the_host_lh;
   t.stn <- Some (Ethernet.attach net self (fun frame -> handle_frame t frame));
-  ignore (system_process t ~index:Ids.kernel_server_index ~name:(name ^ ":ks") (ks_body t));
+  let ks =
+    system_process t ~index:Ids.kernel_server_index ~name:(name ^ ":ks")
+      (ks_body t)
+  in
+  (* Caching hosts listen for the file server's image-chunk multicasts. *)
+  if Content_cache.enabled t.cache then
+    join_group t ~group:Ids.content_group ks;
   t
 
 let shutdown t =
@@ -1222,6 +1472,8 @@ let shutdown t =
      strands every program still faulting from it. *)
   Hashtbl.reset t.page_sources;
   Hashtbl.reset t.fault_sources;
+  (* The content cache is RAM with the rest. *)
+  Content_cache.clear t.cache;
   Hashtbl.reset t.sys_procs;
   Hashtbl.reset (Logical_host.inbound t.the_host_lh);
   trace t "shut down"
@@ -1238,9 +1490,12 @@ let reboot t =
   Hashtbl.replace t.lh_table (Logical_host.id t.the_host_lh) t.the_host_lh;
   t.stn <-
     Some (Ethernet.attach t.net t.self (fun frame -> handle_frame t frame));
-  ignore
-    (system_process t ~index:Ids.kernel_server_index ~name:(t.name ^ ":ks")
-       (ks_body t));
+  let ks =
+    system_process t ~index:Ids.kernel_server_index ~name:(t.name ^ ":ks")
+      (ks_body t)
+  in
+  if Content_cache.enabled t.cache then
+    join_group t ~group:Ids.content_group ks;
   bump t "reboots";
   ev t (fun () -> Host_rebooted { host = t.name });
   trace t "rebooted"

@@ -70,6 +70,54 @@ type Tracer.event +=
           [lh]. Emitted with category ["migrate"], type ["page-fault"];
           the no-residual-dependency monitor attributes these to the
           banned (logical host, old host) pair. *)
+  | Xfer_manifest of {
+      host : string;
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;
+      wire_bytes : int;
+      digest_sum : int;
+    }
+      (** Content-addressed transfer: [host] scanned a [chunks]-entry
+          digest manifest covering [bytes] of content for logical host
+          [lh] against its cache. [wire_bytes] is what the manifest
+          itself cost on the wire (0 for local fault-path scans);
+          [digest_sum] sums the 48-bit chunk digests. Category ["xfer"],
+          type ["manifest"]; always immediately followed by one
+          {!Xfer_chunk_hit} and one {!Xfer_chunk_miss} (possibly with
+          zero counts) for the same scan — the dedup monitor checks the
+          triple conserves chunks, bytes, and digest sums. *)
+  | Xfer_chunk_hit of {
+      host : string;
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;
+      digest_sum : int;
+    }
+      (** Chunks of the preceding manifest already held by [host]'s
+          cache: [bytes] bytes that need not cross the wire. Category
+          ["xfer"], type ["hit"]. *)
+  | Xfer_chunk_miss of {
+      host : string;
+      lh : Ids.lh_id;
+      label : string;
+      chunks : int;
+      bytes : int;
+      digest_sum : int;
+    }
+      (** Chunks the source must still ship. Category ["xfer"], type
+          ["miss"]. *)
+  | Img_cache_hit of { host : string; image : string; chunks : int; bytes : int }
+      (** A program creation on [host] found all of [image]'s [chunks]
+          chunks cached: the 330 ms/100 KB file-server load is skipped
+          (only missing chunks are pulled — [bytes] counts the cached
+          ones). Category ["img"], type ["hit"]. *)
+  | Img_cache_miss of { host : string; image : string; chunks : int; bytes : int }
+      (** A program creation had to pull [chunks] missing chunks
+          ([bytes] bytes) of [image] from the file server. Category
+          ["img"], type ["miss"]. *)
 
 type send_error =
   | No_response
@@ -227,6 +275,11 @@ val collect_within :
   t -> collector -> window:Time.span -> (Ids.pid * Message.t) list
 (** All replies arriving within the window; closes the collector. *)
 
+val close_collector : t -> collector -> unit
+(** Close a collector without waiting: fire-and-forget multicast. Any
+    replies in flight are discarded on arrival. Used for one-way
+    announcements such as [Ks_content_announce]. *)
+
 val receive : t -> Vproc.t -> Delivery.t
 (** Blocking Receive of the next queued request. *)
 
@@ -372,8 +425,44 @@ type Message.body +=
       (** Copy-on-reference page pull: sent to the old host's kernel
           server, which transfers [bytes] back and replies [Ks_ok] —
           or [Ks_refused] if it retains no pages for [lh]. *)
+  | Ks_xfer_manifest of {
+      lh : Ids.lh_id;
+      label : string;
+      digests : (int * int) array;
+    }
+      (** Manifest-first bulk copy (content caching on): before a bulk
+          transfer for [lh], the source names each chunk as a
+          (digest, bytes) pair. The destination's kernel server probes
+          its content cache, emits the {!Xfer_manifest} event triple,
+          and replies {!Ks_xfer_need}; the source then ships only the
+          missing bytes. Misses are inserted as they are scanned, so
+          repeats within one manifest (every zero page after the first)
+          already dedup. *)
+  | Ks_xfer_need of { missing : int; bytes : int }
+      (** Reply to {!Ks_xfer_manifest}: [missing] chunks totalling
+          [bytes] bytes are not cached and must cross the wire. *)
+  | Ks_content_announce of {
+      image : string;
+      first : int;
+      count : int;
+      chunk_bytes : int;
+    }
+      (** Multicast by the file server to {!Ids.content_group} after
+          serving an image load: chunks [first, first+count) of [image]
+          just crossed the shared wire, so every listening kernel
+          inserts their digests — one host's cold load warms the whole
+          cluster (no reply; group sends are best-effort). *)
   | Ks_ok
   | Ks_refused of string
+
+(** {1 Content-addressed transfer} *)
+
+val content_cache : t -> Content_cache.t
+(** This host's content cache; disabled (budget 0) unless
+    [Os_params.content_cache_bytes] says otherwise. *)
+
+val content_caching : t -> bool
+(** [Content_cache.enabled (content_cache t)]. *)
 
 (** {1 Statistics} *)
 
@@ -383,5 +472,13 @@ val stat : t -> string -> int
     ["replies_discarded_frozen"], ["ks_pings"],
     ["reservations_expired"], ["reboots"], ["page_faults"] (batched
     fault requests issued by a copy-on-reference destination),
-    ["page_fault_serves"] (batches served by an old host). Unknown
-    names are 0. *)
+    ["page_fault_serves"] (batches served by an old host). Content
+    caching adds ["xfer_chunks_hit"] / ["xfer_chunks_miss"] /
+    ["xfer_bytes_deduped"] (manifest scans at this host),
+    ["xfer_bytes_shipped"] / ["xfer_bytes_saved"] /
+    ["xfer_manifest_bytes"] (transfers this host sourced) and
+    ["img_announced_chunks"]. Unknown names are 0. *)
+
+val bump_by : t -> string -> int -> unit
+(** Add [n] to a named counter (creating it at [n]) — the hook
+    transfer layers use to account bytes-on-wire. [n = 0] is a no-op. *)

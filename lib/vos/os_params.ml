@@ -14,6 +14,7 @@ type t = {
   cpu_quantum : Time.span;
   rebind : rebind_mode;
   bulk_pacing : Transfer.pacing;
+  content_cache_bytes : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     cpu_quantum = Time.of_ms 10.;
     rebind = Broadcast_query;
     bulk_pacing = Transfer.v_pacing;
+    content_cache_bytes = 0;
   }
 
 let pp ppf t =

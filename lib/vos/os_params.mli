@@ -71,6 +71,13 @@ type t = {
           cost (not the 10 Mbit wire) bounds bulk throughput. Scale-out
           experiments override it to model modern NICs, exactly as they
           override the file server's media speed. *)
+  content_cache_bytes : int;
+      (** Byte budget of the per-host content cache used by
+          content-addressed transfer (manifest-first bulk copy, image
+          chunk dedup — DESIGN.md §4k). [0] (the default) disables
+          content addressing entirely: no digests are computed, no
+          manifests are exchanged, and every transfer ships full bytes
+          exactly as the paper's calibration measures. *)
 }
 
 val default : t

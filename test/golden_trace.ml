@@ -1,12 +1,14 @@
 (* Golden-trace generator: run a pinned scenario named on the command
    line and print its migration-phase events as JSONL. `dune runtest`
    diffs the output of each case against its committed fixture
-   (golden_trace_{precopy,freeze,cor,flashcrowd}.expected) — any change
-   to event content, order or timing under this seed must be
+   (golden_trace_{precopy,freeze,cor,flashcrowd,dedup}.expected) — any
+   change to event content, order or timing under this seed must be
    intentional (re-bless with `dune promote`). The strategy cases run
    one cc68 migration; the flashcrowd case replays the scenario
    library's flash-crowd family at a pinned seed, pinning the whole
-   burst's migration and fault stream. *)
+   burst's migration and fault stream; the dedup case re-migrates under
+   per-host content caches, pinning the manifest exchange and chunk
+   hit/miss stream. *)
 
 let strategy_case strategy =
   let cl = Cluster.create ~seed:1985 ~workstations:4 ~trace:true () in
@@ -40,12 +42,83 @@ let flashcrowd_case () =
        ~categories:[ "migrate"; "lh"; "fault" ]
        (Cluster.tracer cl))
 
+(* Content-addressed re-migration at a pinned seed with 4 MiB per-host
+   caches: cc68 runs on ws0, migrates to ws1 and back. The fixture pins
+   the manifest exchanges — the outbound trip's image-chunk hits (the
+   file server's announcement warmed ws1) and the return trip's delta
+   (the origin's cache still holds everything it shipped). The dedup
+   and residual monitors must stay silent. *)
+let dedup_case () =
+  let cfg =
+    {
+      Config.default with
+      Config.os =
+        {
+          Config.default.Config.os with
+          Os_params.content_cache_bytes = 4 * 1024 * 1024;
+        };
+    }
+  in
+  let cl = Cluster.create ~seed:1985 ~workstations:4 ~trace:true ~cfg () in
+  let mon = Monitors.attach (Cluster.tracer cl) in
+  let eng = Cluster.engine cl in
+  let failed = ref None in
+  ignore
+    (Cluster.shell cl ~ws:0 ~name:"shell" (fun ctx ->
+         let k = Context.kernel ctx and self = Context.self ctx in
+         match Remote_exec.exec ctx ~prog:"cc68" ~target:Remote_exec.Local with
+         | Error e -> failed := Some ("exec: " ^ e)
+         | Ok h -> (
+             let migrate ~from_host ~dest =
+               let pm =
+                 match Cluster.find_workstation cl from_host with
+                 | Some w -> Program_manager.pid w.Cluster.ws_pm
+                 | None -> Ids.program_manager_of h.Remote_exec.h_lh
+               in
+               match
+                 Kernel.send k ~src:self ~dst:pm
+                   (Message.make
+                      (Protocol.Pm_migrate
+                         {
+                           lh = Some h.Remote_exec.h_lh;
+                           dest = Some dest;
+                           force_destroy = false;
+                           strategy = Protocol.Precopy;
+                         }))
+               with
+               | Ok { Message.body = Protocol.Pm_migrated [ _ ]; _ } -> Ok ()
+               | _ -> Error "migration failed"
+             in
+             Proc.sleep eng (Time.of_sec 2.);
+             match migrate ~from_host:h.Remote_exec.h_host ~dest:"ws1" with
+             | Error e -> failed := Some ("outbound: " ^ e)
+             | Ok () -> (
+                 Proc.sleep eng (Time.of_sec 1.);
+                 match migrate ~from_host:"ws1" ~dest:h.Remote_exec.h_host with
+                 | Error e -> failed := Some ("return: " ^ e)
+                 | Ok () -> ()))));
+  Cluster.run cl ~until:(Time.of_sec 60.);
+  (match !failed with
+  | Some e ->
+      prerr_endline ("golden_trace: dedup scenario failed: " ^ e);
+      exit 1
+  | None -> ());
+  if Monitors.violations mon <> [] then begin
+    prerr_endline "golden_trace: dedup seed 1985 tripped a monitor";
+    exit 1
+  end;
+  print_string
+    (Tracer.to_jsonl
+       ~categories:[ "migrate"; "lh"; "xfer" ]
+       (Cluster.tracer cl))
+
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "precopy" with
   | "precopy" -> strategy_case Protocol.Precopy
   | "freeze" -> strategy_case Protocol.Freeze_and_copy
   | "cor" -> strategy_case Protocol.Copy_on_reference
   | "flashcrowd" -> flashcrowd_case ()
+  | "dedup" -> dedup_case ()
   | s ->
       prerr_endline ("golden_trace: unknown case " ^ s);
       exit 2

@@ -11,9 +11,9 @@
    The flat policy additionally carries a compatibility obligation: it
    is the pre-[Placement] scheduler verbatim, so dispatching through
    the policy must produce the same selection and the same trace as the
-   deprecated [Scheduler.select_any] shim. (The committed golden-trace
-   fixtures, generated before the refactor, pin the same equivalence
-   end-to-end in runtest.) *)
+   bare [Scheduler.Spine] calls the deprecated shims wrapped. (The
+   committed golden-trace fixtures, generated before the refactor, pin
+   the same equivalence end-to-end in runtest.) *)
 
 let sec = Time.of_sec
 
@@ -144,18 +144,21 @@ let test_topology () =
       Alcotest.(check int) (name ^ " pod count") 3 r.r_pod_count)
     [ "pods"; "predictive" ]
 
-(* {1 Compatibility: flat policy == deprecated scheduler shim}
+(* {1 Compatibility: flat policy == bare spine}
 
-   Two identically seeded clusters; one selects through the deprecated
-   [Scheduler.select_any]/[select_host] entry points, the other through
-   the flat [Placement] dispatch. Selection results and the full traced
-   event streams must both be byte-identical. *)
+   Two identically seeded clusters; one selects through the raw
+   [Scheduler.Spine] (the documented flat-equivalent calls the
+   deprecated [select_any]/[select_host] shims wrapped), the other
+   through the flat [Placement] dispatch. Selection results and the full
+   traced event streams must both be byte-identical. *)
 
 module Shim = struct
-  [@@@ocaml.warning "-3"]
+  let select_any k cfg ~self ~bytes =
+    Scheduler.Spine.select_in_group k cfg ~group:Ids.program_manager_group
+      ~self ~bytes
 
-  let select_any = Scheduler.select_any
-  let select_host = Scheduler.select_host
+  let select_host k cfg ~self ~host =
+    Scheduler.Spine.select_host k cfg ~self ~host
 end
 
 let selection_sig (s : Scheduler.selection) =
@@ -227,5 +230,5 @@ let () =
       ( "topology",
         [ case "pod map follows the config" test_topology ] );
       ( "compatibility",
-        [ case "flat policy == deprecated shim" test_flat_matches_shim ] );
+        [ case "flat policy == bare spine" test_flat_matches_shim ] );
     ]

@@ -40,6 +40,12 @@ echo "=== raw dispatch throughput ==="
 ./_build/default/bench/main.exe engine-core | grep events/s
 
 echo
+echo "=== content-addressed transfer (dedup on vs off, byte counts) ==="
+# Virtual-time/byte-count cell, so the numbers are exact, not noisy:
+# watch the wire-byte reduction and the cached return-migration cost.
+./_build/default/bench/main.exe dedup -j 1 | grep -E "bytes on wire|return"
+
+echo
 echo "=== GC totals for the pinned --quick profile ==="
 OCAMLRUNPARAM=v=0x400 ./_build/default/bench/main.exe --quick -j 1 \
   >/dev/null 2>/tmp/vsim_gc_stats.$$ || true
